@@ -1,0 +1,158 @@
+package rankties
+
+import (
+	"repro/internal/aggregate"
+)
+
+// MedianChoice selects the even-m median policy; see aggregate.MedianChoice.
+type MedianChoice = aggregate.MedianChoice
+
+// Median policies for even ensemble sizes.
+const (
+	LowerMedian = aggregate.LowerMedian
+	UpperMedian = aggregate.UpperMedian
+	MeanMedian  = aggregate.MeanMedian
+)
+
+// MedianScores returns the coordinate-wise median position vector of the
+// inputs. By Lemma 8 it minimizes the summed L1 distance to the inputs over
+// all score vectors.
+func MedianScores(rankings []*PartialRanking, choice MedianChoice) ([]float64, error) {
+	return aggregate.MedianScores(rankings, choice)
+}
+
+// MedianTopK aggregates the inputs into a top-k list via median ranks
+// (Theorem 9): within factor 3 of the optimal top-k list under the summed
+// Fprof objective. For a streaming variant with sequential access and probe
+// accounting, see MedRank.
+func MedianTopK(rankings []*PartialRanking, k int) (*PartialRanking, error) {
+	return aggregate.MedianTopK(rankings, k)
+}
+
+// MedianFull aggregates the inputs into a full ranking via median ranks
+// (Theorem 11): with full-ranking inputs, within factor 2 of the best
+// partial ranking under the summed Fprof objective — the open problem of
+// Dwork et al. answered by the paper.
+func MedianFull(rankings []*PartialRanking) (*PartialRanking, error) {
+	return aggregate.MedianFull(rankings)
+}
+
+// OptimalPartialAggregate aggregates the inputs into the partial ranking
+// L1-closest to their median position vector, via the Figure 1 dynamic
+// program (Theorem 10): O(n^2) time and within factor 2 of the best partial
+// ranking when inputs are partial rankings.
+func OptimalPartialAggregate(rankings []*PartialRanking) (*PartialRanking, error) {
+	return aggregate.OptimalPartialAggregate(rankings)
+}
+
+// DPResult is the outcome of the optimal-partial-ranking dynamic program.
+type DPResult = aggregate.DPResult
+
+// OptimalPartial returns the partial ranking minimizing L1 to an arbitrary
+// score vector, by O(n^2) dynamic programming.
+func OptimalPartial(f []float64) (DPResult, error) { return aggregate.OptimalPartial(f) }
+
+// OptimalPartialFigure1 is the paper's Figure 1 pseudocode: exact integer
+// arithmetic, requires every score to be a multiple of 1/2.
+func OptimalPartialFigure1(f []float64) (DPResult, error) {
+	return aggregate.OptimalPartialFigure1(f)
+}
+
+// FootruleOptimalFull returns the exact footrule-optimal full aggregation
+// via minimum-cost perfect matching (Hungarian algorithm, O(n^3)) — the
+// computationally heavy optimum that median aggregation 2-approximates.
+func FootruleOptimalFull(rankings []*PartialRanking) (*PartialRanking, float64, error) {
+	return aggregate.FootruleOptimalFull(rankings)
+}
+
+// Borda aggregates by mean position (average rank), the classical baseline.
+func Borda(rankings []*PartialRanking) (*PartialRanking, error) {
+	return aggregate.Borda(rankings)
+}
+
+// MCVariant selects a Markov-chain aggregation heuristic (MC1-MC4 of Dwork
+// et al.).
+type MCVariant = aggregate.MCVariant
+
+// Markov-chain variants.
+const (
+	MC1 = aggregate.MC1
+	MC2 = aggregate.MC2
+	MC3 = aggregate.MC3
+	MC4 = aggregate.MC4
+)
+
+// MarkovChainOptions tunes the stationary-distribution computation.
+type MarkovChainOptions = aggregate.MarkovChainOptions
+
+// MarkovChain aggregates with one of the MC1-MC4 heuristics.
+func MarkovChain(rankings []*PartialRanking, variant MCVariant, opts MarkovChainOptions) (*PartialRanking, error) {
+	return aggregate.MarkovChain(rankings, variant, opts)
+}
+
+// LocalKemenize locally optimizes a candidate full ranking by majority
+// adjacent swaps (Dwork et al.).
+func LocalKemenize(candidate *PartialRanking, rankings []*PartialRanking) (*PartialRanking, error) {
+	return aggregate.LocalKemenize(candidate, rankings)
+}
+
+// SumL1Ranking returns the aggregation objective sum_i L1(candidate,
+// sigma_i) (the summed Fprof distance).
+func SumL1Ranking(candidate *PartialRanking, rankings []*PartialRanking) (float64, error) {
+	return aggregate.SumL1Ranking(candidate, rankings)
+}
+
+// StrongMedianTopK returns the median top-k list together with the
+// Theorem 35 witness: a partial ranking consistent with the top-k list that
+// is itself within factor 2 of every partial ranking (for partial-ranking
+// inputs) under the summed Fprof objective.
+func StrongMedianTopK(rankings []*PartialRanking, k int) (topK, witness *PartialRanking, err error) {
+	return aggregate.StrongMedianTopK(rankings, k)
+}
+
+// OrderPreservingMatchingCost returns the minimum-cost perfect matching
+// total under |a-b| costs, achieved by the order-preserving matching
+// (Lemma 26).
+func OrderPreservingMatchingCost(a, b []float64) float64 {
+	return aggregate.OrderPreservingMatchingCost(a, b)
+}
+
+// MedianPartialOfType aggregates into a partial ranking of the given type
+// consistent with the median scores (Corollary 30: factor 3 vs same-type
+// candidates, factor 2 when the inputs share that type).
+func MedianPartialOfType(rankings []*PartialRanking, alpha []int) (*PartialRanking, error) {
+	return aggregate.MedianPartialOfType(rankings, alpha)
+}
+
+// MedianInduced returns the bucket order induced by the median score vector
+// itself: elements with equal medians stay tied.
+func MedianInduced(rankings []*PartialRanking) (*PartialRanking, error) {
+	return aggregate.MedianInduced(rankings)
+}
+
+// MajorityMargins returns the pairwise strict-majority margin matrix of the
+// ensemble (ties abstain).
+func MajorityMargins(rankings []*PartialRanking) ([][]int, error) {
+	return aggregate.MajorityMargins(rankings)
+}
+
+// CondorcetWinner returns the element beating every other by strict
+// majority, if one exists. The Kemeny optimum and LocalKemenize outputs
+// always rank it first.
+func CondorcetWinner(rankings []*PartialRanking) (int, bool, error) {
+	return aggregate.CondorcetWinner(rankings)
+}
+
+// CondorcetLoser returns the element beaten by every other by strict
+// majority, if one exists.
+func CondorcetLoser(rankings []*PartialRanking) (int, bool, error) {
+	return aggregate.CondorcetLoser(rankings)
+}
+
+// KemenyOptimalDP returns the exact Kemeny optimum (the full ranking
+// minimizing the summed Kprof distance) by subset dynamic programming, for
+// domains up to 18 elements — well beyond exhaustive enumeration. It always
+// ranks a Condorcet winner first.
+func KemenyOptimalDP(rankings []*PartialRanking) (*PartialRanking, float64, error) {
+	return aggregate.KemenyOptimalDP(rankings)
+}

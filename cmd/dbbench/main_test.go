@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 20,300")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 300 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "-3", "1,,"} {
+		if v, err := parseInts(bad); err == nil && bad != "1,," {
+			t.Errorf("parseInts(%q) accepted: %v", bad, v)
+		}
+	}
+	// Trailing commas are tolerated.
+	if got, err := parseInts("5,"); err != nil || len(got) != 1 {
+		t.Errorf("trailing comma: %v %v", got, err)
+	}
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates every reproduction table of the paper's
+// claims (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded results).
+//
+// Usage:
+//
+//	experiments [-seed S] [-md] [-list] [E1 E2 ...]
+//
+// With no arguments it runs the full registry in order. -md emits markdown
+// tables (the format used in EXPERIMENTS.md) instead of aligned text; -list
+// prints the registry without running anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 2004, "random seed (2004 reproduces EXPERIMENTS.md)")
+	md := fs.Bool("md", false, "emit markdown tables")
+	list := fs.Bool("list", false, "list the experiment registry and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, spec := range experiments.Registry {
+			fmt.Fprintf(stdout, "%-4s %s\n", spec.ID, spec.Title)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		for _, spec := range experiments.Registry {
+			ids = append(ids, spec.ID)
+		}
+	}
+	for _, id := range ids {
+		tbl, err := experiments.Run(id, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *md {
+			fmt.Fprintln(stdout, tbl.Markdown())
+			continue
+		}
+		if err := tbl.Render(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E7", "E13"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("registry listing missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "7", "E10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E10 —") {
+		t.Errorf("missing table header:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-md", "E10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### E10") {
+		t.Errorf("missing markdown header:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"E999"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

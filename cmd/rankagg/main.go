@@ -1,0 +1,294 @@
+// Command rankagg compares and aggregates rankings with ties from the
+// command line, using the text codec of the rankties library: one ranking
+// per line, buckets best-first separated by "|", elements separated by
+// whitespace. Lines starting with "#" are comments.
+//
+// Usage:
+//
+//	rankagg dist  [-file F]            distances between the first two rankings
+//	rankagg agg   [-file F] [-method M] aggregate all rankings (median | dp | borda | mc4 | footrule-opt)
+//	rankagg topk  [-file F] -k K        streaming median top-k with access stats
+//	rankagg gen   -n N -m M [...]       generate a random ensemble
+//
+// Rankings are read from the file given by -file, or stdin by default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+	"repro/internal/topk"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rankagg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rankagg <dist|agg|topk|gen|compare|corr|eval> [flags]")
+	}
+	switch args[0] {
+	case "dist":
+		return cmdDist(args[1:], stdin, stdout)
+	case "agg":
+		return cmdAgg(args[1:], stdin, stdout)
+	case "topk":
+		return cmdTopK(args[1:], stdin, stdout)
+	case "gen":
+		return cmdGen(args[1:], stdout)
+	case "compare":
+		return cmdCompare(args[1:], stdin, stdout)
+	case "corr":
+		return cmdCorr(args[1:], stdin, stdout)
+	case "eval":
+		return cmdEval(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func readRankings(file string, stdin io.Reader) ([]*ranking.PartialRanking, *ranking.Domain, error) {
+	r := stdin
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return ranking.ParseLines(r)
+}
+
+func cmdDist(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dist", flag.ContinueOnError)
+	file := fs.String("file", "", "rankings file (default stdin)")
+	penalty := fs.Float64("p", 0.5, "penalty parameter for K^(p)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, _, err := readRankings(*file, stdin)
+	if err != nil {
+		return err
+	}
+	if len(rs) < 2 {
+		return fmt.Errorf("dist needs at least two rankings, got %d", len(rs))
+	}
+	a, b := rs[0], rs[1]
+	kp, err := metrics.KProf(a, b)
+	if err != nil {
+		return err
+	}
+	fp, _ := metrics.FProf(a, b)
+	kh, _ := metrics.KHaus(a, b)
+	fh, _ := metrics.FHaus(a, b)
+	kpen, _ := metrics.KWithPenalty(a, b, *penalty)
+	fmt.Fprintf(stdout, "Kprof  = %g\n", kp)
+	fmt.Fprintf(stdout, "Fprof  = %g\n", fp)
+	fmt.Fprintf(stdout, "KHaus  = %d\n", kh)
+	fmt.Fprintf(stdout, "FHaus  = %d\n", fh)
+	fmt.Fprintf(stdout, "K^(%g) = %g\n", *penalty, kpen)
+	if g, err := metrics.GoodmanKruskalGamma(a, b); err == nil {
+		fmt.Fprintf(stdout, "gamma  = %g\n", g)
+	} else {
+		fmt.Fprintf(stdout, "gamma  = undefined\n")
+	}
+	return nil
+}
+
+func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agg", flag.ContinueOnError)
+	file := fs.String("file", "", "rankings file (default stdin)")
+	method := fs.String("method", "median", "median | dp | borda | mc4 | footrule-opt")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, dom, err := readRankings(*file, stdin)
+	if err != nil {
+		return err
+	}
+	if len(rs) == 0 {
+		return fmt.Errorf("no rankings to aggregate")
+	}
+	var out *ranking.PartialRanking
+	switch *method {
+	case "median":
+		out, err = aggregate.MedianFull(rs)
+	case "dp":
+		out, err = aggregate.OptimalPartialAggregate(rs)
+	case "borda":
+		out, err = aggregate.Borda(rs)
+	case "mc4":
+		out, err = aggregate.MarkovChain(rs, aggregate.MC4, aggregate.MarkovChainOptions{})
+	case "footrule-opt":
+		out, _, err = aggregate.FootruleOptimalFull(rs)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		return err
+	}
+	obj, err := aggregate.SumL1Ranking(out, rs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, dom.Render(out))
+	fmt.Fprintf(stdout, "# sum Fprof objective = %g\n", obj)
+	return nil
+}
+
+func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topk", flag.ContinueOnError)
+	file := fs.String("file", "", "rankings file (default stdin)")
+	k := fs.Int("k", 1, "number of winners")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, dom, err := readRankings(*file, stdin)
+	if err != nil {
+		return err
+	}
+	res, err := topk.MedRank(rs, *k, topk.RoundRobin)
+	if err != nil {
+		return err
+	}
+	for i, w := range res.Winners {
+		fmt.Fprintf(stdout, "%d. %s (median position %g)\n", i+1, dom.Name(w), float64(res.Medians2[i])/2)
+	}
+	full := topk.FullScanCost(rs)
+	fmt.Fprintf(stdout, "# probes: %d of %d (%.1f%% of a full scan)\n",
+		res.Stats.Total, full.Total, 100*float64(res.Stats.Total)/float64(full.Total))
+	return nil
+}
+
+func cmdGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	n := fs.Int("n", 10, "domain size")
+	m := fs.Int("m", 3, "number of rankings")
+	maxBucket := fs.Int("maxbucket", 3, "maximum bucket size")
+	theta := fs.Float64("theta", -1, "Mallows dispersion; <0 for independent uniform rankings")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	names := make([]string, *n)
+	for i := range names {
+		names[i] = fmt.Sprintf("e%d", i)
+	}
+	dom, err := ranking.DomainOf(names...)
+	if err != nil {
+		return err
+	}
+	var rs []*ranking.PartialRanking
+	if *theta >= 0 {
+		buckets := (*n + *maxBucket - 1) / *maxBucket
+		ens, _ := randrank.MallowsPartialEnsemble(rng, *n, *m, *theta, buckets)
+		rs = ens
+	} else {
+		for i := 0; i < *m; i++ {
+			rs = append(rs, randrank.Partial(rng, *n, *maxBucket))
+		}
+	}
+	return ranking.WriteLines(stdout, dom, rs)
+}
+
+func cmdCompare(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	file := fs.String("file", "", "rankings file (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, _, err := readRankings(*file, stdin)
+	if err != nil {
+		return err
+	}
+	results, err := core.CompareAll(rs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-16s %10s %10s %10s %10s\n", "method", "sum Kprof", "sum Fprof", "sum KHaus", "sum FHaus")
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%-16s %10.1f %10.1f %10d %10d\n",
+			r.Method, r.Objectives.SumKProf, r.Objectives.SumFProf,
+			r.Objectives.SumKHaus, r.Objectives.SumFHaus)
+	}
+	return nil
+}
+
+func cmdCorr(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("corr", flag.ContinueOnError)
+	file := fs.String("file", "", "rankings file (default stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, _, err := readRankings(*file, stdin)
+	if err != nil {
+		return err
+	}
+	if len(rs) < 2 {
+		return fmt.Errorf("corr needs at least two rankings, got %d", len(rs))
+	}
+	a, b := rs[0], rs[1]
+	print := func(name string, v float64, err error) {
+		if err != nil {
+			fmt.Fprintf(stdout, "%-7s = undefined\n", name)
+			return
+		}
+		fmt.Fprintf(stdout, "%-7s = %.4f\n", name, v)
+	}
+	ta, err1 := metrics.KendallTauA(a, b)
+	print("tau-a", ta, err1)
+	tb, err2 := metrics.KendallTauB(a, b)
+	print("tau-b", tb, err2)
+	rho, err3 := metrics.SpearmanRho(a, b)
+	print("rho", rho, err3)
+	g, err4 := metrics.GoodmanKruskalGamma(a, b)
+	print("gamma", g, err4)
+	nk, err5 := metrics.NormalizedKProf(a, b)
+	print("Kprof~", nk, err5)
+	nf, err6 := metrics.NormalizedFProf(a, b)
+	print("Fprof~", nf, err6)
+	w, err7 := metrics.KendallW(rs)
+	print("W(all)", w, err7)
+	return nil
+}
+
+// cmdEval treats the first ranking as a candidate aggregation and scores it
+// against the remaining rankings under all four metrics.
+func cmdEval(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	file := fs.String("file", "", "rankings file (default stdin); first line is the candidate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, _, err := readRankings(*file, stdin)
+	if err != nil {
+		return err
+	}
+	if len(rs) < 2 {
+		return fmt.Errorf("eval needs a candidate plus at least one input, got %d lines", len(rs))
+	}
+	obj, err := core.Evaluate(rs[0], rs[1:])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "candidate vs %d inputs:\n", len(rs)-1)
+	fmt.Fprintf(stdout, "  sum Kprof = %g\n", obj.SumKProf)
+	fmt.Fprintf(stdout, "  sum Fprof = %g\n", obj.SumFProf)
+	fmt.Fprintf(stdout, "  sum KHaus = %d\n", obj.SumKHaus)
+	fmt.Fprintf(stdout, "  sum FHaus = %d\n", obj.SumFHaus)
+	return nil
+}

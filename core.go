@@ -1,0 +1,45 @@
+package rankties
+
+import (
+	"repro/internal/core"
+)
+
+// Comparison caches the pair classification of two partial rankings so all
+// Kendall-family quantities derive from one O(n log n) pass.
+type Comparison = core.Comparison
+
+// ComparisonReport bundles the four paper metrics with the Theorem 7
+// equivalence ratios for one pair of rankings.
+type ComparisonReport = core.Report
+
+// Compare builds a cached comparison of two partial rankings.
+func Compare(a, b *PartialRanking) (*Comparison, error) { return core.Compare(a, b) }
+
+// AggregationMethod selects an aggregation algorithm for AggregateWith.
+type AggregationMethod = core.Method
+
+// Aggregation methods.
+const (
+	MedianFullMethod      = core.MedianFullMethod
+	OptimalPartialMethod  = core.OptimalPartialMethod
+	BordaMethod           = core.BordaMethod
+	MC4Method             = core.MC4Method
+	FootruleOptimalMethod = core.FootruleOptimalMethod
+	BestInputMethod       = core.BestInputMethod
+)
+
+// AggregationResult is one method's output ranking plus its summed
+// objective under all four metrics.
+type AggregationResult = core.AggregationResult
+
+// AggregateWith runs the chosen aggregation method and evaluates it under
+// all four metrics of Theorem 7.
+func AggregateWith(rankings []*PartialRanking, method AggregationMethod) (*AggregationResult, error) {
+	return core.Aggregate(rankings, method)
+}
+
+// CompareAggregators runs several aggregation methods (default: median,
+// DP, Borda, MC4, best-input) and returns their objective reports.
+func CompareAggregators(rankings []*PartialRanking, methods ...AggregationMethod) ([]*AggregationResult, error) {
+	return core.CompareAll(rankings, methods...)
+}

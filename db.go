@@ -1,0 +1,72 @@
+package rankties
+
+import (
+	"io"
+
+	"repro/internal/db"
+)
+
+// Table is the in-memory catalog substrate of the paper's database
+// scenario: typed columns whose sorts produce heavily-tied partial
+// rankings, queried via median rank aggregation.
+type Table = db.Table
+
+// Row is one record's values keyed by column name.
+type Row = db.Row
+
+// ColumnType enumerates table attribute types.
+type ColumnType = db.ColumnType
+
+// Column types.
+const (
+	StringCol = db.StringCol
+	IntCol    = db.IntCol
+	FloatCol  = db.FloatCol
+)
+
+// Direction orients a sort preference.
+type Direction = db.Direction
+
+// Sort directions.
+const (
+	Ascending  = db.Ascending
+	Descending = db.Descending
+)
+
+// Preference is one user sort criterion, optionally coarsened (numeric) or
+// value-ordered (categorical).
+type Preference = db.Preference
+
+// Query is a multi-criteria top-k preference query.
+type Query = db.Query
+
+// QueryResult carries a query's winners and its access accounting.
+type QueryResult = db.QueryResult
+
+// NewTable creates an empty catalog table.
+func NewTable(name string) *Table { return db.NewTable(name) }
+
+// Condition is a WHERE-style predicate for filtered queries.
+type Condition = db.Condition
+
+// CompareOp is a filter comparison operator.
+type CompareOp = db.CompareOp
+
+// Filter operators.
+const (
+	Eq = db.Eq
+	Ne = db.Ne
+	Lt = db.Lt
+	Le = db.Le
+	Gt = db.Gt
+	Ge = db.Ge
+)
+
+// FilteredQuery is a top-k preference query restricted by conditions.
+type FilteredQuery = db.FilteredQuery
+
+// LoadCSV builds a catalog table from CSV data; the keyColumn supplies
+// primary keys and types declares every other column.
+func LoadCSV(name string, r io.Reader, keyColumn string, types map[string]ColumnType) (*Table, error) {
+	return db.LoadCSV(name, r, keyColumn, types)
+}

@@ -1,0 +1,75 @@
+package rankties_test
+
+import (
+	"fmt"
+
+	rankties "repro"
+)
+
+// Two critics rank three dishes; the second cannot separate the first two.
+func ExampleKProf() {
+	a := rankties.MustFromOrder([]int{0, 1, 2})
+	b := rankties.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	d, _ := rankties.KProf(a, b)
+	fmt.Println(d)
+	// Output: 0.5
+}
+
+func ExampleDistances() {
+	a := rankties.MustFromOrder([]int{0, 1, 2, 3})
+	c := rankties.MustFromBuckets(4, [][]int{{0, 1}, {2, 3}})
+	d, _ := rankties.Distances(a, c)
+	fmt.Printf("Kprof=%g Fprof=%g KHaus=%d FHaus=%d\n", d.KProf, d.FProf, d.KHaus, d.FHaus)
+	// Output: Kprof=1 Fprof=2 KHaus=2 FHaus=4
+}
+
+func ExampleMedianFull() {
+	judges := []*rankties.PartialRanking{
+		rankties.MustFromOrder([]int{0, 1, 2}),
+		rankties.MustFromOrder([]int{1, 0, 2}),
+		rankties.MustFromOrder([]int{0, 2, 1}),
+	}
+	agg, _ := rankties.MedianFull(judges)
+	fmt.Println(agg)
+	// Output: 0 | 1 | 2
+}
+
+func ExampleOptimalPartialAggregate() {
+	// Two of three judges tie the leaders, so the optimal partial ranking
+	// keeps them tied.
+	judges := []*rankties.PartialRanking{
+		rankties.MustFromBuckets(3, [][]int{{0, 1}, {2}}),
+		rankties.MustFromBuckets(3, [][]int{{0, 1}, {2}}),
+		rankties.MustFromOrder([]int{1, 0, 2}),
+	}
+	agg, _ := rankties.OptimalPartialAggregate(judges)
+	fmt.Println(agg)
+	// Output: 0 1 | 2
+}
+
+func ExampleMedRank() {
+	lists := []*rankties.PartialRanking{
+		rankties.MustFromOrder([]int{3, 0, 1, 2}),
+		rankties.MustFromOrder([]int{3, 1, 0, 2}),
+		rankties.MustFromOrder([]int{0, 3, 2, 1}),
+	}
+	res, _ := rankties.MedRank(lists, 1, rankties.GlobalMerge)
+	fmt.Printf("winner %d after %d probes (full scan would be %d)\n",
+		res.Winners[0], res.Stats.Total, rankties.FullScanCost(lists).Total)
+	// Output: winner 3 after 2 probes (full scan would be 12)
+}
+
+func ExampleParseText() {
+	dom := rankties.NewDomain()
+	pr, _ := rankties.ParseText(dom, "sushi thai | bbq | deli")
+	fmt.Println(pr.NumBuckets(), dom.Render(pr))
+	// Output: 3 sushi thai | bbq | deli
+}
+
+func ExampleKendallTauB() {
+	a := rankties.MustFromOrder([]int{0, 1, 2, 3})
+	b := rankties.MustFromBuckets(4, [][]int{{0, 1}, {2}, {3}})
+	tb, _ := rankties.KendallTauB(a, b)
+	fmt.Printf("%.3f\n", tb)
+	// Output: 0.913
+}

@@ -1,0 +1,110 @@
+// Concordance: panel diagnostics before aggregating. Given a judging panel
+// with two factions and one contrarian, the example measures overall
+// agreement with Kendall's tie-corrected W, computes the pairwise Kprof
+// distance matrix in parallel, identifies the outlier judge, and shows how
+// median rank aggregation (Lemma 8's robustness) shrugs the outlier off
+// while Borda's mean ranks get dragged toward it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rankties "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const n = 12
+
+	// A hidden consensus order, five honest judges sampling around it with
+	// ties, plus a coordinated bloc of three contrarians who reverse it.
+	const honest, contrarians = 5, 3
+	base := rng.Perm(n)
+	var panel []*rankties.PartialRanking
+	for j := 0; j < honest; j++ {
+		scores := make([]float64, n)
+		for pos, e := range base {
+			scores[e] = float64(pos) + rng.NormFloat64()*1.2
+		}
+		// Coarse scale: ties.
+		for i := range scores {
+			scores[i] = float64(int(scores[i] / 2))
+		}
+		panel = append(panel, rankties.FromScores(scores))
+	}
+	reversed := make([]int, n)
+	for i, e := range base {
+		reversed[n-1-i] = e
+	}
+	for j := 0; j < contrarians; j++ {
+		panel = append(panel, rankties.MustFromOrder(reversed))
+	}
+
+	w, err := rankties.KendallW(panel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("panel concordance (Kendall's W, tie-corrected): %.3f\n", w)
+	wHonest, err := rankties.KendallW(panel[:honest])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest judges only:                             %.3f\n\n", wHonest)
+
+	// Pairwise distances expose the outlier: its average distance to the
+	// rest dwarfs everyone else's.
+	mat, err := rankties.DistanceMatrix(panel, rankties.KProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mean Kprof distance of each judge to the rest:")
+	worst, worstJudge := 0.0, -1
+	for i := range panel {
+		var sum float64
+		for j := range panel {
+			sum += mat[i][j]
+		}
+		mean := sum / float64(len(panel)-1)
+		fmt.Printf("  judge %d: %6.1f\n", i+1, mean)
+		if mean > worst {
+			worst, worstJudge = mean, i
+		}
+	}
+	fmt.Printf("most discordant: judge %d (the contrarian bloc is judges %d-%d)\n\n",
+		worstJudge+1, honest+1, honest+contrarians)
+
+	// Aggregate with and without the outlier; median barely moves.
+	kendallTo := func(a, b *rankties.PartialRanking) float64 {
+		d, err := rankties.KProf(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
+	truth := rankties.MustFromOrder(base)
+	medianAll, err := rankties.MedianFull(panel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bordaAll, err := rankties.Borda(panel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	medianHonest, err := rankties.MedianFull(panel[:honest])
+	if err != nil {
+		log.Fatal(err)
+	}
+	bordaHonest, err := rankties.Borda(panel[:honest])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Kprof distance of the aggregate to the hidden consensus:")
+	fmt.Printf("  median, full panel (5 honest + 3 contrarians): %5.1f\n", kendallTo(medianAll, truth))
+	fmt.Printf("  median, honest judges only:                    %5.1f\n", kendallTo(medianHonest, truth))
+	fmt.Printf("  Borda,  full panel (5 honest + 3 contrarians): %5.1f\n", kendallTo(bordaAll, truth))
+	fmt.Printf("  Borda,  honest judges only:                    %5.1f\n", kendallTo(bordaHonest, truth))
+	fmt.Println("\nmedian ranks follow the honest majority (Lemma 8's robustness);")
+	fmt.Println("mean ranks are dragged toward the bloc.")
+}

@@ -1,0 +1,90 @@
+package aggregate
+
+import (
+	"repro/internal/ranking"
+)
+
+// Borda returns the full ranking obtained by sorting elements on their mean
+// position across the inputs (Borda's method adapted to partial rankings:
+// the position of a bucket is the average rank of its members, so summing
+// positions is exactly the classical Borda count). Ties are broken by
+// element ID. The paper (Section 1) notes that, unlike median rank
+// aggregation, average-rank aggregation admits no instance-optimal
+// sequential-access algorithm.
+func Borda(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	f, err := bordaScores(rankings)
+	if err != nil {
+		return nil, err
+	}
+	return ranking.MustFromOrder(sortedByScore(f)), nil
+}
+
+// BordaPartial is Borda without tie-breaking: elements with exactly equal
+// mean positions stay tied, yielding a partial ranking.
+func BordaPartial(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	f, err := bordaScores(rankings)
+	if err != nil {
+		return nil, err
+	}
+	return ranking.FromScores(f), nil
+}
+
+func bordaScores(rankings []*ranking.PartialRanking) ([]float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, err
+	}
+	n := rankings[0].N()
+	f := make([]float64, n)
+	for e := 0; e < n; e++ {
+		var sum2 int64
+		for _, r := range rankings {
+			sum2 += r.Pos2(e)
+		}
+		f[e] = float64(sum2) / float64(2*len(rankings))
+	}
+	return f, nil
+}
+
+// Distance is a distance measure between partial rankings, as consumed by
+// BestOfInputs and the experiment harnesses.
+type Distance func(a, b *ranking.PartialRanking) (float64, error)
+
+// BestOfInputs returns the input ranking minimizing the summed distance to
+// the whole ensemble, together with its index and objective value. Since
+// some input is always within factor 2 of the optimal aggregation under any
+// metric (triangle inequality), this is the paper's "trivial" baseline that
+// non-trivial aggregation algorithms must beat (footnote 4).
+func BestOfInputs(rankings []*ranking.PartialRanking, d Distance) (int, *ranking.PartialRanking, float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return 0, nil, 0, err
+	}
+	bestIdx, bestObj := -1, 0.0
+	for i, cand := range rankings {
+		var obj float64
+		for _, r := range rankings {
+			v, err := d(cand, r)
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			obj += v
+		}
+		if bestIdx < 0 || obj < bestObj {
+			bestIdx, bestObj = i, obj
+		}
+	}
+	return bestIdx, rankings[bestIdx], bestObj, nil
+}
+
+// SumDistance returns sum_i d(candidate, sigma_i), the generic aggregation
+// objective.
+func SumDistance(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d Distance) (float64, error) {
+	var sum float64
+	for _, r := range rankings {
+		v, err := d(candidate, r)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}

@@ -1,0 +1,122 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func fprofDistance(a, b *ranking.PartialRanking) (float64, error) {
+	return metrics.FProf(a, b)
+}
+
+func TestBordaKnown(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1, 2})
+	b := ranking.MustFromOrder([]int{0, 2, 1})
+	got, err := Borda([]*ranking.PartialRanking{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean positions: 0 -> 1, 1 -> 2.5, 2 -> 2.5; tie broken by ID.
+	want := ranking.MustFromOrder([]int{0, 1, 2})
+	if !got.Equal(want) {
+		t.Errorf("Borda = %v, want %v", got, want)
+	}
+	gotP, err := BordaPartial([]*ranking.PartialRanking{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := ranking.MustFromBuckets(3, [][]int{{0}, {1, 2}})
+	if !gotP.Equal(wantP) {
+		t.Errorf("BordaPartial = %v, want %v", gotP, wantP)
+	}
+}
+
+func TestBordaUnanimous(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	full := randrank.Full(rng, 10)
+	got, err := Borda([]*ranking.PartialRanking{full, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(full) {
+		t.Errorf("Borda unanimous = %v, want %v", got, full)
+	}
+}
+
+// BestOfInputs under any metric is within factor 2 of the optimal
+// aggregation (triangle inequality), here verified for Fprof against the
+// brute-force partial-ranking optimum.
+func TestBestOfInputsFactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		idx, best, obj, err := BestOfInputs(in, fprofDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx < 0 || idx >= m || !best.Equal(in[idx]) {
+			t.Fatalf("BestOfInputs returned inconsistent index")
+		}
+		_, opt, err := OptimalPartialRankingBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj > 2*opt+1e-9 {
+			t.Fatalf("best-of-inputs factor-2 violated: %v > 2x %v", obj, opt)
+		}
+	}
+}
+
+func TestBestOfInputsPicksMinimum(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1, 2})
+	b := ranking.MustFromOrder([]int{2, 1, 0})
+	in := []*ranking.PartialRanking{a, a, b}
+	idx, _, obj, err := BestOfInputs(in, fprofDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx > 1 {
+		t.Errorf("BestOfInputs picked %d, want one of the two copies of a", idx)
+	}
+	// Objective: 0 + 0 + F(a,b) = 4.
+	if obj != 4 {
+		t.Errorf("objective = %v, want 4", obj)
+	}
+}
+
+func TestSumDistance(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{1, 0})
+	got, err := SumDistance(a, []*ranking.PartialRanking{a, b, b}, fprofDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 { // 0 + 2 + 2
+		t.Errorf("SumDistance = %v, want 4", got)
+	}
+}
+
+func TestBaselineInputValidation(t *testing.T) {
+	if _, err := Borda(nil); err == nil {
+		t.Error("Borda accepted empty input")
+	}
+	if _, _, _, err := BestOfInputs(nil, fprofDistance); err == nil {
+		t.Error("BestOfInputs accepted empty input")
+	}
+	mismatch := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1}),
+		ranking.MustFromOrder([]int{0, 1, 2}),
+	}
+	if _, err := Borda(mismatch); err == nil {
+		t.Error("Borda accepted domain mismatch")
+	}
+}

@@ -1,0 +1,197 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestMajorityMarginsAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(6)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		margin, err := MajorityMargins(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if margin[i][i] != 0 {
+				t.Fatalf("diagonal nonzero at %d", i)
+			}
+			for j := 0; j < n; j++ {
+				if margin[i][j] != -margin[j][i] {
+					t.Fatalf("not antisymmetric at %d,%d", i, j)
+				}
+				if abs := margin[i][j]; abs > m || abs < -m {
+					t.Fatalf("margin out of range: %d", abs)
+				}
+			}
+		}
+	}
+}
+
+func TestCondorcetWinnerKnown(t *testing.T) {
+	// 0 beats everything in 2 of 3 ballots.
+	in := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1, 2}),
+		ranking.MustFromOrder([]int{0, 2, 1}),
+		ranking.MustFromOrder([]int{2, 1, 0}),
+	}
+	w, ok, err := CondorcetWinner(in)
+	if err != nil || !ok || w != 0 {
+		t.Errorf("CondorcetWinner = %d,%v,%v; want 0,true", w, ok, err)
+	}
+	l, ok, err := CondorcetLoser(in)
+	if err != nil || !ok || l != 1 {
+		t.Errorf("CondorcetLoser = %d,%v,%v; want 1,true", l, ok, err)
+	}
+	// A Condorcet cycle has neither winner nor loser.
+	cycle := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1, 2}),
+		ranking.MustFromOrder([]int{1, 2, 0}),
+		ranking.MustFromOrder([]int{2, 0, 1}),
+	}
+	if _, ok, _ := CondorcetWinner(cycle); ok {
+		t.Error("cycle has a Condorcet winner")
+	}
+	if _, ok, _ := CondorcetLoser(cycle); ok {
+		t.Error("cycle has a Condorcet loser")
+	}
+}
+
+// The classical theorem: the Kemeny optimum ranks a Condorcet winner first
+// and a Condorcet loser last. Verified against the brute-force optimum.
+func TestKemenyOptimumSatisfiesCondorcet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checkedW, checkedL := 0, 0
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + 2*rng.Intn(3) // odd voter counts make majorities decisive
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 2))
+		}
+		opt, _, err := KemenyOptimalBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok, _ := CondorcetWinner(in); ok {
+			checkedW++
+			if opt.Order()[0] != w {
+				t.Fatalf("Kemeny optimum %v does not rank Condorcet winner %d first\ninputs=%v", opt, w, in)
+			}
+		}
+		if l, ok, _ := CondorcetLoser(in); ok {
+			checkedL++
+			if opt.Order()[n-1] != l {
+				t.Fatalf("Kemeny optimum %v does not rank Condorcet loser %d last\ninputs=%v", opt, l, in)
+			}
+		}
+	}
+	if checkedW < 20 || checkedL < 20 {
+		t.Fatalf("too few Condorcet instances generated (%d winners, %d losers)", checkedW, checkedL)
+	}
+}
+
+// Dwork et al.: a locally Kemeny-optimal ranking leaves no adjacent pair
+// against a strict majority, and in particular ranks a Condorcet winner
+// first.
+func TestLocalKemenizeSatisfiesExtendedCondorcet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	winners := 0
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + 2*rng.Intn(3)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		out, err := LocalKemenize(randrank.Full(rng, n), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := SatisfiesExtendedCondorcet(out, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("local Kemenization left a majority-violating adjacent pair: %v\ninputs=%v", out, in)
+		}
+		if w, has, _ := CondorcetWinner(in); has {
+			winners++
+			// A Condorcet winner bubbles to the front: any element directly
+			// before it would violate a strict majority.
+			if out.Order()[0] != w {
+				t.Fatalf("Condorcet winner %d not first in %v", w, out)
+			}
+		}
+	}
+	if winners < 10 {
+		t.Fatalf("too few Condorcet winner instances (%d)", winners)
+	}
+}
+
+func TestSatisfiesExtendedCondorcetErrors(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	tied := ranking.MustFromBuckets(2, [][]int{{0, 1}})
+	if _, err := SatisfiesExtendedCondorcet(tied, []*ranking.PartialRanking{a}); err == nil {
+		t.Error("tied candidate accepted")
+	}
+	if _, _, err := CondorcetWinner(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, _, err := CondorcetLoser(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, err := MajorityMargins(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+}
+
+// The flip side of the compliance theorem: median rank aggregation is a
+// positional method and genuinely CAN place a non-Condorcet-winner first
+// (experiment E14 quantifies how often). This test pins one concrete
+// violating instance found by seeded search, so the phenomenon is
+// reproducible rather than anecdotal.
+func TestMedianCanViolateCondorcet(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 5000; trial++ {
+		n := 4 + rng.Intn(3)
+		m := 3 + 2*rng.Intn(2)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 2))
+		}
+		w, ok, err := CondorcetWinner(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		med, err := MedianFull(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if med.Order()[0] != w {
+			// Found a violation: verify it is genuine (w really is the
+			// Condorcet winner and really is not first).
+			margin, _ := MajorityMargins(in)
+			for x := 0; x < n; x++ {
+				if x != w && margin[w][x] <= 0 {
+					t.Fatalf("search returned a non-winner: margin[%d][%d]=%d", w, x, margin[w][x])
+				}
+			}
+			t.Logf("violation found at trial %d: winner %d, median output %v", trial, w, med)
+			return
+		}
+	}
+	t.Fatal("no Condorcet violation found in 5000 seeded trials; either the search is broken or median ranks became Condorcet-consistent")
+}

@@ -1,0 +1,262 @@
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ranking"
+)
+
+// This file implements the dynamic program of Theorem 10 / Figure 1 of the
+// paper: given a score function f (in practice the coordinate-wise median of
+// the inputs), find a partial ranking f-dagger minimizing L1(f-dagger, f)
+// over ALL partial rankings of the domain, in O(n^2) time.
+//
+// By Lemma 27 the optimum is consistent with f, so after sorting elements by
+// f the problem becomes choosing cut points 0 = s0 < s1 < ... < st = n; a
+// bucket covering sorted slots i+1..j (1-based) sits at position (i+j+1)/2
+// and costs c(i,j) = sum_{l=i+1..j} |f(l) - (i+j+1)/2|.
+//
+// Two engines are provided and cross-checked by the tests:
+//
+//   - OptimalPartial: prefix-sum costs, O(n^2) time, works for arbitrary
+//     float64 scores.
+//   - OptimalPartialFigure1: the paper's Figure 1 pseudocode verbatim,
+//     including the amortized-O(1) incremental cost update of Lemma 37,
+//     which requires 2*f(i) to be integral (true for lower/upper medians of
+//     bucket positions). Exact integer arithmetic throughout.
+
+// DPResult is the outcome of the optimal-partial-ranking dynamic program.
+type DPResult struct {
+	// Ranking is the optimal partial ranking f-dagger.
+	Ranking *ranking.PartialRanking
+	// Cost is L1(f-dagger, f), the minimum over all partial rankings.
+	Cost float64
+	// Cost4 is the exact quadrupled cost when the engine ran in integer
+	// arithmetic (Figure 1 engine); 4*Cost otherwise.
+	Cost4 int64
+}
+
+// OptimalPartial returns the partial ranking minimizing L1(candidate, f)
+// over all partial rankings of {0..len(f)-1}, using O(n^2) dynamic
+// programming with prefix-sum bucket costs. Ties in f are broken by element
+// ID when assigning elements to sorted slots (the cost is unaffected).
+func OptimalPartial(f []float64) (DPResult, error) {
+	n := len(f)
+	if n == 0 {
+		return DPResult{Ranking: ranking.MustFromBuckets(0, nil)}, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	stableSortByScore(idx, f)
+	g := make([]float64, n)
+	for i, e := range idx {
+		g[i] = f[e]
+	}
+	// Prefix sums of sorted scores.
+	prefix := make([]float64, n+1)
+	for i, v := range g {
+		prefix[i+1] = prefix[i] + v
+	}
+	// cost(i, j) for the bucket of sorted slots i..j-1 (0-based, exclusive
+	// j), position m = (i+j+1)/2.
+	cost := func(i, j int) float64 {
+		m := float64(i+j+1) / 2
+		s := sort.Search(j-i, func(t int) bool { return g[i+t] >= m }) + i
+		return (m*float64(s-i) - (prefix[s] - prefix[i])) +
+			((prefix[j] - prefix[s]) - m*float64(j-s))
+	}
+	S := make([]float64, n+1)
+	parent := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		S[j] = math.Inf(1)
+		for i := 0; i < j; i++ {
+			if v := S[i] + cost(i, j); v < S[j] {
+				S[j] = v
+				parent[j] = i
+			}
+		}
+	}
+	pr := bucketsFromCuts(idx, parent)
+	return DPResult{Ranking: pr, Cost: S[n], Cost4: int64(math.Round(4 * S[n]))}, nil
+}
+
+// ErrNotHalfIntegral is returned by OptimalPartialFigure1 when some score is
+// not an integral multiple of 1/2, the precondition of the paper's
+// linear-space algorithm ("we make the additional assumption that 2f(i) is
+// integral for all i").
+var ErrNotHalfIntegral = errors.New("aggregate: Figure 1 DP requires 2*f(i) integral for all i")
+
+// OptimalPartialFigure1 is the faithful implementation of Figure 1 of the
+// paper: linear space (beyond the parent pointers needed to emit the
+// answer), O(n^2) time, with c(i, j) maintained in amortized O(1) per step
+// via Lemma 37. All arithmetic is exact (quadrupled integer units). The
+// scores must satisfy the paper's precondition that 2f(i) is integral.
+func OptimalPartialFigure1(f []float64) (DPResult, error) {
+	n := len(f)
+	g4 := make([]int64, n)
+	for i, v := range f {
+		q := v * 4
+		if q != math.Trunc(q) || math.Abs(q) > 1e17 {
+			return DPResult{}, ErrNotHalfIntegral
+		}
+		if int64(q)%2 != 0 {
+			return DPResult{}, ErrNotHalfIntegral
+		}
+		g4[i] = int64(q)
+	}
+	return optimalPartialFigure1Int(f, g4)
+}
+
+// optimalPartialFigure1Int runs Figure 1 on quadrupled integer scores g4
+// (indexed by element ID, each divisible by 2); f is used only for the
+// tie-broken sort order and must agree with g4.
+func optimalPartialFigure1Int(f []float64, g4 []int64) (DPResult, error) {
+	n := len(g4)
+	if n == 0 {
+		return DPResult{Ranking: ranking.MustFromBuckets(0, nil)}, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	stableSortByScore(idx, f)
+	// h is 1-based sorted quadrupled scores, as in the paper's f(1..n);
+	// H holds prefix sums so each bucket cost is O(1) once the split
+	// pointer k is known.
+	h := make([]int64, n+1)
+	H := make([]int64, n+1)
+	for i, e := range idx {
+		h[i+1] = g4[e]
+		H[i+1] = H[i] + h[i+1]
+	}
+
+	S := make([]int64, n+1) // quadrupled optimal costs
+	parent := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		best, bestI := int64(-1), 0
+		// The paper's pointer k (line 5): the first index with
+		// f(k) >= (i+j+1)/2, advanced monotonically as i grows. The
+		// published Lemma 37 update implicitly assumes k lands inside the
+		// bucket (k >= i+1); clamping to the bucket start keeps the cost
+		// exact in the degenerate case where every bucket member already
+		// exceeds the midpoint (e.g. repeated scores), at the same
+		// amortized O(1) cost.
+		k := 1
+		for i := 0; i <= j-1; i++ {
+			m4 := int64(2 * (i + j + 1)) // quadrupled midpoint (i+j+1)/2
+			for k <= j && h[k] < m4 {
+				k++
+			}
+			kk := k
+			if kk < i+1 {
+				kk = i + 1
+			}
+			// c(i,j) = sum_{l=i+1..j} |f(l) - (i+j+1)/2| split at kk:
+			// entries below the midpoint, then entries at/above it.
+			c := (m4*int64(kk-1-i) - (H[kk-1] - H[i])) +
+				((H[j] - H[kk-1]) - m4*int64(j-kk+1))
+			if v := S[i] + c; best < 0 || v < best {
+				best, bestI = v, i
+			}
+		}
+		S[j] = best
+		parent[j] = bestI
+	}
+	pr := bucketsFromCuts(idx, parent)
+	return DPResult{Ranking: pr, Cost: float64(S[n]) / 4, Cost4: S[n]}, nil
+}
+
+// bucketsFromCuts reconstructs the optimal bucket order from the DP parent
+// pointers over the sorted element list.
+func bucketsFromCuts(sortedElems []int, parent []int) *ranking.PartialRanking {
+	n := len(sortedElems)
+	var cuts []int
+	for j := n; j > 0; j = parent[j] {
+		cuts = append(cuts, j)
+	}
+	// cuts is descending; reverse into ascending cut points.
+	for l, r := 0, len(cuts)-1; l < r; l, r = l+1, r-1 {
+		cuts[l], cuts[r] = cuts[r], cuts[l]
+	}
+	buckets := make([][]int, 0, len(cuts))
+	prev := 0
+	for _, c := range cuts {
+		buckets = append(buckets, sortedElems[prev:c])
+		prev = c
+	}
+	return ranking.MustFromBuckets(n, buckets)
+}
+
+// OptimalPartialAggregate implements Theorem 10 end-to-end: compute the
+// median position vector f of the inputs and return the L1-closest partial
+// ranking f-dagger via the Figure 1 dynamic program. For every partial
+// ranking sigma,
+//
+//	sum_i L1(f-dagger, sigma_i) <= 2 * sum_i L1(sigma, sigma_i),
+//
+// and the same bound with factor 3 holds against arbitrary score functions.
+func OptimalPartialAggregate(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, err
+	}
+	f, err := MedianScores(rankings, LowerMedian)
+	if err != nil {
+		return nil, err
+	}
+	res, err := OptimalPartialFigure1(f)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: %w", err)
+	}
+	return res.Ranking, nil
+}
+
+// OptimalPartialBrute finds the true L1-closest partial ranking to f by
+// enumerating all Fubini(n) bucket orders. Exponential; test/experiment
+// reference for the DP engines.
+func OptimalPartialBrute(f []float64) (DPResult, error) {
+	n := len(f)
+	best := DPResult{Cost: math.Inf(1)}
+	ranking.ForEachPartialRanking(n, func(pr *ranking.PartialRanking) bool {
+		c := l1ToScores(pr, f)
+		if c < best.Cost {
+			best.Cost = c
+			best.Ranking = pr
+		}
+		return true
+	})
+	if n == 0 {
+		best = DPResult{Ranking: ranking.MustFromBuckets(0, nil)}
+	}
+	best.Cost4 = int64(math.Round(4 * best.Cost))
+	return best, nil
+}
+
+func l1ToScores(pr *ranking.PartialRanking, f []float64) float64 {
+	var sum float64
+	for e := 0; e < pr.N(); e++ {
+		d := pr.Pos(e) - f[e]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// stableSortByScore sorts an initially-ascending index slice by score,
+// breaking ties by element ID.
+func stableSortByScore(idx []int, f []float64) {
+	sort.SliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+}

@@ -1,0 +1,207 @@
+package aggregate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// halfIntegralScores draws a random score vector with 2f integral, the
+// precondition of the Figure 1 engine.
+func halfIntegralScores(rng *rand.Rand, n int) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = float64(rng.Intn(4*n+2)) / 2
+	}
+	return f
+}
+
+// The three DP engines and the exhaustive search agree on optimal cost, and
+// the rankings they return achieve that cost.
+func TestDPEnginesAgreeWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 80; trial++ {
+		n := rng.Intn(8)
+		f := halfIntegralScores(rng, n)
+
+		brute, err := OptimalPartialBrute(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		general, err := OptimalPartial(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig1, err := OptimalPartialFigure1(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(general.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("general DP cost %v != brute %v for f=%v", general.Cost, brute.Cost, f)
+		}
+		if fig1.Cost4 != brute.Cost4 {
+			t.Fatalf("Figure 1 cost4 %d != brute %d for f=%v", fig1.Cost4, brute.Cost4, f)
+		}
+		// Returned rankings must achieve the reported cost.
+		if n > 0 {
+			if got := l1ToScores(general.Ranking, f); math.Abs(got-general.Cost) > 1e-9 {
+				t.Fatalf("general ranking cost %v != reported %v", got, general.Cost)
+			}
+			if got := l1ToScores(fig1.Ranking, f); math.Abs(got-fig1.Cost) > 1e-9 {
+				t.Fatalf("fig1 ranking cost %v != reported %v", got, fig1.Cost)
+			}
+		}
+	}
+}
+
+// The general engine also handles arbitrary (non-half-integral) scores.
+func TestDPGeneralArbitraryScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(7)
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = rng.Float64() * 10
+		}
+		brute, err := OptimalPartialBrute(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		general, err := OptimalPartial(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(general.Cost-brute.Cost) > 1e-9 {
+			t.Fatalf("general DP cost %v != brute %v for f=%v", general.Cost, brute.Cost, f)
+		}
+	}
+}
+
+func TestFigure1RejectsNonHalfIntegral(t *testing.T) {
+	_, err := OptimalPartialFigure1([]float64{0.25, 1})
+	if !errors.Is(err, ErrNotHalfIntegral) {
+		t.Errorf("err = %v, want ErrNotHalfIntegral", err)
+	}
+	if _, err := OptimalPartialFigure1([]float64{math.Pi}); !errors.Is(err, ErrNotHalfIntegral) {
+		t.Errorf("err = %v, want ErrNotHalfIntegral", err)
+	}
+}
+
+func TestDPEmptyAndSingleton(t *testing.T) {
+	for _, engine := range []func([]float64) (DPResult, error){OptimalPartial, OptimalPartialFigure1} {
+		res, err := engine(nil)
+		if err != nil || res.Cost != 0 || res.Ranking.N() != 0 {
+			t.Errorf("empty input: res=%+v err=%v", res, err)
+		}
+		res, err = engine([]float64{7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ranking.N() != 1 || res.Cost != 6 { // |1 - 7|
+			t.Errorf("singleton: cost=%v ranking=%v", res.Cost, res.Ranking)
+		}
+	}
+}
+
+// When f is itself a valid position vector of some partial ranking, the DP
+// recovers cost zero.
+func TestDPRecoversExactPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		pr := randrank.Partial(rng, 1+rng.Intn(12), 4)
+		res, err := OptimalPartialFigure1(pr.Positions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != 0 {
+			t.Fatalf("cost %v for exact positions of %v", res.Cost, pr)
+		}
+		if !res.Ranking.Equal(pr) {
+			t.Fatalf("DP returned %v, want %v", res.Ranking, pr)
+		}
+	}
+}
+
+// Theorem 10, second part: with partial-ranking inputs, the DP aggregate is
+// within factor 2 of the best partial ranking under sum-of-L1.
+func TestTheorem10FactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	worst := 0.0
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		fd, err := OptimalPartialAggregate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SumL1Ranking(fd, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := OptimalPartialRankingBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > 2*opt+1e-9 {
+			t.Fatalf("Theorem 10 factor violated: got %v, optimal %v", got, opt)
+		}
+		if opt > 0 && got/opt > worst {
+			worst = got / opt
+		}
+	}
+	t.Logf("worst observed Theorem 10 factor: %.3f (bound 2)", worst)
+}
+
+// The DP minimizes L1 to the median over all partial rankings, so its
+// objective can never exceed that of the median-induced bucket order.
+func TestDPBeatsInducedRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		m := 1 + rng.Intn(7)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 5))
+		}
+		f, err := MedianScores(in, LowerMedian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := OptimalPartialFigure1(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		induced := ranking.FromScores(f)
+		if got := l1ToScores(induced, f); res.Cost > got+1e-9 {
+			t.Fatalf("DP cost %v worse than induced ranking cost %v", res.Cost, got)
+		}
+	}
+}
+
+// Larger-scale cross-check of the two fast engines (no brute force).
+func TestDPEnginesAgreeLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(150)
+		f := halfIntegralScores(rng, n)
+		general, err := OptimalPartial(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig1, err := OptimalPartialFigure1(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(general.Cost-fig1.Cost) > 1e-6 {
+			t.Fatalf("engines disagree at n=%d: %v vs %v", n, general.Cost, fig1.Cost)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func kprofDistance(a, b *ranking.PartialRanking) (float64, error) {
+	return metrics.KProf(a, b)
+}
+
+// Local Kemenization never increases the Kprof objective and leaves no
+// adjacent pair that a strict majority wants swapped.
+func TestLocalKemenizeImproves(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		start := randrank.Full(rng, n)
+		out, err := LocalKemenize(start, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.IsFull() {
+			t.Fatal("LocalKemenize returned ties")
+		}
+		before, err := SumDistance(start, in, kprofDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := SumDistance(out, in, kprofDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > before+1e-9 {
+			t.Fatalf("LocalKemenize worsened objective: %v -> %v", before, after)
+		}
+		// No adjacent majority violation remains.
+		order := out.Order()
+		for i := 0; i+1 < n; i++ {
+			cnt := 0
+			for _, r := range in {
+				if r.Ahead(order[i+1], order[i]) {
+					cnt++
+				}
+			}
+			if 2*cnt > m {
+				t.Fatalf("adjacent majority violation survives at %d in %v", i, out)
+			}
+		}
+	}
+}
+
+func TestLocalKemenizeAcceptsPartialCandidate(t *testing.T) {
+	in := []*ranking.PartialRanking{ranking.MustFromOrder([]int{2, 1, 0})}
+	cand := ranking.MustFromBuckets(3, [][]int{{0, 1, 2}})
+	out, err := LocalKemenize(cand, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in[0]) {
+		t.Errorf("LocalKemenize = %v, want %v", out, in[0])
+	}
+}
+
+func TestKemenyOptimalBruteUnanimous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	full := randrank.Full(rng, 5)
+	got, obj, err := KemenyOptimalBrute([]*ranking.PartialRanking{full, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 || !got.Equal(full) {
+		t.Errorf("Kemeny unanimous: obj=%v got=%v want=%v", obj, got, full)
+	}
+}
+
+// The Kemeny optimum must beat or tie every input under the Kprof objective.
+func TestKemenyOptimalBeatsInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Full(rng, n))
+		}
+		_, opt, err := KemenyOptimalBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range in {
+			obj, err := SumDistance(r, in, kprofDistance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt > obj+1e-9 {
+				t.Fatalf("Kemeny optimum %v worse than input %v", opt, obj)
+			}
+		}
+	}
+}
+
+func TestOptimalTopKBruteMatchesFullSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(3)
+		var in []*ranking.PartialRanking
+		for i := 0; i < 3; i++ {
+			in = append(in, randrank.Partial(rng, n, 2))
+		}
+		k := 1 + rng.Intn(n)
+		_, opt, err := OptimalTopKBrute(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Independent check: enumerate all partial rankings and filter to
+		// top-k lists.
+		best := -1.0
+		ranking.ForEachPartialRanking(n, func(cand *ranking.PartialRanking) bool {
+			if ck, ok := cand.IsTopK(); !ok || ck != k {
+				// IsTopK reports the largest k; accept full rankings when
+				// k == n.
+				if !(ok && k == n && ck == n) {
+					return true
+				}
+			}
+			obj := SumL1(cand.Positions(), in)
+			if best < 0 || obj < best {
+				best = obj
+			}
+			return true
+		})
+		if best >= 0 && opt != best {
+			t.Fatalf("OptimalTopKBrute %v != filtered search %v (n=%d k=%d)", opt, best, n, k)
+		}
+	}
+}
+
+func TestBruteForceErrors(t *testing.T) {
+	if _, _, err := KemenyOptimalBrute(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, _, err := OptimalTopKBrute(nil, 1); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, _, err := OptimalPartialRankingBrute(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, err := LocalKemenize(ranking.MustFromOrder([]int{0}), nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ranking"
+)
+
+// Exact Kemeny aggregation by dynamic programming over subsets. The summed
+// Kprof objective of a FULL candidate decomposes over ordered pairs: placing
+// a before b costs
+//
+//	w(a, b) = #(voters with b strictly ahead of a) + (#(voters tying a, b))/2,
+//
+// independent of everything else, so the optimal order is the minimum-cost
+// linear ordering of the weighted tournament — computable in O(2^n * n^2)
+// time and O(2^n) space (Held-Karp style). This extends the exact optimum
+// from the n <= 10 of naive enumeration to n <= ~18.
+
+// KemenyMaxDP bounds the domain size accepted by KemenyOptimalDP (2^n
+// uint32 states ~ 1 GiB at n = 28; 18 keeps runs under a second and memory
+// in the megabytes).
+const KemenyMaxDP = 18
+
+// KemenyOptimalDP returns a full ranking minimizing the summed Kprof
+// distance to the inputs, exactly, for domains up to KemenyMaxDP elements.
+// It matches KemenyOptimalBrute wherever both run and obeys the Condorcet
+// criterion.
+func KemenyOptimalDP(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, 0, err
+	}
+	n := rankings[0].N()
+	if n > KemenyMaxDP {
+		return nil, 0, fmt.Errorf("aggregate: KemenyOptimalDP supports n <= %d, got %d", KemenyMaxDP, n)
+	}
+	if n == 0 {
+		return ranking.MustFromBuckets(0, nil), 0, nil
+	}
+	// Doubled pair costs: w2[a][b] = 2*(#voters b ahead of a) + #ties.
+	w2 := make([][]int64, n)
+	for a := range w2 {
+		w2[a] = make([]int64, n)
+	}
+	for _, r := range rankings {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				switch {
+				case r.Ahead(b, a):
+					w2[a][b] += 2
+				case r.Tied(a, b):
+					w2[a][b]++
+				}
+			}
+		}
+	}
+
+	size := 1 << n
+	const inf = int64(math.MaxInt64) / 2
+	dp := make([]int64, size)
+	choice := make([]int8, size)
+	for s := 1; s < size; s++ {
+		dp[s] = inf
+	}
+	for s := 0; s < size-1; s++ {
+		if dp[s] == inf {
+			continue
+		}
+		// Place element x next (after the members of s, before the rest).
+		for x := 0; x < n; x++ {
+			if s&(1<<x) != 0 {
+				continue
+			}
+			var add int64
+			for y := 0; y < n; y++ {
+				if y == x || s&(1<<y) != 0 {
+					continue
+				}
+				add += w2[x][y]
+			}
+			ns := s | 1<<x
+			if v := dp[s] + add; v < dp[ns] {
+				dp[ns] = v
+				choice[ns] = int8(x)
+			}
+		}
+	}
+
+	// choice[s] is the element at position popcount(s) of the prefix s;
+	// peel the full set from the back.
+	order := make([]int, n)
+	s := size - 1
+	for i := n - 1; i >= 0; i-- {
+		x := int(choice[s])
+		order[i] = x
+		s &^= 1 << x
+	}
+	pr, err := ranking.FromOrder(order)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pr, float64(dp[size-1]) / 2, nil
+}

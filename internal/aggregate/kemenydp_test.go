@@ -1,0 +1,103 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// The subset DP matches the exhaustive Kemeny optimum wherever both run.
+func TestKemenyDPMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		_, wantObj, err := KemenyOptimalBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotObj, err := KemenyOptimalDP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotObj-wantObj) > 1e-9 {
+			t.Fatalf("DP objective %v != brute %v\ninputs=%v", gotObj, wantObj, in)
+		}
+		// The returned ranking achieves the reported objective.
+		achieved, err := SumDistance(got, in, kprofDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(achieved-gotObj) > 1e-9 {
+			t.Fatalf("reported objective %v, ranking achieves %v", gotObj, achieved)
+		}
+	}
+}
+
+// Beyond the brute-force range the DP still beats every heuristic and
+// respects Condorcet winners.
+func TestKemenyDPLargerDomains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 12 + rng.Intn(4)
+		m := 3 + 2*rng.Intn(2)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		opt, obj, err := KemenyOptimalDP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, heur := range []func([]*ranking.PartialRanking) (*ranking.PartialRanking, error){
+			MedianFull, Borda,
+		} {
+			h, err := heur(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hObj, err := SumDistance(h, in, kprofDistance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj > hObj+1e-9 {
+				t.Fatalf("DP optimum %v beaten by heuristic %v", obj, hObj)
+			}
+		}
+		if w, ok, _ := CondorcetWinner(in); ok && opt.Order()[0] != w {
+			t.Fatalf("DP Kemeny optimum does not rank Condorcet winner %d first: %v", w, opt)
+		}
+	}
+}
+
+func TestKemenyDPEdges(t *testing.T) {
+	empty := ranking.MustFromBuckets(0, nil)
+	pr, obj, err := KemenyOptimalDP([]*ranking.PartialRanking{empty})
+	if err != nil || obj != 0 || pr.N() != 0 {
+		t.Errorf("empty domain: %v %v %v", pr, obj, err)
+	}
+	if _, _, err := KemenyOptimalDP(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	big := make([]int, KemenyMaxDP+1)
+	for i := range big {
+		big[i] = i
+	}
+	if _, _, err := KemenyOptimalDP([]*ranking.PartialRanking{ranking.MustFromOrder(big)}); err == nil {
+		t.Error("n > KemenyMaxDP accepted")
+	}
+	// Unanimous recovery at a size the brute force cannot touch.
+	rng := rand.New(rand.NewSource(3))
+	full := randrank.Full(rng, 15)
+	got, obj, err := KemenyOptimalDP([]*ranking.PartialRanking{full, full})
+	if err != nil || obj != 0 || !got.Equal(full) {
+		t.Errorf("unanimous n=15: obj=%v got=%v err=%v", obj, got, err)
+	}
+}

@@ -1,0 +1,218 @@
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ranking"
+)
+
+// This file implements the Markov-chain rank-aggregation heuristics MC1-MC4
+// of Dwork, Kumar, Naor, and Sivakumar ("Rank aggregation methods for the
+// web", WWW 2001), which the paper cites as the sophisticated baselines that
+// median rank aggregation is compared against (Sections 1 and 6: the MC
+// methods are effective but admit no instance-optimal sequential-access
+// implementation). The chains are generalized to partial rankings in the
+// natural way: "ranked higher" means a strictly smaller bucket position, and
+// "at least as high" admits ties.
+//
+// The stationary distribution orders the elements (largest mass first). A
+// uniform restart (teleport) with small probability makes every chain
+// ergodic, as is standard practice.
+
+// MCVariant selects one of the four Markov-chain constructions.
+type MCVariant int
+
+const (
+	// MC1: from state i, move to a state chosen uniformly from the multiset
+	// of elements ranked at least as high as i in the union of all lists.
+	MC1 MCVariant = iota + 1
+	// MC2: from state i, pick a list uniformly, then move to an element
+	// chosen uniformly among those the list ranks at least as high as i.
+	MC2
+	// MC3: from state i, pick a list uniformly and an element j uniformly;
+	// move to j if the list ranks j strictly higher than i, else stay.
+	MC3
+	// MC4: from state i, pick j uniformly; move to j if a strict majority
+	// of the lists ranks j strictly higher than i, else stay.
+	MC4
+)
+
+func (v MCVariant) String() string {
+	if v >= MC1 && v <= MC4 {
+		return fmt.Sprintf("MC%d", int(v))
+	}
+	return fmt.Sprintf("MCVariant(%d)", int(v))
+}
+
+// MarkovChainOptions tunes the stationary-distribution computation.
+type MarkovChainOptions struct {
+	// Teleport is the uniform-restart probability added for ergodicity.
+	// Zero disables it. Default 0.05.
+	Teleport float64
+	// MaxIterations bounds the power iteration. Default 500.
+	MaxIterations int
+	// Tolerance is the L1 convergence threshold. Default 1e-10.
+	Tolerance float64
+}
+
+func (o *MarkovChainOptions) defaults() {
+	if o.Teleport == 0 {
+		o.Teleport = 0.05
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 500
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-10
+	}
+}
+
+// MarkovChain aggregates the rankings with the chosen MC variant: it builds
+// the transition matrix, computes the stationary distribution by power
+// iteration, and returns the full ranking by descending stationary mass
+// (ties broken by element ID).
+func MarkovChain(rankings []*ranking.PartialRanking, variant MCVariant, opts MarkovChainOptions) (*ranking.PartialRanking, error) {
+	pi, err := StationaryDistribution(rankings, variant, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Rank by descending mass: score = -pi.
+	f := make([]float64, len(pi))
+	for i, p := range pi {
+		f[i] = -p
+	}
+	return ranking.MustFromOrder(sortedByScore(f)), nil
+}
+
+// StationaryDistribution returns the stationary distribution of the chosen
+// Markov chain over the elements.
+func StationaryDistribution(rankings []*ranking.PartialRanking, variant MCVariant, opts MarkovChainOptions) ([]float64, error) {
+	P, err := TransitionMatrix(rankings, variant)
+	if err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	n := len(P)
+	if n == 0 {
+		return nil, nil
+	}
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	tp := opts.Teleport
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * P[i][j]
+			}
+		}
+		if tp > 0 {
+			for j := range next {
+				next[j] = (1-tp)*next[j] + tp/float64(n)
+			}
+		}
+		var diff float64
+		for j := range next {
+			d := next[j] - pi[j]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		pi, next = next, pi
+		if diff < opts.Tolerance {
+			break
+		}
+	}
+	return pi, nil
+}
+
+// TransitionMatrix builds the row-stochastic transition matrix of the
+// chosen MC variant over the input rankings.
+func TransitionMatrix(rankings []*ranking.PartialRanking, variant MCVariant) ([][]float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, err
+	}
+	n := rankings[0].N()
+	m := len(rankings)
+	P := make([][]float64, n)
+	for i := range P {
+		P[i] = make([]float64, n)
+	}
+	switch variant {
+	case MC1:
+		for i := 0; i < n; i++ {
+			// Multiset of j with sigma(j) <= sigma(i) over all lists.
+			total := 0
+			counts := make([]int, n)
+			for _, r := range rankings {
+				for j := 0; j < n; j++ {
+					if r.Pos2(j) <= r.Pos2(i) {
+						counts[j]++
+						total++
+					}
+				}
+			}
+			for j := 0; j < n; j++ {
+				P[i][j] = float64(counts[j]) / float64(total)
+			}
+		}
+	case MC2:
+		for i := 0; i < n; i++ {
+			for _, r := range rankings {
+				cnt := 0
+				for j := 0; j < n; j++ {
+					if r.Pos2(j) <= r.Pos2(i) {
+						cnt++
+					}
+				}
+				for j := 0; j < n; j++ {
+					if r.Pos2(j) <= r.Pos2(i) {
+						P[i][j] += 1 / (float64(m) * float64(cnt))
+					}
+				}
+			}
+		}
+	case MC3:
+		for i := 0; i < n; i++ {
+			for _, r := range rankings {
+				for j := 0; j < n; j++ {
+					if r.Pos2(j) < r.Pos2(i) {
+						P[i][j] += 1 / (float64(m) * float64(n))
+					} else {
+						P[i][i] += 1 / (float64(m) * float64(n))
+					}
+				}
+			}
+		}
+	case MC4:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				better := 0
+				for _, r := range rankings {
+					if r.Pos2(j) < r.Pos2(i) {
+						better++
+					}
+				}
+				if 2*better > m {
+					P[i][j] = 1 / float64(n)
+				} else {
+					P[i][i] += 1 / float64(n)
+				}
+			}
+			P[i][i] += 1 / float64(n) // choosing j = i always stays
+		}
+	default:
+		return nil, errors.New("aggregate: unknown Markov chain variant")
+	}
+	return P, nil
+}

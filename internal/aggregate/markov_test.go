@@ -1,0 +1,148 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+var allVariants = []MCVariant{MC1, MC2, MC3, MC4}
+
+func TestTransitionMatricesRowStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		for _, v := range allVariants {
+			P, err := TransitionMatrix(in, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, row := range P {
+				var sum float64
+				for _, p := range row {
+					if p < -1e-12 {
+						t.Fatalf("%v: negative transition P[%d] = %v", v, i, row)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("%v: row %d sums to %v", v, i, sum)
+				}
+			}
+		}
+	}
+}
+
+// On unanimous full-ranking inputs every chain ranks the elements in the
+// input order (better elements accumulate more stationary mass).
+func TestMarkovChainsRecoverUnanimous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	full := randrank.Full(rng, 8)
+	in := []*ranking.PartialRanking{full, full, full}
+	for _, v := range allVariants {
+		got, err := MarkovChain(in, v, MarkovChainOptions{Teleport: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(full) {
+			t.Errorf("%v unanimous = %v, want %v", v, got, full)
+		}
+	}
+}
+
+// MC4 has the Condorcet property: an element preferred to every other by a
+// majority of the inputs ends up on top.
+func TestMC4CondorcetWinner(t *testing.T) {
+	// Element 0 beats everything in 2 of 3 rankings.
+	a := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	b := ranking.MustFromOrder([]int{0, 3, 2, 1})
+	c := ranking.MustFromOrder([]int{3, 2, 1, 0})
+	got, err := MarkovChain([]*ranking.PartialRanking{a, b, c}, MC4, MarkovChainOptions{Teleport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos(0) != 1 {
+		t.Errorf("MC4 did not rank the Condorcet winner first: %v", got)
+	}
+}
+
+func TestStationaryDistributionSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 6
+	var in []*ranking.PartialRanking
+	for i := 0; i < 4; i++ {
+		in = append(in, randrank.Partial(rng, n, 3))
+	}
+	for _, v := range allVariants {
+		pi, err := StationaryDistribution(in, v, MarkovChainOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < 0 {
+				t.Fatalf("%v: negative stationary mass", v)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("%v: stationary distribution sums to %v", v, sum)
+		}
+	}
+}
+
+// Stationarity: pi P ~= pi (up to the teleport smoothing).
+func TestStationaryFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5
+	var in []*ranking.PartialRanking
+	for i := 0; i < 3; i++ {
+		in = append(in, randrank.Full(rng, n))
+	}
+	for _, v := range allVariants {
+		opts := MarkovChainOptions{Teleport: 0.05, MaxIterations: 2000, Tolerance: 1e-14}
+		pi, err := StationaryDistribution(in, v, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		P, err := TransitionMatrix(in, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * P[i][j]
+			}
+		}
+		for j := range next {
+			next[j] = 0.95*next[j] + 0.05/float64(n)
+		}
+		for j := range next {
+			if math.Abs(next[j]-pi[j]) > 1e-8 {
+				t.Fatalf("%v: not a fixed point at %d: %v vs %v", v, j, next[j], pi[j])
+			}
+		}
+	}
+}
+
+func TestMarkovChainErrors(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	if _, err := TransitionMatrix([]*ranking.PartialRanking{a}, MCVariant(9)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := MarkovChain(nil, MC4, MarkovChainOptions{}); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if MC2.String() != "MC2" || MCVariant(9).String() == "MC9" {
+		t.Error("MCVariant String wrong")
+	}
+}

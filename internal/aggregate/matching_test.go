@@ -1,0 +1,143 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestAssignmentSolveAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(7)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(rng.Intn(100))
+			}
+		}
+		_, fast, err := AssignmentSolve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, slow, err := AssignmentBrute(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Fatalf("assignment cost %d != brute %d for %v", fast, slow, cost)
+		}
+	}
+}
+
+func TestAssignmentSolveReturnsValidAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(12)
+		cost := make([][]int64, n)
+		for i := range cost {
+			cost[i] = make([]int64, n)
+			for j := range cost[i] {
+				cost[i][j] = int64(rng.Intn(1000))
+			}
+		}
+		assign, total, err := AssignmentSolve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		var check int64
+		for r, c := range assign {
+			if c < 0 || c >= n || seen[c] {
+				t.Fatalf("invalid assignment %v", assign)
+			}
+			seen[c] = true
+			check += cost[r][c]
+		}
+		if check != total {
+			t.Fatalf("reported total %d != recomputed %d", total, check)
+		}
+	}
+}
+
+func TestAssignmentSolveRejectsNonSquare(t *testing.T) {
+	if _, _, err := AssignmentSolve([][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, _, err := AssignmentBrute([][]int64{{1, 2}}); err == nil {
+		t.Error("brute non-square matrix accepted")
+	}
+}
+
+func TestAssignmentNegativeCosts(t *testing.T) {
+	cost := [][]int64{{-5, 2}, {3, -7}}
+	_, fast, err := AssignmentSolve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast != -12 {
+		t.Errorf("assignment with negatives = %d, want -12", fast)
+	}
+}
+
+// The Hungarian footrule aggregation matches the exhaustive optimum.
+func TestFootruleOptimalFullAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		got, gotObj, err := FootruleOptimalFull(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wantObj, err := FootruleOptimalFullBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotObj-wantObj) > 1e-9 {
+			t.Fatalf("footrule optimum %v != brute %v", gotObj, wantObj)
+		}
+		// Reported objective matches the returned ranking's objective.
+		obj, err := SumL1Ranking(got, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(obj-gotObj) > 1e-9 {
+			t.Fatalf("reported objective %v != achieved %v", gotObj, obj)
+		}
+		if !got.IsFull() {
+			t.Fatal("FootruleOptimalFull returned ties")
+		}
+	}
+}
+
+func TestFootruleOptimalFullUnanimous(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pr := randrank.Full(rng, 15)
+	got, obj, err := FootruleOptimalFull([]*ranking.PartialRanking{pr, pr, pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 || !got.Equal(pr) {
+		t.Errorf("unanimous inputs not recovered: obj=%v got=%v", obj, got)
+	}
+}
+
+func TestFootruleOptimalFullEmptyDomain(t *testing.T) {
+	in := []*ranking.PartialRanking{ranking.MustFromBuckets(0, nil)}
+	got, obj, err := FootruleOptimalFull(in)
+	if err != nil || obj != 0 || got.N() != 0 {
+		t.Errorf("empty domain: %v %v %v", got, obj, err)
+	}
+	if _, _, err := FootruleOptimalFull(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestMedianSet(t *testing.T) {
+	if lo, hi := MedianSet([]float64{3}); lo != 3 || hi != 3 {
+		t.Errorf("MedianSet single = %v %v", lo, hi)
+	}
+	if lo, hi := MedianSet([]float64{5, 1, 3}); lo != 3 || hi != 3 {
+		t.Errorf("MedianSet odd = %v %v, want 3 3", lo, hi)
+	}
+	if lo, hi := MedianSet([]float64{4, 1, 3, 2}); lo != 2 || hi != 3 {
+		t.Errorf("MedianSet even = %v %v, want 2 3", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MedianSet empty did not panic")
+		}
+	}()
+	MedianSet(nil)
+}
+
+func TestMedianScoresChoices(t *testing.T) {
+	// Two rankings over {0,1}: positions of 0 are 1 and 2.
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{1, 0})
+	in := []*ranking.PartialRanking{a, b}
+	lower, err := MedianScores(in, LowerMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, _ := MedianScores(in, UpperMedian)
+	mean, _ := MedianScores(in, MeanMedian)
+	if lower[0] != 1 || upper[0] != 2 || mean[0] != 1.5 {
+		t.Errorf("medians of element 0 = %v %v %v, want 1 2 1.5", lower[0], upper[0], mean[0])
+	}
+	// Odd m: all choices coincide.
+	in3 := []*ranking.PartialRanking{a, a, b}
+	l3, _ := MedianScores(in3, LowerMedian)
+	u3, _ := MedianScores(in3, UpperMedian)
+	m3, _ := MedianScores(in3, MeanMedian)
+	for e := 0; e < 2; e++ {
+		if l3[e] != u3[e] || l3[e] != m3[e] {
+			t.Errorf("odd-m medians disagree at %d: %v %v %v", e, l3[e], u3[e], m3[e])
+		}
+	}
+}
+
+func TestMedianScores2Exact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(15)
+		m := 1 + rng.Intn(6)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 4))
+		}
+		for _, choice := range []MedianChoice{LowerMedian, UpperMedian, MeanMedian} {
+			f, err := MedianScores(in, choice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f4, err := MedianScores2(in, choice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < n; e++ {
+				if f[e] != float64(f4[e])/4 {
+					t.Fatalf("MedianScores inconsistent with MedianScores2 at %d: %v vs %d/4", e, f[e], f4[e])
+				}
+			}
+			ok, err := InMedianSet(in, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("MedianScores output not in median set (choice %v)", choice)
+			}
+		}
+	}
+}
+
+// Lemma 8: any median function minimizes the summed L1 distance to the
+// inputs over all score functions.
+func TestLemma8MedianMinimizesSumL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(7)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		for _, choice := range []MedianChoice{LowerMedian, UpperMedian, MeanMedian} {
+			f, err := MedianScores(in, choice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			medObj := SumL1(f, in)
+			// Random challengers.
+			for g := 0; g < 50; g++ {
+				cand := make([]float64, n)
+				for e := range cand {
+					cand[e] = rng.Float64() * float64(n+1)
+				}
+				if obj := SumL1(cand, in); obj < medObj-1e-9 {
+					t.Fatalf("Lemma 8 violated: median obj %v > candidate obj %v", medObj, obj)
+				}
+			}
+			// The inputs themselves as challengers.
+			for _, r := range in {
+				if obj := SumL1(r.Positions(), in); obj < medObj-1e-9 {
+					t.Fatalf("Lemma 8 violated by an input: %v < %v", obj, medObj)
+				}
+			}
+		}
+	}
+}
+
+func TestInMedianSetRejects(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{1, 0})
+	in := []*ranking.PartialRanking{a, b}
+	ok, err := InMedianSet(in, []float64{1.7, 1.2})
+	if err != nil || ok {
+		t.Errorf("InMedianSet accepted non-median (%v, %v)", ok, err)
+	}
+	if _, err := InMedianSet(in, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := InMedianSet(nil, nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+}
+
+func TestAggregatorInputValidation(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	c := ranking.MustFromOrder([]int{0, 1, 2})
+	mismatched := []*ranking.PartialRanking{a, c}
+	if _, err := MedianScores(nil, LowerMedian); err == nil {
+		t.Error("MedianScores accepted empty input")
+	}
+	if _, err := MedianScores(mismatched, LowerMedian); err == nil {
+		t.Error("MedianScores accepted domain mismatch")
+	}
+	if _, err := MedianTopK(mismatched, 1); err == nil {
+		t.Error("MedianTopK accepted domain mismatch")
+	}
+	if _, err := MedianTopK([]*ranking.PartialRanking{a}, 5); err == nil {
+		t.Error("MedianTopK accepted k > n")
+	}
+	if _, err := MedianFull(nil); err == nil {
+		t.Error("MedianFull accepted empty input")
+	}
+	if _, err := SumL1Ranking(c, []*ranking.PartialRanking{a}); err == nil {
+		t.Error("SumL1Ranking accepted domain mismatch")
+	}
+}
+
+func TestAggregateErrorPaths(t *testing.T) {
+	if _, err := OptimalPartialAggregate(nil); err == nil {
+		t.Error("OptimalPartialAggregate accepted empty input")
+	}
+	if _, err := MedianPartialOfType(nil, []int{1}); err == nil {
+		t.Error("MedianPartialOfType accepted empty input")
+	}
+	a := ranking.MustFromOrder([]int{0, 1})
+	if _, err := MedianPartialOfType([]*ranking.PartialRanking{a}, []int{5}); err == nil {
+		t.Error("MedianPartialOfType accepted bad type")
+	}
+	if _, err := MedianInduced(nil); err == nil {
+		t.Error("MedianInduced accepted empty input")
+	}
+	if _, err := BordaPartial(nil); err == nil {
+		t.Error("BordaPartial accepted empty input")
+	}
+	if _, err := MedianTopK([]*ranking.PartialRanking{a}, -1); err == nil {
+		t.Error("MedianTopK accepted negative k")
+	}
+}

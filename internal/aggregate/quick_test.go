@@ -1,0 +1,192 @@
+package aggregate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// genEnsemble draws 1..6 bucket orders over one shared small domain.
+type genEnsemble struct {
+	In []*ranking.PartialRanking
+}
+
+func (genEnsemble) Generate(r *rand.Rand, size int) reflect.Value {
+	maxN := size
+	if maxN < 1 {
+		maxN = 1
+	}
+	if maxN > 9 {
+		maxN = 9
+	}
+	n := 1 + r.Intn(maxN)
+	m := 1 + r.Intn(6)
+	in := make([]*ranking.PartialRanking, m)
+	for i := range in {
+		in[i] = randrank.Partial(r, n, 1+r.Intn(4))
+	}
+	return reflect.ValueOf(genEnsemble{in})
+}
+
+var quickCfg = &quick.Config{MaxCount: 150}
+
+// Lemma 8: every median choice minimizes the summed L1 against random
+// challengers drawn alongside the ensemble.
+func TestQuickLemma8(t *testing.T) {
+	f := func(g genEnsemble, rawG []uint16) bool {
+		n := g.In[0].N()
+		for _, choice := range []MedianChoice{LowerMedian, UpperMedian, MeanMedian} {
+			med, err := MedianScores(g.In, choice)
+			if err != nil {
+				return false
+			}
+			medObj := SumL1(med, g.In)
+			cand := make([]float64, n)
+			for i := range cand {
+				v := 0.0
+				if len(rawG) > 0 {
+					v = float64(rawG[i%len(rawG)]%64) / 4
+				}
+				cand[i] = v
+			}
+			if SumL1(cand, g.In) < medObj-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The DP is never beaten by the induced ranking or by any input, and its
+// reported cost matches its returned ranking.
+func TestQuickDPDominance(t *testing.T) {
+	f := func(g genEnsemble) bool {
+		med, err := MedianScores(g.In, LowerMedian)
+		if err != nil {
+			return false
+		}
+		res, err := OptimalPartialFigure1(med)
+		if err != nil {
+			return false
+		}
+		if l1ToScores(res.Ranking, med) != res.Cost {
+			return false
+		}
+		if res.Cost > l1ToScores(ranking.FromScores(med), med)+1e-9 {
+			return false
+		}
+		for _, r := range g.In {
+			if res.Cost > l1ToScores(r, med)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The two DP engines agree exactly on half-integral scores.
+func TestQuickDPEnginesAgree(t *testing.T) {
+	f := func(raw []uint8) bool {
+		f64 := make([]float64, len(raw))
+		for i, v := range raw {
+			f64[i] = float64(v%60) / 2
+		}
+		a, err := OptimalPartial(f64)
+		if err != nil {
+			return false
+		}
+		b, err := OptimalPartialFigure1(f64)
+		if err != nil {
+			return false
+		}
+		return a.Cost4 == b.Cost4
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Median aggregation outputs are always consistent with the median scores.
+func TestQuickMedianOutputsConsistent(t *testing.T) {
+	f := func(g genEnsemble) bool {
+		med, err := MedianScores(g.In, LowerMedian)
+		if err != nil {
+			return false
+		}
+		full, err := MedianFull(g.In)
+		if err != nil {
+			return false
+		}
+		if !full.ConsistentWith(med) {
+			return false
+		}
+		k := 1 + len(med)/2
+		if k > len(med) {
+			k = len(med)
+		}
+		top, err := MedianTopK(g.In, k)
+		if err != nil {
+			return false
+		}
+		// The top-k winners must be k elements of minimal median score.
+		order := top.Order()
+		winners := order[:k]
+		worstWinner := med[winners[0]]
+		for _, w := range winners {
+			if med[w] > worstWinner {
+				worstWinner = med[w]
+			}
+		}
+		for e := 0; e < len(med); e++ {
+			if med[e] < worstWinner {
+				found := false
+				for _, w := range winners {
+					if w == e {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Borda and median agree on unanimous ensembles.
+func TestQuickUnanimous(t *testing.T) {
+	f := func(g genEnsemble) bool {
+		base := g.In[0]
+		in := []*ranking.PartialRanking{base, base, base}
+		med, err := MedianInduced(in)
+		if err != nil {
+			return false
+		}
+		if !med.Equal(base) {
+			return false
+		}
+		borda, err := BordaPartial(in)
+		if err != nil {
+			return false
+		}
+		return borda.Equal(base)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package aggregate
+
+import (
+	"sort"
+
+	"repro/internal/ranking"
+)
+
+// This file implements the "stronger notion of optimality" of Appendix
+// A.6.3: a partial ranking sigma of type alpha is nearly optimal in the
+// strong sense if it is the type-alpha projection <sigma'>_alpha of some
+// partial ranking sigma' that is itself nearly optimal among ALL partial
+// rankings. Theorem 35 shows the median construction achieves this: take
+// f-dagger's type beta (the L1-closest partial ranking to the median f),
+// build the Lemma 34 common refinement, and project it to type alpha.
+
+// OrderPreservingMatchingCost returns the minimum total |a_i - b_j| cost of
+// a perfect matching between two equal-size multisets — which, by Lemma 26,
+// is achieved by the order-preserving matching (i-th smallest to i-th
+// smallest). It underlies Lemma 27's proof that consistent rankings
+// minimize L1 within a type.
+func OrderPreservingMatchingCost(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("aggregate: OrderPreservingMatchingCost size mismatch")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var total float64
+	for i := range as {
+		d := as[i] - bs[i]
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total
+}
+
+// CommonConsistentRefinement implements Lemma 34's construction rho: the
+// partial ranking that refines both sigma and the bucket order induced by
+// f, ordering within sigma's ties by f. Any ranking consistent with rho is
+// consistent with both sigma and f.
+func CommonConsistentRefinement(sigma *ranking.PartialRanking, f []float64) *ranking.PartialRanking {
+	return sigma.RefineBy(ranking.FromScores(f))
+}
+
+// StrongMedianTopK implements Theorem 35 for top-k types: it returns the
+// top-k list sigma read off the median AND the witness partial ranking
+// sigma' such that sigma is sigma'-consistent of its type and sigma' is
+// within factor 3 of every partial ranking (factor 2 when the inputs are
+// partial rankings) under the summed L1 objective. The witness is built by
+// projecting the Lemma 34 refinement onto f-dagger's type beta.
+func StrongMedianTopK(rankings []*ranking.PartialRanking, k int) (topK, witness *ranking.PartialRanking, err error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, nil, err
+	}
+	f, err := MedianScores(rankings, LowerMedian)
+	if err != nil {
+		return nil, nil, err
+	}
+	// sigma: the top-k list consistent with f (Theorem 9's output).
+	topK, err = MedianTopK(rankings, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	// beta: the type of f-dagger, the L1-closest partial ranking to f.
+	res, err := OptimalPartialFigure1(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	beta := res.Ranking.Type()
+	// rho: a common refinement of sigma and f-bar (Lemma 34); project it to
+	// type beta. Consistency with rho implies consistency with both.
+	rho := CommonConsistentRefinement(topK, f)
+	witness, err = consistentOfTypeWith(rho, f, beta)
+	if err != nil {
+		return nil, nil, err
+	}
+	return topK, witness, nil
+}
+
+// consistentOfTypeWith carves elements into buckets of sizes beta following
+// rho's order (ties inside rho broken by f, then by element ID), producing a
+// member of <rho>_beta that is also consistent with f.
+func consistentOfTypeWith(rho *ranking.PartialRanking, f []float64, beta []int) (*ranking.PartialRanking, error) {
+	n := rho.N()
+	idx := make([]int, 0, n)
+	for b := 0; b < rho.NumBuckets(); b++ {
+		bucket := append([]int(nil), rho.Bucket(b)...)
+		sort.Slice(bucket, func(x, y int) bool {
+			if f[bucket[x]] != f[bucket[y]] {
+				return f[bucket[x]] < f[bucket[y]]
+			}
+			return bucket[x] < bucket[y]
+		})
+		idx = append(idx, bucket...)
+	}
+	buckets := make([][]int, len(beta))
+	off := 0
+	for i, size := range beta {
+		if off+size > n {
+			return nil, ranking.ErrDomainMismatch
+		}
+		buckets[i] = idx[off : off+size]
+		off += size
+	}
+	return ranking.FromBuckets(n, buckets)
+}

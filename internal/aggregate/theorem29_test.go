@@ -1,0 +1,127 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// Theorem 29 is the master theorem behind Theorems 9, 10, and 11: for ANY
+// set S of score functions, if f' in S is L1-closest to the median f of the
+// inputs, then f' is within factor 3 of every member of S — and within
+// factor 2 of EVERY function when the inputs themselves lie in S. This test
+// instantiates S with a set the paper never uses — integer-valued score
+// vectors — to exercise the theorem's full generality.
+func TestTheorem29IntegerGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		f, err := MedianScores(in, LowerMedian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// S = integer-valued vectors; the L1-closest member of S to f
+		// rounds every coordinate to the nearest integer (median positions
+		// are half-integers; round half down — any tie-break stays closest).
+		fPrime := make([]float64, n)
+		for i, v := range f {
+			fPrime[i] = math.Floor(v + 0.5)
+			if math.Abs(fPrime[i]-v) > 0.5 {
+				t.Fatalf("rounding moved more than 1/2: %v -> %v", v, fPrime[i])
+			}
+		}
+		objPrime := SumL1(fPrime, in)
+		// Factor 3 against random members of S.
+		for g := 0; g < 60; g++ {
+			cand := make([]float64, n)
+			for i := range cand {
+				cand[i] = float64(rng.Intn(n + 2))
+			}
+			if obj := SumL1(cand, in); objPrime > 3*obj+1e-9 {
+				t.Fatalf("Theorem 29 factor-3 violated: f'=%v (%v) vs cand=%v (%v)",
+					fPrime, objPrime, cand, obj)
+			}
+		}
+	}
+}
+
+// Theorem 29 second part / Corollary 31: when the inputs are partial
+// rankings (members of S = partial rankings), f-dagger is within factor 2
+// of EVERY score function, not just every partial ranking.
+func TestCorollary31FactorTwoVsArbitraryFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(6)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		fd, err := OptimalPartialAggregate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objFD, err := SumL1Ranking(fd, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 60; g++ {
+			cand := make([]float64, n)
+			for i := range cand {
+				cand[i] = rng.Float64() * float64(n+1)
+			}
+			if obj := SumL1(cand, in); objFD > 2*obj+1e-9 {
+				t.Fatalf("Corollary 31 factor-2 violated: f-dagger %v vs g %v (obj %v)",
+					objFD, cand, obj)
+			}
+		}
+	}
+}
+
+// Corollary 30's second part: when every input shares the output type, the
+// type-constrained median aggregation achieves factor 2 against arbitrary
+// score functions.
+func TestCorollary30SharedTypeFactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		// One shared random type for all inputs and the output.
+		var alpha []int
+		rem := n
+		for rem > 0 {
+			s := 1 + rng.Intn(rem)
+			alpha = append(alpha, s)
+			rem -= s
+		}
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.OfType(rng, alpha))
+		}
+		out, err := MedianPartialOfType(in, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objOut, err := SumL1Ranking(out, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 60; g++ {
+			cand := make([]float64, n)
+			for i := range cand {
+				cand[i] = rng.Float64() * float64(n+1)
+			}
+			if obj := SumL1(cand, in); objOut > 2*obj+1e-9 {
+				t.Fatalf("Corollary 30 shared-type factor-2 violated: %v vs %v", objOut, obj)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// Theorem 9: the median top-k list is within factor 3 of the optimal top-k
+// list under the summed L1 (Fprof) objective, for partial-ranking inputs.
+func TestTheorem9FactorThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	worst := 0.0
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(n)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		got, err := MedianTopK(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotObj, err := SumL1Ranking(got, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optObj, err := OptimalTopKBrute(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotObj > 3*optObj+1e-9 {
+			t.Fatalf("Theorem 9 violated: median obj %v > 3x optimal %v\nk=%d inputs=%v",
+				gotObj, optObj, k, in)
+		}
+		if optObj > 0 && gotObj/optObj > worst {
+			worst = gotObj / optObj
+		}
+		// IsTopK reports the largest valid k (a top-(n-1) list is also a
+		// full ranking), so the returned k may exceed the requested one.
+		if gotK, ok := got.IsTopK(); !ok || gotK < min(k, n) {
+			t.Fatalf("MedianTopK returned non-top-%d list %v", k, got)
+		}
+	}
+	t.Logf("worst observed Theorem 9 factor: %.3f (bound 3)", worst)
+}
+
+// Theorem 11: with full-ranking inputs, the median-refinement full ranking
+// is within factor 2 of the best partial ranking under summed L1.
+func TestTheorem11FactorTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	worst := 0.0
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Full(rng, n))
+		}
+		got, err := MedianFull(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsFull() {
+			t.Fatal("MedianFull returned ties")
+		}
+		gotObj, err := SumL1Ranking(got, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optObj, err := OptimalPartialRankingBrute(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotObj > 2*optObj+1e-9 {
+			t.Fatalf("Theorem 11 violated: %v > 2x %v for %v", gotObj, optObj, in)
+		}
+		if optObj > 0 && gotObj/optObj > worst {
+			worst = gotObj / optObj
+		}
+	}
+	t.Logf("worst observed Theorem 11 factor: %.3f (bound 2)", worst)
+}
+
+// MedianFull is also within factor 2 of the footrule-optimal FULL ranking
+// (the open problem of Dwork et al. answered by Theorem 11), checked against
+// the exact Hungarian optimum at larger scale.
+func TestTheorem11AgainstHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	worst := 0.0
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(25)
+		m := 3 + rng.Intn(5)
+		in, _ := randrank.MallowsEnsemble(rng, n, m, 0.3)
+		got, err := MedianFull(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotObj, err := SumL1Ranking(got, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optObj, err := FootruleOptimalFull(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotObj > 2*optObj+1e-9 {
+			t.Fatalf("factor-2 vs Hungarian violated: %v > 2x %v", gotObj, optObj)
+		}
+		if optObj > 0 && gotObj/optObj > worst {
+			worst = gotObj / optObj
+		}
+	}
+	t.Logf("worst observed factor vs Hungarian optimum: %.3f (bound 2)", worst)
+}
+
+// Corollary 30: the median-consistent partial ranking of any fixed type is
+// within factor 3 of the best partial ranking of that type.
+func TestCorollary30FixedType(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		// Random type alpha.
+		var alpha []int
+		rem := n
+		for rem > 0 {
+			s := 1 + rng.Intn(rem)
+			alpha = append(alpha, s)
+			rem -= s
+		}
+		got, err := MedianPartialOfType(in, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotObj, err := SumL1Ranking(got, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over all partial rankings of type alpha.
+		optObj := -1.0
+		ranking.ForEachPartialRanking(n, func(cand *ranking.PartialRanking) bool {
+			if !sameType(cand.Type(), alpha) {
+				return true
+			}
+			obj := SumL1(cand.Positions(), in)
+			if optObj < 0 || obj < optObj {
+				optObj = obj
+			}
+			return true
+		})
+		if gotObj > 3*optObj+1e-9 {
+			t.Fatalf("Corollary 30 violated: %v > 3x %v (type %v)", gotObj, optObj, alpha)
+		}
+	}
+}
+
+// MedianInduced returns the bucket order of the median score vector itself.
+func TestMedianInduced(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1, 2})
+	in := []*ranking.PartialRanking{a, a, a.Reverse()}
+	got, err := MedianInduced(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Medians: element 0: positions 1,1,3 -> 1; element 1: 2,2,2 -> 2;
+	// element 2: 3,3,1 -> 3. Induced ranking is just a.
+	if !got.Equal(a) {
+		t.Errorf("MedianInduced = %v, want %v", got, a)
+	}
+
+	// With an even ensemble forcing equal medians.
+	b := ranking.MustFromOrder([]int{1, 0, 2})
+	got, err = MedianInduced([]*ranking.PartialRanking{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower medians: element 0: {1,2}->1; element 1: {1,2}->1; element 2: 3.
+	want := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	if !got.Equal(want) {
+		t.Errorf("MedianInduced = %v, want %v", got, want)
+	}
+}
+
+// Unanimous ensembles are recovered exactly by every aggregation entry
+// point that can express them.
+func TestUnanimousRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	full := randrank.Full(rng, 12)
+	in := []*ranking.PartialRanking{full, full, full}
+	got, err := MedianFull(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(full) {
+		t.Errorf("MedianFull unanimous = %v, want %v", got, full)
+	}
+	partial := randrank.Partial(rng, 12, 4)
+	inP := []*ranking.PartialRanking{partial, partial, partial}
+	gotP, err := OptimalPartialAggregate(inP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotP.Equal(partial) {
+		t.Errorf("OptimalPartialAggregate unanimous = %v, want %v", gotP, partial)
+	}
+}
+
+func sameType(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

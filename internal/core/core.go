@@ -1,0 +1,266 @@
+// Package core ties the paper's two contributions — comparing partial
+// rankings (Sections 3-5) and aggregating them (Section 6) — into one
+// engine.
+//
+// Comparison computes the pair classification of two partial rankings once
+// and derives every Kendall-family quantity from it (Kprof, K^(p), KHaus,
+// Kavg, Goodman-Kruskal gamma), alongside the footrule-family metrics; a
+// Report bundles all four paper metrics with the equivalence diagnostics of
+// Theorem 7. Aggregate runs a chosen aggregation method and evaluates its
+// objective under all four metrics, so callers can see the constant-factor
+// equivalence (Theorem 7) do its work: an algorithm near-optimal under one
+// metric is near-optimal under all of them.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+)
+
+// Comparison caches the pair classification of two partial rankings so that
+// every derived distance is O(1) after the first O(n log n) computation.
+type Comparison struct {
+	a, b   *ranking.PartialRanking
+	counts metrics.PairCounts
+
+	fprof2 int64
+	haveF  bool
+	fhaus  int64
+	haveFH bool
+}
+
+// Compare classifies the element pairs of two same-domain partial rankings.
+func Compare(a, b *ranking.PartialRanking) (*Comparison, error) {
+	pc, err := metrics.CountPairs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{a: a, b: b, counts: pc}, nil
+}
+
+// Counts returns the cached pair classification.
+func (c *Comparison) Counts() metrics.PairCounts { return c.counts }
+
+// KProf returns the Kendall profile metric (Section 3.1).
+func (c *Comparison) KProf() float64 { return metrics.KProfFromCounts(c.counts) }
+
+// KWithPenalty returns K^(p) for any penalty parameter p in [0, 1].
+func (c *Comparison) KWithPenalty(p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("core: penalty parameter %v out of [0,1]", p)
+	}
+	return float64(c.counts.Discordant) + p*float64(c.counts.TiedOnlyInA+c.counts.TiedOnlyInB), nil
+}
+
+// KHaus returns the Hausdorff-Kendall metric via Proposition 6.
+func (c *Comparison) KHaus() int64 { return metrics.KHausFromCounts(c.counts) }
+
+// KAvg returns the average Kendall distance over refinement pairs
+// (Appendix A.3).
+func (c *Comparison) KAvg() float64 {
+	return float64(c.counts.Discordant) +
+		float64(c.counts.TiedOnlyInA+c.counts.TiedOnlyInB)/2 +
+		float64(c.counts.TiedInBoth)/2
+}
+
+// Gamma returns the Goodman-Kruskal gamma association, or
+// metrics.ErrGammaUndefined when no pair is untied in both rankings.
+func (c *Comparison) Gamma() (float64, error) {
+	den := c.counts.Concordant + c.counts.Discordant
+	if den == 0 {
+		return 0, metrics.ErrGammaUndefined
+	}
+	return float64(c.counts.Concordant-c.counts.Discordant) / float64(den), nil
+}
+
+// FProf returns the footrule profile metric (lazily computed, then cached).
+func (c *Comparison) FProf() float64 {
+	if !c.haveF {
+		d2, err := metrics.FProf2(c.a, c.b)
+		if err != nil {
+			// Unreachable: domains were validated in Compare.
+			panic(err)
+		}
+		c.fprof2 = d2
+		c.haveF = true
+	}
+	return float64(c.fprof2) / 2
+}
+
+// FHaus returns the Hausdorff-footrule metric (lazily computed via the
+// Theorem 5 witnesses, then cached).
+func (c *Comparison) FHaus() int64 {
+	if !c.haveFH {
+		d, err := metrics.FHaus(c.a, c.b)
+		if err != nil {
+			panic(err) // unreachable, as above
+		}
+		c.fhaus = d
+		c.haveFH = true
+	}
+	return c.fhaus
+}
+
+// Report bundles the four paper metrics and the Theorem 7 diagnostics for
+// one pair of partial rankings.
+type Report struct {
+	KProf float64
+	FProf float64
+	KHaus int64
+	FHaus int64
+	// Equivalence ratios (0 when the distances are 0): each must lie in
+	// [1, 2] by Theorem 7.
+	FprofOverKprof float64
+	FHausOverKHaus float64
+	KHausOverKprof float64
+}
+
+// Report computes all four metrics and the equivalence ratios.
+func (c *Comparison) Report() Report {
+	r := Report{
+		KProf: c.KProf(),
+		FProf: c.FProf(),
+		KHaus: c.KHaus(),
+		FHaus: c.FHaus(),
+	}
+	if r.KProf > 0 {
+		r.FprofOverKprof = r.FProf / r.KProf
+		r.KHausOverKprof = float64(r.KHaus) / r.KProf
+	}
+	if r.KHaus > 0 {
+		r.FHausOverKHaus = float64(r.FHaus) / float64(r.KHaus)
+	}
+	return r
+}
+
+// Method selects an aggregation algorithm.
+type Method int
+
+const (
+	// MedianFullMethod is Theorem 11's construction: a full ranking
+	// refining the median bucket order.
+	MedianFullMethod Method = iota
+	// OptimalPartialMethod is Theorem 10's construction: the Figure 1 DP
+	// applied to the median score vector.
+	OptimalPartialMethod
+	// BordaMethod sorts by mean position.
+	BordaMethod
+	// MC4Method is the Markov-chain heuristic of Dwork et al.
+	MC4Method
+	// FootruleOptimalMethod is the exact Hungarian-matching optimum
+	// (O(n^3); the heavyweight comparator).
+	FootruleOptimalMethod
+	// BestInputMethod returns the input closest (under summed Fprof) to
+	// the rest, the trivial 2-approximation.
+	BestInputMethod
+)
+
+func (m Method) String() string {
+	switch m {
+	case MedianFullMethod:
+		return "median-full"
+	case OptimalPartialMethod:
+		return "optimal-partial"
+	case BordaMethod:
+		return "borda"
+	case MC4Method:
+		return "mc4"
+	case FootruleOptimalMethod:
+		return "footrule-optimal"
+	case BestInputMethod:
+		return "best-input"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Objectives evaluates a candidate aggregation under all four metrics:
+// sum_i d(candidate, sigma_i) for each d.
+type Objectives struct {
+	SumKProf float64
+	SumFProf float64
+	SumKHaus int64
+	SumFHaus int64
+}
+
+// AggregationResult is one method's output and its objective values.
+type AggregationResult struct {
+	Method     Method
+	Ranking    *ranking.PartialRanking
+	Objectives Objectives
+}
+
+// ErrUnknownMethod reports an unrecognized aggregation method.
+var ErrUnknownMethod = errors.New("core: unknown aggregation method")
+
+// Aggregate runs the chosen method over the inputs and evaluates its
+// objective under all four metrics.
+func Aggregate(rankings []*ranking.PartialRanking, method Method) (*AggregationResult, error) {
+	var (
+		out *ranking.PartialRanking
+		err error
+	)
+	switch method {
+	case MedianFullMethod:
+		out, err = aggregate.MedianFull(rankings)
+	case OptimalPartialMethod:
+		out, err = aggregate.OptimalPartialAggregate(rankings)
+	case BordaMethod:
+		out, err = aggregate.Borda(rankings)
+	case MC4Method:
+		out, err = aggregate.MarkovChain(rankings, aggregate.MC4, aggregate.MarkovChainOptions{})
+	case FootruleOptimalMethod:
+		out, _, err = aggregate.FootruleOptimalFull(rankings)
+	case BestInputMethod:
+		_, out, _, err = aggregate.BestOfInputs(rankings, func(a, b *ranking.PartialRanking) (float64, error) {
+			return metrics.FProf(a, b)
+		})
+	default:
+		return nil, ErrUnknownMethod
+	}
+	if err != nil {
+		return nil, err
+	}
+	obj, err := Evaluate(out, rankings)
+	if err != nil {
+		return nil, err
+	}
+	return &AggregationResult{Method: method, Ranking: out, Objectives: obj}, nil
+}
+
+// Evaluate computes the four summed objectives of a candidate against the
+// inputs.
+func Evaluate(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking) (Objectives, error) {
+	var obj Objectives
+	for _, r := range rankings {
+		c, err := Compare(candidate, r)
+		if err != nil {
+			return obj, err
+		}
+		obj.SumKProf += c.KProf()
+		obj.SumFProf += c.FProf()
+		obj.SumKHaus += c.KHaus()
+		obj.SumFHaus += c.FHaus()
+	}
+	return obj, nil
+}
+
+// CompareAll runs every registered method and returns the results in method
+// order — the one-call version of experiment E9's comparison.
+func CompareAll(rankings []*ranking.PartialRanking, methods ...Method) ([]*AggregationResult, error) {
+	if len(methods) == 0 {
+		methods = []Method{MedianFullMethod, OptimalPartialMethod, BordaMethod, MC4Method, BestInputMethod}
+	}
+	out := make([]*AggregationResult, 0, len(methods))
+	for _, m := range methods {
+		res, err := Aggregate(rankings, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// The cached comparison must agree with the standalone metric functions.
+func TestComparisonMatchesMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(20)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		c, err := Compare(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, _ := metrics.KProf(a, b)
+		if c.KProf() != kp {
+			t.Fatalf("KProf %v != %v", c.KProf(), kp)
+		}
+		fp, _ := metrics.FProf(a, b)
+		if c.FProf() != fp {
+			t.Fatalf("FProf %v != %v", c.FProf(), fp)
+		}
+		kh, _ := metrics.KHaus(a, b)
+		if c.KHaus() != kh {
+			t.Fatalf("KHaus %v != %v", c.KHaus(), kh)
+		}
+		fh, _ := metrics.FHaus(a, b)
+		if c.FHaus() != fh {
+			t.Fatalf("FHaus %v != %v", c.FHaus(), fh)
+		}
+		ka, _ := metrics.KAvg(a, b)
+		if c.KAvg() != ka {
+			t.Fatalf("KAvg %v != %v", c.KAvg(), ka)
+		}
+		for _, p := range []float64{0, 0.25, 0.5, 1} {
+			want, _ := metrics.KWithPenalty(a, b, p)
+			got, err := c.KWithPenalty(p)
+			if err != nil || got != want {
+				t.Fatalf("K^(%v) %v != %v (%v)", p, got, want, err)
+			}
+		}
+		wantG, wantErr := metrics.GoodmanKruskalGamma(a, b)
+		gotG, gotErr := c.Gamma()
+		if (gotErr == nil) != (wantErr == nil) || (gotErr == nil && gotG != wantG) {
+			t.Fatalf("gamma (%v,%v) != (%v,%v)", gotG, gotErr, wantG, wantErr)
+		}
+	}
+}
+
+func TestComparisonPenaltyRange(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	c, err := Compare(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.KWithPenalty(-0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := c.KWithPenalty(2); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+func TestCompareDomainMismatch(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := Compare(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}
+
+// Report ratios must respect Theorem 7's [1, 2] windows.
+func TestReportRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(25)
+		a := randrank.Partial(rng, n, 5)
+		b := randrank.Partial(rng, n, 5)
+		c, err := Compare(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := c.Report()
+		if r.KProf == 0 {
+			continue
+		}
+		for name, ratio := range map[string]float64{
+			"Fprof/Kprof": r.FprofOverKprof,
+			"FHaus/KHaus": r.FHausOverKHaus,
+			"KHaus/Kprof": r.KHausOverKprof,
+		} {
+			if ratio < 1-1e-12 || ratio > 2+1e-12 {
+				t.Fatalf("%s = %v outside [1,2]\na=%v\nb=%v", name, ratio, a, b)
+			}
+		}
+	}
+}
+
+func TestAggregateMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var in []*ranking.PartialRanking
+	for i := 0; i < 5; i++ {
+		in = append(in, randrank.Partial(rng, 12, 3))
+	}
+	methods := []Method{
+		MedianFullMethod, OptimalPartialMethod, BordaMethod,
+		MC4Method, FootruleOptimalMethod, BestInputMethod,
+	}
+	for _, m := range methods {
+		res, err := Aggregate(in, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Ranking == nil || res.Ranking.N() != 12 {
+			t.Fatalf("%v returned bad ranking", m)
+		}
+		// The evaluated objective must match a direct evaluation.
+		direct, err := Evaluate(res.Ranking, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != res.Objectives {
+			t.Fatalf("%v objectives %+v != direct %+v", m, res.Objectives, direct)
+		}
+		if m.String() == "" || strings.HasPrefix(m.String(), "Method(") {
+			t.Fatalf("%v has suspicious String()", m)
+		}
+	}
+	if _, err := Aggregate(in, Method(99)); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v", err)
+	}
+}
+
+// Theorem 7 in action: the Theorem 10/11 constructions, optimized for
+// sum-Fprof, stay within small constant factors of the footrule optimum
+// under EVERY metric.
+func TestEquivalenceTransfersAcrossMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var in []*ranking.PartialRanking
+	for i := 0; i < 5; i++ {
+		in = append(in, randrank.Partial(rng, 15, 4))
+	}
+	med, err := Aggregate(in, MedianFullMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Aggregate(in, FootruleOptimalMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With partial-ranking inputs the guarantee is Theorem 9's factor 3
+	// (full rankings are top-n lists); Theorem 11's factor 2 needs full
+	// inputs.
+	if opt.Objectives.SumFProf > 0 {
+		if f := med.Objectives.SumFProf / opt.Objectives.SumFProf; f > 3+1e-9 {
+			t.Errorf("Fprof factor %v > 3", f)
+		}
+	}
+	// Kprof <= Fprof and Fprof <= 2 Kprof transfer the bound to a 12x
+	// worst case under Kprof; in practice the factor is tiny.
+	if opt.Objectives.SumKProf > 0 {
+		if f := med.Objectives.SumKProf / opt.Objectives.SumKProf; f > 12 {
+			t.Errorf("Kprof transfer factor %v > 12", f)
+		}
+	}
+}
+
+func TestCompareAllDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var in []*ranking.PartialRanking
+	for i := 0; i < 3; i++ {
+		in = append(in, randrank.Partial(rng, 8, 3))
+	}
+	res, err := CompareAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("CompareAll returned %d results", len(res))
+	}
+	// The DP aggregate can never lose to the median refinement on SumFProf
+	// (it optimizes L1 to the same median over a superset of candidates)...
+	// but both must respect Theorem 9/10 style bounds vs best input.
+	var medianRes, bestInput *AggregationResult
+	for _, r := range res {
+		switch r.Method {
+		case OptimalPartialMethod:
+			medianRes = r
+		case BestInputMethod:
+			bestInput = r
+		}
+	}
+	if medianRes == nil || bestInput == nil {
+		t.Fatal("missing default methods")
+	}
+}
+
+func TestCountsAccessor(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1, 2})
+	b := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	c, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := c.Counts()
+	want, _ := metrics.CountPairs(a, b)
+	if pc != want {
+		t.Errorf("Counts = %+v, want %+v", pc, want)
+	}
+}

@@ -1,0 +1,83 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchCatalog builds an n-row catalog with the paper's attribute mix.
+func benchCatalog(b *testing.B, n int) *Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	tbl := NewTable("bench")
+	cuisines := []string{"thai", "italian", "mexican", "japanese", "american"}
+	mustAdd := func(name string, typ ColumnType) {
+		if err := tbl.AddColumn(name, typ); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mustAdd("cuisine", StringCol)
+	mustAdd("distance", FloatCol)
+	mustAdd("price", FloatCol)
+	mustAdd("stars", IntCol)
+	for i := 0; i < n; i++ {
+		if err := tbl.Insert(fmt.Sprintf("r%06d", i), Row{
+			"cuisine":  cuisines[rng.Intn(len(cuisines))],
+			"distance": rng.Float64() * 30,
+			"price":    5 + rng.Float64()*60,
+			"stars":    1 + rng.Intn(5),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+var benchPrefs = []Preference{
+	{Column: "cuisine", ValueOrder: []string{"thai", "japanese"}},
+	{Column: "distance", Direction: Ascending, CoarsenStep: 10},
+	{Column: "price", Direction: Ascending},
+	{Column: "stars", Direction: Descending},
+}
+
+func BenchmarkIndexScan(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		tbl := benchCatalog(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tbl.IndexScan(benchPrefs[3]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTopKQuery(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		tbl := benchCatalog(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tbl.TopK(Query{Preferences: benchPrefs, K: 10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTopKWhere(b *testing.B) {
+	tbl := benchCatalog(b, 100000)
+	q := FilteredQuery{
+		Conditions:  []Condition{{Column: "stars", Op: Ge, Value: 4}},
+		Preferences: benchPrefs,
+		K:           10,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.TopKWhere(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package db
+
+import "testing"
+
+func TestColumnTypeStrings(t *testing.T) {
+	if StringCol.String() != "string" || IntCol.String() != "int" || FloatCol.String() != "float" {
+		t.Error("ColumnType strings wrong")
+	}
+	if ColumnType(9).String() == "string" {
+		t.Error("unknown ColumnType collides")
+	}
+	for op, want := range map[CompareOp]string{Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if CompareOp(42).String() == "=" {
+		t.Error("unknown CompareOp collides")
+	}
+}
+
+func TestInsertAcceptsIntVariants(t *testing.T) {
+	tbl := NewTable("t")
+	if err := tbl.AddColumn("i", IntCol); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("f", FloatCol); err != nil {
+		t.Fatal(err)
+	}
+	// int64 for IntCol; int and int64 for FloatCol.
+	if err := tbl.Insert("a", Row{"i": int64(3), "f": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("b", Row{"i": 4, "f": int64(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("c", Row{"i": 5, "f": 9.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert("d", Row{"i": 1.5, "f": 1.0}); err == nil {
+		t.Error("float accepted for IntCol")
+	}
+	if d, _ := tbl.DistinctValues("f"); d != 3 {
+		t.Errorf("distinct floats = %d, want 3", d)
+	}
+	if d, _ := tbl.DistinctValues("i"); d != 3 {
+		t.Errorf("distinct ints = %d, want 3", d)
+	}
+}
+
+func TestFilterValueTypeVariants(t *testing.T) {
+	tbl := NewTable("t")
+	if err := tbl.AddColumn("f", FloatCol); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []float64{1, 2, 3} {
+		if err := tbl.Insert(string(rune('a'+i)), Row{"f": v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// int and int64 condition values against a float column.
+	for _, cond := range []Condition{
+		{"f", Ge, 2},
+		{"f", Ge, int64(2)},
+		{"f", Ge, 2.0},
+	} {
+		rows, err := tbl.Filter([]Condition{cond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Errorf("cond %v matched %d rows, want 2", cond, len(rows))
+		}
+	}
+	if _, err := tbl.Filter([]Condition{{"f", Ge, "two"}}); err == nil {
+		t.Error("string value against float column accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package db is the in-memory database substrate for the paper's motivating
+// scenario (Section 1): a catalog of records with typed attributes, where
+// each user preference criterion sorts the records on one attribute. Because
+// typical attributes take few distinct values ("type of cuisine", "number of
+// connections", star ratings) — and because users coarsen numeric attributes
+// ("any distance up to ten miles is the same") — every such sort is a
+// partial ranking with large ties. Preference queries are answered by
+// aggregating those partial rankings with the median-rank engine of
+// internal/topk, reading each index only as deeply as necessary.
+package db
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ranking"
+)
+
+// ColumnType enumerates the attribute types a table supports.
+type ColumnType int
+
+const (
+	// StringCol holds categorical values ("thai", "nonstop").
+	StringCol ColumnType = iota
+	// IntCol holds integral values (star rating, connection count).
+	IntCol
+	// FloatCol holds continuous values (price, distance).
+	FloatCol
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case StringCol:
+		return "string"
+	case IntCol:
+		return "int"
+	case FloatCol:
+		return "float"
+	}
+	return fmt.Sprintf("ColumnType(%d)", int(t))
+}
+
+// Direction orients a sort.
+type Direction int
+
+const (
+	// Ascending ranks smaller values first (price, distance).
+	Ascending Direction = iota
+	// Descending ranks larger values first (star rating).
+	Descending
+)
+
+// column is columnar storage for one attribute.
+type column struct {
+	name   string
+	typ    ColumnType
+	strs   []string
+	ints   []int64
+	floats []float64
+}
+
+// Table is an append-only in-memory table with named rows and typed columns.
+type Table struct {
+	name    string
+	cols    map[string]*column
+	order   []string // column names in declaration order
+	rowKeys []string
+	rowIdx  map[string]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{
+		name:   name,
+		cols:   make(map[string]*column),
+		rowIdx: make(map[string]int),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rowKeys) }
+
+// RowKey returns the primary key of row id.
+func (t *Table) RowKey(id int) string { return t.rowKeys[id] }
+
+// RowID resolves a primary key.
+func (t *Table) RowID(key string) (int, bool) {
+	id, ok := t.rowIdx[key]
+	return id, ok
+}
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+
+// AddColumn declares a column. Columns must be declared before rows are
+// appended.
+func (t *Table) AddColumn(name string, typ ColumnType) error {
+	if len(t.rowKeys) > 0 {
+		return fmt.Errorf("db: cannot add column %q after rows were inserted", name)
+	}
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("db: duplicate column %q", name)
+	}
+	t.cols[name] = &column{name: name, typ: typ}
+	t.order = append(t.order, name)
+	return nil
+}
+
+// Row is the value set of one record, keyed by column name. Values must be
+// string, int, int64, or float64 matching the column type (ints are accepted
+// for float columns).
+type Row map[string]interface{}
+
+// Insert appends a record under a unique primary key, with a value for every
+// declared column.
+func (t *Table) Insert(key string, row Row) error {
+	if _, dup := t.rowIdx[key]; dup {
+		return fmt.Errorf("db: duplicate row key %q", key)
+	}
+	if len(row) != len(t.order) {
+		return fmt.Errorf("db: row for %q has %d values, table has %d columns", key, len(row), len(t.order))
+	}
+	// Validate all values before mutating anything.
+	for _, name := range t.order {
+		v, ok := row[name]
+		if !ok {
+			return fmt.Errorf("db: row for %q missing column %q", key, name)
+		}
+		if err := t.cols[name].check(v); err != nil {
+			return fmt.Errorf("db: row %q: %w", key, err)
+		}
+	}
+	for _, name := range t.order {
+		t.cols[name].append(row[name])
+	}
+	t.rowIdx[key] = len(t.rowKeys)
+	t.rowKeys = append(t.rowKeys, key)
+	return nil
+}
+
+func (c *column) check(v interface{}) error {
+	switch c.typ {
+	case StringCol:
+		if _, ok := v.(string); !ok {
+			return fmt.Errorf("column %q wants string, got %T", c.name, v)
+		}
+	case IntCol:
+		switch v.(type) {
+		case int, int64:
+		default:
+			return fmt.Errorf("column %q wants int, got %T", c.name, v)
+		}
+	case FloatCol:
+		switch v.(type) {
+		case float64, int, int64:
+		default:
+			return fmt.Errorf("column %q wants float, got %T", c.name, v)
+		}
+	}
+	return nil
+}
+
+func (c *column) append(v interface{}) {
+	switch c.typ {
+	case StringCol:
+		c.strs = append(c.strs, v.(string))
+	case IntCol:
+		switch x := v.(type) {
+		case int:
+			c.ints = append(c.ints, int64(x))
+		case int64:
+			c.ints = append(c.ints, x)
+		}
+	case FloatCol:
+		switch x := v.(type) {
+		case float64:
+			c.floats = append(c.floats, x)
+		case int:
+			c.floats = append(c.floats, float64(x))
+		case int64:
+			c.floats = append(c.floats, float64(x))
+		}
+	}
+}
+
+// Preference is one user criterion: sort the records on a column. A numeric
+// column may be coarsened ("any distance up to ten miles is the same"); a
+// categorical column may be ordered by an explicit value preference list
+// (unlisted values are tied behind all listed ones).
+type Preference struct {
+	// Column names the attribute.
+	Column string
+	// Direction orients numeric sorts; ignored when ValueOrder is set.
+	Direction Direction
+	// CoarsenStep, when positive, buckets numeric values into intervals of
+	// this width before sorting (floor(v/step)).
+	CoarsenStep float64
+	// ValueOrder, for categorical columns, lists values best-first. All
+	// rows with unlisted values share one bottom bucket.
+	ValueOrder []string
+}
+
+// IndexScan materializes the partial ranking produced by sorting the table
+// according to the preference: rows with equal (possibly coarsened) sort
+// keys are tied in one bucket, exactly as in the paper's Section 1.
+func (t *Table) IndexScan(p Preference) (*ranking.PartialRanking, error) {
+	col, ok := t.cols[p.Column]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown column %q", p.Column)
+	}
+	n := t.NumRows()
+	keys := make([]float64, n)
+	switch col.typ {
+	case StringCol:
+		if len(p.ValueOrder) == 0 {
+			return nil, fmt.Errorf("db: categorical column %q needs a ValueOrder preference", p.Column)
+		}
+		rank := make(map[string]int, len(p.ValueOrder))
+		for i, v := range p.ValueOrder {
+			if _, dup := rank[v]; dup {
+				return nil, fmt.Errorf("db: duplicate value %q in ValueOrder", v)
+			}
+			rank[v] = i
+		}
+		for i, s := range col.strs {
+			if r, ok := rank[s]; ok {
+				keys[i] = float64(r)
+			} else {
+				keys[i] = float64(len(p.ValueOrder)) // unlisted: shared bottom bucket
+			}
+		}
+	case IntCol:
+		for i, v := range col.ints {
+			keys[i] = float64(v)
+		}
+	case FloatCol:
+		copy(keys, col.floats)
+	}
+	if col.typ != StringCol {
+		if p.CoarsenStep < 0 {
+			return nil, fmt.Errorf("db: negative CoarsenStep %v", p.CoarsenStep)
+		}
+		if p.CoarsenStep > 0 {
+			for i, v := range keys {
+				keys[i] = math.Floor(v / p.CoarsenStep)
+			}
+		}
+		if p.Direction == Descending {
+			for i := range keys {
+				keys[i] = -keys[i]
+			}
+		}
+	} else if p.Direction == Descending {
+		return nil, fmt.Errorf("db: Descending is meaningless with a ValueOrder; reverse the list instead")
+	}
+	return ranking.FromScores(keys), nil
+}
+
+// DistinctValues returns the number of distinct (uncoarsened) values in a
+// column — the paper's "few-valued attribute" statistic.
+func (t *Table) DistinctValues(name string) (int, error) {
+	col, ok := t.cols[name]
+	if !ok {
+		return 0, fmt.Errorf("db: unknown column %q", name)
+	}
+	switch col.typ {
+	case StringCol:
+		set := map[string]struct{}{}
+		for _, v := range col.strs {
+			set[v] = struct{}{}
+		}
+		return len(set), nil
+	case IntCol:
+		set := map[int64]struct{}{}
+		for _, v := range col.ints {
+			set[v] = struct{}{}
+		}
+		return len(set), nil
+	default:
+		set := map[float64]struct{}{}
+		for _, v := range col.floats {
+			set[v] = struct{}{}
+		}
+		return len(set), nil
+	}
+}
+
+// sortedKeys is a test helper surface: the row keys sorted lexicographically.
+func (t *Table) sortedKeys() []string {
+	out := append([]string(nil), t.rowKeys...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,126 @@
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/aggregate"
+	"repro/internal/ranking"
+	"repro/internal/topk"
+)
+
+// Query is a multi-criteria preference query: aggregate the index scans of
+// all preferences and return the best K records, optionally skipping the
+// first Offset records (pagination).
+type Query struct {
+	Preferences []Preference
+	K           int
+	// Offset skips the best Offset records before returning K winners.
+	Offset int
+}
+
+// QueryResult is the answer to a top-k preference query.
+type QueryResult struct {
+	// Keys are the winning records' primary keys, best first.
+	Keys []string
+	// MedianPositions holds each winner's aggregated (lower-median)
+	// position across the preference sorts.
+	MedianPositions []float64
+	// Access is the sequential-access accounting of the MEDRANK run: how
+	// much of each index scan was actually read.
+	Access topk.AccessStats
+	// FullScan is the cost the naive algorithm would have paid.
+	FullScan topk.AccessStats
+}
+
+// runMedRank and fullScan are shared by TopK and TopKWhere.
+func runMedRank(rankings []*ranking.PartialRanking, k int) (*topk.Result, error) {
+	return topk.MedRank(rankings, k, topk.RoundRobin)
+}
+
+func fullScan(rankings []*ranking.PartialRanking) topk.AccessStats {
+	return topk.FullScanCost(rankings)
+}
+
+// TopK answers a preference query with the streaming MEDRANK engine,
+// reading each index scan only as deeply as certification requires.
+func (t *Table) TopK(q Query) (*QueryResult, error) {
+	if q.Offset < 0 {
+		return nil, fmt.Errorf("db: negative offset %d", q.Offset)
+	}
+	rankings, err := t.scanAll(q.Preferences)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runMedRank(rankings, q.K+q.Offset)
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{
+		Access:   res.Stats,
+		FullScan: fullScan(rankings),
+	}
+	for i, w := range res.Winners {
+		if i < q.Offset {
+			continue
+		}
+		out.Keys = append(out.Keys, t.rowKeys[w])
+		out.MedianPositions = append(out.MedianPositions, float64(res.Medians2[i])/2)
+	}
+	return out, nil
+}
+
+// Rank aggregates the preference sorts into a full ranking of every record
+// (Theorem 11's construction: a refinement of the median bucket order).
+func (t *Table) Rank(prefs []Preference) ([]string, error) {
+	rankings, err := t.scanAll(prefs)
+	if err != nil {
+		return nil, err
+	}
+	full, err := aggregate.MedianFull(rankings)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, t.NumRows())
+	for _, id := range full.Order() {
+		keys = append(keys, t.rowKeys[id])
+	}
+	return keys, nil
+}
+
+// RankPartial aggregates the preference sorts into the optimal partial
+// ranking of Theorem 10 (the L1-closest bucket order to the median), useful
+// when the application wants honest ties in the output.
+func (t *Table) RankPartial(prefs []Preference) ([][]string, error) {
+	rankings, err := t.scanAll(prefs)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := aggregate.OptimalPartialAggregate(rankings)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, 0, pr.NumBuckets())
+	for b := 0; b < pr.NumBuckets(); b++ {
+		group := make([]string, 0, pr.BucketSize(b))
+		for _, id := range pr.Bucket(b) {
+			group = append(group, t.rowKeys[id])
+		}
+		out = append(out, group)
+	}
+	return out, nil
+}
+
+func (t *Table) scanAll(prefs []Preference) ([]*ranking.PartialRanking, error) {
+	if len(prefs) == 0 {
+		return nil, fmt.Errorf("db: query needs at least one preference")
+	}
+	rankings := make([]*ranking.PartialRanking, 0, len(prefs))
+	for _, p := range prefs {
+		pr, err := t.IndexScan(p)
+		if err != nil {
+			return nil, err
+		}
+		rankings = append(rankings, pr)
+	}
+	return rankings, nil
+}

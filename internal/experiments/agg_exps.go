@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// E4Theorem9 reproduces Theorem 9: the top-k list read off the median
+// position vector is within factor 3 of the optimal top-k list under the
+// summed Fprof (L1) objective. Small domains are solved exactly by
+// enumeration; the observed worst factor is reported per (m, k).
+func E4Theorem9(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Median top-k vs exhaustive optimal top-k (n=6, 40 trials each)",
+		Claim:   "Thm 9: sum L1(median top-k, inputs) <= 3 * optimum over all top-k lists",
+		Headers: []string{"m", "k", "mean factor", "worst factor", "bound"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const n, trials = 6, 40
+	for _, m := range []int{3, 5, 9} {
+		for _, k := range []int{1, 3} {
+			sum, worst := 0.0, 0.0
+			counted := 0
+			for trial := 0; trial < trials; trial++ {
+				var in []*ranking.PartialRanking
+				for i := 0; i < m; i++ {
+					in = append(in, randrank.Partial(rng, n, 3))
+				}
+				got, err := aggregate.MedianTopK(in, k)
+				if err != nil {
+					return nil, err
+				}
+				gotObj, err := aggregate.SumL1Ranking(got, in)
+				if err != nil {
+					return nil, err
+				}
+				_, opt, err := aggregate.OptimalTopKBrute(in, k)
+				if err != nil {
+					return nil, err
+				}
+				if opt == 0 {
+					continue
+				}
+				f := gotObj / opt
+				if f > 3+1e-9 {
+					return nil, fmt.Errorf("E4: Theorem 9 violated: factor %.4f", f)
+				}
+				sum += f
+				counted++
+				if f > worst {
+					worst = f
+				}
+			}
+			t.AddRow(m, k, sum/float64(counted), worst, 3)
+		}
+	}
+	t.Notef("measured factors sit far below the worst-case bound, as the paper's analysis allows")
+	return t, nil
+}
+
+// E5DynamicProgram reproduces Theorem 10 / Figure 1: the DP returns the true
+// L1-closest partial ranking (validated against exhaustive search over all
+// bucket orders), the end-to-end aggregate is a 2-approximation over all
+// partial rankings, and the runtime scales as O(n^2).
+func E5DynamicProgram(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Figure 1 dynamic program: optimality and scaling",
+		Claim:   "Thm 10: f-dagger computable in O(n^2); factor 2 vs all partial rankings",
+		Headers: []string{"check", "value"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Optimality of the DP itself vs brute force over all bucket orders.
+	agree := 0
+	const optTrials = 60
+	for trial := 0; trial < optTrials; trial++ {
+		n := 1 + rng.Intn(7)
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = float64(rng.Intn(4*n)) / 2
+		}
+		fig1, err := aggregate.OptimalPartialFigure1(f)
+		if err != nil {
+			return nil, err
+		}
+		brute, err := aggregate.OptimalPartialBrute(f)
+		if err != nil {
+			return nil, err
+		}
+		if fig1.Cost4 == brute.Cost4 {
+			agree++
+		}
+	}
+	t.AddRow("DP cost == exhaustive optimum (n<=7)", fmt.Sprintf("%d/%d", agree, optTrials))
+
+	// Factor-2 guarantee of the end-to-end aggregate.
+	worst := 0.0
+	const aggTrials = 40
+	for trial := 0; trial < aggTrials; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		fd, err := aggregate.OptimalPartialAggregate(in)
+		if err != nil {
+			return nil, err
+		}
+		got, err := aggregate.SumL1Ranking(fd, in)
+		if err != nil {
+			return nil, err
+		}
+		_, opt, err := aggregate.OptimalPartialRankingBrute(in)
+		if err != nil {
+			return nil, err
+		}
+		if opt > 0 && got/opt > worst {
+			worst = got / opt
+		}
+		if got > 2*opt+1e-9 {
+			return nil, fmt.Errorf("E5: Theorem 10 factor violated: %.4f", got/opt)
+		}
+	}
+	t.AddRow("worst observed Theorem 10 factor (bound 2)", worst)
+
+	// O(n^2) scaling of the Figure 1 engine.
+	prev := int64(0)
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = float64(rng.Intn(2*n)) / 2
+		}
+		start := time.Now()
+		if _, err := aggregate.OptimalPartialFigure1(f); err != nil {
+			return nil, err
+		}
+		el := time.Since(start).Nanoseconds()
+		growth := "-"
+		if prev > 0 {
+			growth = fmt.Sprintf("%.2fx", float64(el)/float64(prev))
+		}
+		t.AddRow(fmt.Sprintf("Figure 1 runtime n=%d", n), fmt.Sprintf("%s (growth %s)", time.Duration(el), growth))
+		prev = el
+	}
+	t.Notef("doubling n should roughly quadruple the runtime (O(n^2))")
+	return t, nil
+}
+
+// E6Theorem11 reproduces Theorem 11: with full-ranking inputs, the median
+// refinement is within factor 2 of the exact footrule-optimal full ranking,
+// computed by the Hungarian algorithm — the answer to the open question of
+// Dwork et al. / Fagin et al.
+func E6Theorem11(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Median full ranking vs Hungarian footrule optimum (Mallows judges)",
+		Claim:   "Thm 11: sum L1(median refinement, inputs) <= 2 * optimum over full rankings",
+		Headers: []string{"n", "m", "theta", "mean factor", "worst factor", "bound"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range []int{20, 60} {
+		for _, m := range []int{3, 5, 9} {
+			for _, theta := range []float64{0.0, 0.5} {
+				const trials = 15
+				sum, worst := 0.0, 0.0
+				counted := 0
+				for trial := 0; trial < trials; trial++ {
+					in, _ := randrank.MallowsEnsemble(rng, n, m, theta)
+					got, err := aggregate.MedianFull(in)
+					if err != nil {
+						return nil, err
+					}
+					gotObj, err := aggregate.SumL1Ranking(got, in)
+					if err != nil {
+						return nil, err
+					}
+					_, opt, err := aggregate.FootruleOptimalFull(in)
+					if err != nil {
+						return nil, err
+					}
+					if opt == 0 {
+						continue
+					}
+					f := gotObj / opt
+					if f > 2+1e-9 {
+						return nil, fmt.Errorf("E6: Theorem 11 violated: factor %.4f", f)
+					}
+					sum += f
+					counted++
+					if f > worst {
+						worst = f
+					}
+				}
+				t.AddRow(n, m, theta, sum/float64(counted), worst, 2)
+			}
+		}
+	}
+	t.Notef("theta=0 is uniform noise (hard case); larger theta concentrates the judges")
+	return t, nil
+}
+
+// E9Catalog reproduces the paper's motivating database scenario: a catalog
+// whose few-valued attribute sorts are aggregated. It compares median rank
+// aggregation against the baselines on the summed Fprof and Kprof
+// objectives (normalized by the exact Hungarian footrule optimum) and
+// reports MEDRANK's access cost for the top-10.
+func E9Catalog(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Catalog workload (n=200 items, Zipf few-valued attributes)",
+		Claim:   "Sec. 1/6: median aggregation is competitive with heavier baselines and uniquely database-friendly",
+		Headers: []string{"m", "algorithm", "output", "sum Fprof", "x class opt", "sum Kprof", "top-10 access (frac of full scan)"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const n = 200
+	for _, m := range []int{4, 6} {
+		ens := randrank.CatalogEnsemble(rng, n, m, 5, 1.0, 1.5)
+		in := ens.Rankings
+
+		// Two candidate classes: full-ranking outputs are normalized by the
+		// exact Hungarian optimum over full rankings; partial-ranking
+		// outputs (which can mirror the inputs' heavy ties and thus achieve
+		// far smaller objectives) are normalized by the best partial
+		// candidate seen.
+		type algo struct {
+			name    string
+			partial bool
+			run     func() (*ranking.PartialRanking, error)
+		}
+		algos := []algo{
+			{"median (Thm 11)", false, func() (*ranking.PartialRanking, error) { return aggregate.MedianFull(in) }},
+			{"footrule-optimal (Hungarian)", false, func() (*ranking.PartialRanking, error) {
+				pr, _, err := aggregate.FootruleOptimalFull(in)
+				return pr, err
+			}},
+			{"Borda", false, func() (*ranking.PartialRanking, error) { return aggregate.Borda(in) }},
+			{"MC4", false, func() (*ranking.PartialRanking, error) {
+				return aggregate.MarkovChain(in, aggregate.MC4, aggregate.MarkovChainOptions{})
+			}},
+			{"Borda + local Kemeny", false, func() (*ranking.PartialRanking, error) {
+				b, err := aggregate.Borda(in)
+				if err != nil {
+					return nil, err
+				}
+				return aggregate.LocalKemenize(b, in)
+			}},
+			{"median DP (Thm 10)", true, func() (*ranking.PartialRanking, error) { return aggregate.OptimalPartialAggregate(in) }},
+			{"best-of-inputs", true, func() (*ranking.PartialRanking, error) {
+				_, pr, _, err := aggregate.BestOfInputs(in, func(a, b *ranking.PartialRanking) (float64, error) {
+					return metrics.FProf(a, b)
+				})
+				return pr, err
+			}},
+		}
+
+		_, fOptFull, err := aggregate.FootruleOptimalFull(in)
+		if err != nil {
+			return nil, err
+		}
+		results := make(map[string]*ranking.PartialRanking)
+		fPartialBest := -1.0
+		for _, a := range algos {
+			pr, err := a.run()
+			if err != nil {
+				return nil, err
+			}
+			results[a.name] = pr
+			if a.partial {
+				fObj, err := aggregate.SumL1Ranking(pr, in)
+				if err != nil {
+					return nil, err
+				}
+				if fPartialBest < 0 || fObj < fPartialBest {
+					fPartialBest = fObj
+				}
+			}
+		}
+		for _, a := range algos {
+			pr := results[a.name]
+			fObj, err := aggregate.SumL1Ranking(pr, in)
+			if err != nil {
+				return nil, err
+			}
+			kObj, err := aggregate.SumDistance(pr, in, func(x, y *ranking.PartialRanking) (float64, error) {
+				return metrics.KProf(x, y)
+			})
+			if err != nil {
+				return nil, err
+			}
+			classOpt := fOptFull
+			output := "full"
+			if a.partial {
+				classOpt = fPartialBest
+				output = "partial"
+			}
+			access := "-"
+			if a.name == "median (Thm 11)" {
+				res, err := medrankAccess(in, 10)
+				if err != nil {
+					return nil, err
+				}
+				access = res
+			}
+			t.AddRow(m, a.name, output, fObj, fObj/classOpt, kObj, access)
+		}
+	}
+	t.Notef("full-ranking outputs are normalized by the Hungarian optimum; partial-ranking outputs by the best partial candidate (they mirror the inputs' ties, so their raw objectives are incomparably smaller)")
+	t.Notef("only median rank aggregation admits the sequential-access top-k engine; the others need full scans")
+	return t, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every registered experiment must run cleanly and produce a non-trivial
+// table. This doubles as the end-to-end reproduction check: several runners
+// return errors when a paper bound is violated.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, spec := range Registry {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := spec.Run(7)
+			if err != nil {
+				t.Fatalf("%s failed: %v", spec.ID, err)
+			}
+			if tbl.ID != spec.ID {
+				t.Errorf("table ID %q != spec ID %q", tbl.ID, spec.ID)
+			}
+			if len(tbl.Rows) == 0 || len(tbl.Headers) == 0 {
+				t.Errorf("%s produced an empty table", spec.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Headers) {
+					t.Errorf("%s row width %d != header width %d", spec.ID, len(row), len(tbl.Headers))
+				}
+			}
+		})
+	}
+}
+
+func TestE1VerdictShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl, err := E1PenaltySweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=0 row must fail regularity; p>=0.5 rows must have zero violations.
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "0":
+			if row[1] != "FAILS" {
+				t.Errorf("p=0 regularity = %q, want FAILS", row[1])
+			}
+		case "0.5", "0.75", "1":
+			if row[2] != "0" {
+				t.Errorf("p=%s has %s triangle violations, want 0", row[0], row[2])
+			}
+			if row[1] != "holds" {
+				t.Errorf("p=%s regularity = %q", row[0], row[1])
+			}
+		case "0.1", "0.25", "0.4":
+			if row[2] == "0" {
+				t.Errorf("p=%s found no triangle violations; the near-metric regime should produce some", row[0])
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Claim:   "claim",
+		Headers: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y")
+	tbl.Notef("note %d", 1)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX — demo", "claim: claim", "a  b", "x  y", "note: note 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### EX — demo", "| a | b |", "| x | y |", "*Note:* note 1"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E999", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl, err := Run("E2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E2 agreement columns must all be k/k.
+	for _, row := range tbl.Rows {
+		parts := strings.Split(row[2], "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Errorf("E2 KHaus agreement %q not total", row[2])
+		}
+	}
+}

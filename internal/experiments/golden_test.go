@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment tables")
+
+// goldenIDs lists the experiments whose tables are fully deterministic at a
+// fixed seed (E5 and E8 contain wall-clock cells and are excluded).
+var goldenIDs = []string{"E1", "E2", "E3", "E4", "E6", "E7", "E9", "E10", "E11", "E12", "E13", "E14"}
+
+// TestGoldenTables pins the byte-exact markdown of every deterministic
+// experiment at seed 2004. A change here means an algorithm changed
+// behaviour — rerun with -update only after confirming the change is
+// intended, and refresh EXPERIMENTS.md to match.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := Run(id, 2004)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tbl.Markdown()
+			path := filepath.Join("testdata", id+".golden.md")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file %s;\nif intended, refresh with `go test ./internal/experiments -run TestGolden -update` and regenerate EXPERIMENTS.md\n--- got ---\n%s", id, path, got)
+			}
+		})
+	}
+}

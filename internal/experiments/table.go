@@ -1,0 +1,158 @@
+// Package experiments contains the runners that reproduce every evaluated
+// claim of the paper as an executable experiment. The paper is a theory
+// paper — its "evaluation" is a set of theorems, propositions, and the
+// Figure 1 pseudocode — so each experiment validates one published claim on
+// generated workloads and emits a table; EXPERIMENTS.md records the results
+// and DESIGN.md maps each experiment to the claim it reproduces.
+//
+// All experiments are deterministic given their seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid of rows plus free-form
+// notes (caveats, observed extremes, verdicts).
+type Table struct {
+	ID      string // experiment identifier, e.g. "E3"
+	Title   string
+	Claim   string // the paper claim being reproduced
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Notef appends a formatted note.
+func (t *Table) Notef(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Claim != "" {
+		if _, err := fmt.Fprintf(w, "claim: %s\n", t.Claim); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(rule, "  ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "*Claim:* %s\n\n", t.Claim)
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*Note:* %s\n", n)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Spec describes one registered experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(seed int64) (*Table, error)
+}
+
+// Registry lists every experiment in order. cmd/experiments and the root
+// benchmark harness iterate it.
+var Registry = []Spec{
+	{"E1", "K^(p) penalty sweep: metric / near metric / not a distance measure", E1PenaltySweep},
+	{"E2", "Hausdorff characterization: Thm 5 and Prop 6 vs brute force", E2Hausdorff},
+	{"E3", "Metric equivalence constants (Thm 7, Eqs 4-6)", E3Equivalence},
+	{"E4", "Median top-k 3-approximation (Thm 9)", E4Theorem9},
+	{"E5", "Figure 1 DP: optimality and O(n^2) scaling (Thm 10)", E5DynamicProgram},
+	{"E6", "Median full ranking vs exact footrule optimum (Thm 11)", E6Theorem11},
+	{"E7", "MEDRANK sequential-access cost and instance optimality", E7InstanceOptimality},
+	{"E8", "Metric computation: O(n log n) engines vs references", E8MetricScaling},
+	{"E9", "Database catalog workload: median vs baselines", E9Catalog},
+	{"E10", "Top-k identities: Kavg = Kprof, Fprof = F^(l) (App. A.3)", E10TopKIdentities},
+	{"E11", "Reflected-duplicate construction, Lemmas 21-23 (App. A.5.2)", E11Reflection},
+	{"E12", "Strong-sense near-optimality of median top-k (App. A.6.3)", E12StrongOptimality},
+	{"E13", "Hidden-center recovery from noisy ties (Sec. 1 robustness)", E13Recovery},
+	{"E14", "Condorcet-winner compliance of the aggregators", E14Condorcet},
+}
+
+// Run looks up and runs one experiment by ID.
+func Run(id string, seed int64) (*Table, error) {
+	for _, s := range Registry {
+		if s.ID == id {
+			return s.Run(seed)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

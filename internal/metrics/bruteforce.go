@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"repro/internal/ranking"
+)
+
+// fullRefinements materializes every full refinement of a partial ranking.
+// The count is the product of bucket-size factorials, so callers must keep
+// domains small; all uses are brute-force references.
+func fullRefinements(pr *ranking.PartialRanking) []*ranking.PartialRanking {
+	var out []*ranking.PartialRanking
+	pr.ForEachFullRefinement(func(order []int) bool {
+		out = append(out, ranking.MustFromOrder(order))
+		return true
+	})
+	return out
+}
+
+// KHausBrute computes the Hausdorff-Kendall distance directly from the
+// definition (Equation 3): the Hausdorff distance between the sets of full
+// refinements of the two partial rankings under K. Exponential; reference
+// implementation for Theorem 5 / Proposition 6.
+func KHausBrute(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	d := Hausdorff(fullRefinements(a), fullRefinements(b),
+		func(x, y *ranking.PartialRanking) float64 {
+			k, err := Kendall(x, y)
+			if err != nil {
+				panic(err) // unreachable: refinements are full and same-domain
+			}
+			return float64(k)
+		})
+	return int64(d), nil
+}
+
+// FHausBrute computes the Hausdorff-footrule distance directly from the
+// definition (Equation 3). Exponential; reference for Theorem 5.
+func FHausBrute(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	d := Hausdorff(fullRefinements(a), fullRefinements(b),
+		func(x, y *ranking.PartialRanking) float64 {
+			f, err := Footrule(x, y)
+			if err != nil {
+				panic(err) // unreachable
+			}
+			return float64(f)
+		})
+	return int64(d), nil
+}
+
+// MinFootruleRefinement returns min over full refinements tau of F(sigma,
+// tau) for a full ranking sigma and partial ranking tauBar, by brute force.
+// Lemma 3 states the minimum is attained at tau = sigma*tauBar; the tests
+// use this function to verify that characterization.
+func MinFootruleRefinement(sigma, tauBar *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(sigma, tauBar); err != nil {
+		return 0, err
+	}
+	if !sigma.IsFull() {
+		return 0, errNotFull("MinFootruleRefinement")
+	}
+	best := int64(-1)
+	var ferr error
+	tauBar.ForEachFullRefinement(func(order []int) bool {
+		tau := ranking.MustFromOrder(order)
+		f, err := Footrule(sigma, tau)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if best < 0 || f < best {
+			best = f
+		}
+		return true
+	})
+	return best, ferr
+}
+
+// MinKendallRefinement is MinFootruleRefinement for the Kendall distance.
+func MinKendallRefinement(sigma, tauBar *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(sigma, tauBar); err != nil {
+		return 0, err
+	}
+	if !sigma.IsFull() {
+		return 0, errNotFull("MinKendallRefinement")
+	}
+	best := int64(-1)
+	var kerr error
+	tauBar.ForEachFullRefinement(func(order []int) bool {
+		tau := ranking.MustFromOrder(order)
+		k, err := Kendall(sigma, tau)
+		if err != nil {
+			kerr = err
+			return false
+		}
+		if best < 0 || k < best {
+			best = k
+		}
+		return true
+	})
+	return best, kerr
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/ranking"
+)
+
+// This file provides the normalized correlation coefficients surrounding
+// the paper's metrics. The Related Work section cites Kendall (1945), whose
+// tie-aware variants of tau correspond to normalizations of the profile
+// distance, and Baggerly (1995) for footrule analogues; practitioners
+// usually consume these as coefficients in [-1, 1], so the library offers
+// them alongside the raw metrics.
+
+// ErrCorrelationUndefined is returned when a coefficient's denominator
+// vanishes (e.g. a ranking with all elements tied has no rank variance).
+var ErrCorrelationUndefined = errors.New("metrics: correlation undefined (zero variance or no comparable pairs)")
+
+// KendallTauA returns Kendall's tau-a between two partial rankings:
+// (concordant - discordant) / (n(n-1)/2). Ties simply dilute the
+// coefficient toward 0. Defined for n >= 2.
+func KendallTauA(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	total := pc.Total()
+	if total == 0 {
+		return 0, ErrCorrelationUndefined
+	}
+	return float64(pc.Concordant-pc.Discordant) / float64(total), nil
+}
+
+// KendallTauB returns Kendall's tau-b, the tie-corrected coefficient of
+// Kendall (1945):
+//
+//	tau_b = (C - D) / sqrt((N - Ta)(N - Tb)),
+//
+// where N = n(n-1)/2 and Ta, Tb count the pairs tied in each ranking. It is
+// 1 exactly when the rankings are identical bucket orders and -1 when one
+// is the reverse of the other. Undefined when either ranking is a single
+// bucket.
+func KendallTauB(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	total := pc.Total()
+	ta := pc.TiedOnlyInA + pc.TiedInBoth
+	tb := pc.TiedOnlyInB + pc.TiedInBoth
+	da := total - ta
+	db := total - tb
+	if da == 0 || db == 0 {
+		return 0, ErrCorrelationUndefined
+	}
+	return float64(pc.Concordant-pc.Discordant) / math.Sqrt(float64(da)*float64(db)), nil
+}
+
+// NormalizedKProf returns Kprof scaled into [0, 1] by its maximum n(n-1)/2
+// (attained by a full ranking against its reverse). This is the normalized
+// profile distance corresponding to Kendall's 1945 treatment of ties cited
+// in the paper's Related Work.
+func NormalizedKProf(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	total := pc.Total()
+	if total == 0 {
+		return 0, nil
+	}
+	return KProfFromCounts(pc) / float64(total), nil
+}
+
+// NormalizedFProf returns Fprof scaled by its maximum over full rankings,
+// floor(n^2/2) (a full ranking against its reverse), giving a value in
+// [0, 1] for all partial rankings as well, since ties only shrink position
+// differences.
+func NormalizedFProf(a, b *ranking.PartialRanking) (float64, error) {
+	d, err := FProf(a, b)
+	if err != nil {
+		return 0, err
+	}
+	n := a.N()
+	max := float64(n*n) / 2
+	max = math.Floor(max)
+	if max == 0 {
+		return 0, nil
+	}
+	return d / max, nil
+}
+
+// SpearmanRho returns the Spearman rank correlation between two partial
+// rankings, computed as the Pearson correlation of their position vectors —
+// the standard mid-rank treatment of ties. Undefined when either ranking
+// has zero rank variance (a single bucket).
+func SpearmanRho(a, b *ranking.PartialRanking) (float64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	n := a.N()
+	if n == 0 {
+		return 0, ErrCorrelationUndefined
+	}
+	mean := float64(n+1) / 2 // positions always average (n+1)/2
+	var sxy, sxx, syy float64
+	for e := 0; e < n; e++ {
+		dx := a.Pos(e) - mean
+		dy := b.Pos(e) - mean
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrCorrelationUndefined
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestTauEndpoints(t *testing.T) {
+	id := ranking.MustFromOrder([]int{0, 1, 2, 3, 4})
+	rev := id.Reverse()
+	if v, _ := KendallTauA(id, id); v != 1 {
+		t.Errorf("tau-a(id,id) = %v", v)
+	}
+	if v, _ := KendallTauA(id, rev); v != -1 {
+		t.Errorf("tau-a(id,rev) = %v", v)
+	}
+	if v, _ := KendallTauB(id, id); v != 1 {
+		t.Errorf("tau-b(id,id) = %v", v)
+	}
+	if v, _ := KendallTauB(id, rev); v != -1 {
+		t.Errorf("tau-b(id,rev) = %v", v)
+	}
+	// tau-b is 1 on identical bucket orders even with ties; tau-a is not.
+	tied := ranking.MustFromBuckets(4, [][]int{{0, 1}, {2}, {3}})
+	if v, _ := KendallTauB(tied, tied); v != 1 {
+		t.Errorf("tau-b(tied,tied) = %v, want 1", v)
+	}
+	if v, _ := KendallTauA(tied, tied); v >= 1 {
+		t.Errorf("tau-a(tied,tied) = %v, want < 1 (tie dilution)", v)
+	}
+}
+
+func TestTauAgreeOnFullRankings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		ta, err := KendallTauA(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := KendallTauB(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ta-tb) > 1e-12 {
+			t.Fatalf("tau-a %v != tau-b %v without ties", ta, tb)
+		}
+		// Closed form: tau = 1 - 4K/(n(n-1)).
+		k, _ := Kendall(a, b)
+		want := 1 - 4*float64(k)/float64(n*(n-1))
+		if math.Abs(ta-want) > 1e-12 {
+			t.Fatalf("tau-a %v != closed form %v", ta, want)
+		}
+	}
+}
+
+func TestTauBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(15)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		for name, fn := range map[string]func(x, y *ranking.PartialRanking) (float64, error){
+			"tau-a": KendallTauA, "tau-b": KendallTauB, "rho": SpearmanRho,
+		} {
+			v, err := fn(a, b)
+			if errors.Is(err, ErrCorrelationUndefined) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < -1-1e-9 || v > 1+1e-9 {
+				t.Fatalf("%s out of range: %v", name, v)
+			}
+		}
+	}
+}
+
+func TestCorrelationUndefined(t *testing.T) {
+	all := ranking.MustFromBuckets(3, [][]int{{0, 1, 2}})
+	full := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := KendallTauB(all, full); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("tau-b vs single bucket: %v", err)
+	}
+	if _, err := SpearmanRho(all, full); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("rho vs single bucket: %v", err)
+	}
+	empty := ranking.MustFromBuckets(0, nil)
+	if _, err := KendallTauA(empty, empty); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("tau-a on empty domain: %v", err)
+	}
+	if _, err := SpearmanRho(empty, empty); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("rho on empty domain: %v", err)
+	}
+}
+
+func TestNormalizedMetricsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		nk, err := NormalizedKProf(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nf, err := NormalizedFProf(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nk < 0 || nk > 1 || nf < 0 || nf > 1 {
+			t.Fatalf("normalized metrics out of [0,1]: K=%v F=%v", nk, nf)
+		}
+		if a.Equal(b) && (nk != 0 || nf != 0) {
+			t.Fatalf("normalized self-distance nonzero")
+		}
+	}
+	// Extremes: full vs reverse hits 1 for both.
+	id := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	if nk, _ := NormalizedKProf(id, id.Reverse()); nk != 1 {
+		t.Errorf("NormalizedKProf(id,rev) = %v, want 1", nk)
+	}
+	if nf, _ := NormalizedFProf(id, id.Reverse()); nf != 1 {
+		t.Errorf("NormalizedFProf(id,rev) = %v, want 1", nf)
+	}
+}
+
+func TestSpearmanRhoClosedFormOnFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		rho, err := SpearmanRho(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// rho = 1 - 6*sum d^2 / (n(n^2-1)) for permutations.
+		var sumD2 float64
+		for e := 0; e < n; e++ {
+			d := a.Pos(e) - b.Pos(e)
+			sumD2 += d * d
+		}
+		want := 1 - 6*sumD2/float64(n*(n*n-1))
+		if math.Abs(rho-want) > 1e-9 {
+			t.Fatalf("rho %v != closed form %v", rho, want)
+		}
+	}
+}
+
+// tau-b and gamma agree in sign and order: both are (C-D) over different
+// normalizations, so gamma's magnitude dominates tau-b's.
+func TestTauBGammaRelationship(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		tb, err1 := KendallTauB(a, b)
+		g, err2 := GoodmanKruskalGamma(a, b)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if math.Abs(g) < math.Abs(tb)-1e-9 {
+			t.Fatalf("|gamma| %v < |tau-b| %v", g, tb)
+		}
+		if g*tb < 0 {
+			t.Fatalf("gamma %v and tau-b %v disagree in sign", g, tb)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// forEachPartialRanking adapts ranking.ForEachPartialRanking for the
+// exhaustive checks in this package.
+func forEachPartialRanking(n int, fn func(pr *ranking.PartialRanking)) {
+	ranking.ForEachPartialRanking(n, func(pr *ranking.PartialRanking) bool {
+		fn(pr)
+		return true
+	})
+}
+
+func TestForEachPartialRankingFubini(t *testing.T) {
+	want := []int64{1, 1, 3, 13, 75}
+	for n, w := range want {
+		count := int64(0)
+		forEachPartialRanking(n, func(*ranking.PartialRanking) { count++ })
+		if count != w {
+			t.Errorf("enumerated %d bucket orders for n=%d, want %d", count, n, w)
+		}
+		if f, ok := ranking.Fubini(n); !ok || f != w {
+			t.Errorf("Fubini(%d) = (%d,%v), want %d", n, f, ok, w)
+		}
+	}
+}
+
+func TestCountPairsAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(40)
+		a := randrank.Partial(rng, n, 1+rng.Intn(6))
+		b := randrank.Partial(rng, n, 1+rng.Intn(6))
+		fast, err := CountPairs(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := CountPairsNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Fatalf("CountPairs mismatch for\na=%v\nb=%v\nfast=%+v\nslow=%+v", a, b, fast, slow)
+		}
+		if want := int64(n) * int64(n-1) / 2; fast.Total() != want {
+			t.Fatalf("Total = %d, want %d", fast.Total(), want)
+		}
+	}
+}
+
+func TestCountPairsSymmetryRoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randrank.Partial(rng, n, 3)
+		b := randrank.Partial(rng, n, 3)
+		ab, err := CountPairs(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := CountPairs(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ab.Concordant != ba.Concordant || ab.Discordant != ba.Discordant ||
+			ab.TiedInBoth != ba.TiedInBoth ||
+			ab.TiedOnlyInA != ba.TiedOnlyInB || ab.TiedOnlyInB != ba.TiedOnlyInA {
+			t.Fatalf("role swap broken: ab=%+v ba=%+v", ab, ba)
+		}
+	}
+}
+
+func TestCountPairsIdentityCases(t *testing.T) {
+	pr := ranking.MustFromBuckets(5, [][]int{{0, 1}, {2}, {3, 4}})
+	pc, err := CountPairs(pr, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Discordant != 0 || pc.TiedOnlyInA != 0 || pc.TiedOnlyInB != 0 {
+		t.Errorf("self comparison has penalties: %+v", pc)
+	}
+	if pc.TiedInBoth != 2 { // {0,1} and {3,4}
+		t.Errorf("TiedInBoth = %d, want 2", pc.TiedInBoth)
+	}
+	if pc.Concordant != 8 {
+		t.Errorf("Concordant = %d, want 8", pc.Concordant)
+	}
+
+	rev := pr.Reverse()
+	pc, err = CountPairs(pr, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Concordant != 0 || pc.Discordant != 8 {
+		t.Errorf("reverse comparison: %+v", pc)
+	}
+}
+
+func TestCountPairsDomainMismatch(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := CountPairs(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	if _, err := CountPairsNaive(a, b); err == nil {
+		t.Error("naive domain mismatch accepted")
+	}
+}
+
+// A partial ranking against one of its own refinements: no discordant pairs
+// and nothing tied only in the refinement.
+func TestCountPairsRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		coarse := randrank.Partial(rng, n, 5)
+		fine := coarse.RefineBy(randrank.Full(rng, n))
+		pc, err := CountPairs(coarse, fine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.Discordant != 0 {
+			t.Fatalf("refinement discordant with original: %+v", pc)
+		}
+		if pc.TiedOnlyInB != 0 {
+			t.Fatalf("refinement has ties the original lacks: %+v", pc)
+		}
+	}
+}
+
+// The bucket-aware engine, the sort-based engine, and the quadratic
+// reference agree on every input shape.
+func TestCountPairsThreeEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(50)
+		maxB := 1 + rng.Intn(10)
+		a := randrank.Partial(rng, n, maxB)
+		b := randrank.Partial(rng, n, maxB)
+		fast, err := CountPairs(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSort, err := countPairsViaSort(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := CountPairsNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != viaSort || fast != naive {
+			t.Fatalf("engines disagree:\nbucketed=%+v\nsort=%+v\nnaive=%+v\na=%v\nb=%v",
+				fast, viaSort, naive, a, b)
+		}
+	}
+	// Degenerate shapes.
+	for _, pair := range [][2]*ranking.PartialRanking{
+		{ranking.MustFromBuckets(0, nil), ranking.MustFromBuckets(0, nil)},
+		{ranking.MustFromBuckets(6, [][]int{{0, 1, 2, 3, 4, 5}}), ranking.MustFromOrder([]int{5, 4, 3, 2, 1, 0})},
+		{ranking.MustFromOrder([]int{0, 1, 2}), ranking.MustFromBuckets(3, [][]int{{0, 1, 2}})},
+	} {
+		fast, _ := CountPairs(pair[0], pair[1])
+		naive, _ := CountPairsNaive(pair[0], pair[1])
+		if fast != naive {
+			t.Fatalf("degenerate shape disagrees: %+v vs %+v", fast, naive)
+		}
+	}
+	if _, err := countPairsViaSort(ranking.MustFromOrder([]int{0}), ranking.MustFromOrder([]int{0, 1})); err == nil {
+		t.Error("sort engine accepted domain mismatch")
+	}
+}
+
+// Large-domain smoke test: the metric stack handles n = 10^6 in seconds and
+// exactly agrees across engines on a sampled invariant.
+func TestLargeDomainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-domain smoke test skipped with -short")
+	}
+	rng := rand.New(rand.NewSource(99))
+	n := 1_000_000
+	a := randrank.Partial(rng, n, 50)
+	b := randrank.Partial(rng, n, 50)
+	kp2, err := KProf2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, _ := FProf2(a, b)
+	kh, _ := KHaus(a, b)
+	if !(kp2 <= fp2 && fp2 <= 2*kp2) {
+		t.Fatalf("Eq. 5 violated at n=1e6: %d %d", kp2, fp2)
+	}
+	if !(kp2 <= 2*kh && 2*kh <= 2*kp2) {
+		t.Fatalf("Eq. 6 violated at n=1e6: %d %d", kp2, kh)
+	}
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"repro/internal/permutation"
+	"repro/internal/ranking"
+)
+
+// Kendall returns the Kendall tau distance K(a, b) between two full rankings
+// (Section 2.2): the number of pairwise disagreements, equal to the number of
+// exchanges a bubble sort needs to convert one ranking into the other.
+// It runs in O(n log n) and errors if either input has ties.
+func Kendall(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	if !a.IsFull() || !b.IsFull() {
+		return 0, errNotFull("Kendall")
+	}
+	// Walk a's order best-first; inversions of b's positions along that walk
+	// are exactly the discordant pairs.
+	order := a.Order()
+	seq := make([]int64, len(order))
+	for i, e := range order {
+		seq[i] = b.Pos2(e)
+	}
+	return permutation.CountInversions(seq), nil
+}
+
+// KendallNaive is the O(n^2) reference for Kendall.
+func KendallNaive(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	if !a.IsFull() || !b.IsFull() {
+		return 0, errNotFull("Kendall")
+	}
+	var k int64
+	for i := 0; i < a.N(); i++ {
+		for j := i + 1; j < a.N(); j++ {
+			if a.Ahead(i, j) != b.Ahead(i, j) {
+				k++
+			}
+		}
+	}
+	return k, nil
+}
+
+// Footrule returns the Spearman footrule distance F(a, b) = L1(a, b) between
+// two full rankings (Section 2.2). It errors if either input has ties; for
+// partial rankings use FProf, which is the same L1 formula on bucket
+// positions.
+func Footrule(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	if !a.IsFull() || !b.IsFull() {
+		return 0, errNotFull("Footrule")
+	}
+	var sum2 int64
+	for e := 0; e < a.N(); e++ {
+		d := a.Pos2(e) - b.Pos2(e)
+		if d < 0 {
+			d = -d
+		}
+		sum2 += d
+	}
+	return sum2 / 2, nil
+}
+
+// L1 returns the L1 distance between two same-length score vectors,
+// L1(f, g) = sum_i |f(i) - g(i)| (Section 2, "Notation").
+func L1(f, g []float64) float64 {
+	if len(f) != len(g) {
+		panic("metrics: L1 length mismatch")
+	}
+	var sum float64
+	for i := range f {
+		d := f[i] - g[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestKendallKnown(t *testing.T) {
+	id := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	rev := ranking.MustFromOrder([]int{3, 2, 1, 0})
+	if k, _ := Kendall(id, id); k != 0 {
+		t.Errorf("K(id,id) = %d", k)
+	}
+	if k, _ := Kendall(id, rev); k != 6 {
+		t.Errorf("K(id,rev) = %d, want 6", k)
+	}
+	swap := ranking.MustFromOrder([]int{1, 0, 2, 3})
+	if k, _ := Kendall(id, swap); k != 1 {
+		t.Errorf("K adjacent swap = %d, want 1", k)
+	}
+}
+
+func TestKendallAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		fast, err := Kendall(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := KendallNaive(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Fatalf("Kendall mismatch %d vs %d for %v %v", fast, slow, a, b)
+		}
+	}
+}
+
+func TestKendallRejectsTies(t *testing.T) {
+	full := ranking.MustFromOrder([]int{0, 1, 2})
+	tied := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	if _, err := Kendall(full, tied); err == nil {
+		t.Error("Kendall accepted ties")
+	}
+	if _, err := Kendall(tied, full); err == nil {
+		t.Error("Kendall accepted ties (first arg)")
+	}
+	if _, err := KendallNaive(full, tied); err == nil {
+		t.Error("KendallNaive accepted ties")
+	}
+	if _, err := Footrule(full, tied); err == nil {
+		t.Error("Footrule accepted ties")
+	}
+}
+
+func TestFootruleKnown(t *testing.T) {
+	id := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	rev := ranking.MustFromOrder([]int{3, 2, 1, 0})
+	if f, _ := Footrule(id, id); f != 0 {
+		t.Errorf("F(id,id) = %d", f)
+	}
+	if f, _ := Footrule(id, rev); f != 8 {
+		t.Errorf("F(id,rev) = %d, want 8", f)
+	}
+}
+
+// Diaconis-Graham (Equation 1): K <= F <= 2K for all full rankings.
+func TestDiaconisGraham(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(30)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		k, err := Kendall(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Footrule(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(k <= f && f <= 2*k) {
+			t.Fatalf("Diaconis-Graham violated: K=%d F=%d for %v %v", k, f, a, b)
+		}
+	}
+}
+
+// The Kendall distance is a metric on full rankings: symmetric, regular,
+// triangle inequality.
+func TestKendallFootruleMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		a, b, c := randrank.Full(rng, n), randrank.Full(rng, n), randrank.Full(rng, n)
+		kab, _ := Kendall(a, b)
+		kba, _ := Kendall(b, a)
+		if kab != kba {
+			t.Fatalf("K not symmetric")
+		}
+		if (kab == 0) != a.Equal(b) {
+			t.Fatalf("K regularity violated: K=%d equal=%v", kab, a.Equal(b))
+		}
+		kac, _ := Kendall(a, c)
+		kcb, _ := Kendall(c, b)
+		if kab > kac+kcb {
+			t.Fatalf("K triangle violated: %d > %d + %d", kab, kac, kcb)
+		}
+		fab, _ := Footrule(a, b)
+		fba, _ := Footrule(b, a)
+		fac, _ := Footrule(a, c)
+		fcb, _ := Footrule(c, b)
+		if fab != fba || (fab == 0) != a.Equal(b) || fab > fac+fcb {
+			t.Fatalf("F axioms violated: fab=%d fba=%d fac=%d fcb=%d", fab, fba, fac, fcb)
+		}
+	}
+}
+
+// Kendall distance equals the number of adjacent transpositions (bubble-sort
+// exchanges) needed to convert one ranking into the other.
+func TestKendallBubbleSortInterpretation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		k, _ := Kendall(a, b)
+		// Bubble-sort a's order into b's order counting swaps.
+		order := a.Order()
+		swaps := int64(0)
+		for {
+			done := true
+			for i := 0; i+1 < n; i++ {
+				if b.Pos2(order[i]) > b.Pos2(order[i+1]) {
+					order[i], order[i+1] = order[i+1], order[i]
+					swaps++
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+		if swaps != k {
+			t.Fatalf("bubble sort took %d swaps, K=%d", swaps, k)
+		}
+	}
+}
+
+func TestKendallDomainMismatch(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := Kendall(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	if _, err := Footrule(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}
+
+func TestL1(t *testing.T) {
+	if got := L1([]float64{1, 2, 3}, []float64{3, 2, 0}); got != 5 {
+		t.Errorf("L1 = %v, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("L1 length mismatch did not panic")
+		}
+	}()
+	L1([]float64{1}, []float64{1, 2})
+}

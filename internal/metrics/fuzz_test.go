@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/ranking"
+)
+
+// rankingFromBytes maps a byte string onto a bucket order with common ties.
+func rankingFromBytes(data []byte) *ranking.PartialRanking {
+	n := len(data)
+	groups := map[byte][]int{}
+	var labels []byte
+	for i, b := range data {
+		lbl := b % 7
+		if _, ok := groups[lbl]; !ok {
+			labels = append(labels, lbl)
+		}
+		groups[lbl] = append(groups[lbl], i)
+	}
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
+	buckets := make([][]int, 0, len(labels))
+	for _, l := range labels {
+		buckets = append(buckets, groups[l])
+	}
+	return ranking.MustFromBuckets(n, buckets)
+}
+
+// FuzzMetricInvariants drives the full metric stack with fuzz-shaped
+// ranking pairs: no panics, symmetry, and every Theorem 7 window.
+func FuzzMetricInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, []byte{2, 1, 0})
+	f.Add([]byte{0, 0, 0, 0}, []byte{1, 2, 3, 4})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{9}, []byte{3})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		if len(da) != len(db) {
+			// Same-length prefix keeps the domains aligned.
+			if len(da) > len(db) {
+				da = da[:len(db)]
+			} else {
+				db = db[:len(da)]
+			}
+		}
+		if len(da) > 64 {
+			da, db = da[:64], db[:64]
+		}
+		a := rankingFromBytes(da)
+		b := rankingFromBytes(db)
+
+		kp2, err := KProf2(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp2, _ := FProf2(a, b)
+		kh, _ := KHaus(a, b)
+		fh, _ := FHaus(a, b)
+		if !(kp2 <= fp2 && fp2 <= 2*kp2) {
+			t.Fatalf("Eq. 5 violated: %d %d", kp2, fp2)
+		}
+		if !(kh <= fh && fh <= 2*kh) {
+			t.Fatalf("Eq. 4 violated: %d %d", kh, fh)
+		}
+		if !(kp2 <= 2*kh && 2*kh <= 2*kp2) {
+			t.Fatalf("Eq. 6 violated: %d %d", kp2, kh)
+		}
+		kpBA, _ := KProf2(b, a)
+		if kpBA != kp2 {
+			t.Fatalf("KProf asymmetric: %d vs %d", kp2, kpBA)
+		}
+		fast, _ := CountPairs(a, b)
+		slow, _ := CountPairsNaive(a, b)
+		if fast != slow {
+			t.Fatalf("CountPairs mismatch: %+v vs %+v", fast, slow)
+		}
+	})
+}
+
+// FuzzReflection drives the Lemma 21/23 identities with fuzz-shaped pairs.
+func FuzzReflection(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 3}, []byte{4, 4, 4, 0})
+	f.Add([]byte{0}, []byte{0})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		if len(da) > len(db) {
+			da = da[:len(db)]
+		} else {
+			db = db[:len(da)]
+		}
+		if len(da) > 24 || len(da) == 0 {
+			return
+		}
+		sigma := rankingFromBytes(da)
+		tau := rankingFromBytes(db)
+		kvr, err := KProfViaReflection(sigma, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, _ := KProf(sigma, tau)
+		if kvr != kp {
+			t.Fatalf("Lemma 21 violated: %v vs %v", kvr, kp)
+		}
+		fvr, err := FProfViaReflection(sigma, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := FProf(sigma, tau)
+		if fvr != fp {
+			t.Fatalf("Lemma 22 violated: %v vs %v", fvr, fp)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"errors"
+
+	"repro/internal/ranking"
+)
+
+// ErrGammaUndefined is returned by GoodmanKruskalGamma when every pair of
+// elements is tied in at least one of the two rankings, so the measure has a
+// zero denominator. The paper (Related work) cites exactly this partiality
+// as the serious disadvantage of the Goodman-Kruskal approach compared to
+// the four metrics it proposes.
+var ErrGammaUndefined = errors.New("metrics: Goodman-Kruskal gamma undefined (no pair is untied in both rankings)")
+
+// GoodmanKruskalGamma returns the Goodman-Kruskal gamma association between
+// two partial rankings: (C - D) / (C + D) over the pairs untied in both
+// rankings, where C counts concordant and D discordant pairs. The value lies
+// in [-1, 1]; +1 means perfect agreement on comparable pairs. It returns
+// ErrGammaUndefined when C + D = 0.
+func GoodmanKruskalGamma(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	den := pc.Concordant + pc.Discordant
+	if den == 0 {
+		return 0, ErrGammaUndefined
+	}
+	return float64(pc.Concordant-pc.Discordant) / float64(den), nil
+}
+
+// GammaDistance converts gamma into a normalized distance (1 - gamma)/2 in
+// [0, 1]. It inherits ErrGammaUndefined; unlike the four paper metrics it is
+// not a metric (it can be 0 for distinct rankings).
+func GammaDistance(a, b *ranking.PartialRanking) (float64, error) {
+	g, err := GoodmanKruskalGamma(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return (1 - g) / 2, nil
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestGammaKnownValues(t *testing.T) {
+	id := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	rev := ranking.MustFromOrder([]int{3, 2, 1, 0})
+	if g, _ := GoodmanKruskalGamma(id, id); g != 1 {
+		t.Errorf("gamma(id,id) = %v, want 1", g)
+	}
+	if g, _ := GoodmanKruskalGamma(id, rev); g != -1 {
+		t.Errorf("gamma(id,rev) = %v, want -1", g)
+	}
+	if d, _ := GammaDistance(id, rev); d != 1 {
+		t.Errorf("gamma distance(id,rev) = %v, want 1", d)
+	}
+	if d, _ := GammaDistance(id, id); d != 0 {
+		t.Errorf("gamma distance(id,id) = %v, want 0", d)
+	}
+}
+
+// The paper's stated disadvantage: gamma is not always defined. When every
+// pair is tied in at least one ranking, the denominator vanishes.
+func TestGammaUndefined(t *testing.T) {
+	all := ranking.MustFromBuckets(3, [][]int{{0, 1, 2}})
+	full := ranking.MustFromOrder([]int{0, 1, 2})
+	_, err := GoodmanKruskalGamma(all, full)
+	if !errors.Is(err, ErrGammaUndefined) {
+		t.Errorf("gamma vs everything-tied: err = %v, want ErrGammaUndefined", err)
+	}
+	if _, err := GammaDistance(all, full); !errors.Is(err, ErrGammaUndefined) {
+		t.Errorf("GammaDistance: err = %v, want ErrGammaUndefined", err)
+	}
+	// Complementary ties: a = {0,1},{2}; b = {0},{1,2} — the pair (0,2) is
+	// untied in both, so gamma is defined here.
+	a := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	b := ranking.MustFromBuckets(3, [][]int{{0}, {1, 2}})
+	if _, err := GoodmanKruskalGamma(a, b); err != nil {
+		t.Errorf("gamma unexpectedly undefined: %v", err)
+	}
+}
+
+// GammaDistance is not regular: it can be 0 for distinct rankings, which is
+// why the paper's metrics are preferable.
+func TestGammaDistanceNotRegular(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1, 2})
+	b := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	d, err := GammaDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("GammaDistance = %v, want 0 for consistent rankings", d)
+	}
+	if a.Equal(b) {
+		t.Error("test rankings should be distinct")
+	}
+}
+
+func TestGammaRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		g, err := GoodmanKruskalGamma(a, b)
+		if errors.Is(err, ErrGammaUndefined) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < -1 || g > 1 {
+			t.Fatalf("gamma out of range: %v", g)
+		}
+		gr, _ := GoodmanKruskalGamma(b, a)
+		if g != gr {
+			t.Fatalf("gamma not symmetric: %v vs %v", g, gr)
+		}
+	}
+}
+
+func TestGammaDomainMismatch(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := GoodmanKruskalGamma(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}

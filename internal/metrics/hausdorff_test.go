@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// Theorem 5 / Proposition 6, exhaustively for n <= 4: the refinement
+// construction, the counting formula, and the brute-force definition of the
+// Hausdorff metrics all agree.
+func TestHausdorffCharacterizationExhaustive(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		var all []*ranking.PartialRanking
+		forEachPartialRanking(n, func(pr *ranking.PartialRanking) { all = append(all, pr) })
+		for _, a := range all {
+			for _, b := range all {
+				kBrute, err := KHausBrute(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kProp6, err := KHaus(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kThm5, err := KHausViaRefinement(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if kBrute != kProp6 || kBrute != kThm5 {
+					t.Fatalf("KHaus mismatch: brute=%d prop6=%d thm5=%d\na=%v\nb=%v",
+						kBrute, kProp6, kThm5, a, b)
+				}
+				fBrute, err := FHausBrute(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fThm5, err := FHaus(a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fBrute != fThm5 {
+					t.Fatalf("FHaus mismatch: brute=%d thm5=%d\na=%v\nb=%v", fBrute, fThm5, a, b)
+				}
+			}
+		}
+	}
+}
+
+// The same characterizations on random larger rankings with small buckets
+// (keeping the refinement count tractable for the brute force).
+func TestHausdorffCharacterizationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(4)
+		a := randrank.Partial(rng, n, 3)
+		b := randrank.Partial(rng, n, 3)
+		kBrute, _ := KHausBrute(a, b)
+		kProp6, _ := KHaus(a, b)
+		kThm5, _ := KHausViaRefinement(a, b)
+		fBrute, _ := FHausBrute(a, b)
+		fThm5, _ := FHaus(a, b)
+		if kBrute != kProp6 || kBrute != kThm5 {
+			t.Fatalf("KHaus mismatch: brute=%d prop6=%d thm5=%d\na=%v\nb=%v", kBrute, kProp6, kThm5, a, b)
+		}
+		if fBrute != fThm5 {
+			t.Fatalf("FHaus mismatch: brute=%d thm5=%d\na=%v\nb=%v", fBrute, fThm5, a, b)
+		}
+	}
+}
+
+// Lemma 3: over all full refinements tau of tauBar, F(sigma, tau) and
+// K(sigma, tau) are minimized at tau = sigma * tauBar.
+func TestLemma3MinimizingRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(7)
+		sigma := randrank.Full(rng, n)
+		tauBar := randrank.Partial(rng, n, 3)
+		opt := tauBar.RefineBy(sigma) // sigma * tauBar
+
+		fOpt, err := Footrule(sigma, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fMin, err := MinFootruleRefinement(sigma, tauBar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fOpt != fMin {
+			t.Fatalf("Lemma 3 (F) violated: F(sigma, sigma*tau)=%d, min=%d", fOpt, fMin)
+		}
+
+		kOpt, err := Kendall(sigma, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kMin, err := MinKendallRefinement(sigma, tauBar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kOpt != kMin {
+			t.Fatalf("Lemma 3 (K) violated: K(sigma, sigma*tau)=%d, min=%d", kOpt, kMin)
+		}
+	}
+}
+
+// Theorem 20 / Equation 4: KHaus <= FHaus <= 2*KHaus.
+func TestEquation4KHausFHaus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(30)
+		a := randrank.Partial(rng, n, 5)
+		b := randrank.Partial(rng, n, 5)
+		kh, _ := KHaus(a, b)
+		fh, _ := FHaus(a, b)
+		if !(kh <= fh && fh <= 2*kh) {
+			t.Fatalf("Eq. 4 violated: KHaus=%d FHaus=%d\na=%v\nb=%v", kh, fh, a, b)
+		}
+	}
+}
+
+// Lemma 25 / Equation 6: Kprof <= KHaus <= 2*Kprof.
+func TestEquation6KprofKHaus(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(30)
+		a := randrank.Partial(rng, n, 5)
+		b := randrank.Partial(rng, n, 5)
+		kp2, _ := KProf2(a, b)
+		kh, _ := KHaus(a, b)
+		if !(kp2 <= 2*kh && 2*kh <= 2*kp2) {
+			t.Fatalf("Eq. 6 violated: Kprof=%v KHaus=%d\na=%v\nb=%v", float64(kp2)/2, kh, a, b)
+		}
+	}
+}
+
+// KHaus and FHaus are metrics: symmetry, regularity, triangle inequality.
+func TestHausdorffMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		c := randrank.Partial(rng, n, 4)
+
+		kab, _ := KHaus(a, b)
+		kba, _ := KHaus(b, a)
+		kac, _ := KHaus(a, c)
+		kcb, _ := KHaus(c, b)
+		if kab != kba || (kab == 0) != a.Equal(b) || kab > kac+kcb {
+			t.Fatalf("KHaus axioms violated: ab=%d ba=%d ac=%d cb=%d\na=%v\nb=%v\nc=%v",
+				kab, kba, kac, kcb, a, b, c)
+		}
+
+		fab, _ := FHaus(a, b)
+		fba, _ := FHaus(b, a)
+		fac, _ := FHaus(a, c)
+		fcb, _ := FHaus(c, b)
+		if fab != fba || (fab == 0) != a.Equal(b) || fab > fac+fcb {
+			t.Fatalf("FHaus axioms violated: ab=%d ba=%d ac=%d cb=%d\na=%v\nb=%v\nc=%v",
+				fab, fba, fac, fcb, a, b, c)
+		}
+	}
+}
+
+// On full rankings the Hausdorff metrics reduce to K and F.
+func TestHausdorffReducesOnFullRankings(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(20)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		kh, _ := KHaus(a, b)
+		k, _ := Kendall(a, b)
+		fh, _ := FHaus(a, b)
+		f, _ := Footrule(a, b)
+		if kh != k || fh != f {
+			t.Fatalf("Hausdorff reduction failed: KHaus=%d K=%d FHaus=%d F=%d", kh, k, fh, f)
+		}
+	}
+}
+
+func TestHausdorffGeneric(t *testing.T) {
+	abs := func(a, b float64) float64 {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	// A = {0, 1}, B = {10}: every a is within 10 of B, 10 is within 9 of A.
+	if got := Hausdorff([]float64{0, 1}, []float64{10}, abs); got != 10 {
+		t.Errorf("Hausdorff = %v, want 10", got)
+	}
+	if got := Hausdorff([]float64{5}, []float64{5}, abs); got != 0 {
+		t.Errorf("Hausdorff identical = %v, want 0", got)
+	}
+	// Asymmetric coverage: A inside B's hull but B spread out.
+	if got := Hausdorff([]float64{5}, []float64{0, 10}, abs); got != 5 {
+		t.Errorf("Hausdorff = %v, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Hausdorff of empty set did not panic")
+		}
+	}()
+	Hausdorff(nil, []float64{1}, abs)
+}
+
+func TestHausdorffDomainMismatch(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	for name, fn := range map[string]func(x, y *ranking.PartialRanking) error{
+		"KHaus":   func(x, y *ranking.PartialRanking) error { _, err := KHaus(x, y); return err },
+		"FHaus":   func(x, y *ranking.PartialRanking) error { _, err := FHaus(x, y); return err },
+		"KHausVR": func(x, y *ranking.PartialRanking) error { _, err := KHausViaRefinement(x, y); return err },
+		"KBrute":  func(x, y *ranking.PartialRanking) error { _, err := KHausBrute(x, y); return err },
+		"FBrute":  func(x, y *ranking.PartialRanking) error { _, err := FHausBrute(x, y); return err },
+	} {
+		if fn(a, b) == nil {
+			t.Errorf("%s accepted domain mismatch", name)
+		}
+	}
+}
+
+// Lemma 4: over all full refinements sigmaHat of sigma, the quantity
+// F(sigmaHat, sigmaHat*tau) — and likewise K — is maximized at
+// sigmaHat = rho*tauR*sigma, for any full ranking rho.
+func TestLemma4MaximizingRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		sigma := randrank.Partial(rng, n, 3)
+		tau := randrank.Partial(rng, n, 3)
+		rho := randrank.Full(rng, n)
+
+		// The claimed maximizer.
+		opt := sigma.RefineBy(tau.Reverse()).RefineBy(rho) // rho*tauR*sigma
+		fOpt, err := Footrule(opt, tau.RefineBy(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kOpt, err := Kendall(opt, tau.RefineBy(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force over all full refinements of sigma.
+		fMax, kMax := int64(-1), int64(-1)
+		sigma.ForEachFullRefinement(func(order []int) bool {
+			sh := ranking.MustFromOrder(order)
+			f, err := Footrule(sh, tau.RefineBy(sh))
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := Kendall(sh, tau.RefineBy(sh))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f > fMax {
+				fMax = f
+			}
+			if k > kMax {
+				kMax = k
+			}
+			return true
+		})
+		if fOpt != fMax {
+			t.Fatalf("Lemma 4 (F) violated: at maximizer %d, true max %d\nsigma=%v\ntau=%v\nrho=%v",
+				fOpt, fMax, sigma, tau, rho)
+		}
+		if kOpt != kMax {
+			t.Fatalf("Lemma 4 (K) violated: at maximizer %d, true max %d\nsigma=%v\ntau=%v\nrho=%v",
+				kOpt, kMax, sigma, tau, rho)
+		}
+	}
+}

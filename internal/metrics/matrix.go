@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ranking"
+)
+
+// Distance is any distance function between partial rankings, as consumed
+// by DistanceMatrix.
+type Distance func(a, b *ranking.PartialRanking) (float64, error)
+
+// DistanceMatrix computes the symmetric m x m matrix of pairwise distances
+// among an ensemble, fanning the upper-triangle computations out across
+// GOMAXPROCS goroutines. The diagonal is zero by regularity; the matrix is
+// filled symmetrically. The first error encountered aborts the computation.
+func DistanceMatrix(rankings []*ranking.PartialRanking, d Distance) ([][]float64, error) {
+	m := len(rankings)
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+	}
+	type cell struct{ i, j int }
+	jobs := make(chan cell, m)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				v, err := d(rankings[c.i], rankings[c.j])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[c.i][c.j] = v
+				out[c.j][c.i] = v
+			}
+		}()
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			jobs <- cell{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// KendallW returns Kendall's coefficient of concordance W among m >= 2
+// partial rankings over n >= 2 elements, with the standard tie correction:
+//
+//	W = (12 S) / (m^2 (n^3 - n) - m sum_i T_i),
+//
+// where S is the sum of squared deviations of the elements' total positions
+// from their mean and T_i = sum over the buckets of ranking i of
+// (|B|^3 - |B|). W = 1 means the rankings are identical bucket orders with
+// no ties... more precisely complete concordance; W near 0 means no
+// agreement. Returns ErrCorrelationUndefined when the denominator vanishes
+// (e.g. every ranking is a single bucket).
+func KendallW(rankings []*ranking.PartialRanking) (float64, error) {
+	m := len(rankings)
+	if m < 2 {
+		return 0, ErrCorrelationUndefined
+	}
+	if err := ranking.CheckSameDomain(rankings...); err != nil {
+		return 0, err
+	}
+	n := rankings[0].N()
+	if n < 2 {
+		return 0, ErrCorrelationUndefined
+	}
+	// Total (doubled) position per element and the tie correction.
+	totals2 := make([]int64, n)
+	var tieCorr float64
+	for _, r := range rankings {
+		for e := 0; e < n; e++ {
+			totals2[e] += r.Pos2(e)
+		}
+		for b := 0; b < r.NumBuckets(); b++ {
+			t := float64(r.BucketSize(b))
+			tieCorr += t*t*t - t
+		}
+	}
+	mean := float64(m) * float64(n+1) / 2 // mean total position
+	var s float64
+	for e := 0; e < n; e++ {
+		d := float64(totals2[e])/2 - mean
+		s += d * d
+	}
+	den := float64(m)*float64(m)*(float64(n)*float64(n)*float64(n)-float64(n)) -
+		float64(m)*tieCorr
+	if den <= 0 {
+		return 0, ErrCorrelationUndefined
+	}
+	return 12 * s / den, nil
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func TestDistanceMatrixMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var in []*ranking.PartialRanking
+	for i := 0; i < 9; i++ {
+		in = append(in, randrank.Partial(rng, 20, 4))
+	}
+	mat, err := DistanceMatrix(in, KProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if mat[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v", i, i, mat[i][i])
+		}
+		for j := range in {
+			want, _ := KProf(in[i], in[j])
+			if mat[i][j] != want {
+				t.Errorf("[%d][%d] = %v, want %v", i, j, mat[i][j], want)
+			}
+			if mat[i][j] != mat[j][i] {
+				t.Errorf("matrix not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestDistanceMatrixPropagatesErrors(t *testing.T) {
+	in := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1}),
+		ranking.MustFromOrder([]int{1, 0}),
+	}
+	boom := errors.New("boom")
+	_, err := DistanceMatrix(in, func(a, b *ranking.PartialRanking) (float64, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	// Empty and singleton ensembles are fine.
+	if mat, err := DistanceMatrix(nil, KProf); err != nil || len(mat) != 0 {
+		t.Errorf("empty ensemble: %v %v", mat, err)
+	}
+	if mat, err := DistanceMatrix(in[:1], KProf); err != nil || len(mat) != 1 || mat[0][0] != 0 {
+		t.Errorf("singleton ensemble: %v %v", mat, err)
+	}
+}
+
+func TestKendallWEndpoints(t *testing.T) {
+	// Complete concordance among full rankings.
+	a := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	w, err := KendallW([]*ranking.PartialRanking{a, a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Errorf("unanimous W = %v, want 1", w)
+	}
+	// Perfect discordance between two reversed rankings: W = 0.
+	w, err = KendallW([]*ranking.PartialRanking{a, a.Reverse()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w) > 1e-12 {
+		t.Errorf("reversed-pair W = %v, want 0", w)
+	}
+}
+
+// Tie-corrected W still reaches 1 for identical bucket orders.
+func TestKendallWTieCorrection(t *testing.T) {
+	pr := ranking.MustFromBuckets(5, [][]int{{0, 1}, {2}, {3, 4}})
+	w, err := KendallW([]*ranking.PartialRanking{pr, pr, pr, pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-12 {
+		t.Errorf("identical tied rankings W = %v, want 1", w)
+	}
+}
+
+// W decreases as voter noise grows.
+func TestKendallWMonotoneInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	avgW := func(theta float64) float64 {
+		var sum float64
+		const trials = 20
+		for i := 0; i < trials; i++ {
+			in, _ := randrank.MallowsEnsemble(rng, 30, 5, theta)
+			w, err := KendallW(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += w
+		}
+		return sum / trials
+	}
+	noisy := avgW(0)
+	tight := avgW(2)
+	if !(tight > noisy) {
+		t.Errorf("W not increasing with concordance: theta=0 -> %.3f, theta=2 -> %.3f", noisy, tight)
+	}
+	if noisy > 0.5 {
+		t.Errorf("independent voters W = %.3f, expected near 0", noisy)
+	}
+	if tight < 0.6 {
+		t.Errorf("concordant voters W = %.3f, expected near 1", tight)
+	}
+}
+
+func TestKendallWBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		m := 2 + rng.Intn(6)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 4))
+		}
+		w, err := KendallW(in)
+		if errors.Is(err, ErrCorrelationUndefined) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < -1e-9 || w > 1+1e-9 {
+			t.Fatalf("W out of [0,1]: %v", w)
+		}
+	}
+}
+
+func TestKendallWUndefinedCases(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	if _, err := KendallW([]*ranking.PartialRanking{a}); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("single ranking: %v", err)
+	}
+	tiny := ranking.MustFromBuckets(1, [][]int{{0}})
+	if _, err := KendallW([]*ranking.PartialRanking{tiny, tiny}); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("n=1: %v", err)
+	}
+	all := ranking.MustFromBuckets(3, [][]int{{0, 1, 2}})
+	if _, err := KendallW([]*ranking.PartialRanking{all, all}); !errors.Is(err, ErrCorrelationUndefined) {
+		t.Errorf("all tied: %v", err)
+	}
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := KendallW([]*ranking.PartialRanking{a, b}); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}

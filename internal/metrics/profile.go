@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/ranking"
+)
+
+// KWithPenalty returns the Kendall distance with penalty parameter p,
+// K^(p)(a, b) (Section 3.1): pairs ordered oppositely in the two rankings
+// cost 1, pairs tied in exactly one ranking cost p, and all other pairs cost
+// nothing. Proposition 13: K^(p) is a metric for p in [1/2, 1], a near
+// metric for p in (0, 1/2), and not even a distance measure for p = 0.
+// p must lie in [0, 1].
+func KWithPenalty(a, b *ranking.PartialRanking, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("metrics: penalty parameter p=%v out of [0,1]", p)
+	}
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(pc.Discordant) + p*float64(pc.TiedOnlyInA+pc.TiedOnlyInB), nil
+}
+
+// KProf returns Kprof(a, b) = K^(1/2)(a, b), the Kendall profile metric: the
+// L1 distance between the K-profiles of the two rankings (Section 3.1). The
+// value is always an integral multiple of 1/2 and is computed exactly.
+func KProf(a, b *ranking.PartialRanking) (float64, error) {
+	d2, err := KProf2(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(d2) / 2, nil
+}
+
+// KProf2 returns the doubled Kendall profile distance 2*Kprof(a, b) as an
+// exact integer: 2|U| + |S| + |T| in the notation of Proposition 6.
+func KProf2(a, b *ranking.PartialRanking) (int64, error) {
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return 2*pc.Discordant + pc.TiedOnlyInA + pc.TiedOnlyInB, nil
+}
+
+// KProfFromCounts computes Kprof from a precomputed pair classification.
+func KProfFromCounts(pc PairCounts) float64 {
+	return float64(pc.Discordant) + float64(pc.TiedOnlyInA+pc.TiedOnlyInB)/2
+}
+
+// KProfile returns the K-profile of a partial ranking (Section 3.1): the
+// vector over ordered pairs (i, j), i != j, with entry +1/4 when sigma(i) <
+// sigma(j), -1/4 when sigma(i) > sigma(j), and 0 when tied. The vector is
+// returned indexed by i*n + j (diagonal entries are 0). It is O(n^2) in size
+// and exists for tests and teaching; Kprof itself never materializes it.
+func KProfile(pr *ranking.PartialRanking) []float64 {
+	n := pr.N()
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			switch {
+			case pr.Ahead(i, j):
+				out[i*n+j] = 0.25
+			case pr.Ahead(j, i):
+				out[i*n+j] = -0.25
+			}
+		}
+	}
+	return out
+}
+
+// FProf returns Fprof(a, b) = L1(a, b), the footrule profile metric: the L1
+// distance between the position vectors (F-profiles) of the two partial
+// rankings (Section 3.1). The value is an integral multiple of 1/2.
+func FProf(a, b *ranking.PartialRanking) (float64, error) {
+	d2, err := FProf2(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(d2) / 2, nil
+}
+
+// FProf2 returns the doubled footrule profile distance 2*Fprof(a, b) as an
+// exact integer.
+func FProf2(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	var sum2 int64
+	for e := 0; e < a.N(); e++ {
+		d := a.Pos2(e) - b.Pos2(e)
+		if d < 0 {
+			d = -d
+		}
+		sum2 += d
+	}
+	return sum2, nil
+}

@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// Kprof is, by definition, the L1 distance between K-profiles (Section 3.1).
+func TestKProfEqualsProfileL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(15)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		kp, err := KProf(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := L1(KProfile(a), KProfile(b)); kp != want {
+			t.Fatalf("KProf = %v, profile L1 = %v for %v %v", kp, want, a, b)
+		}
+	}
+}
+
+// On full rankings, Kprof reduces to the Kendall distance and Fprof to the
+// footrule distance.
+func TestProfileMetricsReduceOnFullRankings(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(25)
+		a := randrank.Full(rng, n)
+		b := randrank.Full(rng, n)
+		kp, _ := KProf(a, b)
+		k, _ := Kendall(a, b)
+		if kp != float64(k) {
+			t.Fatalf("KProf=%v != Kendall=%d on full rankings", kp, k)
+		}
+		fp, _ := FProf(a, b)
+		f, _ := Footrule(a, b)
+		if fp != float64(f) {
+			t.Fatalf("FProf=%v != Footrule=%d on full rankings", fp, f)
+		}
+	}
+}
+
+func TestKWithPenaltyCases(t *testing.T) {
+	// The three-ranking example of Proposition 13's proof: domain {a, b}.
+	t1 := ranking.MustFromOrder([]int{0, 1})          // a before b
+	t2 := ranking.MustFromBuckets(2, [][]int{{0, 1}}) // tied
+	t3 := ranking.MustFromOrder([]int{1, 0})          // b before a
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		d12, err := KWithPenalty(t1, t2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d23, _ := KWithPenalty(t2, t3, p)
+		d13, _ := KWithPenalty(t1, t3, p)
+		if d12 != p || d23 != p || d13 != 1 {
+			t.Fatalf("p=%v: d12=%v d23=%v d13=%v, want p,p,1", p, d12, d23, d13)
+		}
+		// Triangle inequality holds iff 2p >= 1.
+		holds := d13 <= d12+d23
+		if holds != (p >= 0.5) {
+			t.Errorf("p=%v: triangle holds=%v, want %v", p, holds, p >= 0.5)
+		}
+	}
+	// K^(0) is not a distance measure: distance 0 between distinct rankings.
+	d, _ := KWithPenalty(t1, t2, 0)
+	if d != 0 {
+		t.Errorf("K^(0)(t1,t2) = %v, want 0 (regularity failure)", d)
+	}
+}
+
+func TestKWithPenaltyRange(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	if _, err := KWithPenalty(a, a, -0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := KWithPenalty(a, a, 1.1); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+// K^(p) and K^(p') are within factor p'/p of each other (Prop. 13's proof),
+// so all K^(p) with p > 0 are in one equivalence class.
+func TestKWithPenaltyEquivalenceScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := []float64{0.1, 0.25, 0.5, 0.9}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(12)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		for _, p := range ps {
+			for _, q := range ps {
+				if p >= q {
+					continue
+				}
+				dp, _ := KWithPenalty(a, b, p)
+				dq, _ := KWithPenalty(a, b, q)
+				if !(dp <= dq+1e-12 && dq <= (q/p)*dp+1e-9) {
+					t.Fatalf("K^(p) scaling violated: p=%v q=%v dp=%v dq=%v", p, q, dp, dq)
+				}
+			}
+		}
+	}
+}
+
+// Kprof and Fprof are metrics (Section 3.1: they are L1 distances between
+// profiles, hence automatically metrics): symmetry, regularity, triangle.
+func TestProfileMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		c := randrank.Partial(rng, n, 4)
+
+		kab, _ := KProf(a, b)
+		kba, _ := KProf(b, a)
+		kac, _ := KProf(a, c)
+		kcb, _ := KProf(c, b)
+		if kab != kba {
+			t.Fatalf("Kprof not symmetric")
+		}
+		if (kab == 0) != a.Equal(b) {
+			t.Fatalf("Kprof regularity violated: d=%v equal=%v\na=%v\nb=%v", kab, a.Equal(b), a, b)
+		}
+		if kab > kac+kcb+1e-12 {
+			t.Fatalf("Kprof triangle violated: %v > %v + %v", kab, kac, kcb)
+		}
+
+		fab, _ := FProf(a, b)
+		fba, _ := FProf(b, a)
+		fac, _ := FProf(a, c)
+		fcb, _ := FProf(c, b)
+		if fab != fba || (fab == 0) != a.Equal(b) || fab > fac+fcb+1e-12 {
+			t.Fatalf("Fprof axioms violated")
+		}
+	}
+}
+
+// Theorem 24 / Equation 5: Kprof <= Fprof <= 2*Kprof for all partial
+// rankings. This is the hard Diaconis-Graham generalization of the paper;
+// verified exhaustively for n <= 4 and randomly for larger n.
+func TestEquation5KprofFprof(t *testing.T) {
+	check := func(a, b *ranking.PartialRanking) {
+		kp2, err := KProf2(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp2, err := FProf2(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(kp2 <= fp2 && fp2 <= 2*kp2) {
+			t.Fatalf("Eq. 5 violated: Kprof=%v Fprof=%v\na=%v\nb=%v",
+				float64(kp2)/2, float64(fp2)/2, a, b)
+		}
+	}
+	for n := 0; n <= 4; n++ {
+		var all []*ranking.PartialRanking
+		forEachPartialRanking(n, func(pr *ranking.PartialRanking) { all = append(all, pr) })
+		for _, a := range all {
+			for _, b := range all {
+				check(a, b)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40)
+		check(randrank.Partial(rng, n, 6), randrank.Partial(rng, n, 6))
+	}
+}
+
+func TestKProf2ExactHalfIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(20)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		kp, _ := KProf(a, b)
+		kp2, _ := KProf2(a, b)
+		if kp != float64(kp2)/2 {
+			t.Fatalf("KProf=%v inconsistent with KProf2=%d", kp, kp2)
+		}
+		if math.Mod(float64(kp2), 1) != 0 {
+			t.Fatalf("KProf2 not integral")
+		}
+		fp, _ := FProf(a, b)
+		fp2, _ := FProf2(a, b)
+		if fp != float64(fp2)/2 {
+			t.Fatalf("FProf=%v inconsistent with FProf2=%d", fp, fp2)
+		}
+	}
+}
+
+func TestKProfFromCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(15)
+		a := randrank.Partial(rng, n, 4)
+		b := randrank.Partial(rng, n, 4)
+		pc, _ := CountPairs(a, b)
+		kp, _ := KProf(a, b)
+		if got := KProfFromCounts(pc); got != kp {
+			t.Fatalf("KProfFromCounts = %v, KProf = %v", got, kp)
+		}
+	}
+}
+
+func TestProfileDomainMismatch(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := KProf(a, b); err == nil {
+		t.Error("KProf domain mismatch accepted")
+	}
+	if _, err := FProf(a, b); err == nil {
+		t.Error("FProf domain mismatch accepted")
+	}
+	if _, err := KWithPenalty(a, b, 0.5); err == nil {
+		t.Error("KWithPenalty domain mismatch accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// genTriple draws three bucket orders over one shared domain for
+// property-based metric-axiom checks.
+type genTriple struct {
+	A, B, C *ranking.PartialRanking
+}
+
+func (genTriple) Generate(r *rand.Rand, size int) reflect.Value {
+	maxN := size
+	if maxN < 1 {
+		maxN = 1
+	}
+	if maxN > 10 {
+		maxN = 10
+	}
+	n := 1 + r.Intn(maxN)
+	mk := func() *ranking.PartialRanking { return randrank.Partial(r, n, 1+r.Intn(4)) }
+	return reflect.ValueOf(genTriple{mk(), mk(), mk()})
+}
+
+var quickCfg = &quick.Config{MaxCount: 250}
+
+// All four metrics are symmetric, regular, and satisfy the triangle
+// inequality on generated triples.
+func TestQuickMetricAxioms(t *testing.T) {
+	type metricFn struct {
+		name string
+		d    func(a, b *ranking.PartialRanking) (float64, error)
+	}
+	fns := []metricFn{
+		{"KProf", KProf},
+		{"FProf", FProf},
+		{"KHaus", func(a, b *ranking.PartialRanking) (float64, error) {
+			v, err := KHaus(a, b)
+			return float64(v), err
+		}},
+		{"FHaus", func(a, b *ranking.PartialRanking) (float64, error) {
+			v, err := FHaus(a, b)
+			return float64(v), err
+		}},
+	}
+	for _, m := range fns {
+		m := m
+		f := func(g genTriple) bool {
+			ab, err := m.d(g.A, g.B)
+			if err != nil {
+				return false
+			}
+			ba, _ := m.d(g.B, g.A)
+			ac, _ := m.d(g.A, g.C)
+			cb, _ := m.d(g.C, g.B)
+			if ab != ba {
+				return false
+			}
+			if (ab == 0) != g.A.Equal(g.B) {
+				return false
+			}
+			return ab <= ac+cb+1e-9
+		}
+		if err := quick.Check(f, quickCfg); err != nil {
+			t.Errorf("%s axioms: %v", m.name, err)
+		}
+	}
+}
+
+// Theorem 7's three windows hold on every generated pair.
+func TestQuickTheorem7Windows(t *testing.T) {
+	f := func(g genTriple) bool {
+		kp2, err := KProf2(g.A, g.B)
+		if err != nil {
+			return false
+		}
+		fp2, _ := FProf2(g.A, g.B)
+		kh, _ := KHaus(g.A, g.B)
+		fh, _ := FHaus(g.A, g.B)
+		if !(kp2 <= fp2 && fp2 <= 2*kp2) {
+			return false
+		}
+		if !(kh <= fh && fh <= 2*kh) {
+			return false
+		}
+		return kp2 <= 2*kh && 2*kh <= 2*kp2
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pair counts are conserved and role-symmetric on every generated pair.
+func TestQuickPairCountInvariants(t *testing.T) {
+	f := func(g genTriple) bool {
+		ab, err := CountPairs(g.A, g.B)
+		if err != nil {
+			return false
+		}
+		ba, _ := CountPairs(g.B, g.A)
+		n := int64(g.A.N())
+		if ab.Total() != n*(n-1)/2 {
+			return false
+		}
+		return ab.Concordant == ba.Concordant && ab.Discordant == ba.Discordant &&
+			ab.TiedOnlyInA == ba.TiedOnlyInB && ab.TiedOnlyInB == ba.TiedOnlyInA &&
+			ab.TiedInBoth == ba.TiedInBoth
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// K^(p) is monotone in p and sandwiched between K^(0) and KHaus-compatible
+// quantities.
+func TestQuickPenaltyMonotone(t *testing.T) {
+	f := func(g genTriple, rawP, rawQ uint8) bool {
+		p := float64(rawP%101) / 100
+		q := float64(rawQ%101) / 100
+		if p > q {
+			p, q = q, p
+		}
+		dp, err := KWithPenalty(g.A, g.B, p)
+		if err != nil {
+			return false
+		}
+		dq, _ := KWithPenalty(g.A, g.B, q)
+		return dp <= dq+1e-12
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Reversing both rankings preserves every metric; reversing one swaps
+// concordant and discordant pairs.
+func TestQuickReversalSymmetry(t *testing.T) {
+	f := func(g genTriple) bool {
+		kp, err := KProf(g.A, g.B)
+		if err != nil {
+			return false
+		}
+		kpRev, _ := KProf(g.A.Reverse(), g.B.Reverse())
+		if kp != kpRev {
+			return false
+		}
+		pc, _ := CountPairs(g.A, g.B)
+		pcFlip, _ := CountPairs(g.A.Reverse(), g.B)
+		return pc.Concordant == pcFlip.Discordant && pc.Discordant == pcFlip.Concordant &&
+			pc.TiedInBoth == pcFlip.TiedInBoth
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Hausdorff distance dominates the profile distance pointwise and both
+// vanish only together.
+func TestQuickHausDominatesProfile(t *testing.T) {
+	f := func(g genTriple) bool {
+		kp, err := KProf(g.A, g.B)
+		if err != nil {
+			return false
+		}
+		kh, _ := KHaus(g.A, g.B)
+		fp, _ := FProf(g.A, g.B)
+		fh, _ := FHaus(g.A, g.B)
+		return float64(kh) >= kp && float64(fh) >= fp
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

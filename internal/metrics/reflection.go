@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/ranking"
+)
+
+// This file implements the "reflected duplicate" construction of Appendix
+// A.5.2, the machinery behind the paper's hardest equivalence, Equation 5
+// (Kprof <= Fprof <= 2 Kprof):
+//
+// Given a partial ranking sigma over D = {0..n-1}, adjoin a mirror element
+// i# := i+n for every i and define sigma# over D ∪ D# by putting i and i#
+// in a doubled copy of i's bucket: sigma#(i) = sigma#(i#) = 2 sigma(i) - 1/2.
+// For a full ranking pi over D, the full ranking pi\ over D ∪ D# ranks D in
+// pi's order followed by D# in reverse pi order, and
+//
+//	sigma_pi := pi\ * sigma#
+//
+// is a full ranking in which each bucket B of sigma appears as the pattern
+// b1 b2 ... bk bk# ... b2# b1#, so (sigma_pi(d) + sigma_pi(d#))/2 recovers
+// the bucket position exactly (Equation 7).
+//
+// Lemma 21: K(sigma_pi, tau_pi) = 4 Kprof(sigma, tau) for EVERY pi.
+// Lemma 22: if no element is "nested" with respect to pi, then also
+// F(sigma_pi, tau_pi) = 4 Fprof(sigma, tau).
+// Lemma 23: a nest-free pi always exists; its proof is an algorithm
+// (repeatedly swap the first nested element with a same-bucket partner),
+// implemented here as NestFreeOrder.
+
+// ReflectEmbed returns sigma# over the doubled domain {0..2n-1}: element i
+// is mirrored by i+n, and each bucket B of sigma becomes the bucket
+// B ∪ {b+n : b in B}.
+func ReflectEmbed(sigma *ranking.PartialRanking) *ranking.PartialRanking {
+	n := sigma.N()
+	buckets := make([][]int, sigma.NumBuckets())
+	for bi := 0; bi < sigma.NumBuckets(); bi++ {
+		b := sigma.Bucket(bi)
+		dup := make([]int, 0, 2*len(b))
+		dup = append(dup, b...)
+		for _, e := range b {
+			dup = append(dup, e+n)
+		}
+		buckets[bi] = dup
+	}
+	return ranking.MustFromBuckets(2*n, buckets)
+}
+
+// reflectTieBreak returns pi\ over {0..2n-1}: the elements of D in pi's
+// order, then the mirrors in reverse pi order.
+func reflectTieBreak(pi *ranking.PartialRanking) *ranking.PartialRanking {
+	if !pi.IsFull() {
+		panic("metrics: reflection tie-break requires a full ranking")
+	}
+	n := pi.N()
+	order := make([]int, 0, 2*n)
+	po := pi.Order()
+	order = append(order, po...)
+	for i := n - 1; i >= 0; i-- {
+		order = append(order, po[i]+n)
+	}
+	return ranking.MustFromOrder(order)
+}
+
+// ReflectOrder returns sigma_pi = pi\ * sigma#, the full ranking over the
+// doubled domain induced by sigma and the tie-breaking order pi.
+func ReflectOrder(sigma, pi *ranking.PartialRanking) *ranking.PartialRanking {
+	if sigma.N() != pi.N() {
+		panic("metrics: ReflectOrder domain mismatch")
+	}
+	return ReflectEmbed(sigma).RefineBy(reflectTieBreak(pi))
+}
+
+// interval returns the (doubled) positions of d and its mirror in a
+// reflected order; the first is always the smaller.
+func interval(refl *ranking.PartialRanking, d, n int) (lo, hi int64) {
+	return refl.Pos2(d), refl.Pos2(d + n)
+}
+
+// strictlyInside reports [s,t] ⊏ [u,v]: containment with both endpoints
+// strict, the nesting relation of Appendix A.5.2.
+func strictlyInside(s, t, u, v int64) bool {
+	return u < s && t < v
+}
+
+// Nested reports whether element d (of the original domain, with mirrors at
+// +n) is nested with respect to the two reflected orders: one of its
+// intervals sits strictly inside the other.
+func Nested(sigmaPi, tauPi *ranking.PartialRanking, d, n int) bool {
+	s1, t1 := interval(sigmaPi, d, n)
+	s2, t2 := interval(tauPi, d, n)
+	return strictlyInside(s1, t1, s2, t2) || strictlyInside(s2, t2, s1, t1)
+}
+
+// NestFreeOrder returns a full ranking pi over sigma's domain such that no
+// element is nested with respect to pi — Lemma 23's constructive proof run
+// as an algorithm: starting from the identity, repeatedly take the nested
+// element a with minimal pi(a) ("the first nest") and swap it with a
+// same-bucket partner b chosen so that the first nest strictly increases.
+// The loop terminates after at most n swaps.
+func NestFreeOrder(sigma, tau *ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	if err := ranking.CheckSameDomain(sigma, tau); err != nil {
+		return nil, err
+	}
+	n := sigma.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for iter := 0; iter <= n+1; iter++ {
+		pi := ranking.MustFromOrder(order)
+		sigmaPi := ReflectOrder(sigma, pi)
+		tauPi := ReflectOrder(tau, pi)
+
+		// Find the first nest: the nested element with minimal pi(d).
+		a := -1
+		for _, d := range order {
+			if Nested(sigmaPi, tauPi, d, n) {
+				a = d
+				break
+			}
+		}
+		if a < 0 {
+			return pi, nil
+		}
+		// WLOG the sigma-interval of a strictly contains its tau-interval;
+		// otherwise swap the roles of sigma and tau (the construction is
+		// symmetric).
+		inner, outer := tauPi, sigmaPi
+		s1, t1 := interval(sigmaPi, a, n)
+		s2, t2 := interval(tauPi, a, n)
+		if !strictlyInside(s2, t2, s1, t1) {
+			inner, outer = sigmaPi, tauPi
+		}
+		oLo, oHi := interval(outer, a, n)
+		// b ranges over elements whose outer interval sits strictly inside
+		// a's (S1), excluding those whose *inner* interval also sits
+		// strictly inside a's outer interval (S2). A counting argument in
+		// the paper shows S1 \ S2 is non-empty.
+		b := -1
+		for d := 0; d < n; d++ {
+			if d == a {
+				continue
+			}
+			dLo, dHi := interval(outer, d, n)
+			if !strictlyInside(dLo, dHi, oLo, oHi) {
+				continue // not in S1
+			}
+			iLo, iHi := interval(inner, d, n)
+			if strictlyInside(iLo, iHi, oLo, oHi) {
+				continue // in S2
+			}
+			b = d
+			break
+		}
+		if b < 0 {
+			return nil, fmt.Errorf("metrics: NestFreeOrder found no swap partner (Lemma 23 violated?)")
+		}
+		// Swap a and b in pi.
+		var ia, ib int
+		for i, e := range order {
+			if e == a {
+				ia = i
+			}
+			if e == b {
+				ib = i
+			}
+		}
+		order[ia], order[ib] = order[ib], order[ia]
+	}
+	return nil, fmt.Errorf("metrics: NestFreeOrder did not converge in n+1 swaps")
+}
+
+// KProfViaReflection computes 4*Kprof(sigma, tau) as K(sigma_pi, tau_pi)
+// with pi the identity (Lemma 21 holds for every pi); exported for the tests
+// and experiment E11 that validate the reflection machinery.
+func KProfViaReflection(sigma, tau *ranking.PartialRanking) (float64, error) {
+	if err := ranking.CheckSameDomain(sigma, tau); err != nil {
+		return 0, err
+	}
+	pi := identityRanking(sigma.N())
+	k, err := Kendall(ReflectOrder(sigma, pi), ReflectOrder(tau, pi))
+	if err != nil {
+		return 0, err
+	}
+	return float64(k) / 4, nil
+}
+
+// FProfViaReflection computes Fprof(sigma, tau) as F(sigma_pi, tau_pi)/4
+// with pi the nest-free order of Lemma 23 (Lemma 22 requires nest-freeness).
+func FProfViaReflection(sigma, tau *ranking.PartialRanking) (float64, error) {
+	pi, err := NestFreeOrder(sigma, tau)
+	if err != nil {
+		return 0, err
+	}
+	f, err := Footrule(ReflectOrder(sigma, pi), ReflectOrder(tau, pi))
+	if err != nil {
+		return 0, err
+	}
+	return float64(f) / 4, nil
+}

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// The reflected embedding doubles every bucket and shifts positions to
+// 2*sigma(i) - 1/2 (Appendix A.5.2).
+func TestReflectEmbedPositions(t *testing.T) {
+	sigma := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	emb := ReflectEmbed(sigma)
+	if emb.N() != 6 || emb.NumBuckets() != 2 {
+		t.Fatalf("embed shape wrong: %v", emb)
+	}
+	for e := 0; e < 3; e++ {
+		want := 2*sigma.Pos(e) - 0.5
+		if emb.Pos(e) != want || emb.Pos(e+3) != want {
+			t.Errorf("embed pos(%d) = %v/%v, want %v", e, emb.Pos(e), emb.Pos(e+3), want)
+		}
+	}
+}
+
+// Equation 7: (sigma_pi(d) + sigma_pi(d#))/2 = 2*sigma(d) - 1/2 for every
+// tie-breaking order pi, because each bucket unfolds into the palindrome
+// b1 .. bk bk# .. b1#.
+func TestReflectOrderEquation7(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		sigma := randrank.Partial(rng, n, 4)
+		pi := randrank.Full(rng, n)
+		refl := ReflectOrder(sigma, pi)
+		if !refl.IsFull() {
+			t.Fatal("reflected order is not full")
+		}
+		for d := 0; d < n; d++ {
+			got := (refl.Pos(d) + refl.Pos(d+n)) / 2
+			want := 2*sigma.Pos(d) - 0.5
+			if got != want {
+				t.Fatalf("Eq. 7 violated at d=%d: %v != %v\nsigma=%v pi=%v refl=%v",
+					d, got, want, sigma, pi, refl)
+			}
+			if refl.Pos(d) >= refl.Pos(d+n) {
+				t.Fatalf("mirror of %d precedes it", d)
+			}
+		}
+	}
+}
+
+// Lemma 21: K(sigma_pi, tau_pi) = 4*Kprof(sigma, tau) for EVERY pi.
+func TestLemma21AnyPi(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(10)
+		sigma := randrank.Partial(rng, n, 4)
+		tau := randrank.Partial(rng, n, 4)
+		pi := randrank.Full(rng, n)
+		k, err := Kendall(ReflectOrder(sigma, pi), ReflectOrder(tau, pi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, _ := KProf(sigma, tau)
+		if float64(k) != 4*kp {
+			t.Fatalf("Lemma 21 violated: K=%d, 4*Kprof=%v\nsigma=%v\ntau=%v\npi=%v",
+				k, 4*kp, sigma, tau, pi)
+		}
+	}
+}
+
+// For every pi, F(sigma_pi, tau_pi) >= 4*Fprof; equality needs nest-freeness.
+func TestReflectionFootruleLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(10)
+		sigma := randrank.Partial(rng, n, 4)
+		tau := randrank.Partial(rng, n, 4)
+		pi := randrank.Full(rng, n)
+		f, err := Footrule(ReflectOrder(sigma, pi), ReflectOrder(tau, pi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := FProf(sigma, tau)
+		if float64(f) < 4*fp-1e-9 {
+			t.Fatalf("reflected footrule %d below 4*Fprof=%v", f, 4*fp)
+		}
+	}
+}
+
+// Lemma 23: NestFreeOrder terminates, yields no nested elements, and
+// achieves the Lemma 22 identity exactly.
+func TestNestFreeOrderAndLemma22(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(12)
+		sigma := randrank.Partial(rng, n, 5)
+		tau := randrank.Partial(rng, n, 5)
+		pi, err := NestFreeOrder(sigma, tau)
+		if err != nil {
+			t.Fatalf("NestFreeOrder failed: %v\nsigma=%v\ntau=%v", err, sigma, tau)
+		}
+		sigmaPi := ReflectOrder(sigma, pi)
+		tauPi := ReflectOrder(tau, pi)
+		for d := 0; d < n; d++ {
+			if Nested(sigmaPi, tauPi, d, n) {
+				t.Fatalf("element %d still nested under the nest-free order\nsigma=%v\ntau=%v\npi=%v",
+					d, sigma, tau, pi)
+			}
+		}
+		f, err := Footrule(sigmaPi, tauPi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := FProf(sigma, tau)
+		if float64(f) != 4*fp {
+			t.Fatalf("Lemma 22 violated: F=%d, 4*Fprof=%v", f, 4*fp)
+		}
+	}
+}
+
+// The exported helpers reproduce the profile metrics end to end.
+func TestProfViaReflection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(10)
+		sigma := randrank.Partial(rng, n, 4)
+		tau := randrank.Partial(rng, n, 4)
+		kvr, err := KProfViaReflection(sigma, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kp, _ := KProf(sigma, tau)
+		if kvr != kp {
+			t.Fatalf("KProfViaReflection %v != KProf %v", kvr, kp)
+		}
+		fvr, err := FProfViaReflection(sigma, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := FProf(sigma, tau)
+		if fvr != fp {
+			t.Fatalf("FProfViaReflection %v != FProf %v", fvr, fp)
+		}
+	}
+}
+
+// Via the reflection, the Diaconis-Graham inequality on the doubled full
+// rankings yields exactly Equation 5 — the paper's proof of Theorem 24,
+// replayed numerically.
+func TestEquation5ViaReflection(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(10)
+		sigma := randrank.Partial(rng, n, 4)
+		tau := randrank.Partial(rng, n, 4)
+		pi, err := NestFreeOrder(sigma, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, _ := Kendall(ReflectOrder(sigma, pi), ReflectOrder(tau, pi))
+		f, _ := Footrule(ReflectOrder(sigma, pi), ReflectOrder(tau, pi))
+		if !(k <= f && f <= 2*k) {
+			t.Fatalf("Diaconis-Graham fails on reflections: K=%d F=%d", k, f)
+		}
+		// K = 4 Kprof and F = 4 Fprof, so Eq. 5 follows.
+		kp, _ := KProf(sigma, tau)
+		fp, _ := FProf(sigma, tau)
+		if !(kp <= fp && fp <= 2*kp) {
+			t.Fatalf("Eq. 5 fails: Kprof=%v Fprof=%v", kp, fp)
+		}
+	}
+}
+
+func TestReflectionDomainChecks(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	b := ranking.MustFromOrder([]int{0, 1, 2})
+	if _, err := NestFreeOrder(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	if _, err := KProfViaReflection(a, b); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ReflectOrder domain mismatch did not panic")
+		}
+	}()
+	ReflectOrder(a, b)
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/ranking"
+)
+
+// KAvg returns Kavg(a, b): the average Kendall distance K(sigma, tau) over
+// all full refinements sigma of a and tau of b chosen independently and
+// uniformly (Appendix A.3, following Fagin-Kumar-Sivakumar 2003). For a pair
+// of elements the expected contribution is 1 if discordant, 1/2 if tied in
+// exactly one ranking (the uniform tie-break agrees half the time), and 1/2
+// if tied in both (two independent coin flips disagree half the time), so
+//
+//	Kavg = |U| + (|S| + |T|)/2 + |tiedInBoth|/2 = Kprof + |tiedInBoth|/2.
+//
+// Kavg equals Kprof exactly when no pair is tied in both rankings — in
+// particular for top-k lists over their active domain. Kavg is not a
+// distance measure on general partial rankings because Kavg(sigma, sigma)
+// can be positive; the library therefore exposes it for analysis only.
+func KAvg(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(pc.Discordant) +
+		float64(pc.TiedOnlyInA+pc.TiedOnlyInB)/2 +
+		float64(pc.TiedInBoth)/2, nil
+}
+
+// KAvgBrute computes Kavg by enumerating all pairs of full refinements. It
+// is exponential and exists to validate KAvg on small domains.
+func KAvgBrute(a, b *ranking.PartialRanking) (float64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	refA := fullRefinements(a)
+	refB := fullRefinements(b)
+	var sum int64
+	for _, ra := range refA {
+		for _, rb := range refB {
+			k, err := Kendall(ra, rb)
+			if err != nil {
+				return 0, err
+			}
+			sum += k
+		}
+	}
+	return float64(sum) / float64(int64(len(refA))*int64(len(refB))), nil
+}
+
+// FLocation returns the footrule distance with location parameter l,
+// F^(l)(a, b), defined in Appendix A.3 for top-k lists: every element below
+// the top k of a list is treated as if it sat at position l, and the L1
+// distance of the adjusted position vectors is taken. Both inputs must be
+// top-k lists (each may have its own k); l must be larger than both k's.
+//
+// For two top-k lists with the same k over a domain of size n,
+// F^(l) = Fprof exactly at l = (n + k + 1)/2, which is the position of the
+// bottom bucket; experiment E10 verifies this identity.
+func FLocation(a, b *ranking.PartialRanking, l float64) (float64, error) {
+	ka, okA := a.IsTopK()
+	kb, okB := b.IsTopK()
+	if !okA || !okB {
+		return 0, fmt.Errorf("metrics: FLocation requires top-k lists")
+	}
+	return FLocationK(a, b, ka, kb, l)
+}
+
+// FLocationK is FLocation with the two k values given explicitly. IsTopK
+// reports the largest consistent k, which overstates the intended one when
+// a list's bottom bucket is a singleton (a top-(n-1) list is structurally a
+// full ranking); callers that know the true k — e.g. the [10] scenario
+// embedding — should use this variant.
+func FLocationK(a, b *ranking.PartialRanking, ka, kb int, l float64) (float64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	if l < float64(ka) || l < float64(kb) {
+		return 0, fmt.Errorf("metrics: location parameter l=%v must be at least k (%d, %d)", l, ka, kb)
+	}
+	adjusted := func(pr *ranking.PartialRanking, k int, e int) float64 {
+		if pr.BucketSize(pr.BucketOf(e)) == 1 && pr.Pos(e) <= float64(k) {
+			return pr.Pos(e)
+		}
+		return l
+	}
+	var sum float64
+	for e := 0; e < a.N(); e++ {
+		d := adjusted(a, ka, e) - adjusted(b, kb, e)
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum, nil
+}

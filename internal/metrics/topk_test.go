@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// Kavg's closed form agrees with the brute-force average over all pairs of
+// full refinements.
+func TestKAvgAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(7)
+		a := randrank.Partial(rng, n, 3)
+		b := randrank.Partial(rng, n, 3)
+		got, err := KAvg(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := KAvgBrute(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("KAvg=%v brute=%v\na=%v\nb=%v", got, want, a, b)
+		}
+	}
+}
+
+// Appendix A.3: Kavg is not a distance measure on general partial rankings —
+// Kavg(sigma, sigma) > 0 when sigma has a bucket of size >= 2.
+func TestKAvgSelfDistancePositive(t *testing.T) {
+	sigma := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	got, err := KAvg(sigma, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("KAvg(sigma,sigma) = %v, want 0.5", got)
+	}
+	// But Kprof(sigma, sigma) = 0: regularity is why the paper prefers it.
+	kp, _ := KProf(sigma, sigma)
+	if kp != 0 {
+		t.Errorf("KProf(sigma,sigma) = %v, want 0", kp)
+	}
+}
+
+// Appendix A.3: on top-k lists over their active domain, no pair is tied in
+// both rankings, so Kavg = Kprof exactly. We generate top-k lists whose top
+// sets cover the domain (active-domain condition).
+func TestKAvgEqualsKProfOnActiveDomainTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(4)
+		n := k + 1 + rng.Intn(k) // n <= 2k so the two top sets can cover D
+		if n > 2*k {
+			n = 2 * k
+		}
+		perm := rng.Perm(n)
+		a, err := ranking.TopKList(n, k, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build b's top set to contain every element outside a's top k.
+		var rest, inA []int
+		topA := map[int]bool{}
+		for _, e := range perm[:k] {
+			topA[e] = true
+		}
+		for e := 0; e < n; e++ {
+			if !topA[e] {
+				rest = append(rest, e)
+			} else {
+				inA = append(inA, e)
+			}
+		}
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		rng.Shuffle(len(inA), func(i, j int) { inA[i], inA[j] = inA[j], inA[i] })
+		orderB := append(append([]int{}, rest...), inA...)
+		b, err := ranking.TopKList(n, k, orderB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, _ := CountPairs(a, b)
+		if pc.TiedInBoth != 0 {
+			t.Fatalf("active-domain construction failed: %+v\na=%v\nb=%v", pc, a, b)
+		}
+		kavg, _ := KAvg(a, b)
+		kprof, _ := KProf(a, b)
+		if kavg != kprof {
+			t.Fatalf("Kavg=%v != Kprof=%v on active-domain top-k lists", kavg, kprof)
+		}
+	}
+}
+
+// Appendix A.3: Fprof = F^(l) at l = (n + k + 1)/2 for same-k top-k lists.
+func TestFLocationIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(n-1)
+		a := randrank.TopK(rng, n, k)
+		b := randrank.TopK(rng, n, k)
+		l := float64(n+k+1) / 2
+		fl, err := FLocation(a, b, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := FProf(a, b)
+		if fl != fp {
+			t.Fatalf("F^(l)=%v != Fprof=%v at l=%v\na=%v\nb=%v", fl, fp, l, a, b)
+		}
+	}
+}
+
+func TestFLocationMonotoneInL(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randrank.TopK(rng, 10, 3)
+	b := randrank.TopK(rng, 10, 3)
+	prev := -1.0
+	for _, l := range []float64{4, 5, 6.5, 8, 10} {
+		fl, err := FLocation(a, b, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fl < prev {
+			t.Fatalf("F^(l) decreased from %v to %v at l=%v", prev, fl, l)
+		}
+		prev = fl
+	}
+}
+
+func TestFLocationErrors(t *testing.T) {
+	full := ranking.MustFromOrder([]int{0, 1, 2})
+	tied := ranking.MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	topk := ranking.MustFromBuckets(3, [][]int{{0}, {1, 2}})
+	if _, err := FLocation(tied, topk, 5); err == nil {
+		t.Error("non-top-k input accepted")
+	}
+	if _, err := FLocation(topk, topk, 0.5); err == nil {
+		t.Error("l < k accepted")
+	}
+	short := ranking.MustFromOrder([]int{0, 1})
+	if _, err := FLocation(short, full, 5); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	if _, err := KAvg(short, full); err == nil {
+		t.Error("KAvg domain mismatch accepted")
+	}
+	if _, err := KAvgBrute(short, full); err == nil {
+		t.Error("KAvgBrute domain mismatch accepted")
+	}
+}

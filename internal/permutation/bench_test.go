@@ -1,0 +1,45 @@
+package permutation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchSeq(n int) []int64 {
+	rng := rand.New(rand.NewSource(int64(n)))
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(n / 2)) // plenty of ties
+	}
+	return xs
+}
+
+func BenchmarkCountInversions(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		xs := benchSeq(n)
+		b.Run(fmt.Sprintf("fenwick/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountInversions(xs)
+			}
+		})
+		b.Run(fmt.Sprintf("merge/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CountInversionsMerge(xs)
+			}
+		})
+	}
+	xs := benchSeq(1000)
+	b.Run("naive/n=1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			CountInversionsNaive(xs)
+		}
+	})
+}
+
+func BenchmarkMallows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		Mallows(rng, 1000, 0.5)
+	}
+}

@@ -1,0 +1,340 @@
+// Package permutation provides the permutation substrate used throughout the
+// library: validation, inversion, composition, enumeration, O(n log n)
+// inversion counting (both Fenwick-tree and mergesort implementations), and
+// samplers (uniform Fisher-Yates and the Mallows repeated-insertion model)
+// for generating full-ranking workloads.
+package permutation
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// IsPermutation reports whether p is a permutation of {0, ..., len(p)-1}.
+func IsPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Validate returns a descriptive error if p is not a permutation of
+// {0, ..., len(p)-1}.
+func Validate(p []int) error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("permutation: entry %d=%d out of range [0,%d)", i, v, len(p))
+		}
+		if seen[v] {
+			return fmt.Errorf("permutation: value %d repeated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Identity returns the identity permutation of size n.
+func Identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Inverse returns q with q[p[i]] = i. It panics if p is not a permutation.
+func Inverse(p []int) []int {
+	q := make([]int, len(p))
+	for i := range q {
+		q[i] = -1
+	}
+	for i, v := range p {
+		if v < 0 || v >= len(p) || q[v] != -1 {
+			panic("permutation: Inverse of non-permutation")
+		}
+		q[v] = i
+	}
+	return q
+}
+
+// Compose returns the permutation r with r[i] = p[q[i]] ("apply q, then p").
+func Compose(p, q []int) []int {
+	if len(p) != len(q) {
+		panic("permutation: Compose length mismatch")
+	}
+	r := make([]int, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// ForEach enumerates all permutations of {0..n-1}, invoking fn for each. The
+// slice passed to fn is reused and must not be retained. If fn returns false,
+// enumeration stops early. ForEach visits n! arrangements, so it is only
+// feasible for small n; it is the brute-force reference for aggregation
+// optima.
+func ForEach(n int, fn func(p []int) bool) {
+	p := Identity(n)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k <= 1 {
+			return fn(p)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if i < k-1 {
+				if k%2 == 0 {
+					p[i], p[k-1] = p[k-1], p[i]
+				} else {
+					p[0], p[k-1] = p[k-1], p[0]
+				}
+			}
+		}
+		return true
+	}
+	if n == 0 {
+		fn(p)
+		return
+	}
+	rec(n)
+}
+
+// Factorial returns n! and whether it fits in an int64.
+func Factorial(n int) (int64, bool) {
+	f := int64(1)
+	for k := int64(2); k <= int64(n); k++ {
+		if f > (1<<62)/k {
+			return 0, false
+		}
+		f *= k
+	}
+	return f, true
+}
+
+// Mallows draws a permutation from the Mallows model with dispersion
+// parameter theta >= 0 around the identity, using the repeated-insertion
+// model: item i (0-based) is inserted at position j <= i with probability
+// proportional to q^(i-j), q = exp(-theta). theta = 0 yields the uniform
+// distribution; large theta concentrates near the identity. The expected
+// Kendall distance from the identity decreases in theta.
+func Mallows(rng *rand.Rand, n int, theta float64) []int {
+	if theta < 0 {
+		panic("permutation: Mallows requires theta >= 0")
+	}
+	q := math.Exp(-theta)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		// Choose insertion offset d = i - j in {0..i} with weight q^d.
+		var d int
+		if q == 1 {
+			d = rng.Intn(i + 1)
+		} else {
+			// Invert the truncated-geometric CDF
+			// P(d <= x) = (1-q^{x+1}) / (1-q^{i+1}).
+			u := rng.Float64() * (1 - math.Pow(q, float64(i+1)))
+			d = int(math.Ceil(math.Log1p(-u)/math.Log(q))) - 1
+			// Guard against floating-point edge cases.
+			if d < 0 {
+				d = 0
+			}
+			if d > i {
+				d = i
+			}
+		}
+		j := i - d
+		out = append(out, 0)
+		copy(out[j+1:], out[j:])
+		out[j] = i
+	}
+	return out
+}
+
+// CountInversions returns the number of pairs i < j with xs[i] > xs[j]
+// (strict), in O(n log n) time using a Fenwick tree over rank-compressed
+// values. Equal values never count as inversions, which is exactly the
+// semantics needed for tie-aware Kendall computations.
+func CountInversions[T cmp.Ordered](xs []T) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	ranks := compressRanks(xs)
+	ft := NewFenwick(n)
+	var inv int64
+	for i := n - 1; i >= 0; i-- {
+		// Count previously-seen (i.e. to the right) values strictly smaller.
+		if ranks[i] > 0 {
+			inv += ft.PrefixSum(ranks[i] - 1)
+		}
+		ft.Add(ranks[i], 1)
+	}
+	return inv
+}
+
+// CountInversionsMerge is the mergesort-based inversion counter with the
+// same semantics as CountInversions. Both are kept so each can validate the
+// other; benchmarks compare them.
+func CountInversionsMerge[T cmp.Ordered](xs []T) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	buf := make([]T, n)
+	work := append([]T(nil), xs...)
+	return mergeCount(work, buf)
+}
+
+func mergeCount[T cmp.Ordered](xs, buf []T) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(xs[:mid], buf[:mid]) + mergeCount(xs[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if xs[j] < xs[i] { // strict: equal values are not inverted
+			inv += int64(mid - i)
+			buf[k] = xs[j]
+			j++
+		} else {
+			buf[k] = xs[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], xs[i:mid])
+	copy(buf[k+mid-i:], xs[j:])
+	copy(xs, buf[:n])
+	return inv
+}
+
+// CountInversionsNaive is the O(n^2) reference counter.
+func CountInversionsNaive[T cmp.Ordered](xs []T) int64 {
+	var inv int64
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] > xs[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+// compressRanks maps xs onto dense ranks 0..k-1 preserving order, with equal
+// values sharing a rank.
+func compressRanks[T cmp.Ordered](xs []T) []int {
+	sorted := append([]T(nil), xs...)
+	sortOrdered(sorted)
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	ranks := make([]int, len(xs))
+	for i, v := range xs {
+		ranks[i] = lowerBound(uniq, v)
+	}
+	return ranks
+}
+
+func sortOrdered[T cmp.Ordered](xs []T) {
+	// Insertion sort below a threshold, quicksort above; avoids pulling in
+	// reflection-based sort for generic slices on older toolchains.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := xs[(lo+hi)/2]
+			i, j := lo, hi-1
+			for i <= j {
+				for xs[i] < p {
+					i++
+				}
+				for xs[j] > p {
+					j--
+				}
+				if i <= j {
+					xs[i], xs[j] = xs[j], xs[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j+1)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j + 1
+			}
+		}
+		for i := lo + 1; i < hi; i++ {
+			for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+	}
+	qs(0, len(xs))
+}
+
+func lowerBound[T cmp.Ordered](sorted []T, v T) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Fenwick is a binary indexed tree over int64 counts, indexed 0..n-1.
+type Fenwick struct {
+	tree []int64
+}
+
+// NewFenwick returns a Fenwick tree of size n with all counts zero.
+func NewFenwick(n int) *Fenwick {
+	return &Fenwick{tree: make([]int64, n+1)}
+}
+
+// Add adds delta at index i.
+func (f *Fenwick) Add(i int, delta int64) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// PrefixSum returns the sum of counts at indices 0..i inclusive.
+func (f *Fenwick) PrefixSum(i int) int64 {
+	var s int64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum of counts at indices lo..hi inclusive.
+func (f *Fenwick) RangeSum(lo, hi int) int64 {
+	if hi < lo {
+		return 0
+	}
+	s := f.PrefixSum(hi)
+	if lo > 0 {
+		s -= f.PrefixSum(lo - 1)
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+package permutation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPermutationAndValidate(t *testing.T) {
+	good := [][]int{{}, {0}, {1, 0}, {2, 0, 1}}
+	bad := [][]int{{1}, {0, 0}, {0, 2}, {-1, 0}}
+	for _, p := range good {
+		if !IsPermutation(p) {
+			t.Errorf("IsPermutation(%v) = false", p)
+		}
+		if err := Validate(p); err != nil {
+			t.Errorf("Validate(%v) = %v", p, err)
+		}
+	}
+	for _, p := range bad {
+		if IsPermutation(p) {
+			t.Errorf("IsPermutation(%v) = true", p)
+		}
+		if err := Validate(p); err == nil {
+			t.Errorf("Validate(%v) accepted", p)
+		}
+	}
+}
+
+func TestInverseCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(20)
+		p := rng.Perm(n)
+		inv := Inverse(p)
+		if got := Compose(p, inv); !equalInts(got, Identity(n)) {
+			t.Fatalf("p∘p⁻¹ = %v, want identity", got)
+		}
+		if got := Compose(inv, p); !equalInts(got, Identity(n)) {
+			t.Fatalf("p⁻¹∘p = %v, want identity", got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Inverse of non-permutation did not panic")
+		}
+	}()
+	Inverse([]int{0, 0})
+}
+
+func TestComposeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compose length mismatch did not panic")
+		}
+	}()
+	Compose([]int{0}, []int{0, 1})
+}
+
+func TestForEachCountsFactorial(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		want, _ := Factorial(n)
+		seen := map[string]bool{}
+		count := int64(0)
+		ForEach(n, func(p []int) bool {
+			count++
+			key := ""
+			for _, v := range p {
+				key += string(rune('a' + v))
+			}
+			seen[key] = true
+			if !IsPermutation(p) {
+				t.Fatalf("enumerated non-permutation %v", p)
+			}
+			return true
+		})
+		if count != want || int64(len(seen)) != want {
+			t.Errorf("n=%d: enumerated %d (%d distinct), want %d", n, count, len(seen), want)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	ForEach(5, func([]int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestFactorialOverflow(t *testing.T) {
+	if f, ok := Factorial(20); !ok || f != 2432902008176640000 {
+		t.Errorf("Factorial(20) = (%d,%v)", f, ok)
+	}
+	if _, ok := Factorial(21); ok {
+		t.Error("Factorial(21) should overflow int64")
+	}
+}
+
+func TestCountInversionsAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(10) // many ties
+		}
+		want := CountInversionsNaive(xs)
+		if got := CountInversions(xs); got != want {
+			t.Fatalf("Fenwick count = %d, want %d for %v", got, want, xs)
+		}
+		if got := CountInversionsMerge(xs); got != want {
+			t.Fatalf("merge count = %d, want %d for %v", got, want, xs)
+		}
+	}
+}
+
+func TestCountInversionsQuick(t *testing.T) {
+	f := func(xs []int16) bool {
+		ys := make([]int, len(xs))
+		for i, v := range xs {
+			ys[i] = int(v)
+		}
+		want := CountInversionsNaive(ys)
+		return CountInversions(ys) == want && CountInversionsMerge(ys) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountInversionsKnown(t *testing.T) {
+	cases := []struct {
+		xs   []int
+		want int64
+	}{
+		{nil, 0},
+		{[]int{1}, 0},
+		{[]int{1, 2, 3}, 0},
+		{[]int{3, 2, 1}, 3},
+		{[]int{2, 2, 2}, 0}, // ties are not inversions
+		{[]int{2, 1, 2, 1}, 3},
+	}
+	for _, tc := range cases {
+		if got := CountInversions(tc.xs); got != tc.want {
+			t.Errorf("CountInversions(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestCountInversionsMergeDoesNotMutate(t *testing.T) {
+	xs := []int{3, 1, 2}
+	CountInversionsMerge(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := NewFenwick(10)
+	f.Add(3, 5)
+	f.Add(7, 2)
+	f.Add(3, 1)
+	if got := f.PrefixSum(2); got != 0 {
+		t.Errorf("PrefixSum(2) = %d, want 0", got)
+	}
+	if got := f.PrefixSum(3); got != 6 {
+		t.Errorf("PrefixSum(3) = %d, want 6", got)
+	}
+	if got := f.PrefixSum(9); got != 8 {
+		t.Errorf("PrefixSum(9) = %d, want 8", got)
+	}
+	if got := f.RangeSum(4, 9); got != 2 {
+		t.Errorf("RangeSum(4,9) = %d, want 2", got)
+	}
+	if got := f.RangeSum(5, 4); got != 0 {
+		t.Errorf("RangeSum(5,4) = %d, want 0", got)
+	}
+}
+
+func TestFenwickAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50
+	naive := make([]int64, n)
+	f := NewFenwick(n)
+	for step := 0; step < 500; step++ {
+		i := rng.Intn(n)
+		d := int64(rng.Intn(11) - 5)
+		naive[i] += d
+		f.Add(i, d)
+		lo, hi := rng.Intn(n), rng.Intn(n)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want int64
+		for j := lo; j <= hi; j++ {
+			want += naive[j]
+		}
+		if got := f.RangeSum(lo, hi); got != want {
+			t.Fatalf("step %d: RangeSum(%d,%d) = %d, want %d", step, lo, hi, got, want)
+		}
+	}
+}
+
+func TestMallowsValidAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 30
+	avgInv := func(theta float64) float64 {
+		const trials = 200
+		var sum int64
+		for i := 0; i < trials; i++ {
+			p := Mallows(rng, n, theta)
+			if !IsPermutation(p) {
+				t.Fatalf("Mallows produced non-permutation %v", p)
+			}
+			// Inversions of the inverse ranks measure distance to identity.
+			sum += CountInversions(Inverse(p))
+		}
+		return float64(sum) / trials
+	}
+	loose := avgInv(0)
+	mid := avgInv(0.5)
+	tight := avgInv(3)
+	if !(loose > mid && mid > tight) {
+		t.Errorf("Mallows dispersion not monotone: theta 0 -> %.1f, 0.5 -> %.1f, 3 -> %.1f", loose, mid, tight)
+	}
+	// Uniform case should be near n(n-1)/4 = 217.5 expected inversions.
+	if loose < 170 || loose > 270 {
+		t.Errorf("Mallows(theta=0) mean inversions %.1f far from uniform expectation 217.5", loose)
+	}
+	// Strongly concentrated case should be near identity.
+	if tight > 40 {
+		t.Errorf("Mallows(theta=3) mean inversions %.1f too dispersed", tight)
+	}
+}
+
+func TestMallowsPanicsOnNegativeTheta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative theta did not panic")
+		}
+	}()
+	Mallows(rand.New(rand.NewSource(1)), 5, -1)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

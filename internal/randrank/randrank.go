@@ -1,0 +1,278 @@
+// Package randrank generates randomized ranking workloads for tests,
+// experiments, and benchmarks: uniform random bucket orders, bucket orders
+// of a prescribed type, Mallows-model judge ensembles, and the few-valued
+// (Zipf-distributed) categorical attributes that motivate the paper's
+// database scenario — sorting a catalog on a "type of cuisine" or "number of
+// connections" field yields a partial ranking with a handful of huge
+// buckets.
+//
+// Every generator takes an explicit *rand.Rand so workloads are reproducible
+// from a seed.
+package randrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/permutation"
+	"repro/internal/ranking"
+)
+
+// Full returns a uniformly random full ranking of n elements.
+func Full(rng *rand.Rand, n int) *ranking.PartialRanking {
+	return ranking.MustFromOrder(rng.Perm(n))
+}
+
+// Partial returns a random bucket order over n elements: a uniformly random
+// permutation carved into buckets whose sizes are uniform on
+// {1, ..., maxBucket}. maxBucket = 1 yields a full ranking.
+func Partial(rng *rand.Rand, n, maxBucket int) *ranking.PartialRanking {
+	if maxBucket < 1 {
+		panic("randrank: maxBucket must be >= 1")
+	}
+	perm := rng.Perm(n)
+	var buckets [][]int
+	for i := 0; i < n; {
+		size := 1 + rng.Intn(maxBucket)
+		if i+size > n {
+			size = n - i
+		}
+		buckets = append(buckets, perm[i:i+size])
+		i += size
+	}
+	return ranking.MustFromBuckets(n, buckets)
+}
+
+// OfType returns a random bucket order with exactly the given type: a
+// uniformly random permutation carved into buckets of sizes alpha[0],
+// alpha[1], ... The sizes must sum to the domain size, which is returned by
+// the ranking.
+func OfType(rng *rand.Rand, alpha []int) *ranking.PartialRanking {
+	n := 0
+	for _, a := range alpha {
+		n += a
+	}
+	perm := rng.Perm(n)
+	buckets := make([][]int, len(alpha))
+	off := 0
+	for i, a := range alpha {
+		buckets[i] = perm[off : off+a]
+		off += a
+	}
+	return ranking.MustFromBuckets(n, buckets)
+}
+
+// TopK returns a uniformly random top-k list over n elements.
+func TopK(rng *rand.Rand, n, k int) *ranking.PartialRanking {
+	pr, err := ranking.TopKList(n, k, rng.Perm(n))
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// MallowsFull draws a full ranking from the Mallows model with dispersion
+// theta centered at the given full ranking. theta = 0 is uniform; large
+// theta concentrates near the center.
+func MallowsFull(rng *rand.Rand, center *ranking.PartialRanking, theta float64) *ranking.PartialRanking {
+	if !center.IsFull() {
+		panic("randrank: MallowsFull center must be a full ranking")
+	}
+	n := center.N()
+	// Sample a displacement permutation around the identity and apply it to
+	// the center's order: noisy[i] = centerOrder[pi[i]].
+	pi := permutation.Mallows(rng, n, theta)
+	centerOrder := center.Order()
+	order := make([]int, n)
+	for i, p := range pi {
+		order[i] = centerOrder[p]
+	}
+	return ranking.MustFromOrder(order)
+}
+
+// MallowsEnsemble draws m full rankings independently from the Mallows model
+// around a common uniformly random center, the standard noisy-judges
+// workload for aggregation experiments. It returns the ensemble and the
+// center.
+func MallowsEnsemble(rng *rand.Rand, n, m int, theta float64) ([]*ranking.PartialRanking, *ranking.PartialRanking) {
+	center := Full(rng, n)
+	out := make([]*ranking.PartialRanking, m)
+	for i := range out {
+		out[i] = MallowsFull(rng, center, theta)
+	}
+	return out, center
+}
+
+// Coarsen collapses a full ranking into t contiguous buckets of near-equal
+// size, simulating a few-valued attribute derived from an underlying total
+// order (e.g. star ratings binned from a continuous quality score). t is
+// clamped to [1, n].
+func Coarsen(full *ranking.PartialRanking, t int) *ranking.PartialRanking {
+	if !full.IsFull() {
+		panic("randrank: Coarsen input must be a full ranking")
+	}
+	n := full.N()
+	if t < 1 {
+		t = 1
+	}
+	if t > n {
+		t = n
+	}
+	order := full.Order()
+	buckets := make([][]int, 0, t)
+	base := n / t
+	extra := n % t
+	off := 0
+	for i := 0; i < t; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		buckets = append(buckets, order[off:off+size])
+		off += size
+	}
+	return ranking.MustFromBuckets(n, buckets)
+}
+
+// MallowsPartialEnsemble draws m partial rankings: each is a Mallows sample
+// around a shared center, coarsened into t buckets. This is the paper's
+// database workload — m few-valued attribute sorts that mostly agree on an
+// underlying order.
+func MallowsPartialEnsemble(rng *rand.Rand, n, m int, theta float64, t int) ([]*ranking.PartialRanking, *ranking.PartialRanking) {
+	center := Full(rng, n)
+	out := make([]*ranking.PartialRanking, m)
+	for i := range out {
+		out[i] = Coarsen(MallowsFull(rng, center, theta), t)
+	}
+	return out, center
+}
+
+// ZipfValues assigns each of n elements one of numValues categorical values
+// with Zipf(s) frequencies (value v has probability proportional to
+// 1/(v+1)^s). s = 0 is uniform. This models database attributes like "type
+// of cuisine" where a few values dominate.
+func ZipfValues(rng *rand.Rand, n, numValues int, s float64) []int {
+	if numValues < 1 {
+		panic("randrank: numValues must be >= 1")
+	}
+	weights := make([]float64, numValues)
+	total := 0.0
+	for v := range weights {
+		weights[v] = 1 / math.Pow(float64(v+1), s)
+		total += weights[v]
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Float64() * total
+		for v, w := range weights {
+			u -= w
+			if u <= 0 || v == numValues-1 {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FromValues builds the partial ranking obtained by sorting elements on a
+// categorical attribute: ascending attribute value, equal values tied. This
+// is exactly how a database index scan on a few-valued column produces a
+// bucket order.
+func FromValues(values []int) *ranking.PartialRanking {
+	scores := make([]float64, len(values))
+	for i, v := range values {
+		scores[i] = float64(v)
+	}
+	return ranking.FromScores(scores)
+}
+
+// Ensemble bundles a set of partial rankings over one domain with the
+// ground-truth center they were derived from (nil when there is none).
+type Ensemble struct {
+	Rankings []*ranking.PartialRanking
+	Center   *ranking.PartialRanking
+}
+
+// CatalogEnsemble generates the database-catalog workload of experiment E9:
+// m attributes over n items, each attribute Zipf-categorical with the given
+// number of distinct values, where attribute values are correlated with a
+// hidden quality order (probability corr of ranking an item pair
+// consistently with the hidden order). It returns the attribute-sort
+// rankings and the hidden full ranking.
+func CatalogEnsemble(rng *rand.Rand, n, m, numValues int, zipfS, theta float64) Ensemble {
+	center := Full(rng, n)
+	rankings := make([]*ranking.PartialRanking, m)
+	for a := 0; a < m; a++ {
+		// Draw a noisy copy of the hidden order, then quantize it onto a
+		// Zipf-skewed value scale: the value of an item is determined by
+		// which quantile of the noisy order it falls in, with quantile
+		// widths proportional to Zipf weights.
+		noisy := MallowsFull(rng, center, theta)
+		weights := make([]float64, numValues)
+		total := 0.0
+		for v := range weights {
+			weights[v] = 1 / math.Pow(float64(v+1), zipfS)
+			total += weights[v]
+		}
+		values := make([]int, n)
+		order := noisy.Order()
+		idx := 0
+		acc := 0.0
+		for v := 0; v < numValues; v++ {
+			acc += weights[v] / total
+			hi := int(math.Round(acc * float64(n)))
+			if v == numValues-1 {
+				hi = n
+			}
+			for ; idx < hi && idx < n; idx++ {
+				values[order[idx]] = v
+			}
+		}
+		rankings[a] = FromValues(values)
+	}
+	return Ensemble{Rankings: rankings, Center: center}
+}
+
+// UniformPartial draws a bucket order uniformly at random among ALL
+// Fubini(n) ordered set partitions of {0..n-1}, by sampling the first
+// bucket's size k with probability proportional to C(n,k)*Fubini(n-k) and
+// recursing. Exact integer weights limit n to 18 (Fubini(19) overflows
+// int64); Partial remains the generator for larger domains, at the cost of
+// a non-uniform shape distribution.
+func UniformPartial(rng *rand.Rand, n int) (*ranking.PartialRanking, error) {
+	if n < 0 || n > 18 {
+		return nil, fmt.Errorf("randrank: UniformPartial supports 0 <= n <= 18, got %d", n)
+	}
+	// fub[i] = Fubini(i); binom via Pascal rows on demand.
+	fub := make([]int64, n+1)
+	for i := 0; i <= n; i++ {
+		f, ok := ranking.Fubini(i)
+		if !ok {
+			return nil, fmt.Errorf("randrank: Fubini(%d) overflows", i)
+		}
+		fub[i] = f
+	}
+	remaining := rng.Perm(n)
+	var buckets [][]int
+	for len(remaining) > 0 {
+		r := len(remaining)
+		// Sample first-bucket size k with weight C(r,k)*fub[r-k].
+		total := fub[r]
+		u := rng.Int63n(total)
+		k := 0
+		binom := int64(1) // C(r,k), starting at k=0 -> 1; advance to k=1 first.
+		for k = 1; k <= r; k++ {
+			binom = binom * int64(r-k+1) / int64(k)
+			w := binom * fub[r-k]
+			if u < w {
+				break
+			}
+			u -= w
+		}
+		buckets = append(buckets, remaining[:k])
+		remaining = remaining[k:]
+	}
+	return ranking.FromBuckets(n, buckets)
+}

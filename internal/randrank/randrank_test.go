@@ -1,0 +1,257 @@
+package randrank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+)
+
+func TestFullIsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		pr := Full(rng, 1+rng.Intn(30))
+		if !pr.IsFull() {
+			t.Fatalf("Full produced non-full ranking %v", pr)
+		}
+	}
+}
+
+func TestPartialRespectsMaxBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		maxB := 1 + rng.Intn(5)
+		pr := Partial(rng, 1+rng.Intn(40), maxB)
+		for bi := 0; bi < pr.NumBuckets(); bi++ {
+			if pr.BucketSize(bi) > maxB {
+				t.Fatalf("bucket size %d exceeds max %d", pr.BucketSize(bi), maxB)
+			}
+		}
+	}
+	if Partial(rng, 10, 1).NumBuckets() != 10 {
+		t.Error("maxBucket=1 should give a full ranking")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("maxBucket=0 did not panic")
+		}
+	}()
+	Partial(rng, 5, 0)
+}
+
+func TestOfType(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alpha := []int{3, 1, 4, 2}
+	pr := OfType(rng, alpha)
+	typ := pr.Type()
+	if len(typ) != len(alpha) {
+		t.Fatalf("type length %d, want %d", len(typ), len(alpha))
+	}
+	for i := range alpha {
+		if typ[i] != alpha[i] {
+			t.Fatalf("type %v, want %v", typ, alpha)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pr := TopK(rng, 20, 5)
+	if k, ok := pr.IsTopK(); !ok || k != 5 {
+		t.Fatalf("IsTopK = (%d,%v), want (5,true)", k, ok)
+	}
+}
+
+func TestMallowsFullConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	center := Full(rng, 40)
+	avgK := func(theta float64) float64 {
+		var sum int64
+		const trials = 100
+		for i := 0; i < trials; i++ {
+			s := MallowsFull(rng, center, theta)
+			if !s.IsFull() {
+				t.Fatal("MallowsFull produced ties")
+			}
+			k, err := metrics.Kendall(center, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += k
+		}
+		return float64(sum) / trials
+	}
+	if loose, tight := avgK(0.1), avgK(2); loose <= tight {
+		t.Errorf("Mallows not concentrating: theta=0.1 -> %.1f, theta=2 -> %.1f", loose, tight)
+	}
+}
+
+func TestCoarsen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	full := Full(rng, 17)
+	pr := Coarsen(full, 4)
+	if pr.NumBuckets() != 4 {
+		t.Fatalf("Coarsen gave %d buckets, want 4", pr.NumBuckets())
+	}
+	if !full.IsRefinementOf(pr) {
+		t.Error("full ranking should refine its coarsening")
+	}
+	// Clamping.
+	if Coarsen(full, 0).NumBuckets() != 1 {
+		t.Error("t=0 should clamp to one bucket")
+	}
+	if Coarsen(full, 99).NumBuckets() != 17 {
+		t.Error("t>n should clamp to n buckets")
+	}
+}
+
+func TestMallowsPartialEnsemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rs, center := MallowsPartialEnsemble(rng, 30, 5, 1.0, 4)
+	if len(rs) != 5 {
+		t.Fatalf("ensemble size %d, want 5", len(rs))
+	}
+	if err := ranking.CheckSameDomain(append(rs, center)...); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.NumBuckets() != 4 {
+			t.Errorf("member has %d buckets, want 4", r.NumBuckets())
+		}
+	}
+}
+
+func TestZipfValuesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := ZipfValues(rng, 10000, 5, 1.5)
+	counts := make([]int, 5)
+	for _, v := range vals {
+		if v < 0 || v >= 5 {
+			t.Fatalf("value %d out of range", v)
+		}
+		counts[v]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Errorf("Zipf counts not skewed: %v", counts)
+	}
+	// s = 0 should be roughly uniform.
+	uniform := ZipfValues(rng, 10000, 5, 0)
+	counts0 := make([]int, 5)
+	for _, v := range uniform {
+		counts0[v]++
+	}
+	for v, c := range counts0 {
+		if c < 1600 || c > 2400 {
+			t.Errorf("uniform Zipf count[%d] = %d, expected near 2000", v, c)
+		}
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	pr := FromValues([]int{2, 0, 2, 1, 0})
+	want := ranking.MustFromBuckets(5, [][]int{{1, 4}, {3}, {0, 2}})
+	if !pr.Equal(want) {
+		t.Errorf("FromValues = %v, want %v", pr, want)
+	}
+}
+
+func TestCatalogEnsemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ens := CatalogEnsemble(rng, 200, 4, 5, 1.0, 2.0)
+	if len(ens.Rankings) != 4 || ens.Center == nil {
+		t.Fatalf("bad ensemble shape")
+	}
+	if err := ranking.CheckSameDomain(append(ens.Rankings, ens.Center)...); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ens.Rankings {
+		if r.NumBuckets() > 5 {
+			t.Errorf("attribute %d has %d buckets, want <= 5", i, r.NumBuckets())
+		}
+		if r.NumBuckets() < 2 {
+			t.Errorf("attribute %d degenerate with %d buckets", i, r.NumBuckets())
+		}
+		// Attribute sorts should correlate with the hidden order: gamma > 0.
+		g, err := metrics.GoodmanKruskalGamma(ens.Center, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g <= 0 {
+			t.Errorf("attribute %d uncorrelated with hidden order (gamma=%.3f)", i, g)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Partial(rand.New(rand.NewSource(42)), 25, 4)
+	b := Partial(rand.New(rand.NewSource(42)), 25, 4)
+	if !a.Equal(b) {
+		t.Error("same seed produced different rankings")
+	}
+}
+
+// UniformPartial must be exactly uniform over the Fubini(n) bucket orders:
+// chi-squared-style tolerance over all 13 orders at n=3, plus shape checks
+// at larger n.
+func TestUniformPartialIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, trials = 3, 130000
+	counts := map[string]int{}
+	for i := 0; i < trials; i++ {
+		pr, err := UniformPartial(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[pr.String()]++
+	}
+	if len(counts) != 13 {
+		t.Fatalf("saw %d distinct bucket orders, want Fubini(3)=13", len(counts))
+	}
+	want := float64(trials) / 13
+	for key, c := range counts {
+		if dev := (float64(c) - want) / want; dev < -0.05 || dev > 0.05 {
+			t.Errorf("order %q frequency off by %.1f%% (count %d, want %.0f)", key, 100*dev, c, want)
+		}
+	}
+}
+
+func TestUniformPartialShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{0, 1, 7, 18} {
+		pr, err := UniformPartial(rng, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if pr.N() != n {
+			t.Fatalf("n=%d: got domain %d", n, pr.N())
+		}
+	}
+	if _, err := UniformPartial(rng, 19); err == nil {
+		t.Error("n=19 accepted (Fubini(19) overflows int64)")
+	}
+	if _, err := UniformPartial(rng, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+// The singleton-vs-tie balance of UniformPartial matches theory: at n=2 the
+// three orders are {01}, 0|1, 1|0, so ties appear with probability 1/3.
+func TestUniformPartialTieRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tied := 0
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		pr, err := UniformPartial(rng, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.NumBuckets() == 1 {
+			tied++
+		}
+	}
+	rate := float64(tied) / trials
+	if rate < 0.31 || rate > 0.36 {
+		t.Errorf("tie rate %.4f, want ~1/3", rate)
+	}
+}

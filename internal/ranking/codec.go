@@ -1,0 +1,113 @@
+package ranking
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The text codec represents one partial ranking per line. Buckets are
+// separated by "|" (best bucket first); elements within a bucket are
+// separated by whitespace. Blank lines and lines starting with '#' are
+// ignored. Element names are interned into a Domain, so several rankings
+// read through one Domain share IDs. Every ranking in a file must mention
+// exactly the same element set (partial rankings in the paper share a fixed
+// domain D).
+
+// ParseText parses a single ranking line ("a b | c | d e") against dom,
+// interning any new names. The ranking's domain size is dom.Size() after
+// interning, so callers parsing several rankings over one shared domain
+// should parse all lines with ParseLines instead, which validates that every
+// line covers the same element set.
+func ParseText(dom *Domain, line string) (*PartialRanking, error) {
+	parts := strings.Split(line, "|")
+	var buckets [][]int
+	for _, part := range parts {
+		fields := strings.Fields(part)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("ranking: empty bucket in %q", line)
+		}
+		b := make([]int, 0, len(fields))
+		for _, f := range fields {
+			b = append(b, dom.Intern(f))
+		}
+		buckets = append(buckets, b)
+	}
+	return FromBuckets(dom.Size(), buckets)
+}
+
+// ParseLines reads rankings from r, one per line in the text codec, all over
+// one shared domain. It returns the rankings and the interned domain. Every
+// line must cover exactly the same set of element names; the first line
+// fixes the domain.
+func ParseLines(r io.Reader) ([]*PartialRanking, *Domain, error) {
+	dom := NewDomain()
+	var lines []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	var out []*PartialRanking
+	for i, line := range lines {
+		before := dom.Size()
+		pr, err := ParseText(dom, line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		if i > 0 && dom.Size() != before {
+			return nil, nil, fmt.Errorf("line %d: introduces element names not in the first ranking's domain", i+1)
+		}
+		out = append(out, pr)
+	}
+	return out, dom, nil
+}
+
+// WriteLines writes rankings to w in the text codec using dom's names.
+func WriteLines(w io.Writer, dom *Domain, rankings []*PartialRanking) error {
+	bw := bufio.NewWriter(w)
+	for _, pr := range rankings {
+		if _, err := bw.WriteString(dom.Render(pr)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// rankingJSON is the wire form of a partial ranking: the domain size and the
+// bucket partition, best bucket first.
+type rankingJSON struct {
+	N       int     `json:"n"`
+	Buckets [][]int `json:"buckets"`
+}
+
+// MarshalJSON encodes the ranking as {"n": ..., "buckets": [[...], ...]}.
+func (pr *PartialRanking) MarshalJSON() ([]byte, error) {
+	return json.Marshal(rankingJSON{N: pr.n, Buckets: pr.buckets})
+}
+
+// UnmarshalJSON decodes and validates the wire form produced by MarshalJSON.
+func (pr *PartialRanking) UnmarshalJSON(data []byte) error {
+	var w rankingJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	built, err := FromBuckets(w.N, w.Buckets)
+	if err != nil {
+		return err
+	}
+	*pr = *built
+	return nil
+}

@@ -1,0 +1,149 @@
+package ranking
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseTextAndRender(t *testing.T) {
+	dom := NewDomain()
+	pr, err := ParseText(dom, "sushi thai | bbq | deli diner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.N() != 5 || pr.NumBuckets() != 3 {
+		t.Fatalf("parsed n=%d buckets=%d, want 5/3", pr.N(), pr.NumBuckets())
+	}
+	id, ok := dom.ID("bbq")
+	if !ok || pr.Pos(id) != 3 {
+		t.Errorf("bbq position = %v, want 3", pr.Pos(id))
+	}
+	if got, want := dom.Render(pr), "sushi thai | bbq | deli diner"; got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	dom := NewDomain()
+	if _, err := ParseText(dom, "a | | b"); err == nil {
+		t.Error("empty bucket accepted")
+	}
+	dom2 := NewDomain()
+	if _, err := ParseText(dom2, "a a | b"); err == nil {
+		t.Error("duplicate element accepted")
+	}
+}
+
+func TestParseLinesSharedDomain(t *testing.T) {
+	input := `# two rankings over one domain
+a b | c
+c | a | b
+`
+	rs, dom, err := ParseLines(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || dom.Size() != 3 {
+		t.Fatalf("got %d rankings over %d names", len(rs), dom.Size())
+	}
+	if err := CheckSameDomain(rs...); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := ParseLines(strings.NewReader("a | b\na | c\n")); err == nil {
+		t.Error("second line with new element accepted")
+	}
+}
+
+func TestWriteLinesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	names := []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6"}
+	dom := MustDomainOf(names...)
+	var rankings []*PartialRanking
+	for i := 0; i < 5; i++ {
+		rankings = append(rankings, randomPartial(rng, len(names)))
+	}
+	var buf bytes.Buffer
+	if err := WriteLines(&buf, dom, rankings); err != nil {
+		t.Fatal(err)
+	}
+	back, dom2, err := ParseLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rankings) {
+		t.Fatalf("round trip lost rankings: %d vs %d", len(back), len(rankings))
+	}
+	for i := range rankings {
+		// IDs may be permuted by interning order; compare via names.
+		for e := 0; e < len(names); e++ {
+			name := dom.Name(e)
+			id2, ok := dom2.ID(name)
+			if !ok {
+				t.Fatalf("name %q lost in round trip", name)
+			}
+			if rankings[i].Pos(e) != back[i].Pos(id2) {
+				t.Fatalf("ranking %d: %q moved from %v to %v", i, name, rankings[i].Pos(e), back[i].Pos(id2))
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		pr := randomPartial(rng, 1+rng.Intn(15))
+		data, err := json.Marshal(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back PartialRanking
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Equal(&back) {
+			t.Fatalf("JSON round trip changed ranking: %v -> %v", pr, &back)
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	var pr PartialRanking
+	if err := json.Unmarshal([]byte(`{"n":2,"buckets":[[0],[0]]}`), &pr); err == nil {
+		t.Error("invalid partition accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad json`), &pr); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestDomain(t *testing.T) {
+	d := NewDomain()
+	a := d.Intern("a")
+	if again := d.Intern("a"); again != a {
+		t.Error("Intern not idempotent")
+	}
+	b := d.Intern("b")
+	if a == b {
+		t.Error("distinct names share an ID")
+	}
+	if d.Size() != 2 {
+		t.Errorf("Size = %d, want 2", d.Size())
+	}
+	if d.Name(a) != "a" || d.Name(b) != "b" {
+		t.Error("Name mapping wrong")
+	}
+	if _, ok := d.ID("zzz"); ok {
+		t.Error("unknown name resolved")
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, err := DomainOf("x", "x"); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package ranking
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAccessors(t *testing.T) {
+	pr := MustFromBuckets(5, [][]int{{0, 1}, {2}, {3, 4}})
+	if pr.BucketOf(2) != 1 || pr.BucketOf(4) != 2 {
+		t.Error("BucketOf wrong")
+	}
+	if pr.BucketSize(0) != 2 || pr.BucketSize(1) != 1 {
+		t.Error("BucketSize wrong")
+	}
+	if pr.BucketPos2(0) != 3 || pr.BucketPos2(1) != 6 {
+		t.Errorf("BucketPos2 = %d %d, want 3 6", pr.BucketPos2(0), pr.BucketPos2(1))
+	}
+	b := pr.Bucket(2)
+	if len(b) != 2 || b[0] != 3 {
+		t.Errorf("Bucket(2) = %v", b)
+	}
+}
+
+func TestMustConstructorsPanic(t *testing.T) {
+	cases := []func(){
+		func() { MustFromBuckets(1, nil) },
+		func() { MustFromOrder([]int{0, 0}) },
+		func() { MustDomainOf("x", "x") },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// failingWriter errors after a byte budget, exercising WriteLines' error
+// propagation.
+type failingWriter struct{ budget int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errors.New("disk full")
+	}
+	n := len(p)
+	if n > w.budget {
+		n = w.budget
+	}
+	w.budget -= n
+	if n < len(p) {
+		return n, errors.New("disk full")
+	}
+	return n, nil
+}
+
+func TestWriteLinesPropagatesErrors(t *testing.T) {
+	dom := MustDomainOf("aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb")
+	rs := []*PartialRanking{MustFromOrder([]int{0, 1}), MustFromOrder([]int{1, 0})}
+	for _, budget := range []int{0, 1, 10} {
+		if err := WriteLines(&failingWriter{budget: budget}, dom, rs); err == nil {
+			t.Errorf("budget %d: error not propagated", budget)
+		}
+	}
+}
+
+func TestRefineByDomainMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RefineBy domain mismatch did not panic")
+		}
+	}()
+	MustFromOrder([]int{0, 1}).RefineBy(MustFromOrder([]int{0, 1, 2}))
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	pr := MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	cp := pr.Clone()
+	// Mutating the clone's internals must not affect the original; since
+	// the type is immutable this is observational: equality both ways.
+	if !cp.Equal(pr) || !pr.Equal(cp) {
+		t.Error("clone not equal")
+	}
+	if &cp.buckets[0][0] == &pr.buckets[0][0] {
+		t.Error("clone shares bucket storage")
+	}
+}
+
+func TestEmptyDomainEdge(t *testing.T) {
+	empty := MustFromBuckets(0, nil)
+	if empty.N() != 0 || empty.NumBuckets() != 0 || !empty.IsFull() {
+		t.Errorf("empty ranking: n=%d buckets=%d", empty.N(), empty.NumBuckets())
+	}
+	if k, ok := empty.IsTopK(); !ok || k != 0 {
+		t.Errorf("empty IsTopK = %d,%v", k, ok)
+	}
+	if empty.String() != "" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+	if !empty.Reverse().Equal(empty) {
+		t.Error("empty reverse")
+	}
+	count := 0
+	empty.ForEachFullRefinement(func([]int) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("empty has %d refinements, want 1", count)
+	}
+}

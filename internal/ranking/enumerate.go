@@ -1,0 +1,76 @@
+package ranking
+
+// ForEachPartialRanking enumerates every bucket order over {0..n-1}, i.e.
+// every ordered set partition of the domain. There are Fubini(n) of them
+// (1, 1, 3, 13, 75, 541, 4683, 47293, ... for n = 0, 1, 2, ...), so this is
+// only feasible for small n; it is the brute-force search space for
+// aggregation optima over all partial rankings (Theorem 10) and for
+// exhaustive metric validation. If fn returns false, enumeration stops.
+//
+// Each ordered partition is generated exactly once: element e is inserted
+// either into one of the existing buckets or as a new singleton bucket into
+// any of the gaps.
+func ForEachPartialRanking(n int, fn func(pr *PartialRanking) bool) {
+	var buckets [][]int
+	stopped := false
+	var rec func(e int)
+	rec = func(e int) {
+		if stopped {
+			return
+		}
+		if e == n {
+			cp := make([][]int, len(buckets))
+			for i, b := range buckets {
+				cp[i] = append([]int(nil), b...)
+			}
+			if !fn(MustFromBuckets(n, cp)) {
+				stopped = true
+			}
+			return
+		}
+		for i := range buckets {
+			buckets[i] = append(buckets[i], e)
+			rec(e + 1)
+			buckets[i] = buckets[i][:len(buckets[i])-1]
+			if stopped {
+				return
+			}
+		}
+		for gap := 0; gap <= len(buckets); gap++ {
+			buckets = append(buckets, nil)
+			copy(buckets[gap+1:], buckets[gap:])
+			buckets[gap] = []int{e}
+			rec(e + 1)
+			copy(buckets[gap:], buckets[gap+1:])
+			buckets = buckets[:len(buckets)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(0)
+}
+
+// Fubini returns the number of ordered set partitions of an n-element set
+// (the ordered Bell number), and whether it fits in an int64.
+func Fubini(n int) (int64, bool) {
+	// a(n) = sum_{k=1..n} C(n,k) a(n-k), a(0) = 1.
+	a := make([]int64, n+1)
+	a[0] = 1
+	for m := 1; m <= n; m++ {
+		// Binomials row for m.
+		c := int64(1)
+		for k := 1; k <= m; k++ {
+			c = c * int64(m-k+1) / int64(k)
+			term := c * a[m-k]
+			if a[m-k] != 0 && term/a[m-k] != c {
+				return 0, false
+			}
+			a[m] += term
+			if a[m] < 0 {
+				return 0, false
+			}
+		}
+	}
+	return a[n], true
+}

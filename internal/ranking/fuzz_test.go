@@ -1,0 +1,90 @@
+package ranking
+
+import (
+	"testing"
+)
+
+// FuzzParseText checks that arbitrary input never panics the parser and
+// that everything it accepts round-trips through the renderer.
+func FuzzParseText(f *testing.F) {
+	f.Add("a b | c")
+	f.Add("x")
+	f.Add("| |")
+	f.Add("a a")
+	f.Add("  spaced   out  |  bucket ")
+	f.Add("üñïçødé | ✓")
+	f.Fuzz(func(t *testing.T, line string) {
+		dom := NewDomain()
+		pr, err := ParseText(dom, line)
+		if err != nil {
+			return
+		}
+		rendered := dom.Render(pr)
+		dom2 := NewDomain()
+		back, err := ParseText(dom2, rendered)
+		if err != nil {
+			t.Fatalf("render %q of accepted input failed to parse: %v", rendered, err)
+		}
+		if back.N() != pr.N() || back.NumBuckets() != pr.NumBuckets() {
+			t.Fatalf("round trip changed shape: %v -> %v", pr, back)
+		}
+	})
+}
+
+// FuzzBucketsFromBytes decodes an arbitrary byte string into a bucket
+// assignment and checks that every constructed ranking satisfies the core
+// position invariants.
+func FuzzBucketsFromBytes(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2})
+	f.Add([]byte{5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr := FromBytes(data)
+		n := pr.N()
+		if n != len(data) {
+			t.Fatalf("domain size %d != input length %d", n, len(data))
+		}
+		var sum2 int64
+		for e := 0; e < n; e++ {
+			sum2 += pr.Pos2(e)
+		}
+		if want := int64(n) * int64(n+1); sum2 != want {
+			t.Fatalf("position-sum invariant violated: %d != %d", sum2, want)
+		}
+		if !pr.Reverse().Reverse().Equal(pr) {
+			t.Fatal("reverse involution violated")
+		}
+		if !pr.RefineBy(pr).Equal(pr) {
+			t.Fatal("self-refinement changed the ranking")
+		}
+	})
+}
+
+// FromBytes deterministically maps a byte string onto a bucket order over
+// {0..len(data)-1}: byte values choose bucket labels, labels order buckets.
+func FromBytes(data []byte) *PartialRanking {
+	n := len(data)
+	groups := map[byte][]int{}
+	var labels []byte
+	for i, b := range data {
+		lbl := b % 7 // keep bucket count small so ties are common
+		if _, ok := groups[lbl]; !ok {
+			labels = append(labels, lbl)
+		}
+		groups[lbl] = append(groups[lbl], i)
+	}
+	sortBytes(labels)
+	buckets := make([][]int, 0, len(labels))
+	for _, l := range labels {
+		buckets = append(buckets, groups[l])
+	}
+	return MustFromBuckets(n, buckets)
+}
+
+func sortBytes(b []byte) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j] < b[j-1]; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}

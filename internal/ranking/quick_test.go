@@ -1,0 +1,161 @@
+package ranking
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genRanking draws a random bucket order over 1..maxN elements; it is the
+// quick.Generator shared by the property-based tests in this package.
+type genRanking struct {
+	PR *PartialRanking
+}
+
+func (genRanking) Generate(r *rand.Rand, size int) reflect.Value {
+	maxN := size
+	if maxN < 1 {
+		maxN = 1
+	}
+	if maxN > 12 {
+		maxN = 12
+	}
+	n := 1 + r.Intn(maxN)
+	perm := r.Perm(n)
+	var buckets [][]int
+	for i := 0; i < n; {
+		s := 1 + r.Intn(3)
+		if i+s > n {
+			s = n - i
+		}
+		buckets = append(buckets, perm[i:i+s])
+		i += s
+	}
+	return reflect.ValueOf(genRanking{MustFromBuckets(n, buckets)})
+}
+
+// genPair draws two bucket orders over one shared domain.
+type genPair struct {
+	A, B *PartialRanking
+}
+
+func (genPair) Generate(r *rand.Rand, size int) reflect.Value {
+	a := genRanking{}.Generate(r, size).Interface().(genRanking).PR
+	b := genRanking{}.Generate(r, size).Interface().(genRanking).PR
+	for b.N() != a.N() {
+		b = genRanking{}.Generate(r, size).Interface().(genRanking).PR
+	}
+	return reflect.ValueOf(genPair{a, b})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(g genRanking) bool {
+		return g.PR.Reverse().Reverse().Equal(g.PR)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelfRefinementIsIdentity(t *testing.T) {
+	f := func(g genRanking) bool {
+		return g.PR.RefineBy(g.PR).Equal(g.PR)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRefineByProducesRefinement(t *testing.T) {
+	f := func(p genPair) bool {
+		ref := p.A.RefineBy(p.B)
+		return ref.IsRefinementOf(p.A)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRefinementTransitive(t *testing.T) {
+	f := func(p genPair, g genRanking) bool {
+		// Build a chain c refines b refines a and check transitivity.
+		a := p.A
+		b := a.RefineBy(p.B)
+		tie := g.PR
+		if tie.N() != a.N() {
+			return true // domain mismatch in generation; skip
+		}
+		c := b.RefineBy(tie)
+		return c.IsRefinementOf(b) && b.IsRefinementOf(a) && c.IsRefinementOf(a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseDistributesOverBuckets(t *testing.T) {
+	f := func(g genRanking) bool {
+		rev := g.PR.Reverse()
+		n := g.PR.N()
+		for e := 0; e < n; e++ {
+			if rev.Pos2(e) != int64(2*(n+1))-g.PR.Pos2(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(g genRanking) bool {
+		data, err := json.Marshal(g.PR)
+		if err != nil {
+			return false
+		}
+		var back PartialRanking
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Equal(g.PR)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderCoversDomain(t *testing.T) {
+	f := func(g genRanking) bool {
+		seen := make([]bool, g.PR.N())
+		for _, e := range g.PR.Order() {
+			if e < 0 || e >= len(seen) || seen[e] {
+				return false
+			}
+			seen[e] = true
+		}
+		return len(g.PR.Order()) == g.PR.N()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFromScoresConsistent(t *testing.T) {
+	f := func(raw []int8) bool {
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v % 5) // force ties
+		}
+		pr := FromScores(scores)
+		return pr.ConsistentWith(scores) && pr.N() == len(scores)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package ranking
+
+import "fmt"
+
+// RefineBy returns the tau-refinement of sigma, written tau*sigma in the
+// paper (Section 2): the refinement of sigma in which ties are broken
+// according to tau. Within each bucket of sigma, elements are split into
+// sub-buckets by their bucket in tau, ordered as in tau; elements tied in
+// both sigma and tau remain tied.
+//
+// The * operation is associative, so rho*tau*sigma is
+// sigma.RefineBy(tau).RefineBy(rho). When tau is a full ranking, the result
+// is a full ranking.
+func (pr *PartialRanking) RefineBy(tau *PartialRanking) *PartialRanking {
+	if pr.n != tau.n {
+		panic("ranking: RefineBy on rankings with different domains")
+	}
+	buckets := make([][]int, 0, len(pr.buckets))
+	// Reused scratch map from tau-bucket index to sub-bucket.
+	for _, b := range pr.buckets {
+		if len(b) == 1 {
+			buckets = append(buckets, b)
+			continue
+		}
+		sub := make(map[int][]int, len(b))
+		keys := make([]int, 0, len(b))
+		for _, e := range b {
+			tb := tau.bucketOf[e]
+			if _, ok := sub[tb]; !ok {
+				keys = append(keys, tb)
+			}
+			sub[tb] = append(sub[tb], e)
+		}
+		sortInts(keys)
+		for _, tb := range keys {
+			buckets = append(buckets, sub[tb])
+		}
+	}
+	out, err := FromBuckets(pr.n, buckets)
+	if err != nil {
+		// Unreachable: refining a valid partition yields a valid partition.
+		panic(err)
+	}
+	return out
+}
+
+// Reverse returns sigma^R defined by sigma^R(d) = |D| + 1 - sigma(d)
+// (Section 2): the bucket order with the same buckets in reverse order.
+func (pr *PartialRanking) Reverse() *PartialRanking {
+	t := len(pr.buckets)
+	buckets := make([][]int, t)
+	for i := range pr.buckets {
+		buckets[i] = pr.buckets[t-1-i]
+	}
+	out, err := FromBuckets(pr.n, buckets)
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return out
+}
+
+// IsRefinementOf reports whether sigma is a refinement of tau
+// (sigma <= tau in the paper's notation): for all i, j, whenever
+// tau(i) < tau(j) we have sigma(i) < sigma(j).
+func (pr *PartialRanking) IsRefinementOf(tau *PartialRanking) bool {
+	if pr.n != tau.n {
+		return false
+	}
+	// Each sigma-bucket must lie inside a single tau-bucket, and the
+	// tau-bucket indices must be non-decreasing along sigma's bucket order.
+	prev := -1
+	for _, b := range pr.buckets {
+		tb := tau.bucketOf[b[0]]
+		for _, e := range b[1:] {
+			if tau.bucketOf[e] != tb {
+				return false
+			}
+		}
+		if tb < prev {
+			return false
+		}
+		prev = tb
+	}
+	// Every tau-separated pair must stay separated: with buckets nested and
+	// non-decreasing, tau(i) < tau(j) implies sigma's buckets differ, except
+	// that two sigma-buckets could map to tau-buckets out of order; the
+	// non-decreasing check above already rules that out. It remains to rule
+	// out two elements of one sigma-bucket straddling distinct tau-buckets,
+	// which the nesting check rules out. Hence sigma refines tau.
+	return true
+}
+
+// ForEachFullRefinement invokes fn once for every full refinement of the
+// ranking, passing the refinement's best-first element order. The slice
+// passed to fn is reused across calls and must not be retained. If fn
+// returns false, enumeration stops early. The number of refinements is the
+// product of the factorials of the bucket sizes, so this is only feasible
+// for small buckets; it exists as the brute-force reference for the
+// Hausdorff metrics (Section 3.2).
+func (pr *PartialRanking) ForEachFullRefinement(fn func(order []int) bool) {
+	order := make([]int, 0, pr.n)
+	for _, b := range pr.buckets {
+		order = append(order, b...)
+	}
+	// Permute each bucket's segment of order independently, in mixed-radix
+	// fashion, using recursive Heap-like enumeration per segment.
+	var rec func(bi, off int) bool
+	rec = func(bi, off int) bool {
+		if bi == len(pr.buckets) {
+			return fn(order)
+		}
+		seg := order[off : off+len(pr.buckets[bi])]
+		return forEachPermutation(seg, func() bool {
+			return rec(bi+1, off+len(seg))
+		})
+	}
+	rec(0, 0)
+}
+
+// NumFullRefinements returns the number of full refinements, i.e. the
+// product of the factorials of the bucket sizes, and whether the value fits
+// in an int64 without overflow.
+func (pr *PartialRanking) NumFullRefinements() (count int64, ok bool) {
+	count = 1
+	for _, b := range pr.buckets {
+		for k := int64(2); k <= int64(len(b)); k++ {
+			if count > (1<<62)/k {
+				return 0, false
+			}
+			count *= k
+		}
+	}
+	return count, true
+}
+
+// forEachPermutation enumerates all permutations of seg in place, invoking
+// fn after each arrangement (including the initial one). It restores seg to
+// its initial arrangement before returning. If fn returns false, enumeration
+// stops and forEachPermutation returns false.
+func forEachPermutation(seg []int, fn func() bool) bool {
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k <= 1 {
+			return fn()
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if i < k-1 {
+				if k%2 == 0 {
+					seg[i], seg[k-1] = seg[k-1], seg[i]
+				} else {
+					seg[0], seg[k-1] = seg[k-1], seg[0]
+				}
+			}
+		}
+		return true
+	}
+	if len(seg) == 0 {
+		return fn()
+	}
+	initial := append([]int(nil), seg...)
+	ok := rec(len(seg))
+	copy(seg, initial)
+	return ok
+}
+
+// ConsistentWith reports whether the ranking is consistent with the score
+// function f in the sense of Appendix A.6.1: there is no pair i, j with
+// f(i) < f(j) and sigma(i) > sigma(j).
+func (pr *PartialRanking) ConsistentWith(f []float64) bool {
+	if len(f) != pr.n {
+		return false
+	}
+	// Sort elements by position; f must be non-decreasing across strictly
+	// increasing positions. Within a bucket any f values are allowed only if
+	// they do not invert against other buckets, which reduces to: the max f
+	// in each bucket must be <= the min f in every later bucket... but that
+	// is exactly "no pair with f(i) < f(j) and sigma(i) > sigma(j)", i.e.
+	// min f over earlier buckets can exceed values later. Check directly:
+	// running max of per-bucket minimum must not exceed later values.
+	// Simpler O(n log n): the minimum f over buckets j > i must be >= ...
+	// We check: for consecutive prefix, maxSoFar of earlier buckets' f may
+	// not strictly exceed any later bucket's f.
+	maxSoFar := negInf()
+	for _, b := range pr.buckets {
+		lo, hi := posInf(), negInf()
+		for _, e := range b {
+			if f[e] < lo {
+				lo = f[e]
+			}
+			if f[e] > hi {
+				hi = f[e]
+			}
+		}
+		if maxSoFar > lo {
+			return false
+		}
+		if hi > maxSoFar {
+			maxSoFar = hi
+		}
+	}
+	return true
+}
+
+// ConsistentOfType returns a partial ranking of type alpha consistent with
+// the score function f: elements sorted by ascending f (ties broken by
+// ascending element ID) carved into buckets of sizes alpha[0], alpha[1], ...
+// This realizes a member of the set <f>_alpha of Appendix A.6.1. The sizes
+// must sum to len(f).
+func ConsistentOfType(f []float64, alpha []int) (*PartialRanking, error) {
+	n := len(f)
+	sum := 0
+	for _, a := range alpha {
+		if a <= 0 {
+			return nil, fmt.Errorf("ranking: type has non-positive bucket size %d", a)
+		}
+		sum += a
+	}
+	if sum != n {
+		return nil, fmt.Errorf("ranking: type sums to %d, domain has %d elements", sum, n)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sortByScore(idx, f)
+	buckets := make([][]int, len(alpha))
+	off := 0
+	for i, a := range alpha {
+		buckets[i] = append([]int(nil), idx[off:off+a]...)
+		off += a
+	}
+	return FromBuckets(n, buckets)
+}
+
+func sortByScore(idx []int, f []float64) {
+	// Stable by element ID because idx starts sorted ascending.
+	sortSliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+}
+
+// Relabel returns the ranking over the same domain with every element e
+// renamed to perm[e] (perm must be a permutation of {0..n-1}). Structure is
+// preserved: pos_relabeled(perm[e]) = pos(e). Metric and aggregation
+// computations are equivariant under consistent relabeling, a property the
+// test suites verify.
+func (pr *PartialRanking) Relabel(perm []int) (*PartialRanking, error) {
+	if len(perm) != pr.n {
+		return nil, fmt.Errorf("ranking: Relabel permutation has length %d, domain %d", len(perm), pr.n)
+	}
+	seen := make([]bool, pr.n)
+	for _, v := range perm {
+		if v < 0 || v >= pr.n || seen[v] {
+			return nil, fmt.Errorf("ranking: Relabel argument is not a permutation")
+		}
+		seen[v] = true
+	}
+	buckets := make([][]int, len(pr.buckets))
+	for bi, b := range pr.buckets {
+		nb := make([]int, len(b))
+		for i, e := range b {
+			nb[i] = perm[e]
+		}
+		buckets[bi] = nb
+	}
+	return FromBuckets(pr.n, buckets)
+}

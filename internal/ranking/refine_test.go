@@ -1,0 +1,283 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRefineBySemantics(t *testing.T) {
+	// sigma: {a,b,c} | {d}; tau: c | {a,b} | d
+	sigma := MustFromBuckets(4, [][]int{{0, 1, 2}, {3}})
+	tau := MustFromBuckets(4, [][]int{{2}, {0, 1}, {3}})
+	got := sigma.RefineBy(tau) // tau * sigma
+	// Within sigma's first bucket, c precedes {a,b} per tau; a,b stay tied.
+	want := MustFromBuckets(4, [][]int{{2}, {0, 1}, {3}})
+	if !got.Equal(want) {
+		t.Errorf("tau*sigma = %v, want %v", got, want)
+	}
+}
+
+func TestRefineByWithFullTauIsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(15)
+		sigma := randomPartial(rng, n)
+		tau := MustFromOrder(rng.Perm(n))
+		ref := sigma.RefineBy(tau)
+		if !ref.IsFull() {
+			t.Fatalf("tau*sigma not full for full tau: %v", ref)
+		}
+		if !ref.IsRefinementOf(sigma) {
+			t.Fatalf("tau*sigma=%v is not a refinement of sigma=%v", ref, sigma)
+		}
+	}
+}
+
+func TestRefineByPreservesSigmaOrderAndAppliesTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(12)
+		sigma := randomPartial(rng, n)
+		tau := randomPartial(rng, n)
+		ref := sigma.RefineBy(tau)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				switch {
+				case sigma.Ahead(i, j) && !ref.Ahead(i, j):
+					t.Fatalf("sigma order violated: i=%d j=%d sigma=%v ref=%v", i, j, sigma, ref)
+				case sigma.Tied(i, j) && tau.Ahead(i, j) && !ref.Ahead(i, j):
+					t.Fatalf("tau tie-break violated: i=%d j=%d sigma=%v tau=%v ref=%v", i, j, sigma, tau, ref)
+				case sigma.Tied(i, j) && tau.Tied(i, j) && !ref.Tied(i, j):
+					t.Fatalf("doubly tied pair split: i=%d j=%d sigma=%v tau=%v ref=%v", i, j, sigma, tau, ref)
+				}
+			}
+		}
+	}
+}
+
+// The * operation is associative (Section 2): rho*(tau*sigma) equals
+// (rho*tau)*sigma.
+func TestRefineByAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		sigma := randomPartial(rng, n)
+		tau := randomPartial(rng, n)
+		rho := randomPartial(rng, n)
+		left := sigma.RefineBy(tau).RefineBy(rho)  // rho*(tau*sigma)
+		right := sigma.RefineBy(tau.RefineBy(rho)) // (rho*tau)*sigma
+		if !left.Equal(right) {
+			t.Fatalf("associativity fails:\nsigma=%v\ntau=%v\nrho=%v\nleft=%v\nright=%v",
+				sigma, tau, rho, left, right)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	pr := MustFromBuckets(5, [][]int{{0, 1}, {2}, {3, 4}})
+	rev := pr.Reverse()
+	want := MustFromBuckets(5, [][]int{{3, 4}, {2}, {0, 1}})
+	if !rev.Equal(want) {
+		t.Errorf("Reverse = %v, want %v", rev, want)
+	}
+	// sigma^R(d) = n + 1 - sigma(d)
+	for e := 0; e < 5; e++ {
+		if got, want := rev.Pos(e), 6-pr.Pos(e); got != want {
+			t.Errorf("Reverse Pos(%d) = %v, want %v", e, got, want)
+		}
+	}
+	// Involution.
+	if !rev.Reverse().Equal(pr) {
+		t.Error("Reverse is not an involution")
+	}
+}
+
+func TestIsRefinementOf(t *testing.T) {
+	tau := MustFromBuckets(5, [][]int{{0, 1, 2}, {3, 4}})
+	yes := []*PartialRanking{
+		MustFromBuckets(5, [][]int{{0}, {1, 2}, {3, 4}}),
+		MustFromBuckets(5, [][]int{{2}, {1}, {0}, {4}, {3}}),
+		tau,
+	}
+	no := []*PartialRanking{
+		MustFromBuckets(5, [][]int{{0, 1, 2, 3, 4}}),     // coarser
+		MustFromBuckets(5, [][]int{{3}, {0, 1, 2}, {4}}), // order violated
+		MustFromBuckets(5, [][]int{{0, 1}, {2, 3}, {4}}), // straddles tau buckets
+	}
+	for _, s := range yes {
+		if !s.IsRefinementOf(tau) {
+			t.Errorf("%v should refine %v", s, tau)
+		}
+	}
+	for _, s := range no {
+		if s.IsRefinementOf(tau) {
+			t.Errorf("%v should not refine %v", s, tau)
+		}
+	}
+	// Different domains never refine each other.
+	if MustFromOrder([]int{0, 1}).IsRefinementOf(MustFromOrder([]int{0, 1, 2})) {
+		t.Error("cross-domain refinement accepted")
+	}
+}
+
+func TestRefinementPartialOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomPartial(rng, n)
+		b := randomPartial(rng, n)
+		if !a.IsRefinementOf(a) {
+			t.Fatalf("refinement not reflexive: %v", a)
+		}
+		if a.IsRefinementOf(b) && b.IsRefinementOf(a) && !a.Equal(b) {
+			t.Fatalf("refinement not antisymmetric: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestForEachFullRefinementCount(t *testing.T) {
+	pr := MustFromBuckets(5, [][]int{{0, 1, 2}, {3, 4}})
+	wantCount, ok := pr.NumFullRefinements()
+	if !ok || wantCount != 12 { // 3! * 2!
+		t.Fatalf("NumFullRefinements = (%d,%v), want (12,true)", wantCount, ok)
+	}
+	seen := map[string]bool{}
+	count := 0
+	pr.ForEachFullRefinement(func(order []int) bool {
+		count++
+		full := MustFromOrder(order)
+		if !full.IsRefinementOf(pr) {
+			t.Fatalf("enumerated order %v is not a refinement of %v", order, pr)
+		}
+		seen[full.String()] = true
+		return true
+	})
+	if count != 12 || len(seen) != 12 {
+		t.Errorf("enumerated %d refinements (%d distinct), want 12", count, len(seen))
+	}
+}
+
+func TestForEachFullRefinementEarlyStop(t *testing.T) {
+	pr := MustFromBuckets(4, [][]int{{0, 1, 2, 3}})
+	count := 0
+	pr.ForEachFullRefinement(func([]int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestNumFullRefinementsOverflow(t *testing.T) {
+	big := make([]int, 30)
+	for i := range big {
+		big[i] = i
+	}
+	pr := MustFromBuckets(30, [][]int{big})
+	if _, ok := pr.NumFullRefinements(); ok {
+		t.Error("30! reported as fitting in int64")
+	}
+}
+
+func TestConsistentWith(t *testing.T) {
+	f := []float64{1, 2, 2, 3}
+	good := []*PartialRanking{
+		MustFromBuckets(4, [][]int{{0}, {1, 2}, {3}}),
+		MustFromBuckets(4, [][]int{{0}, {1}, {2}, {3}}),
+		MustFromBuckets(4, [][]int{{0, 1, 2, 3}}), // constant ranking is consistent with anything
+		MustFromBuckets(4, [][]int{{0, 1}, {2, 3}}),
+	}
+	bad := []*PartialRanking{
+		MustFromBuckets(4, [][]int{{3}, {0, 1, 2}}),
+		MustFromBuckets(4, [][]int{{1}, {0}, {2}, {3}}),
+	}
+	for _, pr := range good {
+		if !pr.ConsistentWith(f) {
+			t.Errorf("%v should be consistent with %v", pr, f)
+		}
+	}
+	for _, pr := range bad {
+		if pr.ConsistentWith(f) {
+			t.Errorf("%v should not be consistent with %v", pr, f)
+		}
+	}
+	if good[0].ConsistentWith([]float64{1}) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConsistentOfType(t *testing.T) {
+	f := []float64{5, 1, 3, 3, 2}
+	pr, err := ConsistentOfType(f, []int{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.ConsistentWith(f) {
+		t.Errorf("ConsistentOfType result %v not consistent with %v", pr, f)
+	}
+	typ := pr.Type()
+	if len(typ) != 3 || typ[0] != 2 || typ[1] != 2 || typ[2] != 1 {
+		t.Errorf("Type = %v, want [2 2 1]", typ)
+	}
+	// ascending f: 1(1), 4(2), 2(3), 3(3), 0(5); buckets {1,4},{2,3},{0}
+	want := MustFromBuckets(5, [][]int{{1, 4}, {2, 3}, {0}})
+	if !pr.Equal(want) {
+		t.Errorf("ConsistentOfType = %v, want %v", pr, want)
+	}
+
+	if _, err := ConsistentOfType(f, []int{2, 2}); err == nil {
+		t.Error("type not summing to n accepted")
+	}
+	if _, err := ConsistentOfType(f, []int{5, 0}); err == nil {
+		t.Error("zero bucket size accepted")
+	}
+}
+
+func TestForEachPartialRankingEarlyStopAndFubini(t *testing.T) {
+	count := 0
+	ForEachPartialRanking(4, func(pr *PartialRanking) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d, want 10", count)
+	}
+	// Fubini numbers including larger known values.
+	known := map[int]int64{0: 1, 1: 1, 5: 541, 6: 4683, 7: 47293, 10: 102247563}
+	for n, want := range known {
+		if got, ok := Fubini(n); !ok || got != want {
+			t.Errorf("Fubini(%d) = (%d,%v), want %d", n, got, ok, want)
+		}
+	}
+	if _, ok := Fubini(30); ok {
+		t.Error("Fubini(30) should overflow int64")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	pr := MustFromBuckets(4, [][]int{{0, 1}, {2}, {3}})
+	perm := []int{3, 2, 1, 0}
+	got, err := pr.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromBuckets(4, [][]int{{2, 3}, {1}, {0}})
+	if !got.Equal(want) {
+		t.Errorf("Relabel = %v, want %v", got, want)
+	}
+	for e := 0; e < 4; e++ {
+		if got.Pos(perm[e]) != pr.Pos(e) {
+			t.Errorf("position of %d moved: %v vs %v", e, got.Pos(perm[e]), pr.Pos(e))
+		}
+	}
+	if _, err := pr.Relabel([]int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := pr.Relabel([]int{0, 0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+}

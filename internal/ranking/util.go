@@ -1,0 +1,15 @@
+package ranking
+
+import (
+	"math"
+	"sort"
+)
+
+func sortInts(s []int) { sort.Ints(s) }
+
+func sortSliceStable(idx []int, less func(a, b int) bool) {
+	sort.SliceStable(idx, less)
+}
+
+func negInf() float64 { return math.Inf(-1) }
+func posInf() float64 { return math.Inf(1) }

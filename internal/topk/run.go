@@ -1,0 +1,239 @@
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// This file holds the certification engine shared by both probe policies.
+//
+// An element's lower median is the needed-th smallest of its m positions.
+// Once an element has been probed `needed` times and its needed-th smallest
+// seen position is at most the frontier of every list where it is still
+// unseen, that value is its exact median — unseen positions are at least
+// their frontiers, so they cannot enter the needed smallest — and it never
+// changes afterwards.
+//
+// Certification of the top k requires: at least k exact elements, and every
+// other element's median lower bound strictly exceeding the k-th smallest
+// exact median. Two monotonicity facts make this cheap to maintain:
+//
+//   - an element's median lower bound only grows (frontiers advance, and a
+//     probed position is at least the frontier it replaces);
+//   - the k-th smallest exact median only shrinks as elements become exact.
+//
+// Hence once an element's bound clears the bar it is out of the race for
+// good ("cleared"), and each element is charged O(m log m) work a constant
+// number of times plus one examination per failed certification.
+
+// promote records e's exact median.
+func (r *medrankRun) promote(e int, med int64) {
+	r.exactMed[e] = med
+	r.exactCount++
+	if r.k > 0 {
+		heap.Push(r.kSmall, med)
+		if r.kSmall.Len() > r.k {
+			heap.Pop(r.kSmall)
+		}
+	}
+}
+
+// onProbed is called after element e gained a new seen position.
+func (r *medrankRun) onProbed(e int) {
+	if r.exactMed[e] != math.MaxInt64 || r.cleared[e] {
+		return
+	}
+	if med, ok := r.tryExact(e); ok {
+		r.promote(e, med)
+		return
+	}
+	if !r.inPend[e] {
+		r.pending = append(r.pending, e)
+		r.inPend[e] = true
+	}
+}
+
+func (r *medrankRun) certified() bool {
+	if r.k == 0 {
+		return true
+	}
+	if r.exactCount < r.k {
+		return false
+	}
+	kth := r.kSmall.Peek()
+	if r.probedDistinct < r.n && r.unseenLB() <= kth {
+		return false
+	}
+	// Examine pending elements; compact out the ones that are promoted,
+	// already exact, or cleared. Bail out at the first genuine blocker.
+	keep := r.pending[:0]
+	blocked := false
+	for idx, e := range r.pending {
+		if blocked {
+			keep = append(keep, r.pending[idx:]...)
+			break
+		}
+		if r.exactMed[e] != math.MaxInt64 || r.cleared[e] {
+			r.inPend[e] = false
+			continue
+		}
+		if r.medianLB(e) > kth {
+			r.cleared[e] = true
+			r.inPend[e] = false
+			continue
+		}
+		if med, ok := r.tryExact(e); ok {
+			r.promote(e, med)
+			r.inPend[e] = false
+			// Promotion can only shrink kth, so prior clearances stand.
+			kth = r.kSmall.Peek()
+			continue
+		}
+		// e genuinely blocks certification; keep it and everything after.
+		keep = append(keep, e)
+		blocked = true
+	}
+	r.pending = keep
+	return !blocked
+}
+
+// finalizeExhausted promotes every remaining element after all lists have
+// been fully read (every element then has all m positions seen).
+func (r *medrankRun) finalizeExhausted() {
+	for e := 0; e < r.n; e++ {
+		if r.exactMed[e] != math.MaxInt64 {
+			continue
+		}
+		if len(r.seen[e]) != r.m {
+			// Unreachable when every cursor is exhausted.
+			panic("topk: finalize with unseen positions")
+		}
+		r.promote(e, kthSmallest(r.seen[e], r.needed))
+	}
+	r.pending = r.pending[:0]
+}
+
+// drive repeatedly asks pick for a list to probe (-1 when none remains) and
+// stops as soon as the top k is certified.
+func (r *medrankRun) drive(pick func() int) {
+	for !r.certified() {
+		i := pick()
+		if i < 0 {
+			r.finalizeExhausted()
+			return
+		}
+		r.probe(i)
+	}
+}
+
+func (r *medrankRun) probe(i int) {
+	e, ok := r.cursors[i].Next()
+	if !ok {
+		r.frontier[i] = math.MaxInt64
+		return
+	}
+	r.bucketIO[i]++
+	r.consume(i, e)
+	if !r.bucketGranular {
+		return
+	}
+	// Bucket granularity: the probe returned the whole run of entries tied
+	// at this position (one index-scan I/O).
+	for r.cursors[i].Peek2() == e.Pos2 {
+		next, ok := r.cursors[i].Next()
+		if !ok {
+			break
+		}
+		r.consume(i, next)
+	}
+}
+
+// consume registers one revealed entry from list i.
+func (r *medrankRun) consume(i int, e Entry) {
+	r.frontier[i] = r.cursors[i].Peek2()
+	if len(r.seen[e.Elem]) == 0 {
+		r.probedDistinct++
+	}
+	r.seen[e.Elem] = append(r.seen[e.Elem], e.Pos2)
+	r.onProbed(e.Elem)
+}
+
+// tryExact reports the exact median of e if certifiable now.
+func (r *medrankRun) tryExact(e int) (int64, bool) {
+	s := r.seen[e]
+	if len(s) < r.needed {
+		return 0, false
+	}
+	med := kthSmallest(s, r.needed)
+	if len(s) == r.m {
+		return med, true
+	}
+	for i, c := range r.cursors {
+		if r.frontier[i] < med && !c.seenIn(e) {
+			return 0, false
+		}
+	}
+	return med, true
+}
+
+// medianLB returns a lower bound on e's median: the needed-th smallest of
+// its seen positions merged with the frontiers of its unseen lists.
+func (r *medrankRun) medianLB(e int) int64 {
+	s := r.seen[e]
+	all := make([]int64, 0, r.m)
+	all = append(all, s...)
+	if len(s) < r.m {
+		for i, c := range r.cursors {
+			if !c.seenIn(e) {
+				all = append(all, r.frontier[i])
+			}
+		}
+	}
+	return kthSmallest(all, r.needed)
+}
+
+// unseenLB returns the median lower bound shared by all never-probed
+// elements: the needed-th smallest frontier.
+func (r *medrankRun) unseenLB() int64 {
+	return kthSmallest(r.frontier, r.needed)
+}
+
+// finalTopK ranks the exact elements by (median, element ID) and returns the
+// first k. By construction of certified(), every element that could precede
+// the k-th winner is exact.
+func (r *medrankRun) finalTopK() (winners []int, medians2 []int64) {
+	type cand struct {
+		e    int
+		med2 int64
+	}
+	cands := make([]cand, 0, r.exactCount)
+	for e := 0; e < r.n; e++ {
+		if r.exactMed[e] < math.MaxInt64 {
+			cands = append(cands, cand{e, r.exactMed[e]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].med2 != cands[b].med2 {
+			return cands[a].med2 < cands[b].med2
+		}
+		return cands[a].e < cands[b].e
+	})
+	if len(cands) > r.k {
+		cands = cands[:r.k]
+	}
+	winners = make([]int, 0, len(cands))
+	for _, c := range cands {
+		winners = append(winners, c.e)
+		medians2 = append(medians2, c.med2)
+	}
+	return winners, medians2
+}
+
+// kthSmallest returns the k-th smallest (1-based) of xs without modifying
+// it. k must be in [1, len(xs)].
+func kthSmallest(xs []int64, k int) int64 {
+	cp := append([]int64(nil), xs...)
+	sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+	return cp[k-1]
+}

@@ -1,0 +1,331 @@
+// Package topk implements the database-friendly top-k aggregation engine of
+// Section 6 of the paper: the MEDRANK algorithm of Fagin, Kumar, and
+// Sivakumar (SIGMOD 2003) generalized to partial rankings, under the
+// sequential-access model in which it is instance-optimal in the sense of
+// Fagin, Lotem, and Naor.
+//
+// Each input partial ranking is exposed as a cursor that yields elements in
+// non-decreasing position order (a database index scan: one probe reveals
+// the next element and its bucket position). The engine reads as few entries
+// as it can while still certifying the exact median top-k — "as few elements
+// of each partial ranking as are necessary to determine the winner(s)".
+// Every probe is counted, so experiments can compare the access cost against
+// a full scan and against a per-instance certificate lower bound.
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ranking"
+)
+
+// Entry is one probed item of a list: an element and its (doubled) bucket
+// position in that list.
+type Entry struct {
+	Elem int
+	Pos2 int64
+}
+
+// Cursor provides sequential access to one partial ranking: entries arrive
+// in non-decreasing position order, ties within a bucket by ascending
+// element ID. Next returns false when the list is exhausted.
+type Cursor struct {
+	pr     *ranking.PartialRanking
+	bucket int
+	offset int
+	probes int
+}
+
+// NewCursor opens a sequential cursor over a partial ranking.
+func NewCursor(pr *ranking.PartialRanking) *Cursor {
+	return &Cursor{pr: pr}
+}
+
+// Next probes the next entry. Every successful probe is counted.
+func (c *Cursor) Next() (Entry, bool) {
+	for c.bucket < c.pr.NumBuckets() {
+		b := c.pr.Bucket(c.bucket)
+		if c.offset < len(b) {
+			e := Entry{Elem: b[c.offset], Pos2: c.pr.BucketPos2(c.bucket)}
+			c.offset++
+			c.probes++
+			return e, true
+		}
+		c.bucket++
+		c.offset = 0
+	}
+	return Entry{}, false
+}
+
+// Peek2 returns the doubled position of the next unprobed entry (the
+// frontier), or math.MaxInt64 when exhausted. Peeking is free: a sequential
+// scan knows it has not yet passed a given position.
+func (c *Cursor) Peek2() int64 {
+	b, off := c.bucket, c.offset
+	for b < c.pr.NumBuckets() {
+		if off < c.pr.BucketSize(b) {
+			return c.pr.BucketPos2(b)
+		}
+		b++
+		off = 0
+	}
+	return math.MaxInt64
+}
+
+// Probes returns how many entries this cursor has yielded.
+func (c *Cursor) Probes() int { return c.probes }
+
+// seenIn reports whether element e has already been probed by this cursor.
+// Entries arrive in bucket order, within a bucket by ascending element ID.
+func (c *Cursor) seenIn(e int) bool {
+	b := c.pr.BucketOf(e)
+	if b != c.bucket {
+		return b < c.bucket
+	}
+	bucket := c.pr.Bucket(b)
+	return sort.SearchInts(bucket, e) < c.offset
+}
+
+// AccessStats records the sequential-access cost of a run.
+type AccessStats struct {
+	// PerList is the number of entries probed from each input list.
+	PerList []int
+	// Total is the sum of PerList.
+	Total int
+	// MaxDepth is the deepest probe into any single list.
+	MaxDepth int
+	// BucketProbes counts bucket-granular I/Os per list; it equals PerList
+	// under element-granular policies (each element costs one probe) and is
+	// smaller under the *Buckets policies, where one probe returns a whole
+	// run of tied entries.
+	BucketProbes []int
+	// TotalBucketProbes is the sum of BucketProbes.
+	TotalBucketProbes int
+}
+
+func statsFromCursors(cursors []*Cursor, bucketProbes []int) AccessStats {
+	st := AccessStats{
+		PerList:      make([]int, len(cursors)),
+		BucketProbes: append([]int(nil), bucketProbes...),
+	}
+	for i, c := range cursors {
+		st.PerList[i] = c.Probes()
+		st.Total += c.Probes()
+		if c.Probes() > st.MaxDepth {
+			st.MaxDepth = c.Probes()
+		}
+		st.TotalBucketProbes += bucketProbes[i]
+	}
+	return st
+}
+
+// Policy selects the probe-scheduling strategy.
+type Policy int
+
+const (
+	// GlobalMerge always probes the list with the smallest frontier
+	// position, consuming entries in globally non-decreasing position
+	// order. It certifies medians with the fewest probes.
+	GlobalMerge Policy = iota
+	// RoundRobin probes every list once per round, the schedule described
+	// in Section 6 of the paper ("access each of the partial rankings, one
+	// element at a time"). It reads at most one round more than necessary
+	// per list and matches the database setting of one cheap cursor per
+	// index.
+	RoundRobin
+	// GlobalMergeBuckets is GlobalMerge at bucket granularity: one probe
+	// consumes an entire bucket (an index scan over a few-valued attribute
+	// returns the whole run of tied rows in one I/O). Element counts still
+	// accumulate in AccessStats.PerList; AccessStats.BucketProbes counts
+	// the I/Os.
+	GlobalMergeBuckets
+	// RoundRobinBuckets is RoundRobin at bucket granularity.
+	RoundRobinBuckets
+)
+
+// Result is the outcome of a MEDRANK run.
+type Result struct {
+	// TopK is the aggregated top-k list over the full domain, identical to
+	// aggregate.MedianTopK's offline answer (lower medians, ties broken by
+	// element ID).
+	TopK *ranking.PartialRanking
+	// Winners lists the k winning elements best-first.
+	Winners []int
+	// Medians2 holds the doubled lower-median position of each winner.
+	Medians2 []int64
+	// Stats is the access accounting.
+	Stats AccessStats
+}
+
+// medrankRun carries the certification state of one MEDRANK run; the engine
+// lives in run.go.
+type medrankRun struct {
+	n, m, k, needed int
+	cursors         []*Cursor
+	frontier        []int64   // per list: doubled position of next unprobed entry
+	seen            [][]int64 // per element: probed doubled positions
+	exactMed        []int64   // per element: exact doubled median, MaxInt64 if unknown
+	exactCount      int
+	probedDistinct  int
+	pending         []int         // probed, not yet exact or cleared
+	inPend          []bool        // membership in pending
+	cleared         []bool        // provably outside the top k
+	kSmall          *int64MaxHeap // k smallest exact medians (max-heap)
+	bucketGranular  bool          // *Buckets policies: one probe = one bucket
+	bucketIO        []int         // bucket-granular I/Os per list
+}
+
+// MedRank runs the streaming median-rank top-k aggregation over the inputs
+// with the given probe policy. It returns the exact lower-median top-k list
+// while probing only a prefix of each list — enough to certify the answer.
+func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result, error) {
+	if len(rankings) == 0 {
+		return nil, fmt.Errorf("topk: no input rankings")
+	}
+	if err := ranking.CheckSameDomain(rankings...); err != nil {
+		return nil, err
+	}
+	n := rankings[0].N()
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
+	}
+	m := len(rankings)
+
+	run := &medrankRun{
+		n: n, m: m, k: k,
+		needed:   (m + 1) / 2, // index of the lower median
+		cursors:  make([]*Cursor, m),
+		frontier: make([]int64, m),
+		seen:     make([][]int64, n),
+		exactMed: make([]int64, n),
+		inPend:   make([]bool, n),
+		cleared:  make([]bool, n),
+		kSmall:   &int64MaxHeap{},
+		bucketIO: make([]int, m),
+	}
+	for e := 0; e < n; e++ {
+		run.exactMed[e] = math.MaxInt64
+	}
+	for i, r := range rankings {
+		run.cursors[i] = NewCursor(r)
+		run.frontier[i] = run.cursors[i].Peek2()
+	}
+
+	pickMerge := func() int {
+		best, bestPos := -1, int64(math.MaxInt64)
+		for i, f := range run.frontier {
+			if f < bestPos {
+				best, bestPos = i, f
+			}
+		}
+		return best
+	}
+	next := 0
+	pickRR := func() int {
+		for tries := 0; tries < m; tries++ {
+			i := next
+			next = (next + 1) % m
+			if run.frontier[i] < math.MaxInt64 {
+				return i
+			}
+		}
+		return -1
+	}
+	switch policy {
+	case GlobalMerge:
+		run.drive(pickMerge)
+	case RoundRobin:
+		run.drive(pickRR)
+	case GlobalMergeBuckets:
+		run.bucketGranular = true
+		run.drive(pickMerge)
+	case RoundRobinBuckets:
+		run.bucketGranular = true
+		run.drive(pickRR)
+	default:
+		return nil, fmt.Errorf("topk: unknown policy %d", policy)
+	}
+
+	winners, medians2 := run.finalTopK()
+	top, err := ranking.TopKList(n, k, winners)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		TopK:     top,
+		Winners:  winners,
+		Medians2: medians2,
+		Stats:    statsFromCursors(run.cursors, run.bucketIO),
+	}, nil
+}
+
+// int64MaxHeap is a max-heap of int64 used to track the k smallest exact
+// medians (the root is the current k-th smallest).
+type int64MaxHeap []int64
+
+func (h int64MaxHeap) Len() int            { return len(h) }
+func (h int64MaxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h int64MaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *int64MaxHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *int64MaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Peek returns the root (the largest tracked value).
+func (h *int64MaxHeap) Peek() int64 { return (*h)[0] }
+
+// FullScanCost returns the access cost of the naive approach that reads
+// every list completely: n entries per list.
+func FullScanCost(rankings []*ranking.PartialRanking) AccessStats {
+	st := AccessStats{PerList: make([]int, len(rankings))}
+	for i, r := range rankings {
+		st.PerList[i] = r.N()
+		st.Total += r.N()
+		if r.N() > st.MaxDepth {
+			st.MaxDepth = r.N()
+		}
+	}
+	return st
+}
+
+// CertificateLowerBound returns a conservative lower bound on the total
+// number of sequential probes ANY correct deterministic algorithm must
+// spend on this instance: for each winner w, the algorithm has to observe w
+// in at least ceil(m/2) lists to pin its median, and observing w in list i
+// costs at least the number of entries that precede w there (sequential
+// access cannot skip). The cheapest choice is the ceil(m/2) lists where w is
+// shallowest; the bound takes the most expensive winner. The
+// instance-optimality ratio reported by experiment E7 is MEDRANK probes
+// divided by this bound.
+func CertificateLowerBound(rankings []*ranking.PartialRanking, winners []int) int {
+	m := len(rankings)
+	needed := (m + 1) / 2
+	best := 0
+	for _, w := range winners {
+		costs := make([]int, 0, m)
+		for _, r := range rankings {
+			// Entries strictly before w's bucket, plus the probe that
+			// reveals w itself.
+			depth := 1
+			for b := 0; b < r.BucketOf(w); b++ {
+				depth += r.BucketSize(b)
+			}
+			costs = append(costs, depth)
+		}
+		sort.Ints(costs)
+		total := 0
+		for i := 0; i < needed && i < len(costs); i++ {
+			total += costs[i]
+		}
+		if total > best {
+			best = total
+		}
+	}
+	return best
+}

@@ -1,0 +1,326 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+var policies = []struct {
+	name string
+	p    Policy
+}{
+	{"GlobalMerge", GlobalMerge},
+	{"RoundRobin", RoundRobin},
+}
+
+func TestCursorYieldsPositionOrder(t *testing.T) {
+	pr := ranking.MustFromBuckets(5, [][]int{{2, 4}, {0}, {1, 3}})
+	c := NewCursor(pr)
+	var elems []int
+	var prev int64 = -1
+	for {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
+		if e.Pos2 < prev {
+			t.Fatalf("positions decreased: %d after %d", e.Pos2, prev)
+		}
+		prev = e.Pos2
+		elems = append(elems, e.Elem)
+	}
+	want := []int{2, 4, 0, 1, 3}
+	if len(elems) != len(want) {
+		t.Fatalf("cursor yielded %v", elems)
+	}
+	for i := range want {
+		if elems[i] != want[i] {
+			t.Fatalf("cursor order %v, want %v", elems, want)
+		}
+	}
+	if c.Probes() != 5 {
+		t.Errorf("probes = %d, want 5", c.Probes())
+	}
+	if c.Peek2() != int64(math.MaxInt64) {
+		t.Errorf("exhausted Peek2 = %d, want MaxInt64", c.Peek2())
+	}
+}
+
+func TestCursorSeenIn(t *testing.T) {
+	pr := ranking.MustFromBuckets(4, [][]int{{1, 3}, {0, 2}})
+	c := NewCursor(pr)
+	if c.seenIn(1) {
+		t.Error("element seen before any probe")
+	}
+	c.Next() // probes element 1
+	if !c.seenIn(1) || c.seenIn(3) || c.seenIn(0) {
+		t.Error("seenIn wrong after first probe")
+	}
+	c.Next() // probes element 3
+	c.Next() // probes element 0
+	if !c.seenIn(3) || !c.seenIn(0) || c.seenIn(2) {
+		t.Error("seenIn wrong after three probes")
+	}
+}
+
+// MEDRANK must return exactly the offline median top-k, for both policies,
+// across random partial-ranking ensembles.
+func TestMedRankMatchesOfflineRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(6)
+		k := rng.Intn(n + 1)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 4))
+		}
+		want, err := aggregate.MedianTopK(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range policies {
+			got, err := MedRank(in, k, pol.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.TopK.Equal(want) {
+				t.Fatalf("%s mismatch (n=%d m=%d k=%d):\ngot  %v\nwant %v\ninputs %v",
+					pol.name, n, m, k, got.TopK, want, in)
+			}
+			// Reported medians must match the offline lower medians.
+			f4, err := aggregate.MedianScores2(in, aggregate.LowerMedian)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for wi, w := range got.Winners {
+				if got.Medians2[wi]*2 != f4[w] {
+					t.Fatalf("%s median of %d = %d/2, offline %d/4",
+						pol.name, w, got.Medians2[wi], f4[w])
+				}
+			}
+		}
+	}
+}
+
+// Exhaustive cross-check on all pairs of bucket orders over small domains.
+func TestMedRankMatchesOfflineExhaustive(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		var all []*ranking.PartialRanking
+		ranking.ForEachPartialRanking(n, func(pr *ranking.PartialRanking) bool {
+			all = append(all, pr)
+			return true
+		})
+		for _, a := range all {
+			for _, b := range all {
+				in := []*ranking.PartialRanking{a, b}
+				for k := 0; k <= n; k++ {
+					want, err := aggregate.MedianTopK(in, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, pol := range policies {
+						got, err := MedRank(in, k, pol.p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !got.TopK.Equal(want) {
+							t.Fatalf("%s mismatch k=%d:\na=%v b=%v\ngot %v want %v",
+								pol.name, k, a, b, got.TopK, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Probes never exceed a full scan, and the certificate lower bound never
+// exceeds the probes of either policy.
+func TestMedRankAccessBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(30)
+		m := 1 + rng.Intn(7)
+		k := 1 + rng.Intn(n)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 4))
+		}
+		full := FullScanCost(in)
+		for _, pol := range policies {
+			res, err := MedRank(in, k, pol.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Total > full.Total {
+				t.Fatalf("%s read %d > full scan %d", pol.name, res.Stats.Total, full.Total)
+			}
+			lb := CertificateLowerBound(in, res.Winners)
+			if lb > res.Stats.Total {
+				t.Fatalf("%s certificate bound %d exceeds probes %d (n=%d m=%d k=%d)",
+					pol.name, lb, res.Stats.Total, n, m, k)
+			}
+			var sum int
+			maxd := 0
+			for _, d := range res.Stats.PerList {
+				sum += d
+				if d > maxd {
+					maxd = d
+				}
+			}
+			if sum != res.Stats.Total || maxd != res.Stats.MaxDepth {
+				t.Fatalf("%s stats inconsistent: %+v", pol.name, res.Stats)
+			}
+		}
+	}
+}
+
+// On strongly correlated inputs the engine reads a tiny prefix: the paper's
+// "as few elements as necessary" behaviour.
+func TestMedRankSublinearOnCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 2000, 5
+	in, _ := randrank.MallowsEnsemble(rng, n, m, 2.0)
+	res, err := MedRank(in, 1, GlobalMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Total > n {
+		t.Errorf("correlated top-1 read %d probes out of %d; expected strongly sublinear", res.Stats.Total, n*m)
+	}
+}
+
+// On unanimous inputs the top-1 is certified after roughly one probe per
+// list.
+func TestMedRankUnanimousMinimalProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	full := randrank.Full(rng, 100)
+	in := []*ranking.PartialRanking{full, full, full}
+	res, err := MedRank(in, 1, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winners[0] != full.Order()[0] {
+		t.Fatalf("wrong winner %d", res.Winners[0])
+	}
+	// Needs the winner in 2 lists plus evidence that nothing else can beat
+	// it; round-robin reads at most a few entries per list.
+	if res.Stats.Total > 9 {
+		t.Errorf("unanimous top-1 used %d probes", res.Stats.Total)
+	}
+}
+
+func TestMedRankEdgeCases(t *testing.T) {
+	a := ranking.MustFromBuckets(3, [][]int{{0, 1, 2}})
+	res, err := MedRank([]*ranking.PartialRanking{a}, 0, GlobalMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Total != 0 || len(res.Winners) != 0 {
+		t.Errorf("k=0 should probe nothing: %+v", res.Stats)
+	}
+	// k = n over a single everything-tied list.
+	res, err = MedRank([]*ranking.PartialRanking{a}, 3, GlobalMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Winners) != 3 {
+		t.Errorf("k=n winners = %v", res.Winners)
+	}
+
+	if _, err := MedRank(nil, 1, GlobalMerge); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, err := MedRank([]*ranking.PartialRanking{a}, 4, GlobalMerge); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := MedRank([]*ranking.PartialRanking{a}, -1, GlobalMerge); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := MedRank([]*ranking.PartialRanking{a}, 1, Policy(7)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	b := ranking.MustFromOrder([]int{0, 1})
+	if _, err := MedRank([]*ranking.PartialRanking{a, b}, 1, GlobalMerge); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+}
+
+func TestFullScanCost(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1, 2})
+	st := FullScanCost([]*ranking.PartialRanking{a, a})
+	if st.Total != 6 || st.MaxDepth != 3 {
+		t.Errorf("FullScanCost = %+v", st)
+	}
+}
+
+// Bucket-granular policies return the same answer as element-granular ones
+// while charging fewer I/Os on tied inputs.
+func TestMedRankBucketGranular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(15)
+		m := 1 + rng.Intn(5)
+		k := rng.Intn(n + 1)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 5))
+		}
+		want, err := aggregate.MedianTopK(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []Policy{GlobalMergeBuckets, RoundRobinBuckets} {
+			got, err := MedRank(in, k, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.TopK.Equal(want) {
+				t.Fatalf("policy %d mismatch (n=%d m=%d k=%d):\ngot  %v\nwant %v",
+					pol, n, m, k, got.TopK, want)
+			}
+			if got.Stats.TotalBucketProbes > got.Stats.Total {
+				t.Fatalf("bucket probes %d exceed element reads %d",
+					got.Stats.TotalBucketProbes, got.Stats.Total)
+			}
+			var sum int
+			for _, b := range got.Stats.BucketProbes {
+				sum += b
+			}
+			if sum != got.Stats.TotalBucketProbes {
+				t.Fatalf("bucket probe stats inconsistent: %+v", got.Stats)
+			}
+		}
+	}
+}
+
+// On a heavily tied catalog, bucket I/Os are dramatically cheaper than
+// element reads.
+func TestMedRankBucketGranularSavesIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	in := randrank.CatalogEnsemble(rng, 2000, 5, 5, 1.0, 1.5).Rankings
+	res, err := MedRank(in, 10, GlobalMergeBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalBucketProbes*10 > res.Stats.Total {
+		t.Errorf("expected >=10x I/O saving on 5-valued catalog: %d bucket probes for %d elements",
+			res.Stats.TotalBucketProbes, res.Stats.Total)
+	}
+	// Element-granular stats count one I/O per element.
+	resEl, err := MedRank(in, 10, GlobalMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resEl.Stats.PerList {
+		if resEl.Stats.BucketProbes[i] != resEl.Stats.PerList[i] {
+			t.Fatalf("element policy should charge one I/O per element: %+v", resEl.Stats)
+		}
+	}
+}

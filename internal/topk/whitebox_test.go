@@ -1,0 +1,106 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ranking"
+)
+
+// newExhaustedRun builds a medrankRun whose cursors have been fully
+// consumed without any certification bookkeeping, to exercise the
+// finalizeExhausted defensive path directly (the drive loop promotes
+// everything at probe time, so the path is unreachable through the public
+// API).
+func newExhaustedRun(t *testing.T, rankings []*ranking.PartialRanking, k int) *medrankRun {
+	t.Helper()
+	n := rankings[0].N()
+	m := len(rankings)
+	run := &medrankRun{
+		n: n, m: m, k: k,
+		needed:   (m + 1) / 2,
+		cursors:  make([]*Cursor, m),
+		frontier: make([]int64, m),
+		seen:     make([][]int64, n),
+		exactMed: make([]int64, n),
+		inPend:   make([]bool, n),
+		cleared:  make([]bool, n),
+		kSmall:   &int64MaxHeap{},
+		bucketIO: make([]int, m),
+	}
+	for e := 0; e < n; e++ {
+		run.exactMed[e] = math.MaxInt64
+	}
+	for i, r := range rankings {
+		run.cursors[i] = NewCursor(r)
+		for {
+			e, ok := run.cursors[i].Next()
+			if !ok {
+				break
+			}
+			run.seen[e.Elem] = append(run.seen[e.Elem], e.Pos2)
+		}
+		run.frontier[i] = math.MaxInt64
+	}
+	run.probedDistinct = n
+	return run
+}
+
+func TestFinalizeExhaustedPromotesEverything(t *testing.T) {
+	a := ranking.MustFromBuckets(4, [][]int{{0, 1, 2, 3}})
+	b := ranking.MustFromOrder([]int{3, 2, 1, 0})
+	run := newExhaustedRun(t, []*ranking.PartialRanking{a, b}, 2)
+	run.finalizeExhausted()
+	if run.exactCount != 4 {
+		t.Fatalf("exactCount = %d, want 4", run.exactCount)
+	}
+	winners, medians := run.finalTopK()
+	if len(winners) != 2 || len(medians) != 2 {
+		t.Fatalf("finalTopK = %v %v", winners, medians)
+	}
+	// Lower median (m=2) is the min of the two positions: element 3 has
+	// positions {2.5, 1} -> min doubled = 2.
+	if winners[0] != 3 || medians[0] != 2 {
+		t.Errorf("winner = %d med2 = %d, want 3 and 2", winners[0], medians[0])
+	}
+	if !run.certified() {
+		t.Error("fully promoted run not certified")
+	}
+}
+
+func TestFinalizeExhaustedPanicsOnMissingPositions(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0, 1})
+	run := newExhaustedRun(t, []*ranking.PartialRanking{a, a}, 1)
+	run.seen[0] = run.seen[0][:1] // corrupt: one position missing
+	defer func() {
+		if recover() == nil {
+			t.Error("finalizeExhausted with missing positions did not panic")
+		}
+	}()
+	run.finalizeExhausted()
+}
+
+func TestDriveExitsViaFinalize(t *testing.T) {
+	// A pick function that immediately reports exhaustion forces drive
+	// through the finalize path.
+	a := ranking.MustFromOrder([]int{1, 0})
+	run := newExhaustedRun(t, []*ranking.PartialRanking{a}, 1)
+	run.drive(func() int { return -1 })
+	if run.exactCount != 2 {
+		t.Fatalf("drive+finalize promoted %d, want 2", run.exactCount)
+	}
+	winners, _ := run.finalTopK()
+	if len(winners) != 1 || winners[0] != 1 {
+		t.Errorf("winners = %v, want [1]", winners)
+	}
+}
+
+func TestProbeOnExhaustedCursor(t *testing.T) {
+	a := ranking.MustFromOrder([]int{0})
+	run := newExhaustedRun(t, []*ranking.PartialRanking{a}, 0)
+	// Probing an exhausted list must be a safe no-op that pins the frontier.
+	run.probe(0)
+	if run.frontier[0] != math.MaxInt64 {
+		t.Error("frontier not pinned at exhaustion")
+	}
+}

@@ -1,0 +1,39 @@
+package topklists
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProbeSameKViolations scans the same-k triangle-violation landscape
+// across penalty parameters and asserts the near-metric constant 2 of [10]
+// is never exceeded (informative counts with -v).
+func TestProbeSameKViolations(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		rng := rand.New(rand.NewSource(1))
+		worst := 1.0
+		viol := 0
+		for trial := 0; trial < 20000; trial++ {
+			universe := 3 + rng.Intn(5)
+			k := 1 + rng.Intn(universe)
+			mk := func() *List {
+				perm := rng.Perm(universe)
+				return MustNew(perm[:k]...)
+			}
+			x, y, z := mk(), mk(), mk()
+			dxz, _ := KPenalty(x, z, p)
+			dxy, _ := KPenalty(x, y, p)
+			dyz, _ := KPenalty(y, z, p)
+			if sum := dxy + dyz; dxz > sum+1e-9 {
+				viol++
+				if sum > 0 && dxz/sum > worst {
+					worst = dxz / sum
+				}
+			}
+		}
+		if worst > 2+1e-9 {
+			t.Errorf("p=%.2f: violation ratio %.4f exceeds the near-metric constant 2", p, worst)
+		}
+		t.Logf("p=%.2f same-k: violations=%d worst=%.3f", p, viol, worst)
+	}
+}

@@ -1,0 +1,195 @@
+// Package topklists implements the OTHER top-k scenario the paper compares
+// against in Appendix A.3: the model of Fagin, Kumar, and Sivakumar
+// ("Comparing top k lists", SODA 2003 / SIDMA 17(1)), where a top-k list is
+// a bijection of its OWN k-element domain onto {1..k} — there is no fixed
+// universal domain and no bottom bucket, and two lists being compared may
+// rank different item sets.
+//
+// Appendix A.3 proves that once the comparison is restricted to the active
+// domain (the union of the two lists' items), the FKS definitions of K^(p)
+// and F^(l) coincide exactly with this library's partial-ranking metrics
+// applied to the fixed-domain embedding (each list becomes k singleton
+// buckets plus one bottom bucket holding the rest of the active domain).
+// This package implements the FKS case analysis directly and the embedding,
+// so the tests can pin the two scenarios together — and it demonstrates the
+// one structural difference the appendix highlights: with a per-pair active
+// domain the measures are only NEAR metrics (the triangle inequality can
+// fail across lists with different domains), while the fixed-domain
+// versions are true metrics.
+package topklists
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ranking"
+)
+
+// List is a top-k list in the FKS sense: distinct item IDs, best first. Its
+// domain is exactly its items.
+type List struct {
+	order []int
+	rank  map[int]int // item -> 1-based rank
+}
+
+// New builds a top-k list from items listed best-first.
+func New(items ...int) (*List, error) {
+	l := &List{order: append([]int(nil), items...), rank: make(map[int]int, len(items))}
+	for i, it := range items {
+		if _, dup := l.rank[it]; dup {
+			return nil, fmt.Errorf("topklists: duplicate item %d", it)
+		}
+		l.rank[it] = i + 1
+	}
+	return l, nil
+}
+
+// MustNew is New that panics on duplicates.
+func MustNew(items ...int) *List {
+	l, err := New(items...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// K returns the list length.
+func (l *List) K() int { return len(l.order) }
+
+// Items returns the items best-first (copy).
+func (l *List) Items() []int { return append([]int(nil), l.order...) }
+
+// Contains reports whether the list ranks the item.
+func (l *List) Contains(item int) bool {
+	_, ok := l.rank[item]
+	return ok
+}
+
+// Rank returns the 1-based rank of an item and whether it is in the list.
+func (l *List) Rank(item int) (int, bool) {
+	r, ok := l.rank[item]
+	return r, ok
+}
+
+// ActiveDomain returns the sorted union of the two lists' items — the
+// domain Appendix A.3 restricts the comparison to.
+func ActiveDomain(a, b *List) []int {
+	set := make(map[int]struct{}, a.K()+b.K())
+	for _, it := range a.order {
+		set[it] = struct{}{}
+	}
+	for _, it := range b.order {
+		set[it] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for it := range set {
+		out = append(out, it)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// KPenalty returns the FKS Kendall distance with penalty parameter p
+// between two top-k lists, by the four-case analysis over pairs of distinct
+// items of the active domain:
+//
+//	case 1: both items in both lists — 0 if ordered alike, else 1;
+//	case 2: both in one list, one of them in the other — the absent item is
+//	        implicitly ranked below, so the order is determined: 0 or 1;
+//	case 3: each item in exactly one (different) list — the lists disagree
+//	        by construction: 1;
+//	case 4: both items in the same single list only — penalty p.
+func KPenalty(a, b *List, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("topklists: penalty parameter %v out of [0,1]", p)
+	}
+	dom := ActiveDomain(a, b)
+	var total float64
+	for x := 0; x < len(dom); x++ {
+		for y := x + 1; y < len(dom); y++ {
+			i, j := dom[x], dom[y]
+			ri, inAi := a.rank[i]
+			rj, inAj := a.rank[j]
+			si, inBi := b.rank[i]
+			sj, inBj := b.rank[j]
+			switch {
+			case inAi && inAj && inBi && inBj: // case 1: in both lists
+				if (ri < rj) != (si < sj) {
+					total++
+				}
+			case inAi && inAj && !inBi && !inBj, // case 4: confined to a
+				inBi && inBj && !inAi && !inAj: // case 4: confined to b
+				total += p
+			case inAi && inAj: // case 2 via list a (exactly one of i, j in b)
+				// The item absent from b is implicitly below the present one.
+				aSaysIFirst := ri < rj
+				bSaysIFirst := inBi
+				if aSaysIFirst != bSaysIFirst {
+					total++
+				}
+			case inBi && inBj: // case 2 via list b (exactly one of i, j in a)
+				bSaysIFirst := si < sj
+				aSaysIFirst := inAi
+				if aSaysIFirst != bSaysIFirst {
+					total++
+				}
+			default: // case 3: i in one list only, j in the other only
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// FLocation returns the FKS footrule distance with location parameter l:
+// items absent from a list are treated as sitting at position l, and the L1
+// distance over the active domain is taken. l must be at least both k's.
+func FLocation(a, b *List, l float64) (float64, error) {
+	if float64(a.K()) > l || float64(b.K()) > l {
+		return 0, fmt.Errorf("topklists: location parameter %v below list length", l)
+	}
+	var total float64
+	for _, it := range ActiveDomain(a, b) {
+		pa := l
+		if r, ok := a.rank[it]; ok {
+			pa = float64(r)
+		}
+		pb := l
+		if r, ok := b.rank[it]; ok {
+			pb = float64(r)
+		}
+		d := pa - pb
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// Embed maps two top-k lists onto this library's fixed-domain scenario: the
+// active domain becomes {0..n-1}, and each list becomes the partial ranking
+// with its k items as singleton buckets followed by one bottom bucket
+// holding the remaining active-domain items (the Section 2 top-k list).
+// It returns the two partial rankings and the active domain in ID order.
+func Embed(a, b *List) (pa, pb *ranking.PartialRanking, dom []int, err error) {
+	dom = ActiveDomain(a, b)
+	idx := make(map[int]int, len(dom))
+	for i, it := range dom {
+		idx[it] = i
+	}
+	embed := func(l *List) (*ranking.PartialRanking, error) {
+		order := make([]int, 0, l.K())
+		for _, it := range l.order {
+			order = append(order, idx[it])
+		}
+		return ranking.TopKList(len(dom), l.K(), order)
+	}
+	if pa, err = embed(a); err != nil {
+		return nil, nil, nil, err
+	}
+	if pb, err = embed(b); err != nil {
+		return nil, nil, nil, err
+	}
+	return pa, pb, dom, nil
+}

@@ -1,0 +1,217 @@
+package topklists
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func randomList(rng *rand.Rand, universe, k int) *List {
+	perm := rng.Perm(universe)
+	return MustNew(perm[:k]...)
+}
+
+func TestListBasics(t *testing.T) {
+	l := MustNew(7, 3, 9)
+	if l.K() != 3 {
+		t.Errorf("K = %d", l.K())
+	}
+	if r, ok := l.Rank(3); !ok || r != 2 {
+		t.Errorf("Rank(3) = %d,%v", r, ok)
+	}
+	if !l.Contains(9) || l.Contains(8) {
+		t.Error("Contains wrong")
+	}
+	items := l.Items()
+	items[0] = 99
+	if l.Items()[0] != 7 {
+		t.Error("Items not a copy")
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	a := MustNew(5, 1)
+	b := MustNew(1, 9)
+	dom := ActiveDomain(a, b)
+	if len(dom) != 3 || dom[0] != 1 || dom[1] != 5 || dom[2] != 9 {
+		t.Errorf("ActiveDomain = %v", dom)
+	}
+}
+
+// Appendix A.3's central claim: the FKS K^(p) over the active domain equals
+// this library's K^(p) on the fixed-domain embedding, for every p.
+func TestKPenaltyMatchesEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		universe := 4 + rng.Intn(10)
+		ka := 1 + rng.Intn(universe-1)
+		kb := 1 + rng.Intn(universe-1)
+		a := randomList(rng, universe, ka)
+		b := randomList(rng, universe, kb)
+		pa, pb, _, err := Embed(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []float64{0, 0.25, 0.5, 1} {
+			fks, err := KPenalty(a, b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ours, err := metrics.KWithPenalty(pa, pb, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fks-ours) > 1e-9 {
+				t.Fatalf("A.3 equality violated at p=%v: FKS=%v embedded=%v\na=%v\nb=%v",
+					p, fks, ours, a.Items(), b.Items())
+			}
+		}
+	}
+}
+
+// Same for the footrule with location parameter (same-k lists, since the
+// embedded FLocation requires one k per list but the identity needs only
+// l >= max k).
+func TestFLocationMatchesEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		universe := 4 + rng.Intn(10)
+		ka := 1 + rng.Intn(universe-1)
+		kb := 1 + rng.Intn(universe-1)
+		a := randomList(rng, universe, ka)
+		b := randomList(rng, universe, kb)
+		pa, pb, dom, err := Embed(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxK := ka
+		if kb > maxK {
+			maxK = kb
+		}
+		l := float64(maxK) + rng.Float64()*float64(len(dom))
+		fks, err := FLocation(a, b, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pass the true k values: the embedding cannot distinguish a
+		// top-(n-1) list from a full ranking structurally.
+		ours, err := metrics.FLocationK(pa, pb, ka, kb, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fks-ours) > 1e-9 {
+			t.Fatalf("F^(l) mismatch at l=%v: FKS=%v embedded=%v", l, fks, ours)
+		}
+	}
+}
+
+// A.3: on same-k top-k lists over their active domain, even K^(0) is
+// regular (distance 0 implies equal lists). The common k matters: a strict
+// prefix of a list is at K^(0)-distance 0 from it.
+func TestKZeroRegularOnLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		universe := 3 + rng.Intn(8)
+		ka := 1 + rng.Intn(universe-1)
+		a := randomList(rng, universe, ka)
+		b := randomList(rng, universe, ka)
+		d, err := KPenalty(a, b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := a.K() == b.K()
+		if same {
+			for i, it := range a.order {
+				if b.order[i] != it {
+					same = false
+					break
+				}
+			}
+		}
+		if (d == 0) != same {
+			t.Fatalf("K^(0) regularity violated: d=%v same=%v\na=%v\nb=%v", d, same, a.Items(), b.Items())
+		}
+	}
+}
+
+// The appendix's structural point: with per-pair active domains the
+// measures are only near metrics — the triangle inequality fails across
+// lists ranking different item sets, even at the same k, while the
+// fixed-domain versions are true metrics. The violation ratio stays within
+// the near-metric constant 2 over a random search.
+func TestVaryingDomainsOnlyNearMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	worst := 1.0
+	violations := 0
+	const trials = 5000
+	for trial := 0; trial < trials; trial++ {
+		universe := 3 + rng.Intn(5)
+		k := 1 + rng.Intn(universe)
+		mk := func() *List { return randomList(rng, universe, k) }
+		x, y, z := mk(), mk(), mk()
+		dxz, err := KPenalty(x, z, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dxy, _ := KPenalty(x, y, 0.5)
+		dyz, _ := KPenalty(y, z, 0.5)
+		if sum := dxy + dyz; dxz > sum+1e-9 {
+			violations++
+			if sum > 0 && dxz/sum > worst {
+				worst = dxz / sum
+			}
+		}
+	}
+	if violations == 0 {
+		t.Error("expected triangle violations across varying domains (the [10] scenario is only a near metric)")
+	}
+	if worst > 2+1e-9 {
+		t.Errorf("violation ratio %v exceeds the near-metric constant 2", worst)
+	}
+	t.Logf("triangle violations: %d/%d, worst ratio %.3f", violations, trials, worst)
+}
+
+func TestKPenaltyCaseAnalysis(t *testing.T) {
+	// Hand-checked tiny instance: a = (1, 2), b = (3).
+	// Active domain {1, 2, 3}; pairs:
+	//  (1,2): both in a only            -> p
+	//  (1,3): 1 in a only, 3 in b only  -> 1
+	//  (2,3): case 3 again              -> 1
+	a := MustNew(1, 2)
+	b := MustNew(3)
+	for _, p := range []float64{0, 0.5, 1} {
+		got, err := KPenalty(a, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 2 + p; got != want {
+			t.Errorf("p=%v: KPenalty = %v, want %v", p, got, want)
+		}
+	}
+	// Case 2: a = (1, 2), b = (1): pair (1,2) both in a, 1 in b -> agree -> 0.
+	b2 := MustNew(1)
+	if got, _ := KPenalty(a, b2, 0.5); got != 0 {
+		t.Errorf("case-2 agreement: %v, want 0", got)
+	}
+	// Case 2 disagreement: b = (2).
+	b3 := MustNew(2)
+	if got, _ := KPenalty(a, b3, 0.5); got != 1 {
+		t.Errorf("case-2 disagreement: %v, want 1", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	a := MustNew(1, 2)
+	b := MustNew(2, 3)
+	if _, err := KPenalty(a, b, -1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := FLocation(a, b, 1); err == nil {
+		t.Error("l below k accepted")
+	}
+}

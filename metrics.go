@@ -1,0 +1,147 @@
+package rankties
+
+import (
+	"repro/internal/metrics"
+)
+
+// PairCounts classifies all element pairs with respect to two partial
+// rankings (Section 3.1 / Proposition 6): concordant, discordant (U), tied
+// only in one ranking (S and T), tied in both.
+type PairCounts = metrics.PairCounts
+
+// CountPairs classifies all pairs in O(n log n); it is the engine behind
+// every Kendall-family metric.
+func CountPairs(a, b *PartialRanking) (PairCounts, error) { return metrics.CountPairs(a, b) }
+
+// Kendall returns the Kendall tau distance between two full rankings
+// (Section 2.2). O(n log n); errors if an input has ties.
+func Kendall(a, b *PartialRanking) (int64, error) { return metrics.Kendall(a, b) }
+
+// Footrule returns the Spearman footrule distance between two full rankings
+// (Section 2.2). Errors if an input has ties.
+func Footrule(a, b *PartialRanking) (int64, error) { return metrics.Footrule(a, b) }
+
+// KProf returns the Kendall profile metric Kprof = K^(1/2) between partial
+// rankings (Section 3.1): discordant pairs count 1, pairs tied in exactly
+// one ranking count 1/2. The value is an exact multiple of 1/2.
+func KProf(a, b *PartialRanking) (float64, error) { return metrics.KProf(a, b) }
+
+// FProf returns the footrule profile metric Fprof between partial rankings:
+// the L1 distance between position vectors (Section 3.1).
+func FProf(a, b *PartialRanking) (float64, error) { return metrics.FProf(a, b) }
+
+// KWithPenalty returns the Kendall distance with penalty parameter
+// p in [0, 1] (Section 3.1). Proposition 13: a metric for p >= 1/2, a near
+// metric for 0 < p < 1/2, and not a distance measure at p = 0.
+func KWithPenalty(a, b *PartialRanking, p float64) (float64, error) {
+	return metrics.KWithPenalty(a, b, p)
+}
+
+// KHaus returns the Hausdorff-Kendall metric between partial rankings,
+// computed with the Proposition 6 formula |U| + max(|S|, |T|).
+func KHaus(a, b *PartialRanking) (int64, error) { return metrics.KHaus(a, b) }
+
+// FHaus returns the Hausdorff-footrule metric between partial rankings,
+// computed with the Theorem 5 refinement characterization.
+func FHaus(a, b *PartialRanking) (int64, error) { return metrics.FHaus(a, b) }
+
+// KAvg returns the average Kendall distance over all pairs of full
+// refinements (Appendix A.3). It equals KProf exactly when no pair is tied
+// in both rankings; on general partial rankings it is not a distance
+// measure.
+func KAvg(a, b *PartialRanking) (float64, error) { return metrics.KAvg(a, b) }
+
+// FLocation returns the footrule distance with location parameter l between
+// two top-k lists (Appendix A.3). At l = (n+k+1)/2 it coincides with FProf.
+func FLocation(a, b *PartialRanking, l float64) (float64, error) {
+	return metrics.FLocation(a, b, l)
+}
+
+// GoodmanKruskalGamma returns the Goodman-Kruskal gamma association in
+// [-1, 1], or ErrGammaUndefined when no pair is untied in both rankings —
+// the partiality the paper cites as its disadvantage.
+func GoodmanKruskalGamma(a, b *PartialRanking) (float64, error) {
+	return metrics.GoodmanKruskalGamma(a, b)
+}
+
+// ErrGammaUndefined reports a vanishing gamma denominator.
+var ErrGammaUndefined = metrics.ErrGammaUndefined
+
+// AllDistances bundles the four paper metrics for one pair of partial
+// rankings.
+type AllDistances struct {
+	KProf float64
+	FProf float64
+	KHaus int64
+	FHaus int64
+}
+
+// Distances computes all four metrics of Theorem 7 in one pass-friendly
+// call. The values always satisfy KProf <= FProf <= 2 KProf,
+// KHaus <= FHaus <= 2 KHaus, and KProf <= KHaus <= 2 KProf.
+func Distances(a, b *PartialRanking) (AllDistances, error) {
+	var d AllDistances
+	var err error
+	if d.KProf, err = metrics.KProf(a, b); err != nil {
+		return d, err
+	}
+	if d.FProf, err = metrics.FProf(a, b); err != nil {
+		return d, err
+	}
+	if d.KHaus, err = metrics.KHaus(a, b); err != nil {
+		return d, err
+	}
+	if d.FHaus, err = metrics.FHaus(a, b); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// KendallTauA returns Kendall's tau-a coefficient in [-1, 1] (ties dilute
+// toward 0).
+func KendallTauA(a, b *PartialRanking) (float64, error) { return metrics.KendallTauA(a, b) }
+
+// KendallTauB returns Kendall's tie-corrected tau-b coefficient (Kendall
+// 1945, the Related Work's normalized profile distance).
+func KendallTauB(a, b *PartialRanking) (float64, error) { return metrics.KendallTauB(a, b) }
+
+// SpearmanRho returns the Spearman correlation of the position vectors
+// (mid-rank tie treatment).
+func SpearmanRho(a, b *PartialRanking) (float64, error) { return metrics.SpearmanRho(a, b) }
+
+// NormalizedKProf returns Kprof scaled into [0, 1] by n(n-1)/2.
+func NormalizedKProf(a, b *PartialRanking) (float64, error) { return metrics.NormalizedKProf(a, b) }
+
+// NormalizedFProf returns Fprof scaled into [0, 1] by floor(n^2/2).
+func NormalizedFProf(a, b *PartialRanking) (float64, error) { return metrics.NormalizedFProf(a, b) }
+
+// ErrCorrelationUndefined reports a vanishing correlation denominator.
+var ErrCorrelationUndefined = metrics.ErrCorrelationUndefined
+
+// ReflectOrder builds the reflected-duplicate full ranking sigma_pi of
+// Appendix A.5.2 over the doubled domain; see NestFreeOrder.
+func ReflectOrder(sigma, pi *PartialRanking) *PartialRanking {
+	return metrics.ReflectOrder(sigma, pi)
+}
+
+// NestFreeOrder returns the tie-breaking order of Lemma 23, under which the
+// reflected footrule equals 4*FProf exactly.
+func NestFreeOrder(sigma, tau *PartialRanking) (*PartialRanking, error) {
+	return metrics.NestFreeOrder(sigma, tau)
+}
+
+// RankingDistance is a distance function between partial rankings, as
+// consumed by DistanceMatrix.
+type RankingDistance = metrics.Distance
+
+// DistanceMatrix computes the symmetric pairwise distance matrix of an
+// ensemble in parallel.
+func DistanceMatrix(rankings []*PartialRanking, d RankingDistance) ([][]float64, error) {
+	return metrics.DistanceMatrix(rankings, d)
+}
+
+// KendallW returns Kendall's coefficient of concordance among the rankings,
+// with the standard tie correction: 1 = complete agreement, near 0 = none.
+func KendallW(rankings []*PartialRanking) (float64, error) {
+	return metrics.KendallW(rankings)
+}

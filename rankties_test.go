@@ -1,0 +1,336 @@
+package rankties
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade must expose a coherent end-to-end workflow; this test walks the
+// README quickstart.
+func TestFacadeEndToEnd(t *testing.T) {
+	// Three judges rank four items; judge 3 has ties.
+	a := MustFromOrder([]int{0, 1, 2, 3})
+	b := MustFromOrder([]int{1, 0, 2, 3})
+	c := MustFromBuckets(4, [][]int{{0, 1}, {2, 3}})
+	in := []*PartialRanking{a, b, c}
+
+	d, err := Distances(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d.KProf <= d.FProf && d.FProf <= 2*d.KProf) {
+		t.Errorf("Eq. 5 violated by facade: %+v", d)
+	}
+	if !(float64(d.KHaus) <= float64(d.FHaus) && d.FHaus <= 2*d.KHaus) {
+		t.Errorf("Eq. 4 violated by facade: %+v", d)
+	}
+
+	full, err := MedianFull(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.IsFull() {
+		t.Error("MedianFull returned ties")
+	}
+	top, err := MedianTopK(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := MedRank(in, 2, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stream.TopK.Equal(top) {
+		t.Errorf("streaming and offline top-k disagree: %v vs %v", stream.TopK, top)
+	}
+	if stream.Stats.Total > FullScanCost(in).Total {
+		t.Error("MedRank read more than a full scan")
+	}
+
+	dp, err := OptimalPartialAggregate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objDP, err := SumL1Ranking(dp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objFull, err := SumL1Ranking(full, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objDP > objFull+1e-9 {
+		t.Errorf("Theorem 10 aggregate (%v) worse than median refinement (%v)", objDP, objFull)
+	}
+}
+
+func TestFacadeCodec(t *testing.T) {
+	rs, dom, err := ParseLines(strings.NewReader("a b | c\nc | a b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || dom.Size() != 3 {
+		t.Fatalf("parsed %d rankings, %d names", len(rs), dom.Size())
+	}
+	var sb strings.Builder
+	if err := WriteLines(&sb, dom, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a b | c") {
+		t.Errorf("round trip lost formatting: %q", sb.String())
+	}
+}
+
+func TestFacadeDB(t *testing.T) {
+	tbl := NewTable("flights")
+	if err := tbl.AddColumn("price", FloatCol); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn("stops", IntCol); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		key   string
+		price float64
+		stops int
+	}{
+		{"UA100", 320, 0}, {"AA7", 250, 1}, {"DL9", 250, 2}, {"WN4", 199, 1},
+	} {
+		if err := tbl.Insert(f.key, Row{"price": f.price, "stops": f.stops}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tbl.TopK(Query{
+		Preferences: []Preference{
+			{Column: "price", Direction: Ascending},
+			{Column: "stops", Direction: Ascending},
+		},
+		K: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With m=2 the lower median is the better of the two positions: UA100
+	// (best on stops) and WN4 (best on price) tie at median 1; the tie
+	// breaks by insertion order, so UA100 wins.
+	if len(res.Keys) != 1 || res.Keys[0] != "UA100" {
+		t.Errorf("winner = %v, want UA100", res.Keys)
+	}
+}
+
+func TestFacadeAllMetricsFunctions(t *testing.T) {
+	a := MustFromOrder([]int{0, 1, 2})
+	b := MustFromBuckets(3, [][]int{{0, 1}, {2}})
+	if _, err := Kendall(a, a); err != nil {
+		t.Error(err)
+	}
+	if _, err := Footrule(a, a); err != nil {
+		t.Error(err)
+	}
+	if _, err := KWithPenalty(a, b, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := KAvg(a, b); err != nil {
+		t.Error(err)
+	}
+	if _, err := CountPairs(a, b); err != nil {
+		t.Error(err)
+	}
+	topA, _ := TopKList(3, 1, []int{2})
+	topB, _ := TopKList(3, 1, []int{1})
+	if _, err := FLocation(topA, topB, 2.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := GoodmanKruskalGamma(a, b); err != nil {
+		t.Error(err)
+	}
+	if g, err := MedianScores([]*PartialRanking{a, b}, MeanMedian); err != nil || len(g) != 3 {
+		t.Errorf("MedianScores: %v %v", g, err)
+	}
+	if _, err := Borda([]*PartialRanking{a, b}); err != nil {
+		t.Error(err)
+	}
+	if _, err := MarkovChain([]*PartialRanking{a, b}, MC4, MarkovChainOptions{}); err != nil {
+		t.Error(err)
+	}
+	if _, err := LocalKemenize(a, []*PartialRanking{a, b}); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := FootruleOptimalFull([]*PartialRanking{a, b}); err != nil {
+		t.Error(err)
+	}
+	if res, err := OptimalPartial([]float64{1, 1, 3}); err != nil || res.Ranking.N() != 3 {
+		t.Errorf("OptimalPartial: %v", err)
+	}
+	if res, err := OptimalPartialFigure1([]float64{1, 1, 3}); err != nil || res.Ranking.N() != 3 {
+		t.Errorf("OptimalPartialFigure1: %v", err)
+	}
+	count := 0
+	ForEachPartialRanking(3, func(*PartialRanking) bool { count++; return true })
+	if count != 13 {
+		t.Errorf("ForEachPartialRanking visited %d, want 13", count)
+	}
+	if _, err := ConsistentOfType([]float64{3, 1, 2}, []int{2, 1}); err != nil {
+		t.Error(err)
+	}
+	if lb := CertificateLowerBound([]*PartialRanking{a, b}, []int{0}); lb < 1 {
+		t.Errorf("CertificateLowerBound = %d", lb)
+	}
+	if s := FromScores([]float64{1, 1, 2}); s.NumBuckets() != 2 {
+		t.Errorf("FromScores buckets = %d", s.NumBuckets())
+	}
+	dom, err := DomainOf("x", "y")
+	if err != nil || dom.Size() != 2 {
+		t.Errorf("DomainOf: %v", err)
+	}
+	if pr, err := ParseText(NewDomain(), "x | y"); err != nil || pr.N() != 2 {
+		t.Errorf("ParseText: %v", err)
+	}
+	if _, err := FromBuckets(2, [][]int{{0}, {1}}); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromOrder([]int{0, 1}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	a := MustFromOrder([]int{0, 1, 2, 3})
+	b := MustFromBuckets(4, [][]int{{0, 1}, {2, 3}})
+	if v, err := KendallTauB(a, b); err != nil || v <= 0 {
+		t.Errorf("KendallTauB = %v, %v", v, err)
+	}
+	if _, err := KendallTauA(a, b); err != nil {
+		t.Error(err)
+	}
+	if _, err := SpearmanRho(a, b); err != nil {
+		t.Error(err)
+	}
+	if v, err := NormalizedKProf(a, b); err != nil || v < 0 || v > 1 {
+		t.Errorf("NormalizedKProf = %v, %v", v, err)
+	}
+	if v, err := NormalizedFProf(a, b); err != nil || v < 0 || v > 1 {
+		t.Errorf("NormalizedFProf = %v, %v", v, err)
+	}
+	pi, err := NestFreeOrder(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refl := ReflectOrder(b, pi)
+	if refl.N() != 8 || !refl.IsFull() {
+		t.Errorf("ReflectOrder shape wrong: %v", refl)
+	}
+	in := []*PartialRanking{a, b}
+	topK, witness, err := StrongMedianTopK(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topK.ConsistentWith(witness.Positions()) {
+		t.Error("strong witness inconsistent")
+	}
+	if c := OrderPreservingMatchingCost([]float64{1, 3}, []float64{2, 2}); c != 2 {
+		t.Errorf("OrderPreservingMatchingCost = %v, want 2", c)
+	}
+	cmp, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cmp.Report()
+	if rep.KProf <= 0 || rep.FprofOverKprof < 1 || rep.FprofOverKprof > 2 {
+		t.Errorf("ComparisonReport wrong: %+v", rep)
+	}
+	results, err := CompareAggregators(in, MedianFullMethod, BordaMethod)
+	if err != nil || len(results) != 2 {
+		t.Errorf("CompareAggregators: %v, %v", results, err)
+	}
+	res, err := AggregateWith(in, MC4Method)
+	if err != nil || res.Ranking.N() != 4 {
+		t.Errorf("AggregateWith: %v", err)
+	}
+}
+
+func TestFacadeDBFiltered(t *testing.T) {
+	tbl, err := LoadCSV("flights", strings.NewReader(
+		"name,price,stops\nUA1,300,0\nAA2,250,1\nWN3,200,2\n"),
+		"name", map[string]ColumnType{"price": FloatCol, "stops": IntCol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tbl.TopKWhere(FilteredQuery{
+		Conditions:  []Condition{{Column: "stops", Op: Le, Value: 1}},
+		Preferences: []Preference{{Column: "price", Direction: Ascending}},
+		K:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != 1 || res.Keys[0] != "AA2" {
+		t.Errorf("filtered winner = %v, want AA2", res.Keys)
+	}
+}
+
+func TestFacadeFKS(t *testing.T) {
+	a, err := NewFKSList(10, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFKSList(20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FKSKPenalty(a, b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb, dom, err := FKSEmbed(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dom) != 4 || pa.N() != 4 || pb.N() != 4 {
+		t.Fatalf("embed shape wrong: %v %d %d", dom, pa.N(), pb.N())
+	}
+	ours, err := KWithPenalty(pa, pb, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != ours {
+		t.Errorf("A.3 equality violated via facade: %v vs %v", d, ours)
+	}
+	if _, err := FKSFLocation(a, b, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeKemenyAndCondorcet(t *testing.T) {
+	in := []*PartialRanking{
+		MustFromOrder([]int{0, 1, 2}),
+		MustFromOrder([]int{0, 2, 1}),
+		MustFromBuckets(3, [][]int{{2}, {0, 1}}),
+	}
+	opt, obj, err := KemenyOptimalDP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.N() != 3 || obj < 0 {
+		t.Errorf("KemenyOptimalDP: %v %v", opt, obj)
+	}
+	w, ok, err := CondorcetWinner(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok && opt.Order()[0] != w {
+		t.Errorf("Kemeny optimum ignores Condorcet winner %d: %v", w, opt)
+	}
+	if _, err := MajorityMargins(in); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := CondorcetLoser(in); err != nil {
+		t.Error(err)
+	}
+	if _, err := MedianPartialOfType(in, []int{2, 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := MedianInduced(in); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package rankties
+
+import (
+	"repro/internal/ranking"
+	"repro/internal/topklists"
+)
+
+// FKSList is a top-k list in the varying-domain model of Fagin, Kumar, and
+// Sivakumar ("Comparing top k lists") that Appendix A.3 of the paper
+// compares against: a ranking of the list's OWN k items, with no fixed
+// universal domain. Distances between two such lists are taken over their
+// active domain (the union of their items).
+type FKSList = topklists.List
+
+// NewFKSList builds an FKS top-k list from items listed best-first.
+func NewFKSList(items ...int) (*FKSList, error) { return topklists.New(items...) }
+
+// FKSKPenalty returns the FKS Kendall distance with penalty parameter p
+// over the active domain. By Appendix A.3 it equals KWithPenalty on the
+// fixed-domain embedding (see FKSEmbed).
+func FKSKPenalty(a, b *FKSList, p float64) (float64, error) {
+	return topklists.KPenalty(a, b, p)
+}
+
+// FKSFLocation returns the FKS footrule distance with location parameter l
+// over the active domain.
+func FKSFLocation(a, b *FKSList, l float64) (float64, error) {
+	return topklists.FLocation(a, b, l)
+}
+
+// FKSEmbed maps two FKS lists onto this library's fixed-domain scenario:
+// the active domain becomes {0..n-1} and each list becomes a Section 2
+// top-k partial ranking. The returned dom slice maps dense IDs back to the
+// original item IDs.
+func FKSEmbed(a, b *FKSList) (pa, pb *PartialRanking, dom []int, err error) {
+	var ra, rb *ranking.PartialRanking
+	ra, rb, dom, err = topklists.Embed(a, b)
+	return ra, rb, dom, err
+}
