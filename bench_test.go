@@ -105,6 +105,131 @@ func BenchmarkFHaus(b *testing.B) {
 	}
 }
 
+// --- Workspace kernel benchmarks ------------------------------------------
+//
+// Each pair compares the retained pre-workspace engine ("alloc") against the
+// zero-allocation workspace kernel ("workspace") on the same inputs. Run
+// with -benchmem; cmd/benchjson emits the same measurements as
+// BENCH_PR1.json.
+
+func BenchmarkCountPairsKernel(b *testing.B) {
+	a, c := benchPair(1000, 6)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := metrics.CountPairsAlloc(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := metrics.NewWorkspace()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.CountPairs(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFHausKernel(b *testing.B) {
+	a, c := benchPair(1000, 6)
+	b.Run("refinement", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := metrics.FHausViaRefinement(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := metrics.NewWorkspace()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.FHaus(a, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchEnsemble(m, n int) []*ranking.PartialRanking {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]*ranking.PartialRanking, m)
+	for i := range out {
+		out[i] = randrank.Partial(rng, n, 6)
+	}
+	return out
+}
+
+// BenchmarkDistanceMatrixKProf is the m=64, n=1000 ensemble sweep of the
+// PR 1 acceptance criteria: the workspace path must at least halve total
+// allocations versus the seed-style closure over the allocating engine.
+func BenchmarkDistanceMatrixKProf(b *testing.B) {
+	in := benchEnsemble(64, 1000)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := metrics.DistanceMatrix(in, func(x, y *ranking.PartialRanking) (float64, error) {
+				pc, err := metrics.CountPairsAlloc(x, y)
+				if err != nil {
+					return 0, err
+				}
+				return metrics.KProfFromCounts(pc), nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := metrics.DistanceMatrixWith(in, metrics.KProfWS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSumDistanceKProf(b *testing.B) {
+	in := benchEnsemble(64, 1000)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := aggregate.SumDistance(in[0], in, func(x, y *ranking.PartialRanking) (float64, error) {
+				pc, err := metrics.CountPairsAlloc(x, y)
+				if err != nil {
+					return 0, err
+				}
+				return metrics.KProfFromCounts(pc), nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		ws := metrics.NewWorkspace()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := aggregate.SumDistanceWith(ws, in[0], in, metrics.KProfWS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompareAllEnsemble measures the batched four-metric sweep.
+func BenchmarkCompareAllEnsemble(b *testing.B) {
+	in := benchEnsemble(32, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.CompareAll(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDPOptimalPartial exhibits the O(n^2) shape of the Figure 1 DP.
 func BenchmarkDPOptimalPartial(b *testing.B) {
 	for _, n := range []int{100, 400, 1600} {

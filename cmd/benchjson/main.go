@@ -1,0 +1,137 @@
+// Command benchjson measures the retained allocating metric engines against
+// the workspace kernels and writes the results as JSON, one record per
+// benchmark with ns/op, bytes/op, and allocs/op. It exists so allocation
+// regressions show up as a diffable artifact (BENCH_PR1.json) rather than
+// only in ad-hoc `go test -bench` output.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_PR1.json] [-n 1000] [-m 64] [-maxbucket 6] [-seed 42]
+//
+// With no -out flag the JSON goes to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	N          int      `json:"n"`
+	M          int      `json:"m"`
+	MaxBucket  int      `json:"max_bucket"`
+	Seed       int64    `json:"seed"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "write JSON to this file instead of stdout")
+	n := fs.Int("n", 1000, "domain size of each ranking")
+	m := fs.Int("m", 64, "ensemble size for the matrix/sum sweeps")
+	maxBucket := fs.Int("maxbucket", 6, "bucket-size cap of the random bucket orders")
+	seed := fs.Int64("seed", 42, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 || *m < 2 || *maxBucket < 1 {
+		return fmt.Errorf("need n >= 1, m >= 2, maxbucket >= 1")
+	}
+	// Create the output file before the benchmarks run, so a bad path fails
+	// in milliseconds rather than after a minute of measurement.
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	ens := make([]*ranking.PartialRanking, *m)
+	for i := range ens {
+		ens[i] = randrank.Partial(rng, *n, *maxBucket)
+	}
+	a, b := ens[0], ens[1]
+
+	kprofAlloc := func(x, y *ranking.PartialRanking) (float64, error) {
+		pc, err := metrics.CountPairsAlloc(x, y)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.KProfFromCounts(pc), nil
+	}
+
+	rep := report{N: *n, M: *m, MaxBucket: *maxBucket, Seed: *seed}
+	var firstErr error
+	bench := func(name string, body func() error) {
+		if firstErr != nil {
+			return
+		}
+		res := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				if err := body(); err != nil {
+					firstErr = fmt.Errorf("%s: %w", name, err)
+					tb.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, record{
+			Name:        name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+
+	ws := metrics.NewWorkspace()
+	bench("countpairs/alloc", func() error { _, err := metrics.CountPairsAlloc(a, b); return err })
+	bench("countpairs/workspace", func() error { _, err := ws.CountPairs(a, b); return err })
+	bench("fhaus/refinement", func() error { _, err := metrics.FHausViaRefinement(a, b); return err })
+	bench("fhaus/workspace", func() error { _, err := ws.FHaus(a, b); return err })
+	bench("distancematrix_kprof/alloc", func() error { _, err := metrics.DistanceMatrix(ens, kprofAlloc); return err })
+	bench("distancematrix_kprof/workspace", func() error { _, err := metrics.DistanceMatrixWith(ens, metrics.KProfWS); return err })
+	bench("sumdistance_kprof/alloc", func() error { _, err := aggregate.SumDistance(a, ens, kprofAlloc); return err })
+	bench("sumdistance_kprof/workspace", func() error { _, err := aggregate.SumDistanceWith(ws, a, ens, metrics.KProfWS); return err })
+	bench("compareall/workspace", func() error { _, err := metrics.CompareAll(ens); return err })
+	if firstErr != nil {
+		return firstErr
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = dst.Write(buf)
+	return err
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunEmitsAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	var out bytes.Buffer
+	// Tiny sizes: each testing.Benchmark call still runs for ~1s, so this
+	// test is dominated by benchmark wall clock, not problem size.
+	if err := run([]string{"-n", "40", "-m", "4", "-maxbucket", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.N != 40 || rep.M != 4 {
+		t.Errorf("header = %+v", rep)
+	}
+	want := map[string]bool{
+		"countpairs/alloc":               false,
+		"countpairs/workspace":           false,
+		"fhaus/refinement":               false,
+		"fhaus/workspace":                false,
+		"distancematrix_kprof/alloc":     false,
+		"distancematrix_kprof/workspace": false,
+		"sumdistance_kprof/alloc":        false,
+		"sumdistance_kprof/workspace":    false,
+		"compareall/workspace":           false,
+	}
+	for _, r := range rep.Benchmarks {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected benchmark %q", r.Name)
+		}
+		want[r.Name] = true
+		if r.Iterations < 1 || r.NsPerOp <= 0 {
+			t.Errorf("%s: implausible result %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing benchmark %q", name)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

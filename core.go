@@ -15,6 +15,13 @@ type ComparisonReport = core.Report
 // Compare builds a cached comparison of two partial rankings.
 func Compare(a, b *PartialRanking) (*Comparison, error) { return core.Compare(a, b) }
 
+// CompareWith is Compare on a caller-supplied workspace: batch loops reuse
+// one warm Workspace across many comparisons and perform O(1) allocations
+// per pair. The returned Comparison does not retain the workspace.
+func CompareWith(ws *Workspace, a, b *PartialRanking) (*Comparison, error) {
+	return core.CompareWith(ws, a, b)
+}
+
 // AggregationMethod selects an aggregation algorithm for AggregateWith.
 type AggregationMethod = core.Method
 

@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 )
 
@@ -87,4 +88,40 @@ func SumDistance(candidate *ranking.PartialRanking, rankings []*ranking.PartialR
 		sum += v
 	}
 	return sum, nil
+}
+
+// SumDistanceWith is SumDistance for workspace-aware distances: all m terms
+// of the objective reuse the caller's scratch state, so evaluating a
+// candidate against an ensemble performs O(1) allocations instead of O(m).
+// Objective-evaluation loops (best-of-inputs, Kemeny enumeration, MEDRANK
+// scoring) hold one workspace for their whole run.
+func SumDistanceWith(ws *metrics.Workspace, candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (float64, error) {
+	var sum float64
+	for _, r := range rankings {
+		v, err := d(ws, candidate, r)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// BestOfInputsWith is BestOfInputs for workspace-aware distances: the whole
+// m^2 sweep shares the caller's workspace.
+func BestOfInputsWith(ws *metrics.Workspace, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (int, *ranking.PartialRanking, float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return 0, nil, 0, err
+	}
+	bestIdx, bestObj := -1, 0.0
+	for i, cand := range rankings {
+		obj, err := SumDistanceWith(ws, cand, rankings, d)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		if bestIdx < 0 || obj < bestObj {
+			bestIdx, bestObj = i, obj
+		}
+	}
+	return bestIdx, rankings[bestIdx], bestObj, nil
 }

@@ -120,3 +120,62 @@ func TestBaselineInputValidation(t *testing.T) {
 		t.Error("Borda accepted domain mismatch")
 	}
 }
+
+// The workspace-aware objective paths must agree exactly with the generic
+// closures they replace on the hot paths.
+func TestSumDistanceWithMatchesSumDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in, _ := randrank.MallowsEnsemble(rng, 30, 9, 0.5)
+	cand := randrank.Partial(rng, 30, 6)
+	want, err := SumDistance(cand, in, fprofDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := metrics.NewWorkspace()
+	got, err := SumDistanceWith(ws, cand, in, metrics.FProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SumDistanceWith = %v, SumDistance = %v", got, want)
+	}
+	wantK, err := SumDistance(cand, in, func(a, b *ranking.PartialRanking) (float64, error) {
+		return metrics.KProf(a, b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotK, err := SumDistanceWith(ws, cand, in, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotK != wantK {
+		t.Fatalf("KProf objective: with = %v, plain = %v", gotK, wantK)
+	}
+}
+
+func TestBestOfInputsWithMatchesBestOfInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 10; trial++ {
+		var in []*ranking.PartialRanking
+		for i := 0; i < 8; i++ {
+			in = append(in, randrank.Partial(rng, 20, 4))
+		}
+		wi, wr, wobj, err := BestOfInputs(in, fprofDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := metrics.NewWorkspace()
+		gi, gr, gobj, err := BestOfInputsWith(ws, in, metrics.FProfWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gi != wi || gobj != wobj || !gr.Equal(wr) {
+			t.Fatalf("BestOfInputsWith = (%d, %v), BestOfInputs = (%d, %v)", gi, gobj, wi, wobj)
+		}
+	}
+	ws := metrics.NewWorkspace()
+	if _, _, _, err := BestOfInputsWith(ws, nil, metrics.FProfWS); err == nil {
+		t.Error("empty ensemble accepted by BestOfInputsWith")
+	}
+}

@@ -61,10 +61,11 @@ func LocalKemenize(candidate *ranking.PartialRanking, rankings []*ranking.Partia
 // inputs), by enumerating all n! candidates. Exponential; reference for the
 // approximation experiments.
 func KemenyOptimalBrute(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, float64, error) {
+	// One workspace serves the entire n! * m objective sweep.
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
 	return bruteOverFull(rankings, func(cand *ranking.PartialRanking) (float64, error) {
-		return SumDistance(cand, rankings, func(a, b *ranking.PartialRanking) (float64, error) {
-			return metrics.KProf(a, b)
-		})
+		return SumDistanceWith(ws, cand, rankings, metrics.KProfWS)
 	})
 }
 

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 )
 
@@ -174,10 +175,17 @@ func SumL1(g []float64, rankings []*ranking.PartialRanking) float64 {
 }
 
 // SumL1Ranking returns sum_i L1(candidate, sigma_i) for a candidate partial
-// ranking, i.e. the summed Fprof objective.
+// ranking, i.e. the summed Fprof objective. The position sweep reads the
+// candidate through its copy-free accessors, so no position vector is
+// materialized.
 func SumL1Ranking(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking) (float64, error) {
-	if err := ranking.CheckSameDomain(append([]*ranking.PartialRanking{candidate}, rankings...)...); err != nil {
-		return 0, err
+	var sum2 int64
+	for _, r := range rankings {
+		d2, err := metrics.FProf2(candidate, r)
+		if err != nil {
+			return 0, err
+		}
+		sum2 += d2
 	}
-	return SumL1(candidate.Positions(), rankings), nil
+	return float64(sum2) / 2, nil
 }

@@ -34,12 +34,29 @@ type Comparison struct {
 }
 
 // Compare classifies the element pairs of two same-domain partial rankings.
+// The classification pass borrows a pooled metrics workspace; callers
+// comparing many pairs should hold their own workspace and use CompareWith.
 func Compare(a, b *ranking.PartialRanking) (*Comparison, error) {
-	pc, err := metrics.CountPairs(a, b)
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
+	return CompareWith(ws, a, b)
+}
+
+// CompareWith is Compare on a caller-supplied workspace: the pair
+// classification and the footrule profile are computed eagerly on the
+// workspace's scratch state (the Hausdorff-footrule witness kernel stays
+// lazy), and the returned Comparison retains no reference to the workspace,
+// which may be reused immediately.
+func CompareWith(ws *metrics.Workspace, a, b *ranking.PartialRanking) (*Comparison, error) {
+	pc, err := ws.CountPairs(a, b)
 	if err != nil {
 		return nil, err
 	}
-	return &Comparison{a: a, b: b, counts: pc}, nil
+	fprof2, err := ws.FProf2(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{a: a, b: b, counts: pc, fprof2: fprof2, haveF: true}, nil
 }
 
 // Counts returns the cached pair classification.
@@ -215,9 +232,9 @@ func Aggregate(rankings []*ranking.PartialRanking, method Method) (*AggregationR
 	case FootruleOptimalMethod:
 		out, _, err = aggregate.FootruleOptimalFull(rankings)
 	case BestInputMethod:
-		_, out, _, err = aggregate.BestOfInputs(rankings, func(a, b *ranking.PartialRanking) (float64, error) {
-			return metrics.FProf(a, b)
-		})
+		ws := metrics.GetWorkspace()
+		_, out, _, err = aggregate.BestOfInputsWith(ws, rankings, metrics.FProfWS)
+		metrics.PutWorkspace(ws)
 	default:
 		return nil, ErrUnknownMethod
 	}
@@ -232,18 +249,28 @@ func Aggregate(rankings []*ranking.PartialRanking, method Method) (*AggregationR
 }
 
 // Evaluate computes the four summed objectives of a candidate against the
-// inputs.
+// inputs on a pooled workspace.
 func Evaluate(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking) (Objectives, error) {
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
+	return EvaluateWith(ws, candidate, rankings)
+}
+
+// EvaluateWith computes the four summed objectives of a candidate against
+// the inputs, reusing the caller's workspace for every term: one warm
+// workspace serves the whole ensemble, so the evaluation performs O(1)
+// allocations instead of O(m * n).
+func EvaluateWith(ws *metrics.Workspace, candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking) (Objectives, error) {
 	var obj Objectives
 	for _, r := range rankings {
-		c, err := Compare(candidate, r)
+		d, err := ws.Distances(candidate, r)
 		if err != nil {
 			return obj, err
 		}
-		obj.SumKProf += c.KProf()
-		obj.SumFProf += c.FProf()
-		obj.SumKHaus += c.KHaus()
-		obj.SumFHaus += c.FHaus()
+		obj.SumKProf += d.KProf
+		obj.SumFProf += d.FProf
+		obj.SumKHaus += d.KHaus
+		obj.SumFHaus += d.FHaus
 	}
 	return obj, nil
 }

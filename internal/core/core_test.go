@@ -218,3 +218,53 @@ func TestCountsAccessor(t *testing.T) {
 		t.Errorf("Counts = %+v, want %+v", pc, want)
 	}
 }
+
+// CompareWith on a shared workspace must agree with Compare, and
+// EvaluateWith must agree with per-pair evaluation.
+func TestCompareWithMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ws := metrics.NewWorkspace()
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randrank.Partial(rng, n, 1+rng.Intn(6))
+		b := randrank.Partial(rng, n, 1+rng.Intn(6))
+		want, err := Compare(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CompareWith(ws, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Counts() != want.Counts() {
+			t.Fatalf("counts differ: %+v vs %+v", got.Counts(), want.Counts())
+		}
+		if got.Report() != want.Report() {
+			t.Fatalf("reports differ: %+v vs %+v", got.Report(), want.Report())
+		}
+	}
+	if _, err := CompareWith(ws, randrank.Full(rng, 3), randrank.Full(rng, 4)); err == nil {
+		t.Error("domain mismatch accepted by CompareWith")
+	}
+}
+
+func TestEvaluateWithMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	in, _ := randrank.MallowsEnsemble(rng, 25, 7, 0.8)
+	cand := randrank.Partial(rng, 25, 5)
+	want, err := Evaluate(cand, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := metrics.NewWorkspace()
+	got, err := EvaluateWith(ws, cand, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EvaluateWith = %+v, Evaluate = %+v", got, want)
+	}
+	if _, err := EvaluateWith(ws, cand, []*ranking.PartialRanking{randrank.Full(rng, 4)}); err == nil {
+		t.Error("domain mismatch accepted by EvaluateWith")
+	}
+}

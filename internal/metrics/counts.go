@@ -47,12 +47,24 @@ func (pc PairCounts) Total() int64 {
 
 // CountPairs classifies all pairs of distinct elements. It is the single
 // counting engine behind K^(p), Kprof, KHaus (Prop. 6), Kavg, and
-// Goodman-Kruskal gamma. The engine is bucket-aware: it walks a's buckets
-// in order and counts discordances with a Fenwick tree indexed by b's
-// bucket indices, so the cost is O(n log t_b) where t_b is b's bucket count
-// — and heavy ties (the paper's database regime) make it cheaper, not more
-// expensive.
+// Goodman-Kruskal gamma. It borrows a pooled Workspace, so repeated calls
+// reuse scratch state instead of rebuilding it; batch engines that hold
+// their own Workspace should call (*Workspace).CountPairs directly.
 func CountPairs(a, b *ranking.PartialRanking) (PairCounts, error) {
+	ws := GetWorkspace()
+	pc, err := ws.CountPairs(a, b)
+	PutWorkspace(ws)
+	return pc, err
+}
+
+// CountPairsAlloc is the pre-workspace engine, retained verbatim as an
+// independent reference: it walks a's buckets in order, counts discordances
+// with a freshly allocated Fenwick tree indexed by b's bucket indices, and
+// counts pairs tied in both rankings with a hash map keyed by (a-bucket,
+// b-bucket). The property tests pin the workspace kernel to it exactly, and
+// the benchmark harness uses it as the before-side of the allocation
+// regression numbers.
+func CountPairsAlloc(a, b *ranking.PartialRanking) (PairCounts, error) {
 	if err := ranking.CheckSameDomain(a, b); err != nil {
 		return PairCounts{}, err
 	}
@@ -185,4 +197,9 @@ func tiedPairs(pr *ranking.PartialRanking) int64 {
 // errNotFull is returned by the full-ranking metrics when an input has ties.
 func errNotFull(name string) error {
 	return fmt.Errorf("metrics: %s requires full rankings (no ties)", name)
+}
+
+// errPenaltyRange is returned by the K^(p) family for p outside [0, 1].
+func errPenaltyRange(p float64) error {
+	return fmt.Errorf("metrics: penalty parameter p=%v out of [0,1]", p)
 }

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"repro/internal/ranking"
+)
+
+// AllDistances bundles the four paper metrics for one pair of partial
+// rankings. By Theorem 7 the values always satisfy
+// KProf <= FProf <= 2 KProf, KHaus <= FHaus <= 2 KHaus, and
+// KProf <= KHaus <= 2 KProf.
+type AllDistances struct {
+	KProf float64
+	FProf float64
+	KHaus int64
+	FHaus int64
+}
+
+// Distances computes all four paper metrics for one pair using a pooled
+// workspace; see (*Workspace).Distances for the batched form.
+func Distances(a, b *ranking.PartialRanking) (AllDistances, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.Distances(a, b)
+}
+
+// CompareAll computes the full symmetric m x m matrix of AllDistances for an
+// ensemble — every Kendall- and footrule-family quantity for every pair in
+// one batched pass. The upper triangle fans out across GOMAXPROCS worker
+// goroutines, each reusing one pooled workspace, so the whole m^2 sweep
+// performs O(workers) scratch allocations: the middleware regime of
+// Fagin-Lotem-Naor and the large-ensemble regime of top-list aggregation,
+// where per-distance garbage otherwise dominates. The diagonal is zero by
+// regularity; the first error short-circuits the remaining pairs.
+func CompareAll(rankings []*ranking.PartialRanking) ([][]AllDistances, error) {
+	m := len(rankings)
+	out := make([][]AllDistances, m)
+	for i := range out {
+		out[i] = make([]AllDistances, m)
+	}
+	err := forEachPair(m, func(ws *Workspace, i, j int) error {
+		d, err := ws.Distances(rankings[i], rankings[j])
+		if err != nil {
+			return err
+		}
+		out[i][j] = d
+		out[j][i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -8,16 +8,24 @@ import (
 // Kendall returns the Kendall tau distance K(a, b) between two full rankings
 // (Section 2.2): the number of pairwise disagreements, equal to the number of
 // exchanges a bubble sort needs to convert one ranking into the other.
-// It runs in O(n log n) and errors if either input has ties.
+// It runs in O(n log n) on a pooled workspace and errors if either input has
+// ties.
 func Kendall(a, b *ranking.PartialRanking) (int64, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.Kendall(a, b)
+}
+
+// KendallViaInversions is the pre-workspace Kendall engine — walk a's order
+// best-first and count inversions of b's positions along the walk — retained
+// as an independent implementation for cross-checks.
+func KendallViaInversions(a, b *ranking.PartialRanking) (int64, error) {
 	if err := ranking.CheckSameDomain(a, b); err != nil {
 		return 0, err
 	}
 	if !a.IsFull() || !b.IsFull() {
 		return 0, errNotFull("Kendall")
 	}
-	// Walk a's order best-first; inversions of b's positions along that walk
-	// are exactly the discordant pairs.
 	order := a.Order()
 	seq := make([]int64, len(order))
 	for i, e := range order {

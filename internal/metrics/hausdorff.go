@@ -67,8 +67,18 @@ func KHausViaRefinement(a, b *ranking.PartialRanking) (int64, error) {
 // FHaus returns the Hausdorff-footrule distance between two partial rankings
 // via the Theorem 5 characterization: max{F(sigma1, tau1), F(sigma2, tau2)}
 // over the two witness pairs. The result is an integer because F between
-// full rankings is integral. Runs in O(n log n).
+// full rankings is integral. Runs in O(n log n) with a pooled workspace; the
+// witness rankings are never materialized (see (*Workspace).FHaus).
 func FHaus(a, b *ranking.PartialRanking) (int64, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.FHaus(a, b)
+}
+
+// FHausViaRefinement computes FHaus by materializing the Theorem 5 witness
+// refinements, exactly as the pre-workspace engine did. It must always agree
+// with FHaus; the property tests and benchmark harness pin the two together.
+func FHausViaRefinement(a, b *ranking.PartialRanking) (int64, error) {
 	if err := ranking.CheckSameDomain(a, b); err != nil {
 		return 0, err
 	}

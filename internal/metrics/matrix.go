@@ -3,6 +3,7 @@ package metrics
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ranking"
 )
@@ -11,21 +12,87 @@ import (
 // by DistanceMatrix.
 type Distance func(a, b *ranking.PartialRanking) (float64, error)
 
+// DistanceWS is a workspace-aware distance function: the caller supplies the
+// scratch state, so batch engines hand each worker goroutine one warm
+// workspace and pay O(1) allocations per distance. Method expressions on
+// Workspace — (*Workspace).KProf, (*Workspace).FProf, (*Workspace).Distances
+// adapters below — satisfy this type directly.
+type DistanceWS func(ws *Workspace, a, b *ranking.PartialRanking) (float64, error)
+
+// Workspace-aware adapters for the four paper metrics, usable wherever a
+// DistanceWS is consumed (DistanceMatrixWith, SumDistanceWith, ...). The
+// Hausdorff pair return float64 for signature uniformity; the values are
+// exact integers.
+func KProfWS(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) { return ws.KProf(a, b) }
+func FProfWS(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) { return ws.FProf(a, b) }
+func KHausWS(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) {
+	v, err := ws.KHaus(a, b)
+	return float64(v), err
+}
+func FHausWS(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) {
+	v, err := ws.FHaus(a, b)
+	return float64(v), err
+}
+
 // DistanceMatrix computes the symmetric m x m matrix of pairwise distances
 // among an ensemble, fanning the upper-triangle computations out across
 // GOMAXPROCS goroutines. The diagonal is zero by regularity; the matrix is
 // filled symmetrically. The first error encountered aborts the computation.
+// The distance function receives no workspace; use DistanceMatrixWith to
+// reuse one workspace per worker.
 func DistanceMatrix(rankings []*ranking.PartialRanking, d Distance) ([][]float64, error) {
+	return DistanceMatrixWith(rankings, func(_ *Workspace, a, b *ranking.PartialRanking) (float64, error) {
+		return d(a, b)
+	})
+}
+
+// DistanceMatrixWith is DistanceMatrix for workspace-aware distances: every
+// worker goroutine checks one workspace out of the package pool for its
+// whole lifetime, so an m-ranking ensemble costs O(workers) allocations of
+// scratch state rather than O(m^2). On the first error the producer stops
+// enqueueing and the workers skip whatever is already queued, so the call
+// returns without computing the remaining cells.
+func DistanceMatrixWith(rankings []*ranking.PartialRanking, d DistanceWS) ([][]float64, error) {
 	m := len(rankings)
 	out := make([][]float64, m)
 	for i := range out {
 		out[i] = make([]float64, m)
 	}
+	err := forEachPair(m, func(ws *Workspace, i, j int) error {
+		v, err := d(ws, rankings[i], rankings[j])
+		if err != nil {
+			return err
+		}
+		out[i][j] = v
+		out[j][i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachPair runs compute over every upper-triangle pair (i, j), i < j, of
+// an m-element ensemble on GOMAXPROCS worker goroutines, each holding one
+// pooled workspace. The first error short-circuits: the producer stops
+// feeding the job channel and the remaining queued pairs are skipped, not
+// computed. Writes performed by compute must target disjoint cells per pair.
+func forEachPair(m int, compute func(ws *Workspace, i, j int) error) error {
 	type cell struct{ i, j int }
 	jobs := make(chan cell, m)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var failed atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
@@ -37,32 +104,30 @@ func DistanceMatrix(rankings []*ranking.PartialRanking, d Distance) ([][]float64
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := GetWorkspace()
+			defer PutWorkspace(ws)
 			for c := range jobs {
-				v, err := d(rankings[c.i], rankings[c.j])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				if failed.Load() {
 					continue
 				}
-				out[c.i][c.j] = v
-				out[c.j][c.i] = v
+				if err := compute(ws, c.i, c.j); err != nil {
+					fail(err)
+				}
 			}
 		}()
 	}
+produce:
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
+			if failed.Load() {
+				break produce
+			}
 			jobs <- cell{i, j}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
+	return firstErr
 }
 
 // KendallW returns Kendall's coefficient of concordance W among m >= 2

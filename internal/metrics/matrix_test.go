@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/randrank"
@@ -54,6 +55,63 @@ func TestDistanceMatrixPropagatesErrors(t *testing.T) {
 	}
 	if mat, err := DistanceMatrix(in[:1], KProf); err != nil || len(mat) != 1 || mat[0][0] != 0 {
 		t.Errorf("singleton ensemble: %v %v", mat, err)
+	}
+}
+
+// TestDistanceMatrixShortCircuitsOnError checks that the first error stops
+// the sweep: the producer must stop enqueueing and the workers must skip the
+// already-queued cells, so only a small prefix of the m(m-1)/2 distances is
+// ever computed.
+func TestDistanceMatrixShortCircuitsOnError(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var in []*ranking.PartialRanking
+	const m = 64
+	for i := 0; i < m; i++ {
+		in = append(in, randrank.Partial(rng, 10, 3))
+	}
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := DistanceMatrix(in, func(a, b *ranking.PartialRanking) (float64, error) {
+		calls.Add(1)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Every distance errors, so the flag is raised on the very first call;
+	// each worker may be mid-call plus the channel holds at most m queued
+	// cells. Anything near the full triangle (2016) means no short-circuit.
+	total := int64(m * (m - 1) / 2)
+	if got := calls.Load(); got > total/4 {
+		t.Errorf("computed %d of %d cells after first error, want an early stop", got, total)
+	}
+}
+
+func TestDistanceMatrixWithMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var in []*ranking.PartialRanking
+	for i := 0; i < 10; i++ {
+		in = append(in, randrank.Partial(rng, 25, 4))
+	}
+	want, err := DistanceMatrix(in, KProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DistanceMatrixWith(in, KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	for _, d := range []DistanceWS{FProfWS, KHausWS, FHausWS} {
+		if _, err := DistanceMatrixWith(in, d); err != nil {
+			t.Errorf("adapter failed: %v", err)
+		}
 	}
 }
 

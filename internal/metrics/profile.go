@@ -1,8 +1,6 @@
 package metrics
 
 import (
-	"fmt"
-
 	"repro/internal/ranking"
 )
 
@@ -13,14 +11,9 @@ import (
 // metric for p in (0, 1/2), and not even a distance measure for p = 0.
 // p must lie in [0, 1].
 func KWithPenalty(a, b *ranking.PartialRanking, p float64) (float64, error) {
-	if p < 0 || p > 1 {
-		return 0, fmt.Errorf("metrics: penalty parameter p=%v out of [0,1]", p)
-	}
-	pc, err := CountPairs(a, b)
-	if err != nil {
-		return 0, err
-	}
-	return float64(pc.Discordant) + p*float64(pc.TiedOnlyInA+pc.TiedOnlyInB), nil
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return ws.KWithPenalty(a, b, p)
 }
 
 // KProf returns Kprof(a, b) = K^(1/2)(a, b), the Kendall profile metric: the
@@ -85,14 +78,17 @@ func FProf(a, b *ranking.PartialRanking) (float64, error) {
 }
 
 // FProf2 returns the doubled footrule profile distance 2*Fprof(a, b) as an
-// exact integer.
+// exact integer. The sweep reads both rankings through their copy-free
+// accessors and never allocates.
 func FProf2(a, b *ranking.PartialRanking) (int64, error) {
 	if err := ranking.CheckSameDomain(a, b); err != nil {
 		return 0, err
 	}
+	aof, bof := a.BucketIndices(), b.BucketIndices()
+	apos, bpos := a.BucketPositions2(), b.BucketPositions2()
 	var sum2 int64
-	for e := 0; e < a.N(); e++ {
-		d := a.Pos2(e) - b.Pos2(e)
+	for e := range aof {
+		d := apos[aof[e]] - bpos[bof[e]]
 		if d < 0 {
 			d = -d
 		}

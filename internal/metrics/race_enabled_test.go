@@ -1,0 +1,7 @@
+//go:build race
+
+package metrics
+
+// raceEnabled reports whether the race detector instruments this build; the
+// allocation-regression tests skip themselves under it.
+const raceEnabled = true

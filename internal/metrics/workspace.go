@@ -1,0 +1,345 @@
+package metrics
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/permutation"
+	"repro/internal/ranking"
+)
+
+// Workspace holds the reusable scratch state of the metric kernels: a
+// Fenwick tree for discordance counting, per-element bucket-index and sort
+// buffers, and the packed-key buffers of the Hausdorff witness kernel. A
+// warm Workspace lets CountPairs, the Kendall family, and the footrule
+// family run with zero heap allocations, which is what ensemble workloads
+// (DistanceMatrix, SumDistance, aggregation objective evaluation, MEDRANK
+// scoring) need: O(1) allocations per distance instead of O(n).
+//
+// A Workspace is not safe for concurrent use; give each goroutine its own,
+// either via NewWorkspace or the package pool (GetWorkspace/PutWorkspace).
+// The zero value is ready to use. Workspaces hold no references to the
+// rankings they process, so pooling never extends ranking lifetimes.
+type Workspace struct {
+	ft    permutation.Fenwick // discordance counter over b's bucket indices
+	bkts  []int32             // per-a-bucket sort buffer of b-bucket indices
+	keys  []uint64            // packed (bucket, bucket, element) sort keys
+	ranks []int32             // element -> witness-rank scratch
+}
+
+// NewWorkspace returns an empty workspace. Scratch buffers grow on first use
+// and are retained across calls.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a workspace from the package pool. Pair it with
+// PutWorkspace; the package-level metric functions use this pool internally,
+// so casual callers never see it, while batch engines check a workspace out
+// once per goroutine.
+func GetWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
+
+// PutWorkspace returns a workspace to the package pool. The workspace must
+// not be used after it is put back.
+func PutWorkspace(ws *Workspace) { workspacePool.Put(ws) }
+
+// i32 returns the int32 scratch buffer with capacity for n entries.
+func (ws *Workspace) i32(n int) []int32 {
+	if cap(ws.bkts) < n {
+		ws.bkts = make([]int32, n)
+	}
+	return ws.bkts[:n]
+}
+
+// u64 returns the packed-key scratch buffer with room for n entries.
+func (ws *Workspace) u64(n int) []uint64 {
+	if cap(ws.keys) < n {
+		ws.keys = make([]uint64, n)
+	}
+	return ws.keys[:n]
+}
+
+// rank32 returns the rank scratch buffer with room for n entries.
+func (ws *Workspace) rank32(n int) []int32 {
+	if cap(ws.ranks) < n {
+		ws.ranks = make([]int32, n)
+	}
+	return ws.ranks[:n]
+}
+
+// CountPairs classifies all element pairs of two same-domain partial
+// rankings exactly as the package-level CountPairs, reusing the workspace's
+// scratch state so a warm call performs no heap allocation. Pairs tied in
+// both rankings are counted by sorting each a-bucket's b-bucket indices in
+// a reusable buffer and summing equal runs — replacing the per-call hash
+// map of the original engine — and discordances come from the workspace's
+// Fenwick tree over b's buckets, reset in place.
+func (ws *Workspace) CountPairs(a, b *ranking.PartialRanking) (PairCounts, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return PairCounts{}, err
+	}
+	n := a.N()
+	var pc PairCounts
+	tiedA := tiedPairs(a)
+	tiedB := tiedPairs(b)
+
+	// Walk a's buckets best-first. For each bucket: count discordances of
+	// its elements against everything already inserted (strictly later
+	// b-buckets), then count its tied-in-both pairs by sorting the bucket's
+	// b-bucket indices and summing runs, then insert the bucket. Elements
+	// of one a-bucket are inserted only after the whole bucket is counted,
+	// so a-tied pairs contribute no discordances; b-tied pairs are excluded
+	// by the strict Fenwick range.
+	bof := b.BucketIndices()
+	ws.ft.Reset(b.NumBuckets())
+	seg := ws.i32(n)
+	var seen int64
+	for ai := 0; ai < a.NumBuckets(); ai++ {
+		bucket := a.Bucket(ai)
+		s := seg[:0]
+		for _, e := range bucket {
+			bi := bof[e]
+			pc.Discordant += seen - ws.ft.PrefixSum(bi)
+			s = append(s, int32(bi))
+		}
+		if len(s) > 1 {
+			slices.Sort(s)
+			run := int64(1)
+			for i := 1; i < len(s); i++ {
+				if s[i] == s[i-1] {
+					run++
+					continue
+				}
+				pc.TiedInBoth += run * (run - 1) / 2
+				run = 1
+			}
+			pc.TiedInBoth += run * (run - 1) / 2
+		}
+		for _, bi := range s {
+			ws.ft.Add(int(bi), 1)
+		}
+		seen += int64(len(bucket))
+	}
+
+	pc.TiedOnlyInA = tiedA - pc.TiedInBoth
+	pc.TiedOnlyInB = tiedB - pc.TiedInBoth
+	total := int64(n) * int64(n-1) / 2
+	pc.Concordant = total - tiedA - tiedB + pc.TiedInBoth - pc.Discordant
+	return pc, nil
+}
+
+// KProf returns the Kendall profile metric Kprof = K^(1/2) (Section 3.1)
+// without allocating on a warm workspace.
+func (ws *Workspace) KProf(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return KProfFromCounts(pc), nil
+}
+
+// KProf2 returns the doubled profile distance 2*Kprof as an exact integer.
+func (ws *Workspace) KProf2(a, b *ranking.PartialRanking) (int64, error) {
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return 2*pc.Discordant + pc.TiedOnlyInA + pc.TiedOnlyInB, nil
+}
+
+// KWithPenalty returns K^(p) for p in [0, 1] (Section 3.1).
+func (ws *Workspace) KWithPenalty(a, b *ranking.PartialRanking, p float64) (float64, error) {
+	if p < 0 || p > 1 {
+		return 0, errPenaltyRange(p)
+	}
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(pc.Discordant) + p*float64(pc.TiedOnlyInA+pc.TiedOnlyInB), nil
+}
+
+// KHaus returns the Hausdorff-Kendall metric via the Proposition 6 formula.
+func (ws *Workspace) KHaus(a, b *ranking.PartialRanking) (int64, error) {
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return KHausFromCounts(pc), nil
+}
+
+// KAvg returns the average Kendall distance over refinement pairs
+// (Appendix A.3).
+func (ws *Workspace) KAvg(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(pc.Discordant) +
+		float64(pc.TiedOnlyInA+pc.TiedOnlyInB)/2 +
+		float64(pc.TiedInBoth)/2, nil
+}
+
+// Kendall returns the Kendall tau distance between two full rankings. On
+// full rankings every pair is untied in both, so the distance is exactly the
+// discordant count of the pair-classification kernel.
+func (ws *Workspace) Kendall(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	if !a.IsFull() || !b.IsFull() {
+		return 0, errNotFull("Kendall")
+	}
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return pc.Discordant, nil
+}
+
+// FProf returns the footrule profile metric Fprof (Section 3.1).
+func (ws *Workspace) FProf(a, b *ranking.PartialRanking) (float64, error) {
+	d2, err := ws.FProf2(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(d2) / 2, nil
+}
+
+// FProf2 returns the doubled footrule profile distance as an exact integer.
+// The kernel reads the rankings through their copy-free accessors; it never
+// allocates (workspace or not — it is defined on Workspace for uniformity).
+func (ws *Workspace) FProf2(a, b *ranking.PartialRanking) (int64, error) {
+	return FProf2(a, b)
+}
+
+// Footrule returns the Spearman footrule distance between two full rankings.
+func (ws *Workspace) Footrule(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	if !a.IsFull() || !b.IsFull() {
+		return 0, errNotFull("Footrule")
+	}
+	d2, err := ws.FProf2(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return d2 / 2, nil
+}
+
+// maxPackedN bounds the domain size of the packed-key Hausdorff kernel:
+// three 21-bit fields (bucket, bucket, element) must fit one uint64 sort
+// key. Larger domains fall back to the allocating refinement construction.
+const maxPackedN = 1 << 21
+
+// FHaus returns the Hausdorff-footrule metric via the Theorem 5 witness
+// characterization, computed without materializing the refinements: each
+// witness full ranking sorts the domain by a (bucket, bucket, element)
+// triple, so its position vector is recovered by sorting packed 64-bit keys
+// in the workspace's reusable buffers. Zero allocations on a warm workspace
+// for n < 2^21; beyond that it falls back to FHausViaRefinement.
+func (ws *Workspace) FHaus(a, b *ranking.PartialRanking) (int64, error) {
+	if err := ranking.CheckSameDomain(a, b); err != nil {
+		return 0, err
+	}
+	n := a.N()
+	if n >= maxPackedN {
+		return FHausViaRefinement(a, b)
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	aof, bof := a.BucketIndices(), b.BucketIndices()
+	ta, tb := a.NumBuckets(), b.NumBuckets()
+	keys := ws.u64(n)
+	ranks := ws.rank32(n)
+
+	// Witness pair 1 (Theorem 5, rho = identity):
+	//	sigma1 = rho*tauR*sigma orders by (sigma-bucket, reversed-tau-bucket, id)
+	//	tau1   = rho*sigma*tau  orders by (tau-bucket, sigma-bucket, id)
+	f1 := witnessFootrule(keys, ranks, aof, bof, tb-1, false)
+	// Witness pair 2:
+	//	sigma2 = rho*tau*sigma  orders by (sigma-bucket, tau-bucket, id)
+	//	tau2   = rho*sigmaR*tau orders by (tau-bucket, reversed-sigma-bucket, id)
+	f2 := witnessFootrule(keys, ranks, aof, bof, ta-1, true)
+	return max64(f1, f2), nil
+}
+
+// witnessFootrule computes F(sigma_w, tau_w) for one Theorem 5 witness pair.
+// The secondary sort key of exactly one side is reversed: for pair 1 the
+// sigma-side refines by tauR (rev indexes bof), for pair 2 the tau-side
+// refines by sigmaR (rev indexes aof, selected by revOnTau). Positions in a
+// full ranking are its sort ranks, so F is the L1 distance of the two rank
+// vectors.
+func witnessFootrule(keys []uint64, ranks []int32, aof, bof []int, rev int, revOnTau bool) int64 {
+	const (
+		shift1 = 42
+		shift2 = 21
+		mask   = uint64(1<<21 - 1)
+	)
+	n := len(aof)
+	for e := 0; e < n; e++ {
+		second := bof[e]
+		if !revOnTau {
+			second = rev - second
+		}
+		keys[e] = uint64(aof[e])<<shift1 | uint64(second)<<shift2 | uint64(e)
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		ranks[k&mask] = int32(i)
+	}
+	for e := 0; e < n; e++ {
+		second := aof[e]
+		if revOnTau {
+			second = rev - second
+		}
+		keys[e] = uint64(bof[e])<<shift1 | uint64(second)<<shift2 | uint64(e)
+	}
+	slices.Sort(keys)
+	var f int64
+	for i, k := range keys {
+		d := int64(i) - int64(ranks[k&mask])
+		if d < 0 {
+			d = -d
+		}
+		f += d
+	}
+	return f
+}
+
+// Distances computes all four paper metrics in a single pair-classification
+// pass plus one position sweep and one witness kernel — the batched
+// counterpart of calling KProf, FProf, KHaus, and FHaus separately. Zero
+// allocations on a warm workspace.
+func (ws *Workspace) Distances(a, b *ranking.PartialRanking) (AllDistances, error) {
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return AllDistances{}, err
+	}
+	d := AllDistances{KProf: KProfFromCounts(pc), KHaus: KHausFromCounts(pc)}
+	f2, err := ws.FProf2(a, b)
+	if err != nil {
+		return AllDistances{}, err
+	}
+	d.FProf = float64(f2) / 2
+	if d.FHaus, err = ws.FHaus(a, b); err != nil {
+		return AllDistances{}, err
+	}
+	return d, nil
+}
+
+// Gamma returns the Goodman-Kruskal gamma association, or ErrGammaUndefined
+// when no pair is untied in both rankings.
+func (ws *Workspace) Gamma(a, b *ranking.PartialRanking) (float64, error) {
+	pc, err := ws.CountPairs(a, b)
+	if err != nil {
+		return 0, err
+	}
+	den := pc.Concordant + pc.Discordant
+	if den == 0 {
+		return 0, ErrGammaUndefined
+	}
+	return float64(pc.Concordant-pc.Discordant) / float64(den), nil
+}

@@ -311,6 +311,21 @@ func NewFenwick(n int) *Fenwick {
 	return &Fenwick{tree: make([]int64, n+1)}
 }
 
+// Reset re-dimensions the tree to size n and zeroes every count, reusing the
+// underlying storage whenever it is large enough. It lets scratch state (for
+// example a metrics workspace) run many counting passes without allocating.
+func (f *Fenwick) Reset(n int) {
+	if cap(f.tree) < n+1 {
+		f.tree = make([]int64, n+1)
+		return
+	}
+	f.tree = f.tree[:n+1]
+	clear(f.tree)
+}
+
+// Size returns the index capacity the tree was last dimensioned for.
+func (f *Fenwick) Size() int { return len(f.tree) - 1 }
+
 // Add adds delta at index i.
 func (f *Fenwick) Add(i int, delta int64) {
 	for i++; i < len(f.tree); i += i & (-i) {

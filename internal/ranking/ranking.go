@@ -206,6 +206,28 @@ func (pr *PartialRanking) Pos2(e int) int64 { return pr.pos2[pr.bucketOf[e]] }
 // BucketPos2 returns the doubled position of bucket i.
 func (pr *PartialRanking) BucketPos2(i int) int64 { return pr.pos2[i] }
 
+// BucketIndices returns the element -> bucket-index vector: entry e is
+// BucketOf(e). The returned slice is shared with the ranking and must not be
+// modified; it exists so the metric kernels can walk rankings without copies
+// or per-element method calls.
+func (pr *PartialRanking) BucketIndices() []int { return pr.bucketOf }
+
+// BucketPositions2 returns the doubled position of every bucket: entry i is
+// BucketPos2(i). The returned slice is shared with the ranking and must not
+// be modified. Together with BucketIndices it gives copy-free access to the
+// position vector: Pos2(e) = BucketPositions2()[BucketIndices()[e]].
+func (pr *PartialRanking) BucketPositions2() []int64 { return pr.pos2 }
+
+// AppendPositions2 appends the doubled position vector to dst and returns
+// the extended slice, allocating only when dst lacks capacity. It is the
+// reuse-friendly form of Positions2.
+func (pr *PartialRanking) AppendPositions2(dst []int64) []int64 {
+	for e := 0; e < pr.n; e++ {
+		dst = append(dst, pr.pos2[pr.bucketOf[e]])
+	}
+	return dst
+}
+
 // Positions returns the full position vector sigma(0..n-1), the F-profile of
 // Section 3.1. The slice is freshly allocated.
 func (pr *PartialRanking) Positions() []float64 {

@@ -69,33 +69,29 @@ var ErrGammaUndefined = metrics.ErrGammaUndefined
 
 // AllDistances bundles the four paper metrics for one pair of partial
 // rankings.
-type AllDistances struct {
-	KProf float64
-	FProf float64
-	KHaus int64
-	FHaus int64
+type AllDistances = metrics.AllDistances
+
+// Distances computes all four metrics of Theorem 7 in one
+// pair-classification pass on a pooled workspace. The values always satisfy
+// KProf <= FProf <= 2 KProf, KHaus <= FHaus <= 2 KHaus, and
+// KProf <= KHaus <= 2 KProf.
+func Distances(a, b *PartialRanking) (AllDistances, error) {
+	return metrics.Distances(a, b)
 }
 
-// Distances computes all four metrics of Theorem 7 in one pass-friendly
-// call. The values always satisfy KProf <= FProf <= 2 KProf,
-// KHaus <= FHaus <= 2 KHaus, and KProf <= KHaus <= 2 KProf.
-func Distances(a, b *PartialRanking) (AllDistances, error) {
-	var d AllDistances
-	var err error
-	if d.KProf, err = metrics.KProf(a, b); err != nil {
-		return d, err
-	}
-	if d.FProf, err = metrics.FProf(a, b); err != nil {
-		return d, err
-	}
-	if d.KHaus, err = metrics.KHaus(a, b); err != nil {
-		return d, err
-	}
-	if d.FHaus, err = metrics.FHaus(a, b); err != nil {
-		return d, err
-	}
-	return d, nil
-}
+// Workspace is reusable scratch state for the metric engines. A warm
+// workspace computes CountPairs, the Kendall family, and the footrule
+// family with zero heap allocations, so loops that evaluate many distances
+// (ensemble scoring, aggregation objectives, nearest-neighbor sweeps) pay
+// O(1) allocations per distance instead of O(n). Reuse one Workspace per
+// goroutine — the zero value is ready — or rely on the package pool that
+// backs the plain metric functions. See also CompareAll and
+// DistanceMatrixWith, which manage per-worker workspaces for you.
+type Workspace = metrics.Workspace
+
+// NewWorkspace returns an empty workspace whose scratch buffers grow on
+// first use and are retained across calls.
+func NewWorkspace() *Workspace { return metrics.NewWorkspace() }
 
 // KendallTauA returns Kendall's tau-a coefficient in [-1, 1] (ties dilute
 // toward 0).
@@ -134,10 +130,43 @@ func NestFreeOrder(sigma, tau *PartialRanking) (*PartialRanking, error) {
 // consumed by DistanceMatrix.
 type RankingDistance = metrics.Distance
 
+// RankingDistanceWS is a workspace-aware distance function, as consumed by
+// DistanceMatrixWith. The adapters KProfWS, FProfWS, KHausWS, and FHausWS
+// cover the four paper metrics; custom distances receive the worker's warm
+// workspace and may use any of its kernels.
+type RankingDistanceWS = metrics.DistanceWS
+
+// Workspace-aware adapters for the four paper metrics. The Hausdorff pair
+// return float64 for signature uniformity; the values are exact integers.
+var (
+	KProfWS RankingDistanceWS = metrics.KProfWS
+	FProfWS RankingDistanceWS = metrics.FProfWS
+	KHausWS RankingDistanceWS = metrics.KHausWS
+	FHausWS RankingDistanceWS = metrics.FHausWS
+)
+
 // DistanceMatrix computes the symmetric pairwise distance matrix of an
 // ensemble in parallel.
 func DistanceMatrix(rankings []*PartialRanking, d RankingDistance) ([][]float64, error) {
 	return metrics.DistanceMatrix(rankings, d)
+}
+
+// DistanceMatrixWith computes the symmetric pairwise distance matrix of an
+// ensemble in parallel with one warm workspace per worker goroutine, so an
+// m-ranking ensemble performs O(workers) scratch allocations instead of
+// O(m^2). The first error stops the remaining cells from being computed.
+func DistanceMatrixWith(rankings []*PartialRanking, d RankingDistanceWS) ([][]float64, error) {
+	return metrics.DistanceMatrixWith(rankings, d)
+}
+
+// CompareAll computes the full symmetric matrix of AllDistances for an
+// ensemble — all four paper metrics for every pair — in one batched
+// parallel pass with per-worker workspace reuse. It is the ensemble entry
+// point for middleware-scale workloads: m rankings cost one pair
+// classification plus one witness kernel per pair and O(workers) scratch
+// allocations total.
+func CompareAll(rankings []*PartialRanking) ([][]AllDistances, error) {
+	return metrics.CompareAll(rankings)
 }
 
 // KendallW returns Kendall's coefficient of concordance among the rankings,

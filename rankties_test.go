@@ -334,3 +334,71 @@ func TestFacadeKemenyAndCondorcet(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The batched ensemble entry point must agree with the single-pair facade
+// calls, and an explicitly reused Workspace must match the pooled paths.
+func TestFacadeCompareAllAndWorkspace(t *testing.T) {
+	a := MustFromOrder([]int{0, 1, 2, 3, 4})
+	b := MustFromBuckets(5, [][]int{{1, 3}, {0}, {2, 4}})
+	c := MustFromBuckets(5, [][]int{{4}, {0, 1, 2, 3}})
+	in := []*PartialRanking{a, b, c}
+
+	mat, err := CompareAll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		for j := range in {
+			want, err := Distances(in[i], in[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mat[i][j] != want {
+				t.Errorf("CompareAll[%d][%d] = %+v, want %+v", i, j, mat[i][j], want)
+			}
+		}
+	}
+
+	ws := NewWorkspace()
+	for i := range in {
+		for j := range in {
+			got, err := ws.Distances(in[i], in[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != mat[i][j] {
+				t.Errorf("ws.Distances[%d][%d] = %+v, want %+v", i, j, got, mat[i][j])
+			}
+		}
+	}
+
+	// Workspace-aware distance matrix agrees with the plain one.
+	plain, err := DistanceMatrix(in, KProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := DistanceMatrixWith(in, KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		for j := range plain[i] {
+			if plain[i][j] != fast[i][j] {
+				t.Errorf("matrix mismatch at [%d][%d]: %v vs %v", i, j, plain[i][j], fast[i][j])
+			}
+		}
+	}
+
+	// CompareWith on a reused workspace matches Compare.
+	cmpPlain, err := Compare(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpWS, err := CompareWith(ws, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmpPlain.Report() != cmpWS.Report() {
+		t.Errorf("CompareWith report %+v, Compare report %+v", cmpWS.Report(), cmpPlain.Report())
+	}
+}
