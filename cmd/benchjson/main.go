@@ -18,6 +18,8 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/aggregate"
@@ -34,12 +36,47 @@ type record struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// report is the top-level JSON document. Schema:
+//
+//   - go_version, gomaxprocs, commit: the environment stamp, so two artifact
+//     files are only compared when they come from comparable runs. commit is
+//     the vcs revision baked in by the Go linker ("+dirty" appended when the
+//     worktree had uncommitted changes), empty when built outside a checkout.
+//   - n, m, max_bucket, seed: the workload parameters.
+//   - benchmarks: one record per engine, with ns/op averaged over the
+//     iteration count testing.Benchmark settled on.
 type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Commit     string   `json:"commit,omitempty"`
 	N          int      `json:"n"`
 	M          int      `json:"m"`
 	MaxBucket  int      `json:"max_bucket"`
 	Seed       int64    `json:"seed"`
 	Benchmarks []record `json:"benchmarks"`
+}
+
+// vcsRevision reads the commit hash the binary was built from out of the
+// build info, if the toolchain recorded one.
+func vcsRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
 }
 
 func main() {
@@ -89,7 +126,15 @@ func run(args []string, stdout io.Writer) error {
 		return metrics.KProfFromCounts(pc), nil
 	}
 
-	rep := report{N: *n, M: *m, MaxBucket: *maxBucket, Seed: *seed}
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     vcsRevision(),
+		N:          *n,
+		M:          *m,
+		MaxBucket:  *maxBucket,
+		Seed:       *seed,
+	}
 	var firstErr error
 	bench := func(name string, body func() error) {
 		if firstErr != nil {

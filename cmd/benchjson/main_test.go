@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 )
 
@@ -22,6 +23,12 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 	}
 	if rep.N != 40 || rep.M != 4 {
 		t.Errorf("header = %+v", rep)
+	}
+	if rep.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", rep.GoVersion, runtime.Version())
+	}
+	if rep.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs = %d", rep.GOMAXPROCS)
 	}
 	want := map[string]bool{
 		"countpairs/alloc":               false,

@@ -6,50 +6,146 @@
 // other aggregation method needs. It is the practitioner's version of
 // experiment E7: run it on the parameter ranges that match your schema.
 //
+// With -stats the human-readable table is replaced by a JSON document that
+// additionally runs the TA-style baseline on every configuration and reports
+// sequential/random access counts, the certificate lower bound, and the
+// MEDRANK optimality ratio (Theorems 30-32) per configuration, plus a
+// snapshot of the telemetry registry. -trace appends the span event log;
+// -debug ADDR serves net/http/pprof and expvar for the duration of the run.
+//
 // Usage:
 //
 //	dbbench [-n 1000,10000] [-m 4,6] [-values 3,5,25] [-k 1,10] [-zipf 1.0]
-//	        [-theta 1.5] [-trials 3] [-seed 1]
+//	        [-theta 1.5] [-trials 3] [-seed 1] [-stats] [-trace] [-debug addr]
 package main
 
 import (
+	"encoding/json"
+	_ "expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/randrank"
+	"repro/internal/telemetry"
 	"repro/internal/topk"
 )
 
 func main() {
-	ns := flag.String("n", "1000,10000", "comma-separated catalog sizes")
-	ms := flag.String("m", "4,6", "comma-separated attribute counts")
-	values := flag.String("values", "3,5,25", "comma-separated distinct-value counts per attribute")
-	ks := flag.String("k", "1,10", "comma-separated k values")
-	zipf := flag.Float64("zipf", 1.0, "Zipf skew of attribute values")
-	theta := flag.Float64("theta", 1.5, "Mallows concentration of attributes around the hidden order")
-	trials := flag.Int("trials", 3, "trials per configuration (averaged)")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	}
+}
 
-	nsV, err1 := parseInts(*ns)
-	msV, err2 := parseInts(*ms)
-	valuesV, err3 := parseInts(*values)
-	ksV, err4 := parseInts(*ks)
-	for _, err := range []error{err1, err2, err3, err4} {
+// engineStats is one engine's access profile on one configuration, averaged
+// over trials.
+type engineStats struct {
+	Sequential      int     `json:"sequential"`
+	Random          int     `json:"random"`
+	BucketIOs       int     `json:"bucket_ios"`
+	MaxDepth        int     `json:"max_depth"`
+	OptimalityRatio float64 `json:"optimality_ratio"`
+}
+
+// configStats is the JSON record emitted per configuration under -stats.
+type configStats struct {
+	N           int         `json:"n"`
+	M           int         `json:"m"`
+	Values      int         `json:"values"`
+	K           int         `json:"k"`
+	MedRank     engineStats `json:"medrank"`
+	TA          engineStats `json:"ta"`
+	FullScan    int         `json:"full_scan"`
+	Certificate int         `json:"certificate"`
+	ElapsedNs   int64       `json:"elapsed_ns"`
+}
+
+// statsDoc is the top-level -stats JSON document.
+type statsDoc struct {
+	Trials    int                `json:"trials"`
+	Seed      int64              `json:"seed"`
+	Configs   []configStats      `json:"configs"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+	Trace     []telemetry.Event  `json:"trace,omitempty"`
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbbench", flag.ContinueOnError)
+	ns := fs.String("n", "1000,10000", "comma-separated catalog sizes")
+	ms := fs.String("m", "4,6", "comma-separated attribute counts")
+	values := fs.String("values", "3,5,25", "comma-separated distinct-value counts per attribute")
+	ks := fs.String("k", "1,10", "comma-separated k values")
+	zipf := fs.Float64("zipf", 1.0, "Zipf skew of attribute values")
+	theta := fs.Float64("theta", 1.5, "Mallows concentration of attributes around the hidden order")
+	trials := fs.Int("trials", 3, "trials per configuration (averaged)")
+	seed := fs.Int64("seed", 1, "random seed")
+	stats := fs.Bool("stats", false, "emit access statistics as JSON (MEDRANK and TA baselines, optimality ratios, telemetry snapshot)")
+	trace := fs.Bool("trace", false, "record telemetry spans and append the trace event log to the JSON (implies -stats)")
+	debug := fs.String("debug", "", "serve net/http/pprof and expvar on this address for the duration of the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	nsV, err := parseInts(*ns)
+	if err != nil {
+		return err
+	}
+	msV, err := parseInts(*ms)
+	if err != nil {
+		return err
+	}
+	valuesV, err := parseInts(*values)
+	if err != nil {
+		return err
+	}
+	ksV, err := parseInts(*ks)
+	if err != nil {
+		return err
+	}
+	if *trials < 1 {
+		return fmt.Errorf("trials must be positive, got %d", *trials)
+	}
+	if *trace {
+		*stats = true
+	}
+	if *stats {
+		telemetry.Enable()
+		telemetry.Default.Reset()
+		telemetry.ResetTrace()
+	}
+	if *debug != "" {
+		ln, err := net.Listen("tcp", *debug)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dbbench:", err)
-			os.Exit(1)
+			return fmt.Errorf("debug server: %w", err)
 		}
+		defer ln.Close()
+		telemetry.PublishExpvar()
+		// pprof and expvar register on the default mux via their imports.
+		go http.Serve(ln, nil) //nolint:errcheck // torn down with the listener
+		fmt.Fprintf(os.Stderr, "dbbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	fmt.Printf("%-7s %-3s %-7s %-4s %12s %12s %12s %10s\n",
-		"n", "m", "values", "k", "elem probes", "bucket I/Os", "full scan", "time")
+	doc := statsDoc{Trials: *trials, Seed: *seed}
+	if !*stats {
+		fmt.Fprintf(stdout, "%-7s %-3s %-7s %-4s %12s %12s %12s %10s\n",
+			"n", "m", "values", "k", "elem probes", "bucket I/Os", "full scan", "time")
+	}
 	for _, n := range nsV {
 		for _, m := range msV {
 			for _, nv := range valuesV {
@@ -57,29 +153,83 @@ func main() {
 					if k > n {
 						continue
 					}
-					var sumProbes, sumIOs, sumFull int
-					var elapsed time.Duration
-					for trial := 0; trial < *trials; trial++ {
-						ens := randrank.CatalogEnsemble(rng, n, m, nv, *zipf, *theta)
-						start := time.Now()
-						res, err := topk.MedRank(ens.Rankings, k, topk.GlobalMergeBuckets)
-						elapsed += time.Since(start)
-						if err != nil {
-							fmt.Fprintln(os.Stderr, "dbbench:", err)
-							os.Exit(1)
-						}
-						sumProbes += res.Stats.Total
-						sumIOs += res.Stats.TotalBucketProbes
-						sumFull += topk.FullScanCost(ens.Rankings).Total
+					cs, err := sweepConfig(rng, n, m, nv, k, *zipf, *theta, *trials, *stats)
+					if err != nil {
+						return err
 					}
-					fmt.Printf("%-7d %-3d %-7d %-4d %12d %12d %12d %10s\n",
-						n, m, nv, k,
-						sumProbes / *trials, sumIOs / *trials, sumFull / *trials,
-						(elapsed / time.Duration(*trials)).Round(time.Microsecond))
+					if *stats {
+						doc.Configs = append(doc.Configs, cs)
+					} else {
+						fmt.Fprintf(stdout, "%-7d %-3d %-7d %-4d %12d %12d %12d %10s\n",
+							n, m, nv, k,
+							cs.MedRank.Sequential, cs.MedRank.BucketIOs, cs.FullScan,
+							time.Duration(cs.ElapsedNs).Round(time.Microsecond))
+					}
 				}
 			}
 		}
 	}
+	if *stats {
+		doc.Telemetry = telemetry.Default.Snapshot()
+		if *trace {
+			doc.Trace = telemetry.TraceEvents()
+		}
+		return writeJSON(stdout, doc)
+	}
+	return nil
+}
+
+// sweepConfig runs one (n, m, values, k) configuration for the given number
+// of trials and averages the access profiles of MEDRANK and, when withTA is
+// set, the TA-style baseline over the same ensembles.
+func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials int, withTA bool) (configStats, error) {
+	cs := configStats{N: n, M: m, Values: nv, K: k}
+	var elapsed time.Duration
+	var medRatio, taRatio float64
+	for trial := 0; trial < trials; trial++ {
+		ens := randrank.CatalogEnsemble(rng, n, m, nv, zipf, theta)
+		start := time.Now()
+		res, err := topk.MedRank(ens.Rankings, k, topk.GlobalMergeBuckets)
+		elapsed += time.Since(start)
+		if err != nil {
+			return cs, err
+		}
+		cert := topk.CertificateLowerBound(ens.Rankings, res.Winners)
+		cs.Certificate += cert
+		medRatio += res.Stats.OptimalityRatio(cert)
+		cs.MedRank.Sequential += res.Stats.Total
+		cs.MedRank.Random += res.Stats.Random
+		cs.MedRank.BucketIOs += res.Stats.TotalBucketProbes
+		if res.Stats.MaxDepth > cs.MedRank.MaxDepth {
+			cs.MedRank.MaxDepth = res.Stats.MaxDepth
+		}
+		cs.FullScan += topk.FullScanCost(ens.Rankings).Total
+		if withTA {
+			ta, err := topk.ThresholdTopK(ens.Rankings, k)
+			if err != nil {
+				return cs, err
+			}
+			taRatio += ta.Stats.OptimalityRatio(cert)
+			cs.TA.Sequential += ta.Stats.Total
+			cs.TA.Random += ta.Stats.Random
+			cs.TA.BucketIOs += ta.Stats.TotalBucketProbes
+			if ta.Stats.MaxDepth > cs.TA.MaxDepth {
+				cs.TA.MaxDepth = ta.Stats.MaxDepth
+			}
+		}
+	}
+	cs.MedRank.Sequential /= trials
+	cs.MedRank.Random /= trials
+	cs.MedRank.BucketIOs /= trials
+	cs.TA.Sequential /= trials
+	cs.TA.Random /= trials
+	cs.TA.BucketIOs /= trials
+	cs.FullScan /= trials
+	cs.Certificate /= trials
+	cs.MedRank.OptimalityRatio = medRatio / float64(trials)
+	cs.TA.OptimalityRatio = taRatio / float64(trials)
+	cs.ElapsedNs = int64(elapsed) / int64(trials)
+	return cs, nil
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -1,6 +1,77 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestRunStatsJSON(t *testing.T) {
+	was := telemetry.Enabled()
+	defer func() {
+		if !was {
+			telemetry.Disable()
+		}
+	}()
+	var out bytes.Buffer
+	args := []string{"-n", "120", "-m", "3", "-values", "4", "-k", "2,6", "-trials", "2", "-stats", "-trace"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc statsDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Configs) != 2 {
+		t.Fatalf("got %d configs, want 2", len(doc.Configs))
+	}
+	for _, c := range doc.Configs {
+		if c.MedRank.Sequential <= 0 {
+			t.Errorf("k=%d: MEDRANK sequential accesses %d, want positive", c.K, c.MedRank.Sequential)
+		}
+		if c.MedRank.Random != 0 {
+			t.Errorf("k=%d: MEDRANK random accesses %d, want 0", c.K, c.MedRank.Random)
+		}
+		if c.TA.Random <= 0 {
+			t.Errorf("k=%d: TA random accesses %d, want positive", c.K, c.TA.Random)
+		}
+		if c.MedRank.OptimalityRatio < 1 {
+			t.Errorf("k=%d: MEDRANK optimality ratio %v < 1", c.K, c.MedRank.OptimalityRatio)
+		}
+	}
+	if len(doc.Telemetry.Counters) == 0 {
+		t.Error("telemetry counter snapshot empty under -stats")
+	}
+	if len(doc.Trace) == 0 {
+		t.Error("trace event log empty under -trace")
+	}
+}
+
+func TestRunTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "60", "-m", "3", "-values", "3", "-k", "2", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "elem probes") {
+		t.Errorf("table header missing:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "x"},
+		{"-k", "0"},
+		{"-trials", "0"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 20,300")

@@ -14,17 +14,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/randrank"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 	"repro/internal/topk"
 )
 
@@ -112,8 +115,17 @@ func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agg", flag.ContinueOnError)
 	file := fs.String("file", "", "rankings file (default stdin)")
 	method := fs.String("method", "median", "median | dp | borda | mc4 | footrule-opt")
+	trace := fs.Bool("trace", false, "record telemetry spans and append per-phase timings as comment lines")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trace {
+		was := telemetry.Enabled()
+		telemetry.Enable()
+		telemetry.ResetTrace()
+		if !was {
+			defer telemetry.Disable()
+		}
 	}
 	rs, dom, err := readRankings(*file, stdin)
 	if err != nil {
@@ -146,6 +158,11 @@ func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, dom.Render(out))
 	fmt.Fprintf(stdout, "# sum Fprof objective = %g\n", obj)
+	if *trace {
+		for _, ev := range telemetry.TraceEvents() {
+			fmt.Fprintf(stdout, "# trace: %-28s %s\n", ev.Name, time.Duration(ev.DurationNs))
+		}
+	}
 	return nil
 }
 
@@ -153,6 +170,7 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("topk", flag.ContinueOnError)
 	file := fs.String("file", "", "rankings file (default stdin)")
 	k := fs.Int("k", 1, "number of winners")
+	stats := fs.Bool("stats", false, "emit the run's access accounting as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,10 +182,26 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	full := topk.FullScanCost(rs)
+	if *stats {
+		cert := topk.CertificateLowerBound(rs, res.Winners)
+		winners := make([]string, len(res.Winners))
+		for i, w := range res.Winners {
+			winners[i] = dom.Name(w)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Winners         []string         `json:"winners"`
+			Access          topk.AccessStats `json:"access"`
+			FullScan        int              `json:"full_scan"`
+			Certificate     int              `json:"certificate"`
+			OptimalityRatio float64          `json:"optimality_ratio"`
+		}{winners, res.Stats, full.Total, cert, res.Stats.OptimalityRatio(cert)})
+	}
 	for i, w := range res.Winners {
 		fmt.Fprintf(stdout, "%d. %s (median position %g)\n", i+1, dom.Name(w), float64(res.Medians2[i])/2)
 	}
-	full := topk.FullScanCost(rs)
 	fmt.Fprintf(stdout, "# probes: %d of %d (%.1f%% of a full scan)\n",
 		res.Stats.Total, full.Total, 100*float64(res.Stats.Total)/float64(full.Total))
 	return nil

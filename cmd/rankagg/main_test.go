@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -42,6 +43,33 @@ func TestTopK(t *testing.T) {
 	out := runCLI(t, []string{"topk", "-k", "2"}, sample)
 	if !strings.Contains(out, "1. ") || !strings.Contains(out, "probes") {
 		t.Errorf("topk output wrong:\n%s", out)
+	}
+}
+
+func TestTopKStats(t *testing.T) {
+	out := runCLI(t, []string{"topk", "-k", "2", "-stats"}, sample)
+	var doc struct {
+		Winners         []string `json:"winners"`
+		Access          struct{ Total, Random int }
+		FullScan        int     `json:"full_scan"`
+		Certificate     int     `json:"certificate"`
+		OptimalityRatio float64 `json:"optimality_ratio"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("topk -stats output is not JSON: %v\n%s", err, out)
+	}
+	if len(doc.Winners) != 2 || doc.Access.Total <= 0 || doc.Access.Random != 0 {
+		t.Errorf("stats shape wrong: %+v", doc)
+	}
+	if doc.Certificate <= 0 || doc.OptimalityRatio < 1 {
+		t.Errorf("certificate %d ratio %v", doc.Certificate, doc.OptimalityRatio)
+	}
+}
+
+func TestAggTrace(t *testing.T) {
+	out := runCLI(t, []string{"agg", "-method", "dp", "-trace"}, sample)
+	if !strings.Contains(out, "# trace: aggregate.optimal_partial") {
+		t.Errorf("agg -trace missing span timing line:\n%s", out)
 	}
 }
 

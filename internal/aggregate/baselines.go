@@ -3,6 +3,7 @@ package aggregate
 import (
 	"repro/internal/metrics"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // Borda returns the full ranking obtained by sorting elements on their mean
@@ -13,6 +14,7 @@ import (
 // aggregation, average-rank aggregation admits no instance-optimal
 // sequential-access algorithm.
 func Borda(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	defer telemetry.StartSpan("aggregate.borda").End()
 	f, err := bordaScores(rankings)
 	if err != nil {
 		return nil, err

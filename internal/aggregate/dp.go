@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // This file implements the dynamic program of Theorem 10 / Figure 1 of the
@@ -201,6 +202,7 @@ func bucketsFromCuts(sortedElems []int, parent []int) *ranking.PartialRanking {
 //
 // and the same bound with factor 3 holds against arbitrary score functions.
 func OptimalPartialAggregate(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	defer telemetry.StartSpan("aggregate.optimal_partial").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // Exact Kemeny aggregation by dynamic programming over subsets. The summed
@@ -28,6 +29,7 @@ const KemenyMaxDP = 18
 // It matches KemenyOptimalBrute wherever both run and obeys the Condorcet
 // criterion.
 func KemenyOptimalDP(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, float64, error) {
+	defer telemetry.StartSpan("aggregate.kemeny_dp").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // This file implements the Markov-chain rank-aggregation heuristics MC1-MC4
@@ -73,6 +74,7 @@ func (o *MarkovChainOptions) defaults() {
 // iteration, and returns the full ranking by descending stationary mass
 // (ties broken by element ID).
 func MarkovChain(rankings []*ranking.PartialRanking, variant MCVariant, opts MarkovChainOptions) (*ranking.PartialRanking, error) {
+	defer telemetry.StartSpan("aggregate.markov_chain").End()
 	pi, err := StationaryDistribution(rankings, variant, opts)
 	if err != nil {
 		return nil, err
@@ -88,6 +90,7 @@ func MarkovChain(rankings []*ranking.PartialRanking, variant MCVariant, opts Mar
 // StationaryDistribution returns the stationary distribution of the chosen
 // Markov chain over the elements.
 func StationaryDistribution(rankings []*ranking.PartialRanking, variant MCVariant, opts MarkovChainOptions) ([]float64, error) {
+	defer telemetry.StartSpan("aggregate.stationary").End()
 	P, err := TransitionMatrix(rankings, variant)
 	if err != nil {
 		return nil, err

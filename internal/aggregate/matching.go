@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // This file implements the footrule-optimal full aggregation the paper uses
@@ -21,6 +22,7 @@ const infCost = int64(1) << 62
 // cost, and the minimum total. The matrix must be square and costs must be
 // small enough that n*max|cost| fits in int64.
 func AssignmentSolve(cost [][]int64) ([]int, int64, error) {
+	defer telemetry.StartSpan("aggregate.assignment").End()
 	n := len(cost)
 	for _, row := range cost {
 		if len(row) != n {
@@ -142,6 +144,7 @@ func AssignmentBrute(cost [][]int64) ([]int, int64, error) {
 // the paper's "computationally simple it is not" exact footrule aggregation
 // that median rank aggregation 2-approximates (Theorem 11).
 func FootruleOptimalFull(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, float64, error) {
+	defer telemetry.StartSpan("aggregate.footrule_full").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, 0, err
 	}

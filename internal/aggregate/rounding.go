@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // MedianTopK implements the aggregation of Theorem 9: compute the median
@@ -16,6 +17,7 @@ import (
 // The streaming MEDRANK engine in internal/topk computes the same output
 // while reading only a prefix of each input.
 func MedianTopK(rankings []*ranking.PartialRanking, k int) (*ranking.PartialRanking, error) {
+	defer telemetry.StartSpan("aggregate.median_topk").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, err
 	}
@@ -41,6 +43,7 @@ func MedianTopK(rankings []*ranking.PartialRanking, k int) (*ranking.PartialRank
 // For general partial-ranking inputs the factor-3 guarantee of Theorem 9
 // (with k = n) applies instead.
 func MedianFull(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+	defer telemetry.StartSpan("aggregate.median_full").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, err
 	}

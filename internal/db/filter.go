@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
+	"repro/internal/topk"
 )
 
 // The paper's database scenario lets the user "rank (and/or filter) the
@@ -166,6 +168,9 @@ type FilteredQuery struct {
 // sub-catalog, the preference sorts are restricted to it, and MEDRANK
 // aggregates the restricted rankings.
 func (t *Table) TopKWhere(q FilteredQuery) (*QueryResult, error) {
+	sp := telemetry.StartSpan("db.topk_where")
+	defer sp.End()
+	tFilteredQueries.Inc()
 	subset, err := t.Filter(q.Conditions)
 	if err != nil {
 		return nil, err
@@ -191,7 +196,12 @@ func (t *Table) TopKWhere(q FilteredQuery) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &QueryResult{Access: res.Stats, FullScan: fullScan(rankings)}
+	out := &QueryResult{
+		Access:      res.Stats,
+		FullScan:    fullScan(rankings),
+		Certificate: topk.CertificateLowerBound(rankings, res.Winners),
+	}
+	out.OptimalityRatio = res.Stats.OptimalityRatio(out.Certificate)
 	for i, w := range res.Winners {
 		out.Keys = append(out.Keys, t.rowKeys[subset[w]])
 		out.MedianPositions = append(out.MedianPositions, float64(res.Medians2[i])/2)

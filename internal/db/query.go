@@ -5,7 +5,15 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 	"repro/internal/topk"
+)
+
+// Gated telemetry instruments of the query layer.
+var (
+	tQueries         = telemetry.GetCounter("db.queries")
+	tFilteredQueries = telemetry.GetCounter("db.filtered_queries")
+	tIndexScans      = telemetry.GetCounter("db.index_scans")
 )
 
 // Query is a multi-criteria preference query: aggregate the index scans of
@@ -25,11 +33,19 @@ type QueryResult struct {
 	// MedianPositions holds each winner's aggregated (lower-median)
 	// position across the preference sorts.
 	MedianPositions []float64
-	// Access is the sequential-access accounting of the MEDRANK run: how
-	// much of each index scan was actually read.
+	// Access is the unified access accounting of the MEDRANK run: how much
+	// of each index scan was actually read, sequential and random accesses
+	// separated per the FLN middleware cost model.
 	Access topk.AccessStats
 	// FullScan is the cost the naive algorithm would have paid.
 	FullScan topk.AccessStats
+	// Certificate is the per-instance lower bound on the sequential probes
+	// any correct algorithm must spend to certify these winners.
+	Certificate int
+	// OptimalityRatio is Access accesses divided by Certificate — the
+	// instance-optimality ratio of Theorems 30-32 (0 when Certificate is 0,
+	// e.g. for k = 0).
+	OptimalityRatio float64
 }
 
 // runMedRank and fullScan are shared by TopK and TopKWhere.
@@ -44,6 +60,9 @@ func fullScan(rankings []*ranking.PartialRanking) topk.AccessStats {
 // TopK answers a preference query with the streaming MEDRANK engine,
 // reading each index scan only as deeply as certification requires.
 func (t *Table) TopK(q Query) (*QueryResult, error) {
+	sp := telemetry.StartSpan("db.topk")
+	defer sp.End()
+	tQueries.Inc()
 	if q.Offset < 0 {
 		return nil, fmt.Errorf("db: negative offset %d", q.Offset)
 	}
@@ -56,9 +75,11 @@ func (t *Table) TopK(q Query) (*QueryResult, error) {
 		return nil, err
 	}
 	out := &QueryResult{
-		Access:   res.Stats,
-		FullScan: fullScan(rankings),
+		Access:      res.Stats,
+		FullScan:    fullScan(rankings),
+		Certificate: topk.CertificateLowerBound(rankings, res.Winners),
 	}
+	out.OptimalityRatio = res.Stats.OptimalityRatio(out.Certificate)
 	for i, w := range res.Winners {
 		if i < q.Offset {
 			continue
@@ -120,6 +141,7 @@ func (t *Table) scanAll(prefs []Preference) ([]*ranking.PartialRanking, error) {
 		if err != nil {
 			return nil, err
 		}
+		tIndexScans.Inc()
 		rankings = append(rankings, pr)
 	}
 	return rankings, nil

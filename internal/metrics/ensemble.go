@@ -37,7 +37,7 @@ func CompareAll(rankings []*ranking.PartialRanking) ([][]AllDistances, error) {
 	for i := range out {
 		out[i] = make([]AllDistances, m)
 	}
-	err := forEachPair(m, func(ws *Workspace, i, j int) error {
+	err := forEachPair(m, "compare_all", func(ws *Workspace, i, j int) error {
 		d, err := ws.Distances(rankings[i], rankings[j])
 		if err != nil {
 			return err

@@ -1,12 +1,42 @@
 package metrics
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
+
+// Gated telemetry instruments of the batch sweep engine.
+var (
+	tMatrixCells         = telemetry.GetCounter("metrics.matrix.cells")
+	tMatrixShortCircuits = telemetry.GetCounter("metrics.matrix.short_circuits")
+	tMatrixSkipped       = telemetry.GetCounter("metrics.matrix.cells_skipped")
+	tMatrixWorkerCells   = telemetry.GetHistogram("metrics.matrix.cells_per_worker")
+)
+
+// SweepError is the error of an aborted pairwise sweep: it carries the first
+// distance error plus how many upper-triangle cells the short-circuit left
+// uncomputed, so callers can tell a barely-started sweep from a nearly
+// finished one instead of silently losing that accounting.
+type SweepError struct {
+	// Err is the first error returned by the distance function.
+	Err error
+	// SkippedCells counts the upper-triangle cells that were never computed
+	// because the sweep short-circuited.
+	SkippedCells int64
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("%v (sweep aborted, %d cells skipped)", e.Err, e.SkippedCells)
+}
+
+// Unwrap exposes the first distance error to errors.Is/As.
+func (e *SweepError) Unwrap() error { return e.Err }
 
 // Distance is any distance function between partial rankings, as consumed
 // by DistanceMatrix.
@@ -51,14 +81,15 @@ func DistanceMatrix(rankings []*ranking.PartialRanking, d Distance) ([][]float64
 // whole lifetime, so an m-ranking ensemble costs O(workers) allocations of
 // scratch state rather than O(m^2). On the first error the producer stops
 // enqueueing and the workers skip whatever is already queued, so the call
-// returns without computing the remaining cells.
+// returns without computing the remaining cells; the returned error is a
+// *SweepError recording how many cells were skipped.
 func DistanceMatrixWith(rankings []*ranking.PartialRanking, d DistanceWS) ([][]float64, error) {
 	m := len(rankings)
 	out := make([][]float64, m)
 	for i := range out {
 		out[i] = make([]float64, m)
 	}
-	err := forEachPair(m, func(ws *Workspace, i, j int) error {
+	err := forEachPair(m, "distance_matrix", func(ws *Workspace, i, j int) error {
 		v, err := d(ws, rankings[i], rankings[j])
 		if err != nil {
 			return err
@@ -75,16 +106,20 @@ func DistanceMatrixWith(rankings []*ranking.PartialRanking, d DistanceWS) ([][]f
 
 // forEachPair runs compute over every upper-triangle pair (i, j), i < j, of
 // an m-element ensemble on GOMAXPROCS worker goroutines, each holding one
-// pooled workspace. The first error short-circuits: the producer stops
-// feeding the job channel and the remaining queued pairs are skipped, not
-// computed. Writes performed by compute must target disjoint cells per pair.
-func forEachPair(m int, compute func(ws *Workspace, i, j int) error) error {
+// pooled workspace and carrying the pprof label "kernel"=label while
+// telemetry is enabled, so CPU profiles attribute samples to the sweep that
+// spent them. The first error short-circuits: the producer stops feeding the
+// job channel and the remaining queued pairs are skipped, not computed; the
+// error is returned as a *SweepError recording the skipped-cell count.
+// Writes performed by compute must target disjoint cells per pair.
+func forEachPair(m int, label string, compute func(ws *Workspace, i, j int) error) error {
 	type cell struct{ i, j int }
 	jobs := make(chan cell, m)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	var failed atomic.Bool
+	var computed atomic.Int64
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -104,16 +139,23 @@ func forEachPair(m int, compute func(ws *Workspace, i, j int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := GetWorkspace()
-			defer PutWorkspace(ws)
-			for c := range jobs {
-				if failed.Load() {
-					continue
+			telemetry.Do(context.Background(), "kernel", label, func(context.Context) {
+				ws := GetWorkspace()
+				defer PutWorkspace(ws)
+				var cells int64
+				for c := range jobs {
+					if failed.Load() {
+						continue
+					}
+					computed.Add(1)
+					cells++
+					if err := compute(ws, c.i, c.j); err != nil {
+						fail(err)
+					}
 				}
-				if err := compute(ws, c.i, c.j); err != nil {
-					fail(err)
-				}
-			}
+				tMatrixCells.Add(cells)
+				tMatrixWorkerCells.Observe(cells)
+			})
 		}()
 	}
 produce:
@@ -127,7 +169,13 @@ produce:
 	}
 	close(jobs)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		skipped := int64(m)*int64(m-1)/2 - computed.Load()
+		tMatrixShortCircuits.Inc()
+		tMatrixSkipped.Add(skipped)
+		return &SweepError{Err: firstErr, SkippedCells: skipped}
+	}
+	return nil
 }
 
 // KendallW returns Kendall's coefficient of concordance W among m >= 2

@@ -85,6 +85,19 @@ func TestDistanceMatrixShortCircuitsOnError(t *testing.T) {
 	if got := calls.Load(); got > total/4 {
 		t.Errorf("computed %d of %d cells after first error, want an early stop", got, total)
 	}
+	// The abort must account for every skipped cell rather than silently
+	// dropping them: skipped + attempted = the full upper triangle.
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SweepError", err)
+	}
+	if se.SkippedCells+calls.Load() != total {
+		t.Errorf("skipped %d + computed %d != %d total cells",
+			se.SkippedCells, calls.Load(), total)
+	}
+	if se.SkippedCells == 0 {
+		t.Error("short-circuit skipped no cells; accounting or early stop is broken")
+	}
 }
 
 func TestDistanceMatrixWithMatchesPlain(t *testing.T) {

@@ -6,6 +6,19 @@ import (
 
 	"repro/internal/permutation"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// Gated telemetry instruments of the workspace layer. Increments are atomic
+// adds behind a single enabled-flag load, so the kernels stay at 0 allocs/op
+// (and near-zero overhead) with telemetry disabled.
+var (
+	tPoolGets      = telemetry.GetCounter("metrics.workspace.pool.gets")
+	tPoolPuts      = telemetry.GetCounter("metrics.workspace.pool.puts")
+	tPoolMisses    = telemetry.GetCounter("metrics.workspace.pool.misses")
+	tCountPairs    = telemetry.GetCounter("metrics.kernel.countpairs")
+	tFHaus         = telemetry.GetCounter("metrics.kernel.fhaus")
+	tFHausFallback = telemetry.GetCounter("metrics.kernel.fhaus.fallback")
 )
 
 // Workspace holds the reusable scratch state of the metric kernels: a
@@ -31,17 +44,51 @@ type Workspace struct {
 // and are retained across calls.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-var workspacePool = sync.Pool{New: func() any { return NewWorkspace() }}
+var workspacePool = sync.Pool{New: func() any {
+	tPoolMisses.Inc()
+	return NewWorkspace()
+}}
 
 // GetWorkspace takes a workspace from the package pool. Pair it with
 // PutWorkspace; the package-level metric functions use this pool internally,
 // so casual callers never see it, while batch engines check a workspace out
 // once per goroutine.
-func GetWorkspace() *Workspace { return workspacePool.Get().(*Workspace) }
+func GetWorkspace() *Workspace {
+	tPoolGets.Inc()
+	return workspacePool.Get().(*Workspace)
+}
 
 // PutWorkspace returns a workspace to the package pool. The workspace must
 // not be used after it is put back.
-func PutWorkspace(ws *Workspace) { workspacePool.Put(ws) }
+func PutWorkspace(ws *Workspace) {
+	tPoolPuts.Inc()
+	workspacePool.Put(ws)
+}
+
+// PoolSnapshot is a point-in-time view of the workspace pool's telemetry
+// counters. A get that is not matched by a miss reused a pooled workspace's
+// scratch state; Gets - Misses is therefore the number of reuses.
+type PoolSnapshot struct {
+	// Gets counts GetWorkspace calls (direct and via the package-level
+	// metric functions).
+	Gets int64
+	// Puts counts PutWorkspace calls.
+	Puts int64
+	// Misses counts pool misses: gets that had to allocate a fresh
+	// workspace because none was pooled.
+	Misses int64
+}
+
+// PoolStats snapshots the workspace pool counters. Counting is gated on
+// telemetry.Enabled(); with telemetry disabled the snapshot is frozen at
+// whatever was last recorded.
+func PoolStats() PoolSnapshot {
+	return PoolSnapshot{
+		Gets:   tPoolGets.Value(),
+		Puts:   tPoolPuts.Value(),
+		Misses: tPoolMisses.Value(),
+	}
+}
 
 // i32 returns the int32 scratch buffer with capacity for n entries.
 func (ws *Workspace) i32(n int) []int32 {
@@ -78,6 +125,7 @@ func (ws *Workspace) CountPairs(a, b *ranking.PartialRanking) (PairCounts, error
 	if err := ranking.CheckSameDomain(a, b); err != nil {
 		return PairCounts{}, err
 	}
+	tCountPairs.Inc()
 	n := a.N()
 	var pc PairCounts
 	tiedA := tiedPairs(a)
@@ -244,7 +292,9 @@ func (ws *Workspace) FHaus(a, b *ranking.PartialRanking) (int64, error) {
 		return 0, err
 	}
 	n := a.N()
+	tFHaus.Inc()
 	if n >= maxPackedN {
+		tFHausFallback.Inc()
 		return FHausViaRefinement(a, b)
 	}
 	if n < 2 {

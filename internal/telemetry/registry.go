@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"expvar"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. Increments are gated
+// on Enabled(), so a disabled counter costs one atomic load and never
+// allocates; reads always return whatever was recorded while enabled.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one when telemetry is enabled.
+func (c *Counter) Inc() {
+	if enabled.Load() {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d when telemetry is enabled.
+func (c *Counter) Add(d int64) {
+	if enabled.Load() {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. exponential base-2 buckets
+// [2^(i-1), 2^i). 65 buckets cover every non-negative int64.
+const histBuckets = 65
+
+// Histogram is a bounded, allocation-free histogram over non-negative int64
+// observations (durations in nanoseconds, sizes, depths) with exponential
+// base-2 buckets. Like Counter, observations are gated on Enabled().
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records v when telemetry is enabled. Negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) of the
+// recorded observations: the upper edge of the bucket where the cumulative
+// count crosses q, clamped to the observed maximum. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int64(q * float64(total))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= need {
+			hi := int64(1)<<uint(i) - 1 // upper edge of bucket i
+			if m := h.max.Load(); hi > m {
+				hi = m
+			}
+			return hi
+		}
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot returns the histogram's current summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return s
+}
+
+// Registry is a named collection of counters and histograms. Counter and
+// Histogram get-or-create by name, so independent packages can bind package
+// level instrument variables at init time and share the process-wide view.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry used by the package-level Counter and
+// Histogram helpers and by PublishExpvar.
+var Default = NewRegistry()
+
+// Counter returns the registry's counter with the given name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the registry's histogram with the given name, creating
+// it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GetCounter is Counter on the default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetHistogram is Histogram on the default registry.
+func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
+
+// Snapshot is a point-in-time JSON-marshalable view of a registry: counter
+// values and histogram summaries keyed by name, zero-valued instruments
+// omitted for compactness.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			s.Counters[name] = v
+		}
+	}
+	for name, h := range r.hists {
+		if hs := h.Snapshot(); hs.Count != 0 {
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered instruments.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes every instrument in the registry. Intended for tests and for
+// per-run stats in command-line tools; instruments stay registered so bound
+// package variables remain valid.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.max.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the default registry (and the trace ring buffer)
+// under the expvar name "rankties", so any net/http server with the expvar
+// handler mounted exposes the live snapshot at /debug/vars. Safe to call
+// more than once; only the first call publishes.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("rankties", expvar.Func(func() any {
+			return struct {
+				Telemetry Snapshot `json:"telemetry"`
+				Trace     []Event  `json:"trace"`
+			}{Default.Snapshot(), TraceEvents()}
+		}))
+	})
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Event is one completed span in the trace ring buffer.
+type Event struct {
+	// Name is the span name ("aggregate.kemeny_dp", "db.topk", ...).
+	Name string `json:"name"`
+	// Start is the span's wall-clock start time.
+	Start time.Time `json:"start"`
+	// DurationNs is the span's duration in nanoseconds.
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// traceCap bounds the trace ring buffer: the most recent traceCap completed
+// spans are retained, older ones are overwritten in place.
+const traceCap = 1024
+
+type traceRing struct {
+	mu    sync.Mutex
+	buf   [traceCap]Event
+	next  int
+	total int64
+}
+
+var trace traceRing
+
+func (t *traceRing) record(e Event) {
+	t.mu.Lock()
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % traceCap
+	t.total++
+	t.mu.Unlock()
+}
+
+// TraceEvents returns the retained completed spans, oldest first.
+func TraceEvents() []Event {
+	trace.mu.Lock()
+	defer trace.mu.Unlock()
+	n := trace.total
+	if n > traceCap {
+		n = traceCap
+	}
+	out := make([]Event, 0, n)
+	start := 0
+	if trace.total > traceCap {
+		start = trace.next
+	}
+	for i := int64(0); i < n; i++ {
+		out = append(out, trace.buf[(start+int(i))%traceCap])
+	}
+	return out
+}
+
+// ResetTrace clears the trace ring buffer.
+func ResetTrace() {
+	trace.mu.Lock()
+	trace.next = 0
+	trace.total = 0
+	trace.mu.Unlock()
+}
+
+// Span is one timed region of a pipeline. The zero Span is the disabled
+// span: End is a no-op. Spans are values, so starting and ending one on the
+// disabled path allocates nothing.
+type Span struct {
+	name  string
+	start time.Time
+	prev  context.Context // goroutine labels to restore at End
+}
+
+// Start opens a span: the returned context (and the calling goroutine, until
+// End) carries the pprof label "span"=name, so CPU profiles attribute
+// samples inside the span to the named phase. When telemetry is disabled the
+// context is returned unchanged and the zero Span is returned.
+func Start(ctx context.Context, name string) (context.Context, Span) {
+	if !enabled.Load() {
+		return ctx, Span{}
+	}
+	lctx := pprof.WithLabels(ctx, pprof.Labels("span", name))
+	pprof.SetGoroutineLabels(lctx)
+	return lctx, Span{name: name, start: time.Now(), prev: ctx}
+}
+
+// StartSpan is Start without a caller context, for instrumenting functions
+// that do not take one.
+func StartSpan(name string) Span {
+	_, s := Start(context.Background(), name)
+	return s
+}
+
+// End closes the span: the event is appended to the trace ring buffer, the
+// duration is recorded in the default registry's "span.<name>" histogram,
+// and the goroutine's pprof labels are restored. No-op on the zero Span.
+func (s Span) End() {
+	if s.prev == nil {
+		return
+	}
+	d := time.Since(s.start)
+	trace.record(Event{Name: s.name, Start: s.start, DurationNs: d.Nanoseconds()})
+	GetHistogram("span." + s.name).Observe(d.Nanoseconds())
+	pprof.SetGoroutineLabels(s.prev)
+}
+
+// Do runs f with the pprof label key=value applied to the goroutine (and to
+// the context f receives), so CPU profile samples taken inside f are
+// attributed to the labeled kernel. When telemetry is disabled f runs with
+// the caller's context unchanged. Unlike Start/End, Do records no trace
+// event: it is meant for long-lived worker loops where per-call spans would
+// flood the ring buffer.
+func Do(ctx context.Context, key, value string, f func(ctx context.Context)) {
+	if !enabled.Load() {
+		f(ctx)
+		return
+	}
+	pprof.Do(ctx, pprof.Labels(key, value), f)
+}

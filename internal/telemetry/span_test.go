@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestSpanDisabledIsNoop(t *testing.T) {
+	was := Enabled()
+	Disable()
+	defer func() {
+		if was {
+			Enable()
+		}
+	}()
+	ResetTrace()
+	ctx := context.Background()
+	ctx2, s := Start(ctx, "noop")
+	if ctx2 != ctx {
+		t.Error("disabled Start changed the context")
+	}
+	s.End()
+	if ev := TraceEvents(); len(ev) != 0 {
+		t.Errorf("disabled span recorded %d events", len(ev))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_, sp := Start(ctx, "noop")
+		sp.End()
+	}); allocs != 0 {
+		t.Errorf("disabled span: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanRecordsEventAndHistogram(t *testing.T) {
+	withEnabled(t, func() {
+		ResetTrace()
+		before := GetHistogram("span.test_phase").Snapshot().Count
+		sp := StartSpan("test_phase")
+		sp.End()
+		ev := TraceEvents()
+		if len(ev) != 1 || ev[0].Name != "test_phase" {
+			t.Fatalf("trace = %+v, want one test_phase event", ev)
+		}
+		if ev[0].DurationNs < 0 {
+			t.Errorf("negative duration %d", ev[0].DurationNs)
+		}
+		if got := GetHistogram("span.test_phase").Snapshot().Count; got != before+1 {
+			t.Errorf("span histogram count = %d, want %d", got, before+1)
+		}
+	})
+}
+
+func TestSpanCarriesPprofLabel(t *testing.T) {
+	withEnabled(t, func() {
+		ctx, sp := Start(context.Background(), "labeled_phase")
+		defer sp.End()
+		v, ok := pprof.Label(ctx, "span")
+		if !ok || v != "labeled_phase" {
+			t.Errorf(`pprof label "span" = %q, %v; want "labeled_phase", true`, v, ok)
+		}
+	})
+}
+
+func TestDoCarriesKernelLabel(t *testing.T) {
+	withEnabled(t, func() {
+		ran := false
+		Do(context.Background(), "kernel", "khaus", func(ctx context.Context) {
+			ran = true
+			v, ok := pprof.Label(ctx, "kernel")
+			if !ok || v != "khaus" {
+				t.Errorf(`pprof label "kernel" = %q, %v; want "khaus", true`, v, ok)
+			}
+		})
+		if !ran {
+			t.Fatal("Do did not run f")
+		}
+	})
+	// Disabled: f still runs, context untouched.
+	was := Enabled()
+	Disable()
+	defer func() {
+		if was {
+			Enable()
+		}
+	}()
+	ran := false
+	Do(context.Background(), "kernel", "khaus", func(ctx context.Context) {
+		ran = true
+		if _, ok := pprof.Label(ctx, "kernel"); ok {
+			t.Error("disabled Do applied a label")
+		}
+	})
+	if !ran {
+		t.Fatal("disabled Do did not run f")
+	}
+}
+
+func TestTraceRingWrapsKeepingNewest(t *testing.T) {
+	withEnabled(t, func() {
+		ResetTrace()
+		for i := 0; i < traceCap+10; i++ {
+			sp := StartSpan("wrap")
+			sp.End()
+		}
+		ev := TraceEvents()
+		if len(ev) != traceCap {
+			t.Fatalf("retained %d events, want %d", len(ev), traceCap)
+		}
+		// Oldest-first ordering: starts must be non-decreasing.
+		for i := 1; i < len(ev); i++ {
+			if ev[i].Start.Before(ev[i-1].Start) {
+				t.Fatalf("events out of order at %d", i)
+			}
+		}
+		ResetTrace()
+		if len(TraceEvents()) != 0 {
+			t.Error("ResetTrace left events behind")
+		}
+	})
+}

@@ -133,7 +133,7 @@ func (r *medrankRun) probe(i int) {
 		r.frontier[i] = math.MaxInt64
 		return
 	}
-	r.bucketIO[i]++
+	r.acc.BucketIO(i)
 	r.consume(i, e)
 	if !r.bucketGranular {
 		return

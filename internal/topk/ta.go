@@ -1,0 +1,159 @@
+package topk
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// ThresholdTopK is a TA-style baseline in the spirit of the Threshold
+// Algorithm of Fagin, Lotem, and Naor, adapted to median-rank aggregation
+// over partial rankings: lists are read round-robin under sorted access, and
+// every newly discovered element is immediately resolved by random access to
+// its position in every other list, so its exact lower median is known the
+// moment it is first seen. The run stops once k resolved elements have
+// medians strictly below the threshold — the needed-th smallest frontier
+// position, a lower bound on the median of any still-unseen element.
+//
+// The answer is identical to MedRank's. The cost profile is the interesting
+// part: TA trades MEDRANK's extra sorted accesses for m-1 random accesses
+// per distinct element it touches, which is exactly the trade-off the FLN
+// middleware cost model (AccessStats.MiddlewareCost) prices. MEDRANK is the
+// paper's instance-optimal choice when random accesses are impossible or
+// expensive; ThresholdTopK exists so experiments can report both regimes
+// through the same unified access accounting.
+func ThresholdTopK(rankings []*ranking.PartialRanking, k int) (*Result, error) {
+	if len(rankings) == 0 {
+		return nil, fmt.Errorf("topk: no input rankings")
+	}
+	if err := ranking.CheckSameDomain(rankings...); err != nil {
+		return nil, err
+	}
+	n := rankings[0].N()
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
+	}
+	m := len(rankings)
+	needed := (m + 1) / 2
+
+	acc := telemetry.NewAccessAccountant(m)
+	cursors := make([]*Cursor, m)
+	frontier := make([]int64, m)
+	for i, r := range rankings {
+		cursors[i] = newCursorAt(r, acc, i)
+		frontier[i] = cursors[i].Peek2()
+	}
+
+	med := make([]int64, n)
+	for e := range med {
+		med[e] = math.MaxInt64
+	}
+	positions := make([]int64, m)
+	kSmall := &int64MaxHeap{}
+	resolved := 0
+
+	sp := telemetry.StartSpan("topk.ta")
+	telemetry.Do(context.Background(), "kernel", "ta", func(context.Context) {
+		if k == 0 {
+			return
+		}
+		next := 0
+		for resolved < n {
+			// Threshold test: with k exact medians strictly below the best
+			// median any unseen element could achieve, the answer is final
+			// (strictness sidesteps ties, which break by element ID).
+			if resolved >= k && kSmall.Peek() < kthSmallest(frontier, needed) {
+				return
+			}
+			// Round-robin sorted access over the non-exhausted lists.
+			i := -1
+			for tries := 0; tries < m; tries++ {
+				c := next
+				next = (next + 1) % m
+				if frontier[c] < math.MaxInt64 {
+					i = c
+					break
+				}
+			}
+			if i < 0 {
+				return // all lists exhausted: every element resolved
+			}
+			e, ok := cursors[i].Next()
+			if !ok {
+				frontier[i] = math.MaxInt64
+				continue
+			}
+			frontier[i] = cursors[i].Peek2()
+			if med[e.Elem] != math.MaxInt64 {
+				continue // already resolved via random access
+			}
+			// Random-access the element's position in every other list.
+			positions[i] = e.Pos2
+			for j, r := range rankings {
+				if j == i {
+					continue
+				}
+				acc.Random(j)
+				positions[j] = r.Pos2(e.Elem)
+			}
+			med[e.Elem] = kthSmallest(positions, needed)
+			resolved++
+			heap.Push(kSmall, med[e.Elem])
+			if kSmall.Len() > k {
+				heap.Pop(kSmall)
+			}
+		}
+	})
+	sp.End()
+
+	winners, medians2 := selectTopK(med, k)
+	top, err := ranking.TopKList(n, k, winners)
+	if err != nil {
+		return nil, err
+	}
+	stats := statsFromReport(acc.Report())
+	tTARuns.Inc()
+	tTAProbes.Add(int64(stats.Total))
+	tTARandom.Add(int64(stats.Random))
+	return &Result{
+		TopK:     top,
+		Winners:  winners,
+		Medians2: medians2,
+		Stats:    stats,
+	}, nil
+}
+
+// selectTopK ranks resolved elements by (median, element ID) and returns the
+// first k with their doubled medians.
+func selectTopK(med []int64, k int) (winners []int, medians2 []int64) {
+	type cand struct {
+		e    int
+		med2 int64
+	}
+	cands := make([]cand, 0, len(med))
+	for e, v := range med {
+		if v < math.MaxInt64 {
+			cands = append(cands, cand{e, v})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].med2 != cands[b].med2 {
+			return cands[a].med2 < cands[b].med2
+		}
+		return cands[a].e < cands[b].e
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	winners = make([]int, 0, len(cands))
+	for _, c := range cands {
+		winners = append(winners, c.e)
+		medians2 = append(medians2, c.med2)
+	}
+	return winners, medians2
+}

@@ -1,0 +1,111 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// TestThresholdTopKMatchesMedRank pins the TA-style baseline's answer to
+// MEDRANK's on random ensembles: same winners, same medians.
+func TestThresholdTopKMatchesMedRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		m := 1 + rng.Intn(6)
+		k := rng.Intn(n + 1)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 1+rng.Intn(5)))
+		}
+		want, err := MedRank(in, k, RoundRobin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ThresholdTopK(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Winners) != len(want.Winners) {
+			t.Fatalf("n=%d m=%d k=%d: TA winners %v, MedRank %v", n, m, k, got.Winners, want.Winners)
+		}
+		for i := range want.Winners {
+			if got.Winners[i] != want.Winners[i] || got.Medians2[i] != want.Medians2[i] {
+				t.Fatalf("n=%d m=%d k=%d: TA (%v, %v), MedRank (%v, %v)",
+					n, m, k, got.Winners, got.Medians2, want.Winners, want.Medians2)
+			}
+		}
+	}
+}
+
+// TestThresholdTopKAccessProfile checks the cost-model shape of a TA run:
+// random accesses are exactly (m-1) per distinct element resolved via sorted
+// access, MEDRANK makes none, and both report through the same AccessStats.
+func TestThresholdTopKAccessProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var in []*ranking.PartialRanking
+	const n, m = 200, 5
+	for i := 0; i < m; i++ {
+		in = append(in, randrank.Partial(rng, n, 4))
+	}
+	res, err := ThresholdTopK(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Random == 0 {
+		t.Fatal("TA run made no random accesses")
+	}
+	if res.Stats.Random%(m-1) != 0 {
+		t.Errorf("random accesses %d not a multiple of m-1 = %d", res.Stats.Random, m-1)
+	}
+	if res.Stats.Total > n*m {
+		t.Errorf("sequential accesses %d exceed the full scan %d", res.Stats.Total, n*m)
+	}
+	mr, err := MedRank(in, 3, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Stats.Random != 0 {
+		t.Errorf("MEDRANK made %d random accesses, want 0", mr.Stats.Random)
+	}
+	// The FLN middleware cost prices the two access modes: with random
+	// accesses present, raising their unit cost must raise the total.
+	cheap := res.Stats.MiddlewareCost(1, 0)
+	dear := res.Stats.MiddlewareCost(1, 1000)
+	if cheap <= 0 || dear <= cheap {
+		t.Errorf("middleware cost not increasing in cr: %d vs %d", cheap, dear)
+	}
+}
+
+// TestOptimalityRatioAtLeastOne checks MEDRANK's probes against the
+// certificate lower bound through the AccessStats helper: the ratio is >= 1
+// whenever the bound is defined, and 0 when it is not.
+func TestOptimalityRatioAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(30)
+		m := 1 + 2*rng.Intn(3) // odd voter counts
+		k := 1 + rng.Intn(n-1)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 3))
+		}
+		res, err := MedRank(in, k, GlobalMerge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := CertificateLowerBound(in, res.Winners)
+		if lb <= 0 {
+			t.Fatalf("certificate bound %d for k=%d", lb, k)
+		}
+		if ratio := res.Stats.OptimalityRatio(lb); ratio < 1 {
+			t.Errorf("optimality ratio %v < 1 (probes %d, bound %d)", ratio, res.Stats.Total, lb)
+		}
+	}
+	var st AccessStats
+	if st.OptimalityRatio(0) != 0 {
+		t.Error("ratio with zero bound should be 0")
+	}
+}

@@ -14,11 +14,24 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// Gated telemetry instruments of the top-k engines. Access accounting itself
+// is always on (it is the experimental result); these counters only feed the
+// process-wide registry snapshot.
+var (
+	tMedRankRuns   = telemetry.GetCounter("topk.medrank.runs")
+	tMedRankProbes = telemetry.GetCounter("topk.medrank.probes")
+	tTARuns        = telemetry.GetCounter("topk.ta.runs")
+	tTAProbes      = telemetry.GetCounter("topk.ta.probes")
+	tTARandom      = telemetry.GetCounter("topk.ta.random")
 )
 
 // Entry is one probed item of a list: an element and its (doubled) bucket
@@ -30,17 +43,29 @@ type Entry struct {
 
 // Cursor provides sequential access to one partial ranking: entries arrive
 // in non-decreasing position order, ties within a bucket by ascending
-// element ID. Next returns false when the list is exhausted.
+// element ID. Next returns false when the list is exhausted. Every
+// successful probe is charged to the cursor's access accountant — engines
+// that drive several cursors share one accountant, so a whole run's
+// sequential, bucket-granular, and random accesses land in a single
+// telemetry.AccessReport.
 type Cursor struct {
 	pr     *ranking.PartialRanking
 	bucket int
 	offset int
-	probes int
+	acc    *telemetry.AccessAccountant
+	list   int
 }
 
-// NewCursor opens a sequential cursor over a partial ranking.
+// NewCursor opens a standalone sequential cursor over a partial ranking,
+// with its own single-list access accountant.
 func NewCursor(pr *ranking.PartialRanking) *Cursor {
-	return &Cursor{pr: pr}
+	return &Cursor{pr: pr, acc: telemetry.NewAccessAccountant(1)}
+}
+
+// newCursorAt opens a cursor that charges its probes to list `list` of a
+// shared accountant.
+func newCursorAt(pr *ranking.PartialRanking, acc *telemetry.AccessAccountant, list int) *Cursor {
+	return &Cursor{pr: pr, acc: acc, list: list}
 }
 
 // Next probes the next entry. Every successful probe is counted.
@@ -50,7 +75,7 @@ func (c *Cursor) Next() (Entry, bool) {
 		if c.offset < len(b) {
 			e := Entry{Elem: b[c.offset], Pos2: c.pr.BucketPos2(c.bucket)}
 			c.offset++
-			c.probes++
+			c.acc.Sequential(c.list)
 			return e, true
 		}
 		c.bucket++
@@ -75,7 +100,7 @@ func (c *Cursor) Peek2() int64 {
 }
 
 // Probes returns how many entries this cursor has yielded.
-func (c *Cursor) Probes() int { return c.probes }
+func (c *Cursor) Probes() int { return int(c.acc.SequentialIn(c.list)) }
 
 // seenIn reports whether element e has already been probed by this cursor.
 // Entries arrive in bucket order, within a bucket by ascending element ID.
@@ -88,7 +113,12 @@ func (c *Cursor) seenIn(e int) bool {
 	return sort.SearchInts(bucket, e) < c.offset
 }
 
-// AccessStats records the sequential-access cost of a run.
+// AccessStats records the access cost of a run under the middleware cost
+// model of Fagin, Lotem, and Naor: sequential accesses (sorted scans),
+// bucket-granular I/Os, and random accesses (element lookups by identity).
+// It is the snapshot form of the run's telemetry.AccessAccountant, the one
+// accounting type every engine — MEDRANK, the TA-style baseline, and the
+// database query layer — reports through.
 type AccessStats struct {
 	// PerList is the number of entries probed from each input list.
 	PerList []int
@@ -103,20 +133,42 @@ type AccessStats struct {
 	BucketProbes []int
 	// TotalBucketProbes is the sum of BucketProbes.
 	TotalBucketProbes int
+	// Random is the number of random accesses. MEDRANK makes none; the
+	// TA-style baseline pays one per list per newly discovered element.
+	Random int
 }
 
-func statsFromCursors(cursors []*Cursor, bucketProbes []int) AccessStats {
-	st := AccessStats{
-		PerList:      make([]int, len(cursors)),
-		BucketProbes: append([]int(nil), bucketProbes...),
+// MiddlewareCost returns the FLN middleware cost cs*Total + cr*Random.
+func (st AccessStats) MiddlewareCost(cs, cr int) int {
+	return cs*st.Total + cr*st.Random
+}
+
+// OptimalityRatio divides the run's total accesses (sequential plus random)
+// by a per-instance lower bound such as CertificateLowerBound; a ratio near
+// 1 witnesses instance optimality (Theorems 30-32). Returns 0 when the
+// bound is not positive (undefined, e.g. k = 0).
+func (st AccessStats) OptimalityRatio(lowerBound int) float64 {
+	if lowerBound <= 0 {
+		return 0
 	}
-	for i, c := range cursors {
-		st.PerList[i] = c.Probes()
-		st.Total += c.Probes()
-		if c.Probes() > st.MaxDepth {
-			st.MaxDepth = c.Probes()
-		}
-		st.TotalBucketProbes += bucketProbes[i]
+	return float64(st.Total+st.Random) / float64(lowerBound)
+}
+
+// statsFromReport converts an accountant snapshot into AccessStats.
+func statsFromReport(r telemetry.AccessReport) AccessStats {
+	st := AccessStats{
+		PerList:           make([]int, len(r.PerList)),
+		BucketProbes:      make([]int, len(r.BucketPerList)),
+		Total:             int(r.Sequential),
+		MaxDepth:          int(r.MaxDepth),
+		TotalBucketProbes: int(r.BucketIOs),
+		Random:            int(r.Random),
+	}
+	for i, v := range r.PerList {
+		st.PerList[i] = int(v)
+	}
+	for i, v := range r.BucketPerList {
+		st.BucketProbes[i] = int(v)
 	}
 	return st
 }
@@ -174,7 +226,7 @@ type medrankRun struct {
 	cleared         []bool        // provably outside the top k
 	kSmall          *int64MaxHeap // k smallest exact medians (max-heap)
 	bucketGranular  bool          // *Buckets policies: one probe = one bucket
-	bucketIO        []int         // bucket-granular I/Os per list
+	acc             *telemetry.AccessAccountant
 }
 
 // MedRank runs the streaming median-rank top-k aggregation over the inputs
@@ -193,6 +245,7 @@ func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result,
 	}
 	m := len(rankings)
 
+	acc := telemetry.NewAccessAccountant(m)
 	run := &medrankRun{
 		n: n, m: m, k: k,
 		needed:   (m + 1) / 2, // index of the lower median
@@ -203,13 +256,13 @@ func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result,
 		inPend:   make([]bool, n),
 		cleared:  make([]bool, n),
 		kSmall:   &int64MaxHeap{},
-		bucketIO: make([]int, m),
+		acc:      acc,
 	}
 	for e := 0; e < n; e++ {
 		run.exactMed[e] = math.MaxInt64
 	}
 	for i, r := range rankings {
-		run.cursors[i] = NewCursor(r)
+		run.cursors[i] = newCursorAt(r, acc, i)
 		run.frontier[i] = run.cursors[i].Peek2()
 	}
 
@@ -233,31 +286,43 @@ func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result,
 		}
 		return -1
 	}
+	var pick func() int
 	switch policy {
 	case GlobalMerge:
-		run.drive(pickMerge)
+		pick = pickMerge
 	case RoundRobin:
-		run.drive(pickRR)
+		pick = pickRR
 	case GlobalMergeBuckets:
 		run.bucketGranular = true
-		run.drive(pickMerge)
+		pick = pickMerge
 	case RoundRobinBuckets:
 		run.bucketGranular = true
-		run.drive(pickRR)
+		pick = pickRR
 	default:
 		return nil, fmt.Errorf("topk: unknown policy %d", policy)
 	}
+	// With telemetry enabled the whole certification loop carries the pprof
+	// label "kernel"="medrank", so CPU profiles attribute its samples, and
+	// the run is timed as a trace span.
+	sp := telemetry.StartSpan("topk.medrank")
+	telemetry.Do(context.Background(), "kernel", "medrank", func(context.Context) {
+		run.drive(pick)
+	})
+	sp.End()
 
 	winners, medians2 := run.finalTopK()
 	top, err := ranking.TopKList(n, k, winners)
 	if err != nil {
 		return nil, err
 	}
+	stats := statsFromReport(acc.Report())
+	tMedRankRuns.Inc()
+	tMedRankProbes.Add(int64(stats.Total))
 	return &Result{
 		TopK:     top,
 		Winners:  winners,
 		Medians2: medians2,
-		Stats:    statsFromCursors(run.cursors, run.bucketIO),
+		Stats:    stats,
 	}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 // newExhaustedRun builds a medrankRun whose cursors have been fully
@@ -26,13 +27,13 @@ func newExhaustedRun(t *testing.T, rankings []*ranking.PartialRanking, k int) *m
 		inPend:   make([]bool, n),
 		cleared:  make([]bool, n),
 		kSmall:   &int64MaxHeap{},
-		bucketIO: make([]int, m),
+		acc:      telemetry.NewAccessAccountant(m),
 	}
 	for e := 0; e < n; e++ {
 		run.exactMed[e] = math.MaxInt64
 	}
 	for i, r := range rankings {
-		run.cursors[i] = NewCursor(r)
+		run.cursors[i] = newCursorAt(r, run.acc, i)
 		for {
 			e, ok := run.cursors[i].Next()
 			if !ok {
