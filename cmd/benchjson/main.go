@@ -1,8 +1,10 @@
 // Command benchjson measures the retained allocating metric engines against
-// the workspace kernels and writes the results as JSON, one record per
-// benchmark with ns/op, bytes/op, and allocs/op. It exists so allocation
-// regressions show up as a diffable artifact (BENCH_PR1.json) rather than
-// only in ad-hoc `go test -bench` output.
+// the workspace kernels, plus the top-k engines over plain cursors and over
+// the fallible-source stack (healthy, retrying, and degraded), and writes the
+// results as JSON, one record per benchmark with ns/op, bytes/op, and
+// allocs/op. It exists so allocation and resilience-overhead regressions show
+// up as a diffable artifact (BENCH_PR1.json, BENCH_PR3.json) rather than only
+// in ad-hoc `go test -bench` output.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,9 +26,12 @@ import (
 	"testing"
 
 	"repro/internal/aggregate"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/randrank"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
+	"repro/internal/topk"
 )
 
 type record struct {
@@ -168,6 +174,70 @@ func run(args []string, stdout io.Writer) error {
 	bench("sumdistance_kprof/alloc", func() error { _, err := aggregate.SumDistance(a, ens, kprofAlloc); return err })
 	bench("sumdistance_kprof/workspace", func() error { _, err := aggregate.SumDistanceWith(ws, a, ens, metrics.KProfWS); return err })
 	bench("compareall/workspace", func() error { _, err := metrics.CompareAll(ens); return err })
+
+	// Top-k engine paths: the infallible cursor engine, the fallible-source
+	// engine on healthy sources (the abstraction overhead), and the fault
+	// paths (retry absorption, list death + rebuild). Sources are stateful,
+	// so each op builds its own stack; the cursor benchmark pays the same
+	// per-op setup implicitly inside MedRank.
+	const topkM, topkK = 5, 10
+	topkEns := randrank.CatalogEnsemble(rng, *n, topkM, 8, 1.0, 1.0).Rankings
+	newSources := func(planFor func(i int) *faults.Plan, retry bool) ([]faults.Source, *telemetry.AccessAccountant) {
+		acc := telemetry.NewAccessAccountant(topkM)
+		srcs := make([]faults.Source, topkM)
+		for i, r := range topkEns {
+			s := topk.NewListSource(r, acc, i)
+			if plan := planFor(i); plan != nil {
+				p := *plan
+				p.Seed = *seed + int64(i)
+				p.Sleeper = &faults.FakeSleeper{}
+				s = faults.Inject(s, p)
+			}
+			if retry {
+				pol := faults.DefaultRetryPolicy()
+				pol.JitterSeed = *seed
+				pol.Sleeper = &faults.FakeSleeper{}
+				s = faults.WithRetry(s, pol, acc, i)
+			}
+			srcs[i] = s
+		}
+		return srcs, acc
+	}
+	noPlan := func(int) *faults.Plan { return nil }
+	ctx := context.Background()
+	bench("medrank/cursor", func() error {
+		_, err := topk.MedRank(topkEns, topkK, topk.RoundRobin)
+		return err
+	})
+	bench("medrank/source", func() error {
+		srcs, acc := newSources(noPlan, false)
+		_, err := topk.MedRankOver(ctx, srcs, topkK, topk.RoundRobin, acc)
+		return err
+	})
+	bench("medrank/source_retry", func() error {
+		srcs, acc := newSources(func(int) *faults.Plan {
+			return &faults.Plan{TransientRate: 0.02}
+		}, true)
+		_, err := topk.MedRankOver(ctx, srcs, topkK, topk.RoundRobin, acc)
+		return err
+	})
+	bench("medrank/source_degraded", func() error {
+		// Kill one list on its second access; the engine rebuilds over the
+		// four survivors and finishes degraded.
+		srcs, acc := newSources(func(i int) *faults.Plan {
+			if i != 0 {
+				return nil
+			}
+			return &faults.Plan{DeathAfter: 1}
+		}, false)
+		_, err := topk.MedRankOver(ctx, srcs, topkK, topk.RoundRobin, acc)
+		return err
+	})
+	bench("ta/source", func() error {
+		srcs, acc := newSources(noPlan, false)
+		_, err := topk.ThresholdTopKOver(ctx, srcs, topkK, acc)
+		return err
+	})
 	if firstErr != nil {
 		return firstErr
 	}

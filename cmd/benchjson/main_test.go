@@ -40,6 +40,11 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 		"sumdistance_kprof/alloc":        false,
 		"sumdistance_kprof/workspace":    false,
 		"compareall/workspace":           false,
+		"medrank/cursor":                 false,
+		"medrank/source":                 false,
+		"medrank/source_retry":           false,
+		"medrank/source_degraded":        false,
+		"ta/source":                      false,
 	}
 	for _, r := range rep.Benchmarks {
 		if _, ok := want[r.Name]; !ok {

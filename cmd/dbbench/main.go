@@ -13,13 +13,21 @@
 // snapshot of the telemetry registry. -trace appends the span event log;
 // -debug ADDR serves net/http/pprof and expvar for the duration of the run.
 //
+// -chaos replaces the sweep with the fault-injection experiment E15: MEDRANK
+// over fallible sources at increasing list-death rates, reporting how far the
+// degraded answers drift from the fault-free ones. -timeout puts a wall-clock
+// deadline on every engine run; a run that exceeds it aborts the sweep with
+// context.DeadlineExceeded.
+//
 // Usage:
 //
 //	dbbench [-n 1000,10000] [-m 4,6] [-values 3,5,25] [-k 1,10] [-zipf 1.0]
-//	        [-theta 1.5] [-trials 3] [-seed 1] [-stats] [-trace] [-debug addr]
+//	        [-theta 1.5] [-trials 3] [-seed 1] [-timeout 0] [-stats] [-trace]
+//	        [-chaos] [-debug addr]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	_ "expvar"
 	"flag"
@@ -34,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/randrank"
 	"repro/internal/telemetry"
 	"repro/internal/topk"
@@ -96,9 +105,18 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	stats := fs.Bool("stats", false, "emit access statistics as JSON (MEDRANK and TA baselines, optimality ratios, telemetry snapshot)")
 	trace := fs.Bool("trace", false, "record telemetry spans and append the trace event log to the JSON (implies -stats)")
+	chaos := fs.Bool("chaos", false, "run the fault-injection experiment (E15) instead of the access-cost sweep")
+	timeout := fs.Duration("timeout", 0, "per-engine-run deadline; 0 means none")
 	debug := fs.String("debug", "", "serve net/http/pprof and expvar on this address for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos {
+		table, err := experiments.Run("E15", *seed)
+		if err != nil {
+			return err
+		}
+		return table.Render(stdout)
 	}
 
 	nsV, err := parseInts(*ns)
@@ -153,7 +171,7 @@ func run(args []string, stdout io.Writer) error {
 					if k > n {
 						continue
 					}
-					cs, err := sweepConfig(rng, n, m, nv, k, *zipf, *theta, *trials, *stats)
+					cs, err := sweepConfig(rng, n, m, nv, k, *zipf, *theta, *trials, *stats, *timeout)
 					if err != nil {
 						return err
 					}
@@ -181,15 +199,30 @@ func run(args []string, stdout io.Writer) error {
 
 // sweepConfig runs one (n, m, values, k) configuration for the given number
 // of trials and averages the access profiles of MEDRANK and, when withTA is
-// set, the TA-style baseline over the same ensembles.
-func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials int, withTA bool) (configStats, error) {
+// set, the TA-style baseline over the same ensembles. A non-zero timeout is
+// applied per engine run; hitting it aborts the sweep.
+func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials int, withTA bool, timeout time.Duration) (configStats, error) {
 	cs := configStats{N: n, M: m, Values: nv, K: k}
 	var elapsed time.Duration
 	var medRatio, taRatio float64
+	deadlined := func(run func(context.Context) error) error {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		return run(ctx)
+	}
 	for trial := 0; trial < trials; trial++ {
 		ens := randrank.CatalogEnsemble(rng, n, m, nv, zipf, theta)
 		start := time.Now()
-		res, err := topk.MedRank(ens.Rankings, k, topk.GlobalMergeBuckets)
+		var res *topk.Result
+		err := deadlined(func(ctx context.Context) error {
+			var err error
+			res, err = topk.MedRankContext(ctx, ens.Rankings, k, topk.GlobalMergeBuckets)
+			return err
+		})
 		elapsed += time.Since(start)
 		if err != nil {
 			return cs, err
@@ -205,7 +238,12 @@ func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials in
 		}
 		cs.FullScan += topk.FullScanCost(ens.Rankings).Total
 		if withTA {
-			ta, err := topk.ThresholdTopK(ens.Rankings, k)
+			var ta *topk.Result
+			err := deadlined(func(ctx context.Context) error {
+				var err error
+				ta, err = topk.ThresholdTopKContext(ctx, ens.Rankings, k)
+				return err
+			})
 			if err != nil {
 				return cs, err
 			}

@@ -7,13 +7,14 @@
 //
 //	rankagg dist  [-file F]            distances between the first two rankings
 //	rankagg agg   [-file F] [-method M] aggregate all rankings (median | dp | borda | mc4 | footrule-opt)
-//	rankagg topk  [-file F] -k K        streaming median top-k with access stats
+//	rankagg topk  [-file F] -k K [-timeout D]  streaming median top-k with access stats
 //	rankagg gen   -n N -m M [...]       generate a random ensemble
 //
 // Rankings are read from the file given by -file, or stdin by default.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -171,6 +172,7 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 	file := fs.String("file", "", "rankings file (default stdin)")
 	k := fs.Int("k", 1, "number of winners")
 	stats := fs.Bool("stats", false, "emit the run's access accounting as JSON instead of text")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long; 0 means no deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,7 +180,13 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := topk.MedRank(rs, *k, topk.RoundRobin)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := topk.MedRankContext(ctx, rs, *k, topk.RoundRobin)
 	if err != nil {
 		return err
 	}

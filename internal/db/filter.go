@@ -1,6 +1,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ranking"
@@ -168,6 +169,12 @@ type FilteredQuery struct {
 // sub-catalog, the preference sorts are restricted to it, and MEDRANK
 // aggregates the restricted rankings.
 func (t *Table) TopKWhere(q FilteredQuery) (*QueryResult, error) {
+	return t.TopKWhereContext(context.Background(), q)
+}
+
+// TopKWhereContext is TopKWhere under a caller context: cancellation or
+// deadline expiry aborts the aggregation mid-scan with ctx.Err().
+func (t *Table) TopKWhereContext(ctx context.Context, q FilteredQuery) (*QueryResult, error) {
 	sp := telemetry.StartSpan("db.topk_where")
 	defer sp.End()
 	tFilteredQueries.Inc()
@@ -192,7 +199,7 @@ func (t *Table) TopKWhere(q FilteredQuery) (*QueryResult, error) {
 		}
 		rankings = append(rankings, pr)
 	}
-	res, err := runMedRank(rankings, q.K)
+	res, err := runMedRank(ctx, rankings, q.K)
 	if err != nil {
 		return nil, err
 	}

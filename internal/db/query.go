@@ -1,9 +1,11 @@
 package db
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aggregate"
+	"repro/internal/faults"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 	"repro/internal/topk"
@@ -11,9 +13,10 @@ import (
 
 // Gated telemetry instruments of the query layer.
 var (
-	tQueries         = telemetry.GetCounter("db.queries")
-	tFilteredQueries = telemetry.GetCounter("db.filtered_queries")
-	tIndexScans      = telemetry.GetCounter("db.index_scans")
+	tQueries          = telemetry.GetCounter("db.queries")
+	tFilteredQueries  = telemetry.GetCounter("db.filtered_queries")
+	tResilientQueries = telemetry.GetCounter("db.resilient_queries")
+	tIndexScans       = telemetry.GetCounter("db.index_scans")
 )
 
 // Query is a multi-criteria preference query: aggregate the index scans of
@@ -40,17 +43,23 @@ type QueryResult struct {
 	// FullScan is the cost the naive algorithm would have paid.
 	FullScan topk.AccessStats
 	// Certificate is the per-instance lower bound on the sequential probes
-	// any correct algorithm must spend to certify these winners.
+	// any correct algorithm must spend to certify these winners. On a
+	// degraded run it is computed over the surviving index scans — the
+	// instance that was actually solved.
 	Certificate int
 	// OptimalityRatio is Access accesses divided by Certificate — the
 	// instance-optimality ratio of Theorems 30-32 (0 when Certificate is 0,
 	// e.g. for k = 0).
 	OptimalityRatio float64
+	// Degraded is non-nil when index scans died mid-query (resilient path
+	// only): the answer then aggregates the surviving scans and Degraded
+	// carries the lost lists, wasted accesses, and per-winner quality bounds.
+	Degraded *topk.Degraded
 }
 
 // runMedRank and fullScan are shared by TopK and TopKWhere.
-func runMedRank(rankings []*ranking.PartialRanking, k int) (*topk.Result, error) {
-	return topk.MedRank(rankings, k, topk.RoundRobin)
+func runMedRank(ctx context.Context, rankings []*ranking.PartialRanking, k int) (*topk.Result, error) {
+	return topk.MedRankContext(ctx, rankings, k, topk.RoundRobin)
 }
 
 func fullScan(rankings []*ranking.PartialRanking) topk.AccessStats {
@@ -60,6 +69,12 @@ func fullScan(rankings []*ranking.PartialRanking) topk.AccessStats {
 // TopK answers a preference query with the streaming MEDRANK engine,
 // reading each index scan only as deeply as certification requires.
 func (t *Table) TopK(q Query) (*QueryResult, error) {
+	return t.TopKContext(context.Background(), q)
+}
+
+// TopKContext is TopK under a caller context: cancellation or deadline
+// expiry aborts the aggregation mid-scan with ctx.Err().
+func (t *Table) TopKContext(ctx context.Context, q Query) (*QueryResult, error) {
 	sp := telemetry.StartSpan("db.topk")
 	defer sp.End()
 	tQueries.Inc()
@@ -70,14 +85,69 @@ func (t *Table) TopK(q Query) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := runMedRank(rankings, q.K+q.Offset)
+	res, err := runMedRank(ctx, rankings, q.K+q.Offset)
 	if err != nil {
 		return nil, err
 	}
+	return t.buildResult(q, rankings, res), nil
+}
+
+// TopKResilient answers a preference query over fallible index scans: wrap
+// decorates each scan's source (typically with faults.Inject and
+// faults.WithRetry; nil runs the infallible pipeline through the fallible
+// engine). If scans die mid-query the answer degrades to the survivors and
+// QueryResult.Degraded reports the loss; see topk.MedRankOver.
+func (t *Table) TopKResilient(ctx context.Context, q Query, wrap faults.Wrapper) (*QueryResult, error) {
+	sp := telemetry.StartSpan("db.topk_resilient")
+	defer sp.End()
+	tQueries.Inc()
+	tResilientQueries.Inc()
+	if q.Offset < 0 {
+		return nil, fmt.Errorf("db: negative offset %d", q.Offset)
+	}
+	rankings, err := t.scanAll(q.Preferences)
+	if err != nil {
+		return nil, err
+	}
+	acc := telemetry.NewAccessAccountant(len(rankings))
+	srcs := make([]faults.Source, len(rankings))
+	for i, r := range rankings {
+		s := topk.NewListSource(r, acc, i)
+		if wrap != nil {
+			s = wrap(i, s)
+		}
+		srcs[i] = s
+	}
+	res, err := topk.MedRankOver(ctx, srcs, q.K+q.Offset, topk.RoundRobin, acc)
+	if err != nil {
+		return nil, err
+	}
+	if res.Degraded != nil {
+		// The instance actually solved is the surviving sub-instance; the
+		// certificate bound must refer to it, not the lost lists.
+		survivors := make([]*ranking.PartialRanking, 0, res.Degraded.Survivors)
+		lost := make(map[int]bool, len(res.Degraded.Lost))
+		for _, l := range res.Degraded.Lost {
+			lost[l] = true
+		}
+		for i, r := range rankings {
+			if !lost[i] {
+				survivors = append(survivors, r)
+			}
+		}
+		rankings = survivors
+	}
+	return t.buildResult(q, rankings, res), nil
+}
+
+// buildResult assembles a QueryResult from a top-k engine run over the given
+// (possibly surviving-only) rankings.
+func (t *Table) buildResult(q Query, rankings []*ranking.PartialRanking, res *topk.Result) *QueryResult {
 	out := &QueryResult{
 		Access:      res.Stats,
 		FullScan:    fullScan(rankings),
 		Certificate: topk.CertificateLowerBound(rankings, res.Winners),
+		Degraded:    res.Degraded,
 	}
 	out.OptimalityRatio = res.Stats.OptimalityRatio(out.Certificate)
 	for i, w := range res.Winners {
@@ -87,14 +157,24 @@ func (t *Table) TopK(q Query) (*QueryResult, error) {
 		out.Keys = append(out.Keys, t.rowKeys[w])
 		out.MedianPositions = append(out.MedianPositions, float64(res.Medians2[i])/2)
 	}
-	return out, nil
+	return out
 }
 
 // Rank aggregates the preference sorts into a full ranking of every record
 // (Theorem 11's construction: a refinement of the median bucket order).
 func (t *Table) Rank(prefs []Preference) ([]string, error) {
+	return t.RankContext(context.Background(), prefs)
+}
+
+// RankContext is Rank under a caller context, checked at the access
+// boundaries between scanning and aggregation (the offline aggregation
+// kernels themselves are non-blocking).
+func (t *Table) RankContext(ctx context.Context, prefs []Preference) ([]string, error) {
 	rankings, err := t.scanAll(prefs)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	full, err := aggregate.MedianFull(rankings)
@@ -112,8 +192,17 @@ func (t *Table) Rank(prefs []Preference) ([]string, error) {
 // ranking of Theorem 10 (the L1-closest bucket order to the median), useful
 // when the application wants honest ties in the output.
 func (t *Table) RankPartial(prefs []Preference) ([][]string, error) {
+	return t.RankPartialContext(context.Background(), prefs)
+}
+
+// RankPartialContext is RankPartial under a caller context, checked at the
+// access boundaries between scanning and aggregation.
+func (t *Table) RankPartialContext(ctx context.Context, prefs []Preference) ([][]string, error) {
 	rankings, err := t.scanAll(prefs)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	pr, err := aggregate.OptimalPartialAggregate(rankings)

@@ -145,6 +145,7 @@ var Registry = []Spec{
 	{"E12", "Strong-sense near-optimality of median top-k (App. A.6.3)", E12StrongOptimality},
 	{"E13", "Hidden-center recovery from noisy ties (Sec. 1 robustness)", E13Recovery},
 	{"E14", "Condorcet-winner compliance of the aggregators", E14Condorcet},
+	{"E15", "Degraded-mode MEDRANK under injected list death", E15Chaos},
 }
 
 // Run looks up and runs one experiment by ID.

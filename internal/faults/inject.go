@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Gated telemetry instruments of the injector.
+var (
+	tInjTransient = telemetry.GetCounter("faults.injected.transient")
+	tInjDeaths    = telemetry.GetCounter("faults.injected.deaths")
+)
+
+// Plan configures a deterministic fault injector: given the same seed and
+// the same access sequence, the injected faults are identical, so chaos
+// experiments and tests replay exactly. All rates are per access attempt.
+type Plan struct {
+	// Seed drives the injector's private random stream.
+	Seed int64
+	// TransientRate is the probability an access fails with a retryable
+	// error (the underlying access does not happen and no entry is lost).
+	TransientRate float64
+	// DeathRate is the probability an access kills the list permanently.
+	DeathRate float64
+	// DeathAfter, when positive, kills the list permanently once this many
+	// accesses (sequential plus random) have succeeded — the deterministic
+	// "kill list i mid-query" knob of the chaos tests.
+	DeathAfter int
+	// TruncateAt, when positive, makes the sorted scan end cleanly after
+	// this many entries: the tail of the list is silently dropped, the way
+	// a source that caps its response size behaves.
+	TruncateAt int
+	// Latency is a fixed wait injected before every access, served through
+	// Sleeper so deadlines interrupt it.
+	Latency time.Duration
+	// Sleeper performs latency waits; nil means WallClock.
+	Sleeper Sleeper
+}
+
+type injectedSource struct {
+	src       Source
+	plan      Plan
+	rng       *rand.Rand
+	sleeper   Sleeper
+	served    int // successful accesses, sequential + random
+	seqServed int // successful sequential accesses (for truncation)
+	dead      bool
+}
+
+// Inject wraps src with the deterministic fault plan. A transient failure
+// consumes no entry from the underlying source, so a retried access sees
+// exactly what the failed one would have; death is permanent and sticky.
+func Inject(src Source, plan Plan) Source {
+	s := plan.Sleeper
+	if s == nil {
+		s = WallClock
+	}
+	return &injectedSource{
+		src:     src,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		sleeper: s,
+	}
+}
+
+// fault decides the fate of one access attempt: nil to let it through, a
+// transient error, ErrSourceDead, or a context error from the latency wait.
+func (s *injectedSource) fault(ctx context.Context) error {
+	if s.dead {
+		return ErrSourceDead
+	}
+	if s.plan.Latency > 0 {
+		if err := s.sleeper.Sleep(ctx, s.plan.Latency); err != nil {
+			return err
+		}
+	}
+	if s.plan.DeathAfter > 0 && s.served >= s.plan.DeathAfter {
+		return s.die()
+	}
+	if s.plan.DeathRate > 0 && s.rng.Float64() < s.plan.DeathRate {
+		return s.die()
+	}
+	if s.plan.TransientRate > 0 && s.rng.Float64() < s.plan.TransientRate {
+		tInjTransient.Inc()
+		return Transient(fmt.Errorf("injected fault after %d accesses", s.served))
+	}
+	return nil
+}
+
+func (s *injectedSource) die() error {
+	s.dead = true
+	tInjDeaths.Inc()
+	return ErrSourceDead
+}
+
+func (s *injectedSource) Next(ctx context.Context) (Entry, bool, error) {
+	if err := s.fault(ctx); err != nil {
+		return Entry{}, false, err
+	}
+	if s.plan.TruncateAt > 0 && s.seqServed >= s.plan.TruncateAt {
+		return Entry{}, false, nil
+	}
+	e, ok, err := s.src.Next(ctx)
+	if err != nil || !ok {
+		return e, ok, err
+	}
+	s.served++
+	s.seqServed++
+	return e, true, nil
+}
+
+func (s *injectedSource) Pos2(ctx context.Context, elem int) (int64, error) {
+	if err := s.fault(ctx); err != nil {
+		return 0, err
+	}
+	v, err := s.src.Pos2(ctx, elem)
+	if err == nil {
+		s.served++
+	}
+	return v, err
+}
+
+func (s *injectedSource) Peek2() int64 {
+	if s.dead {
+		return math.MaxInt64
+	}
+	if s.plan.TruncateAt > 0 && s.seqServed >= s.plan.TruncateAt {
+		return math.MaxInt64
+	}
+	return s.src.Peek2()
+}
+
+func (s *injectedSource) N() int { return s.src.N() }

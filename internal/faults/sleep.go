@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Sleeper abstracts waiting, so backoff and injected latency are testable
+// without wall-clock time: production code uses WallClock, tests and
+// benchmarks inject a FakeSleeper and run instantly.
+type Sleeper interface {
+	// Sleep blocks for d or until ctx is done, whichever comes first,
+	// returning ctx.Err() in the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type wallSleeper struct{}
+
+func (wallSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WallClock is the real Sleeper: it waits on a timer and honors context
+// cancellation mid-wait.
+var WallClock Sleeper = wallSleeper{}
+
+// FakeSleeper is an instant Sleeper for tests: it records every requested
+// wait and returns immediately (still honoring an already-expired context,
+// so deadline paths remain testable). Safe for concurrent use.
+type FakeSleeper struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+// Sleep records d and returns ctx.Err() without waiting.
+func (s *FakeSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.waits = append(s.waits, d)
+	s.mu.Unlock()
+	return nil
+}
+
+// Waits returns a copy of the recorded wait durations in request order.
+func (s *FakeSleeper) Waits() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.waits...)
+}

@@ -22,7 +22,9 @@ var (
 // SweepError is the error of an aborted pairwise sweep: it carries the first
 // distance error plus how many upper-triangle cells the short-circuit left
 // uncomputed, so callers can tell a barely-started sweep from a nearly
-// finished one instead of silently losing that accounting.
+// finished one instead of silently losing that accounting. The matrix
+// returned alongside it holds every cell that did complete (still symmetric
+// cell-by-cell); skipped and failed cells stay zero.
 type SweepError struct {
 	// Err is the first error returned by the distance function.
 	Err error
@@ -67,9 +69,11 @@ func FHausWS(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) {
 // DistanceMatrix computes the symmetric m x m matrix of pairwise distances
 // among an ensemble, fanning the upper-triangle computations out across
 // GOMAXPROCS goroutines. The diagonal is zero by regularity; the matrix is
-// filled symmetrically. The first error encountered aborts the computation.
-// The distance function receives no workspace; use DistanceMatrixWith to
-// reuse one workspace per worker.
+// filled symmetrically. The first error encountered aborts the computation;
+// the partially filled matrix is still returned alongside the *SweepError so
+// degraded callers can use the completed cells. The distance function
+// receives no workspace; use DistanceMatrixWith to reuse one workspace per
+// worker.
 func DistanceMatrix(rankings []*ranking.PartialRanking, d Distance) ([][]float64, error) {
 	return DistanceMatrixWith(rankings, func(_ *Workspace, a, b *ranking.PartialRanking) (float64, error) {
 		return d(a, b)
@@ -82,7 +86,8 @@ func DistanceMatrix(rankings []*ranking.PartialRanking, d Distance) ([][]float64
 // scratch state rather than O(m^2). On the first error the producer stops
 // enqueueing and the workers skip whatever is already queued, so the call
 // returns without computing the remaining cells; the returned error is a
-// *SweepError recording how many cells were skipped.
+// *SweepError recording how many cells were skipped, and the returned matrix
+// holds the cells that completed before the short-circuit (zero elsewhere).
 func DistanceMatrixWith(rankings []*ranking.PartialRanking, d DistanceWS) ([][]float64, error) {
 	m := len(rankings)
 	out := make([][]float64, m)
@@ -98,10 +103,7 @@ func DistanceMatrixWith(rankings []*ranking.PartialRanking, d DistanceWS) ([][]f
 		out[j][i] = v
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, err
 }
 
 // forEachPair runs compute over every upper-triangle pair (i, j), i < j, of

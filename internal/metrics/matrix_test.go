@@ -100,6 +100,76 @@ func TestDistanceMatrixShortCircuitsOnError(t *testing.T) {
 	}
 }
 
+// TestDistanceMatrixPartialOnWorkerFailure injects failures into a subset of
+// cells and checks the degraded contract of the sweep: the error accounts for
+// exactly the never-attempted cells, and the partial matrix returned
+// alongside it is internally consistent — every completed cell holds the true
+// symmetric distance, every other cell is untouched.
+func TestDistanceMatrixPartialOnWorkerFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var in []*ranking.PartialRanking
+	const m = 24
+	for i := 0; i < m; i++ {
+		in = append(in, randrank.Partial(rng, 15, 3))
+	}
+	boom := errors.New("worker blew up")
+	const poison = 7 // every pair touching this index fails
+	var attempted atomic.Int64
+	var completed [m][m]atomic.Bool
+	mat, err := DistanceMatrix(in, func(a, b *ranking.PartialRanking) (float64, error) {
+		attempted.Add(1)
+		var i, j int
+		for idx, r := range in {
+			if r == a {
+				i = idx
+			}
+			if r == b {
+				j = idx
+			}
+		}
+		if i == poison || j == poison {
+			return 0, boom
+		}
+		completed[i][j].Store(true)
+		return KProf(a, b)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SweepError", err)
+	}
+	total := int64(m * (m - 1) / 2)
+	if se.SkippedCells+attempted.Load() != total {
+		t.Errorf("skipped %d + attempted %d != %d total cells",
+			se.SkippedCells, attempted.Load(), total)
+	}
+	if mat == nil {
+		t.Fatal("no partial matrix returned alongside the sweep error")
+	}
+	done := 0
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if completed[i][j].Load() {
+				done++
+				want, _ := KProf(in[i], in[j])
+				if mat[i][j] != want {
+					t.Errorf("completed cell [%d][%d] = %v, want %v", i, j, mat[i][j], want)
+				}
+				if mat[j][i] != mat[i][j] {
+					t.Errorf("completed cell [%d][%d] not mirrored", i, j)
+				}
+			} else if mat[i][j] != 0 || mat[j][i] != 0 {
+				t.Errorf("uncomputed cell [%d][%d] = %v/%v, want 0", i, j, mat[i][j], mat[j][i])
+			}
+		}
+	}
+	if done == 0 {
+		t.Error("no cell completed before the failure; partial-matrix contract untested")
+	}
+}
+
 func TestDistanceMatrixWithMatchesPlain(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	var in []*ranking.PartialRanking

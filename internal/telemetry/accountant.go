@@ -11,17 +11,21 @@ import "sync/atomic"
 // run is an experimental result of the paper, not optional telemetry);
 // counters are atomic so concurrent engines can share an accountant.
 type AccessAccountant struct {
-	seq    []atomic.Int64
-	bucket []atomic.Int64
-	random []atomic.Int64
+	seq     []atomic.Int64
+	bucket  []atomic.Int64
+	random  []atomic.Int64
+	failed  []atomic.Int64
+	retried []atomic.Int64
 }
 
 // NewAccessAccountant returns an accountant for the given number of lists.
 func NewAccessAccountant(lists int) *AccessAccountant {
 	return &AccessAccountant{
-		seq:    make([]atomic.Int64, lists),
-		bucket: make([]atomic.Int64, lists),
-		random: make([]atomic.Int64, lists),
+		seq:     make([]atomic.Int64, lists),
+		bucket:  make([]atomic.Int64, lists),
+		random:  make([]atomic.Int64, lists),
+		failed:  make([]atomic.Int64, lists),
+		retried: make([]atomic.Int64, lists),
 	}
 }
 
@@ -39,6 +43,16 @@ func (a *AccessAccountant) BucketIO(list int) { a.bucket[list].Add(1) }
 // Random charges one random access (looking an element up by identity in a
 // list, rather than scanning to it) to the given list.
 func (a *AccessAccountant) Random(list int) { a.random[list].Add(1) }
+
+// Failure charges one failed access attempt (an access that returned an
+// error instead of an entry) to the given list. Fault injectors and retry
+// wrappers report through this, so a chaos run's failures appear in the same
+// report as its probes.
+func (a *AccessAccountant) Failure(list int) { a.failed[list].Add(1) }
+
+// Retry charges one retried access attempt to the given list: a transient
+// failure that a retry policy absorbed rather than surfaced.
+func (a *AccessAccountant) Retry(list int) { a.retried[list].Add(1) }
 
 // SequentialIn returns the sequential accesses charged to one list.
 func (a *AccessAccountant) SequentialIn(list int) int64 { return a.seq[list].Load() }
@@ -60,14 +74,24 @@ type AccessReport struct {
 	RandomPerList []int64 `json:"random_per_list"`
 	// Random is the total number of random accesses.
 	Random int64 `json:"random"`
+	// FailedPerList is the number of failed access attempts per list.
+	FailedPerList []int64 `json:"failed_per_list,omitempty"`
+	// Failed is the total number of failed access attempts.
+	Failed int64 `json:"failed"`
+	// RetriedPerList is the number of retried access attempts per list.
+	RetriedPerList []int64 `json:"retried_per_list,omitempty"`
+	// Retried is the total number of retried access attempts.
+	Retried int64 `json:"retried"`
 }
 
 // Report snapshots the accountant.
 func (a *AccessAccountant) Report() AccessReport {
 	r := AccessReport{
-		PerList:       make([]int64, len(a.seq)),
-		BucketPerList: make([]int64, len(a.bucket)),
-		RandomPerList: make([]int64, len(a.random)),
+		PerList:        make([]int64, len(a.seq)),
+		BucketPerList:  make([]int64, len(a.bucket)),
+		RandomPerList:  make([]int64, len(a.random)),
+		FailedPerList:  make([]int64, len(a.failed)),
+		RetriedPerList: make([]int64, len(a.retried)),
 	}
 	for i := range a.seq {
 		v := a.seq[i].Load()
@@ -82,6 +106,12 @@ func (a *AccessAccountant) Report() AccessReport {
 		ra := a.random[i].Load()
 		r.RandomPerList[i] = ra
 		r.Random += ra
+		f := a.failed[i].Load()
+		r.FailedPerList[i] = f
+		r.Failed += f
+		rt := a.retried[i].Load()
+		r.RetriedPerList[i] = rt
+		r.Retried += rt
 	}
 	return r
 }

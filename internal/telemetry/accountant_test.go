@@ -84,3 +84,29 @@ func TestMiddlewareCostAndOptimality(t *testing.T) {
 		t.Errorf("ratio with zero bound = %v, want 0", got)
 	}
 }
+
+func TestAccountantFailuresAndRetries(t *testing.T) {
+	// Fault accounting shares the always-on regime of access counts: the
+	// retry layer reports through it whether or not telemetry is enabled.
+	a := NewAccessAccountant(3)
+	a.Failure(0)
+	a.Failure(0)
+	a.Failure(2)
+	a.Retry(0)
+	a.Retry(2)
+	r := a.Report()
+	if r.Failed != 3 || r.Retried != 2 {
+		t.Errorf("failed = %d, retried = %d, want 3 and 2", r.Failed, r.Retried)
+	}
+	if r.FailedPerList[0] != 2 || r.FailedPerList[1] != 0 || r.FailedPerList[2] != 1 {
+		t.Errorf("failed per-list = %v", r.FailedPerList)
+	}
+	if r.RetriedPerList[0] != 1 || r.RetriedPerList[2] != 1 {
+		t.Errorf("retried per-list = %v", r.RetriedPerList)
+	}
+	// Failures and retries are bookkeeping, not accesses: they must not
+	// leak into the middleware cost model.
+	if r.Sequential != 0 || r.Random != 0 || r.MiddlewareCost(1, 1) != 0 {
+		t.Errorf("fault counts leaked into access counts: %+v", r)
+	}
+}

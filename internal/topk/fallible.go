@@ -1,0 +1,393 @@
+package topk
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// tListDeaths counts lists that died permanently mid-query (gated).
+var tListDeaths = telemetry.GetCounter("topk.list_deaths")
+
+// Degraded annotates a Result whose input lists partially died mid-query: the
+// answer is the exact lower-median top-k over the surviving lists only, which
+// is schedule-independent and hence deterministic for a fixed fault plan.
+type Degraded struct {
+	// Lost holds the original indices of the lists that died, ascending.
+	Lost []int `json:"lost"`
+	// Survivors is the number of lists the answer aggregates.
+	Survivors int `json:"survivors"`
+	// WastedSequential counts sequential accesses charged to lists that later
+	// died — work the degraded answer could not use.
+	WastedSequential int `json:"wasted_sequential"`
+	// WastedRandom counts random accesses charged to lists that later died.
+	WastedRandom int `json:"wasted_random"`
+	// Retried is the total number of access attempts re-issued by retry
+	// policies during the run.
+	Retried int `json:"retried"`
+	// MedianIntervals2 holds, per winner, a conservative interval [lo, hi]
+	// (doubled positions) that provably contains the winner's fault-free
+	// median — the median it would have had if no list had died. With
+	// j = (m+1)/2 the original median index and u the number of dead lists
+	// where the winner was never observed: the j-th smallest of the m true
+	// positions is at least the (j-u)-th smallest of the m-u positions we can
+	// lower-bound (observed values are exact, unobserved survivors sit at or
+	// beyond their frontier), and at most the j-th smallest of the observed
+	// values alone (hi is MaxInt64 when fewer than j were observed).
+	MedianIntervals2 [][2]int64 `json:"median_intervals2"`
+}
+
+// fallibleRun drives the access-agnostic certification core of medrankRun
+// over fallible sources. It keeps a per-original-list log of every consumed
+// entry; when a list dies it rebuilds a fresh certification state over the
+// survivors by replaying the surviving logs under the current frontiers
+// (exact, since unseen positions are bounded below by the frontier of the
+// moment, see medrankRun.replay).
+type fallibleRun struct {
+	sources []faults.Source
+	acc     *telemetry.AccessAccountant
+	n, m, k int
+	policy  Policy
+	granul  bool
+
+	alive    []bool    // per original list
+	aliveIdx []int     // survivor slot -> original list index
+	logs     [][]Entry // per original list: every entry consumed from it
+	bits     [][]uint64
+	lost     []int
+
+	run    *medrankRun
+	rrNext int
+}
+
+// MedRankOver runs MEDRANK over fallible sources: sequential accesses may
+// fail, stall, or end early, and whole lists may die mid-query. Transient
+// failures should be absorbed below the engine (faults.WithRetry); any
+// non-context error reaching the engine permanently kills that list. The run
+// then degrades to the exact aggregation of the surviving lists and the
+// Result carries a non-nil Degraded annotation. Context cancellation or
+// deadline expiry aborts the whole run with ctx.Err().
+//
+// When acc is non-nil it must be the same accountant the sources charge to,
+// so Stats and the Degraded waste accounting see every access; nil allocates
+// a fresh one (then sources built elsewhere are invisible to Stats).
+func MedRankOver(ctx context.Context, sources []faults.Source, k int, policy Policy, acc *telemetry.AccessAccountant) (*Result, error) {
+	m := len(sources)
+	if m == 0 {
+		return nil, fmt.Errorf("topk: no input sources")
+	}
+	n := sources[0].N()
+	for i, s := range sources {
+		if s.N() != n {
+			return nil, fmt.Errorf("topk: source %d has domain size %d, want %d", i, s.N(), n)
+		}
+	}
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
+	}
+	granular := false
+	switch policy {
+	case GlobalMerge, RoundRobin:
+	case GlobalMergeBuckets, RoundRobinBuckets:
+		granular = true
+	default:
+		return nil, fmt.Errorf("topk: unknown policy %d", policy)
+	}
+	if acc == nil {
+		acc = telemetry.NewAccessAccountant(m)
+	}
+
+	f := &fallibleRun{
+		sources:  sources,
+		acc:      acc,
+		n:        n,
+		m:        m,
+		k:        k,
+		policy:   policy,
+		granul:   granular,
+		alive:    make([]bool, m),
+		aliveIdx: make([]int, m),
+		logs:     make([][]Entry, m),
+		bits:     make([][]uint64, m),
+	}
+	words := (n + 63) / 64
+	for i := range f.alive {
+		f.alive[i] = true
+		f.aliveIdx[i] = i
+		f.bits[i] = make([]uint64, words)
+	}
+	f.rebuild()
+
+	var derr error
+	sp := telemetry.StartSpan("topk.medrank_fallible")
+	telemetry.Do(ctx, "kernel", "medrank", func(ctx context.Context) {
+		derr = f.drive(ctx)
+	})
+	sp.End()
+	if derr != nil {
+		return nil, derr
+	}
+
+	winners, medians2 := f.run.finalTopK()
+	top, err := ranking.TopKList(n, k, winners)
+	if err != nil {
+		return nil, err
+	}
+	stats := statsFromReport(acc.Report())
+	tMedRankRuns.Inc()
+	tMedRankProbes.Add(int64(stats.Total))
+	return &Result{
+		TopK:     top,
+		Winners:  winners,
+		Medians2: medians2,
+		Stats:    stats,
+		Degraded: f.degraded(winners),
+	}, nil
+}
+
+// seen reports whether original list orig has yielded element e.
+func (f *fallibleRun) seen(orig, e int) bool {
+	return f.bits[orig][e>>6]&(1<<(uint(e)&63)) != 0
+}
+
+func (f *fallibleRun) markSeen(orig, e int) {
+	f.bits[orig][e>>6] |= 1 << (uint(e) & 63)
+}
+
+// rebuild constructs a fresh certification state over the currently alive
+// lists and replays their logged entries into it. The replay is exact, not
+// merely conservative: every unseen position of a surviving list is at least
+// that list's current frontier, so certifications made under the rebuilt
+// frontiers hold.
+func (f *fallibleRun) rebuild() {
+	m := len(f.aliveIdx)
+	run := &medrankRun{
+		n: f.n, m: m, k: f.k,
+		needed:         (m + 1) / 2,
+		frontier:       make([]int64, m),
+		seen:           make([][]int64, f.n),
+		exactMed:       make([]int64, f.n),
+		inPend:         make([]bool, f.n),
+		cleared:        make([]bool, f.n),
+		kSmall:         &int64MaxHeap{},
+		bucketGranular: f.granul,
+		acc:            f.acc,
+	}
+	for e := 0; e < f.n; e++ {
+		run.exactMed[e] = math.MaxInt64
+	}
+	for li, orig := range f.aliveIdx {
+		run.frontier[li] = f.sources[orig].Peek2()
+	}
+	run.seenIn = func(li, e int) bool { return f.seen(f.aliveIdx[li], e) }
+	f.run = run
+	for _, orig := range f.aliveIdx {
+		for _, e := range f.logs[orig] {
+			run.replay(e)
+		}
+	}
+	if f.rrNext >= m {
+		f.rrNext = 0
+	}
+}
+
+// pick returns the survivor slot to probe next, or -1 when every surviving
+// list is exhausted.
+func (f *fallibleRun) pick() int {
+	fr := f.run.frontier
+	if f.policy == GlobalMerge || f.policy == GlobalMergeBuckets {
+		best, bestPos := -1, int64(math.MaxInt64)
+		for i, p := range fr {
+			if p < bestPos {
+				best, bestPos = i, p
+			}
+		}
+		return best
+	}
+	for tries := 0; tries < len(fr); tries++ {
+		i := f.rrNext
+		f.rrNext = (f.rrNext + 1) % len(fr)
+		if fr[i] < math.MaxInt64 {
+			return i
+		}
+	}
+	return -1
+}
+
+// drive loops probe-and-certify until the top k is certified over the
+// surviving lists, every survivor is exhausted, or the context ends. The
+// context is checked every iteration: fallible accesses can block (latency,
+// backoff), so there is no hot-loop stride to amortize.
+func (f *fallibleRun) drive(ctx context.Context) error {
+	for !f.run.certified() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		li := f.pick()
+		if li < 0 {
+			f.finalizePartial()
+			return nil
+		}
+		if err := f.probe(ctx, li); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probe performs one (possibly bucket-granular) sequential access on survivor
+// slot li. An access error either aborts the run (context) or kills the list
+// and rebuilds the certification state over the remaining survivors.
+func (f *fallibleRun) probe(ctx context.Context, li int) error {
+	orig := f.aliveIdx[li]
+	e, ok, err := f.sources[orig].Next(ctx)
+	if err != nil {
+		return f.handleErr(orig, err)
+	}
+	if !ok {
+		f.run.frontier[li] = math.MaxInt64
+		return nil
+	}
+	f.acc.BucketIO(orig)
+	f.record(li, orig, e)
+	if !f.granul {
+		return nil
+	}
+	for f.sources[orig].Peek2() == e.Pos2 {
+		next, ok, err := f.sources[orig].Next(ctx)
+		if err != nil {
+			return f.handleErr(orig, err)
+		}
+		if !ok {
+			break
+		}
+		f.record(li, orig, next)
+	}
+	return nil
+}
+
+// record logs one consumed entry and feeds it to the certification core.
+func (f *fallibleRun) record(li, orig int, e Entry) {
+	f.logs[orig] = append(f.logs[orig], e)
+	f.markSeen(orig, e.Elem)
+	f.run.consume(li, e, f.sources[orig].Peek2())
+}
+
+// handleErr classifies an access error: context errors abort the run, any
+// other error permanently kills the list (transients are expected to be
+// absorbed below the engine by faults.WithRetry).
+func (f *fallibleRun) handleErr(orig int, err error) error {
+	if faults.IsContextErr(err) {
+		return err
+	}
+	f.kill(orig)
+	if len(f.aliveIdx) == 0 {
+		return fmt.Errorf("topk: all %d input lists died mid-query (last: %w)", f.m, err)
+	}
+	f.rebuild()
+	return nil
+}
+
+func (f *fallibleRun) kill(orig int) {
+	f.alive[orig] = false
+	f.lost = append(f.lost, orig)
+	tListDeaths.Inc()
+	keep := f.aliveIdx[:0]
+	for _, i := range f.aliveIdx {
+		if f.alive[i] {
+			keep = append(keep, i)
+		}
+	}
+	f.aliveIdx = keep
+}
+
+// finalizePartial promotes every remaining element once all surviving lists
+// are exhausted or truncated. Missing positions are treated as +infinity (an
+// element absent from a truncated tail ranks after everything observed), so
+// an element observed in at least `needed` surviving lists has an exact lower
+// median; one observed in fewer has a lower median of +infinity and is
+// promoted with a bottom-of-order sentinel so it can still fill out the top-k
+// list deterministically (by element ID, behind every known median).
+func (f *fallibleRun) finalizePartial() {
+	r := f.run
+	for e := 0; e < f.n; e++ {
+		if r.exactMed[e] != math.MaxInt64 {
+			continue
+		}
+		if len(r.seen[e]) >= r.needed {
+			r.promote(e, kthSmallest(r.seen[e], r.needed))
+		} else {
+			r.promote(e, math.MaxInt64-1)
+		}
+	}
+	r.pending = r.pending[:0]
+}
+
+// degraded builds the Degraded annotation, nil when no list died.
+func (f *fallibleRun) degraded(winners []int) *Degraded {
+	if len(f.lost) == 0 {
+		return nil
+	}
+	rep := f.acc.Report()
+	d := &Degraded{
+		Lost:             append([]int(nil), f.lost...),
+		Survivors:        len(f.aliveIdx),
+		Retried:          int(rep.Retried),
+		MedianIntervals2: make([][2]int64, len(winners)),
+	}
+	sort.Ints(d.Lost)
+	for _, li := range f.lost {
+		if li < len(rep.PerList) {
+			d.WastedSequential += int(rep.PerList[li])
+		}
+		if li < len(rep.RandomPerList) {
+			d.WastedRandom += int(rep.RandomPerList[li])
+		}
+	}
+
+	// Per-winner certificate: collect the winner's observed positions from
+	// every log (dead lists included — entries observed before a death are
+	// exact fault-free positions).
+	winIdx := make(map[int]int, len(winners))
+	for i, w := range winners {
+		winIdx[w] = i
+	}
+	known := make([][]int64, len(winners))
+	for orig := 0; orig < f.m; orig++ {
+		for _, e := range f.logs[orig] {
+			if i, ok := winIdx[e.Elem]; ok {
+				known[i] = append(known[i], e.Pos2)
+			}
+		}
+	}
+	j := (f.m + 1) / 2
+	for i, w := range winners {
+		bounded := append([]int64(nil), known[i]...)
+		unknown := 0
+		for orig := 0; orig < f.m; orig++ {
+			if f.seen(orig, w) {
+				continue
+			}
+			if f.alive[orig] {
+				bounded = append(bounded, f.sources[orig].Peek2())
+			} else {
+				unknown++
+			}
+		}
+		lo := int64(0)
+		if j-unknown >= 1 {
+			lo = kthSmallest(bounded, j-unknown)
+		}
+		hi := int64(math.MaxInt64)
+		if len(known[i]) >= j {
+			hi = kthSmallest(known[i], j)
+		}
+		d.MedianIntervals2[i] = [2]int64{lo, hi}
+	}
+	return d
+}

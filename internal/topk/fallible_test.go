@@ -1,0 +1,471 @@
+package topk
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// faultSeed returns the chaos seed: RANKTIES_FAULT_SEED when set (the CI
+// chaos job runs the suite under a small seed matrix), 1 otherwise.
+func faultSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("RANKTIES_FAULT_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("RANKTIES_FAULT_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// chaosSources wraps every ranking as an accounted source, passing each
+// through wrap (identity when nil).
+func chaosSources(rankings []*ranking.PartialRanking, acc *telemetry.AccessAccountant,
+	wrap func(i int, s faults.Source) faults.Source) []faults.Source {
+	srcs := make([]faults.Source, len(rankings))
+	for i, r := range rankings {
+		s := NewListSource(r, acc, i)
+		if wrap != nil {
+			s = wrap(i, s)
+		}
+		srcs[i] = s
+	}
+	return srcs
+}
+
+func chaosEnsemble(t *testing.T, n, m int) []*ranking.PartialRanking {
+	t.Helper()
+	rng := rand.New(rand.NewSource(faultSeed(t)))
+	return randrank.CatalogEnsemble(rng, n, m, 6, 1.0, 1.5).Rankings
+}
+
+func TestMedRankOverFaultFreeMatchesMedRank(t *testing.T) {
+	in := chaosEnsemble(t, 400, 5)
+	for _, pol := range []Policy{GlobalMerge, RoundRobin, GlobalMergeBuckets, RoundRobinBuckets} {
+		want, err := MedRank(in, 10, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := telemetry.NewAccessAccountant(len(in))
+		got, err := MedRankOver(context.Background(), chaosSources(in, acc, nil), 10, pol, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Degraded != nil {
+			t.Fatalf("policy %d: fault-free run reported Degraded", pol)
+		}
+		if !reflect.DeepEqual(got.Winners, want.Winners) || !reflect.DeepEqual(got.Medians2, want.Medians2) {
+			t.Fatalf("policy %d: source path diverged from cursor path:\n got %v %v\nwant %v %v",
+				pol, got.Winners, got.Medians2, want.Winners, want.Medians2)
+		}
+		if !got.TopK.Equal(want.TopK) {
+			t.Fatalf("policy %d: TopK lists differ", pol)
+		}
+		if got.Stats.Total != want.Stats.Total {
+			t.Errorf("policy %d: source path probed %d, cursor path %d",
+				pol, got.Stats.Total, want.Stats.Total)
+		}
+	}
+}
+
+// TestMedRankOverSingleDeathDeterministic is the acceptance chaos test:
+// killing any single list out of m=5 mid-query yields a Degraded result that
+// is identical across runs and answer-equivalent to a fault-free MEDRANK over
+// the four surviving lists.
+func TestMedRankOverSingleDeathDeterministic(t *testing.T) {
+	const n, m, k = 300, 5, 8
+	in := chaosEnsemble(t, n, m)
+	for _, pol := range []Policy{GlobalMerge, RoundRobin, GlobalMergeBuckets, RoundRobinBuckets} {
+		for victim := 0; victim < m; victim++ {
+			run := func() *Result {
+				acc := telemetry.NewAccessAccountant(m)
+				srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+					if i != victim {
+						return s
+					}
+					return faults.Inject(s, faults.Plan{DeathAfter: 1})
+				})
+				res, err := MedRankOver(context.Background(), srcs, k, pol, acc)
+				if err != nil {
+					t.Fatalf("policy %d victim %d: %v", pol, victim, err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a.Winners, b.Winners) || !reflect.DeepEqual(a.Medians2, b.Medians2) ||
+				!reflect.DeepEqual(a.Degraded, b.Degraded) || !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Fatalf("policy %d victim %d: two identical chaos runs diverged", pol, victim)
+			}
+			if a.Degraded == nil {
+				// Merge and bucket-granular scheduling may certify without
+				// ever probing the victim twice (three drained first buckets
+				// can already certify the top k); element-granular
+				// round-robin cannot — it needs k distinct exact elements,
+				// far more than one round — so there a missing death is a bug.
+				if pol == RoundRobin {
+					t.Fatalf("policy %d victim %d: death not reported", pol, victim)
+				}
+				want, err := MedRank(in, k, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a.Winners, want.Winners) {
+					t.Fatalf("policy %d victim %d: unprobed victim changed the answer", pol, victim)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(a.Degraded.Lost, []int{victim}) || a.Degraded.Survivors != m-1 {
+				t.Fatalf("policy %d victim %d: Degraded = %+v", pol, victim, a.Degraded)
+			}
+			if a.Degraded.WastedSequential <= 0 {
+				t.Errorf("policy %d victim %d: no wasted accesses recorded for the dead list", pol, victim)
+			}
+
+			survivors := make([]*ranking.PartialRanking, 0, m-1)
+			for i, r := range in {
+				if i != victim {
+					survivors = append(survivors, r)
+				}
+			}
+			want, err := MedRank(survivors, k, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Winners, want.Winners) || !reflect.DeepEqual(a.Medians2, want.Medians2) {
+				t.Fatalf("policy %d victim %d: degraded answer differs from fault-free MEDRANK over survivors:\n got %v %v\nwant %v %v",
+					pol, victim, a.Winners, a.Medians2, want.Winners, want.Medians2)
+			}
+			if !a.TopK.Equal(want.TopK) {
+				t.Fatalf("policy %d victim %d: degraded TopK differs from survivors' TopK", pol, victim)
+			}
+		}
+	}
+}
+
+// TestMedRankOverQualityInterval checks the Degraded certificate: every
+// winner's interval must contain the median the winner would have had on the
+// full fault-free instance.
+func TestMedRankOverQualityInterval(t *testing.T) {
+	const n, m, k = 300, 5, 8
+	in := chaosEnsemble(t, n, m)
+	j := (m + 1) / 2
+	for victim := 0; victim < m; victim++ {
+		acc := telemetry.NewAccessAccountant(m)
+		srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+			if i != victim {
+				return s
+			}
+			return faults.Inject(s, faults.Plan{DeathAfter: 1})
+		})
+		res, err := MedRankOver(context.Background(), srcs, k, RoundRobin, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degraded == nil {
+			t.Fatal("death not reported")
+		}
+		if len(res.Degraded.MedianIntervals2) != len(res.Winners) {
+			t.Fatalf("got %d intervals for %d winners", len(res.Degraded.MedianIntervals2), len(res.Winners))
+		}
+		for i, w := range res.Winners {
+			all := make([]int64, m)
+			for l, r := range in {
+				all[l] = r.Pos2(w)
+			}
+			truth := kthSmallest(all, j)
+			iv := res.Degraded.MedianIntervals2[i]
+			if truth < iv[0] || truth > iv[1] {
+				t.Errorf("victim %d winner %d: fault-free median %d outside certified [%d, %d]",
+					victim, w, truth, iv[0], iv[1])
+			}
+		}
+	}
+}
+
+func TestMedRankOverTransientsAbsorbed(t *testing.T) {
+	in := chaosEnsemble(t, 300, 5)
+	want, err := MedRank(in, 10, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := faultSeed(t)
+	acc := telemetry.NewAccessAccountant(len(in))
+	sl := &faults.FakeSleeper{}
+	srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+		s = faults.Inject(s, faults.Plan{Seed: seed + int64(i), TransientRate: 0.05})
+		return faults.WithRetry(s, faults.RetryPolicy{
+			MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: time.Second,
+			Multiplier: 2, JitterSeed: seed, Sleeper: sl,
+		}, acc, i)
+	})
+	got, err := MedRankOver(context.Background(), srcs, 10, RoundRobin, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != nil {
+		t.Fatal("retry-absorbed transients must not degrade the answer")
+	}
+	if !reflect.DeepEqual(got.Winners, want.Winners) || !reflect.DeepEqual(got.Medians2, want.Medians2) {
+		t.Fatalf("answer under absorbed transients diverged:\n got %v\nwant %v", got.Winners, want.Winners)
+	}
+	if got.Stats.Failed == 0 || got.Stats.Retried == 0 {
+		t.Errorf("expected injected failures in stats, got failed=%d retried=%d",
+			got.Stats.Failed, got.Stats.Retried)
+	}
+}
+
+func TestMedRankOverRetryExhaustionKillsList(t *testing.T) {
+	in := chaosEnsemble(t, 200, 5)
+	const victim = 2
+	acc := telemetry.NewAccessAccountant(len(in))
+	srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+		if i != victim {
+			return s
+		}
+		s = faults.Inject(s, faults.Plan{Seed: 1, TransientRate: 1})
+		return faults.WithRetry(s, faults.RetryPolicy{
+			MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Second,
+			Multiplier: 2, JitterSeed: 1, Sleeper: &faults.FakeSleeper{},
+		}, acc, i)
+	})
+	res, err := MedRankOver(context.Background(), srcs, 5, RoundRobin, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded == nil || !reflect.DeepEqual(res.Degraded.Lost, []int{victim}) {
+		t.Fatalf("Degraded = %+v, want lost=[%d]", res.Degraded, victim)
+	}
+	if res.Stats.Failed < 3 {
+		t.Errorf("Stats.Failed = %d, want >= MaxAttempts", res.Stats.Failed)
+	}
+}
+
+func TestMedRankOverTruncatedListNoDeath(t *testing.T) {
+	in := chaosEnsemble(t, 200, 5)
+	run := func() *Result {
+		acc := telemetry.NewAccessAccountant(len(in))
+		srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+			if i != 1 {
+				return s
+			}
+			return faults.Inject(s, faults.Plan{TruncateAt: 30})
+		})
+		res, err := MedRankOver(context.Background(), srcs, 5, RoundRobin, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Degraded != nil {
+		t.Fatal("a truncated list is not a dead list")
+	}
+	if len(a.Winners) != 5 {
+		t.Fatalf("got %d winners, want 5", len(a.Winners))
+	}
+	if !reflect.DeepEqual(a.Winners, b.Winners) || !reflect.DeepEqual(a.Medians2, b.Medians2) {
+		t.Fatal("truncated runs not deterministic")
+	}
+}
+
+func TestMedRankOverAllListsDead(t *testing.T) {
+	in := chaosEnsemble(t, 100, 3)
+	acc := telemetry.NewAccessAccountant(len(in))
+	srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+		return faults.Inject(s, faults.Plan{DeathAfter: 5})
+	})
+	_, err := MedRankOver(context.Background(), srcs, 5, RoundRobin, acc)
+	if err == nil {
+		t.Fatal("all lists dead: expected an error")
+	}
+	if !errors.Is(err, faults.ErrSourceDead) {
+		t.Errorf("error %v does not wrap ErrSourceDead", err)
+	}
+}
+
+// TestMedRankOverDeadline checks that a deadline aborts an in-flight run
+// (injected latency makes every access slow) and leaks no goroutines.
+func TestMedRankOverDeadline(t *testing.T) {
+	in := chaosEnsemble(t, 2000, 4)
+	before := runtime.NumGoroutine()
+
+	acc := telemetry.NewAccessAccountant(len(in))
+	srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+		return faults.Inject(s, faults.Plan{Latency: 2 * time.Millisecond})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := MedRankOver(ctx, srcs, 50, RoundRobin, acc)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline abort took %v", elapsed)
+	}
+
+	deadlineFree := false
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			deadlineFree = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !deadlineFree {
+		t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+	}
+}
+
+func TestMedRankContextCancelled(t *testing.T) {
+	in := chaosEnsemble(t, 500, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MedRankContext(ctx, in, 10, GlobalMerge); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MedRankContext under canceled ctx: %v", err)
+	}
+	if _, err := ThresholdTopKContext(ctx, in, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ThresholdTopKContext under canceled ctx: %v", err)
+	}
+}
+
+func TestThresholdTopKOverFaultFreeMatchesTA(t *testing.T) {
+	in := chaosEnsemble(t, 400, 5)
+	want, err := ThresholdTopK(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := telemetry.NewAccessAccountant(len(in))
+	got, err := ThresholdTopKOver(context.Background(), chaosSources(in, acc, nil), 10, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != nil {
+		t.Fatal("fault-free TA run reported Degraded")
+	}
+	if !reflect.DeepEqual(got.Winners, want.Winners) || !reflect.DeepEqual(got.Medians2, want.Medians2) {
+		t.Fatalf("TA source path diverged:\n got %v %v\nwant %v %v",
+			got.Winners, got.Medians2, want.Winners, want.Medians2)
+	}
+	if got.Stats.Random != want.Stats.Random {
+		t.Errorf("random accesses: source path %d, ranking path %d", got.Stats.Random, want.Stats.Random)
+	}
+}
+
+func TestThresholdTopKOverDeathDeterministic(t *testing.T) {
+	const n, m, k = 300, 5, 8
+	in := chaosEnsemble(t, n, m)
+	j := (m + 1) / 2
+	for victim := 0; victim < m; victim++ {
+		run := func() *Result {
+			acc := telemetry.NewAccessAccountant(m)
+			srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+				if i != victim {
+					return s
+				}
+				return faults.Inject(s, faults.Plan{DeathAfter: 25})
+			})
+			res, err := ThresholdTopKOver(context.Background(), srcs, k, acc)
+			if err != nil {
+				t.Fatalf("victim %d: %v", victim, err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a.Winners, b.Winners) || !reflect.DeepEqual(a.Degraded, b.Degraded) {
+			t.Fatalf("victim %d: chaos TA runs diverged", victim)
+		}
+		if a.Degraded == nil || !reflect.DeepEqual(a.Degraded.Lost, []int{victim}) || a.Degraded.Survivors != m-1 {
+			t.Fatalf("victim %d: Degraded = %+v", victim, a.Degraded)
+		}
+
+		survivors := make([]*ranking.PartialRanking, 0, m-1)
+		for i, r := range in {
+			if i != victim {
+				survivors = append(survivors, r)
+			}
+		}
+		want, err := ThresholdTopK(survivors, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Winners, want.Winners) || !reflect.DeepEqual(a.Medians2, want.Medians2) {
+			t.Fatalf("victim %d: degraded TA answer differs from fault-free TA over survivors:\n got %v %v\nwant %v %v",
+				victim, a.Winners, a.Medians2, want.Winners, want.Medians2)
+		}
+
+		for i, w := range a.Winners {
+			all := make([]int64, m)
+			for l, r := range in {
+				all[l] = r.Pos2(w)
+			}
+			truth := kthSmallest(all, j)
+			iv := a.Degraded.MedianIntervals2[i]
+			if truth < iv[0] || truth > iv[1] {
+				t.Errorf("victim %d winner %d: fault-free median %d outside certified [%d, %d]",
+					victim, w, truth, iv[0], iv[1])
+			}
+		}
+	}
+}
+
+func TestThresholdTopKOverTruncatedResolvesByRandomAccess(t *testing.T) {
+	in := chaosEnsemble(t, 200, 5)
+	// Truncating a scan hides elements from discovery but not from random
+	// access, so TA's degraded-free answer must equal the fault-free one.
+	want, err := ThresholdTopK(in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := telemetry.NewAccessAccountant(len(in))
+	srcs := chaosSources(in, acc, func(i int, s faults.Source) faults.Source {
+		return faults.Inject(s, faults.Plan{TruncateAt: 10})
+	})
+	got, err := ThresholdTopKOver(context.Background(), srcs, 5, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded != nil {
+		t.Fatal("truncation reported as death")
+	}
+	if !reflect.DeepEqual(got.Winners, want.Winners) || !reflect.DeepEqual(got.Medians2, want.Medians2) {
+		t.Fatalf("truncated TA diverged:\n got %v %v\nwant %v %v",
+			got.Winners, got.Medians2, want.Winners, want.Medians2)
+	}
+}
+
+func TestMedRankOverValidation(t *testing.T) {
+	in := chaosEnsemble(t, 50, 3)
+	acc := telemetry.NewAccessAccountant(3)
+	if _, err := MedRankOver(context.Background(), nil, 1, RoundRobin, nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := MedRankOver(context.Background(), chaosSources(in, acc, nil), 51, RoundRobin, acc); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := MedRankOver(context.Background(), chaosSources(in, acc, nil), 1, Policy(99), acc); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := ThresholdTopKOver(context.Background(), nil, 1, nil); err == nil {
+		t.Error("TA: no sources accepted")
+	}
+	// MedRankOver with k=0 certifies immediately.
+	res, err := MedRankOver(context.Background(), chaosSources(in, acc, nil), 0, GlobalMerge, acc)
+	if err != nil || len(res.Winners) != 0 {
+		t.Errorf("k=0: res=%v err=%v", res, err)
+	}
+}

@@ -2,6 +2,7 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 )
@@ -114,17 +115,30 @@ func (r *medrankRun) finalizeExhausted() {
 	r.pending = r.pending[:0]
 }
 
+// ctxCheckStride bounds how many probes may pass between context checks in
+// the infallible drive loop: frequent enough that a deadline aborts a long
+// certification promptly, sparse enough that the atomic-ish Err call stays
+// invisible on the hot path.
+const ctxCheckStride = 1024
+
 // drive repeatedly asks pick for a list to probe (-1 when none remains) and
-// stops as soon as the top k is certified.
-func (r *medrankRun) drive(pick func() int) {
-	for !r.certified() {
+// stops as soon as the top k is certified, or with ctx.Err() when the caller
+// cancels mid-run.
+func (r *medrankRun) drive(ctx context.Context, pick func() int) error {
+	for it := 0; !r.certified(); it++ {
+		if it%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		i := pick()
 		if i < 0 {
 			r.finalizeExhausted()
-			return
+			return nil
 		}
 		r.probe(i)
 	}
+	return nil
 }
 
 func (r *medrankRun) probe(i int) {
@@ -134,7 +148,7 @@ func (r *medrankRun) probe(i int) {
 		return
 	}
 	r.acc.BucketIO(i)
-	r.consume(i, e)
+	r.consume(i, e, r.cursors[i].Peek2())
 	if !r.bucketGranular {
 		return
 	}
@@ -145,13 +159,23 @@ func (r *medrankRun) probe(i int) {
 		if !ok {
 			break
 		}
-		r.consume(i, next)
+		r.consume(i, next, r.cursors[i].Peek2())
 	}
 }
 
-// consume registers one revealed entry from list i.
-func (r *medrankRun) consume(i int, e Entry) {
-	r.frontier[i] = r.cursors[i].Peek2()
+// consume registers one revealed entry from list i, whose frontier has
+// advanced to frontier2.
+func (r *medrankRun) consume(i int, e Entry, frontier2 int64) {
+	r.frontier[i] = frontier2
+	r.replay(e)
+}
+
+// replay registers an entry without touching the frontier: the fallible
+// engine uses it to re-feed already-probed entries into a fresh
+// certification state after a list death, under the frontiers of the moment
+// (unseen positions are bounded by the current frontiers, so replaying under
+// the newest — largest — frontiers is exact, not just safe).
+func (r *medrankRun) replay(e Entry) {
 	if len(r.seen[e.Elem]) == 0 {
 		r.probedDistinct++
 	}
@@ -169,8 +193,8 @@ func (r *medrankRun) tryExact(e int) (int64, bool) {
 	if len(s) == r.m {
 		return med, true
 	}
-	for i, c := range r.cursors {
-		if r.frontier[i] < med && !c.seenIn(e) {
+	for i := range r.frontier {
+		if r.frontier[i] < med && !r.seenIn(i, e) {
 			return 0, false
 		}
 	}
@@ -184,8 +208,8 @@ func (r *medrankRun) medianLB(e int) int64 {
 	all := make([]int64, 0, r.m)
 	all = append(all, s...)
 	if len(s) < r.m {
-		for i, c := range r.cursors {
-			if !c.seenIn(e) {
+		for i := range r.frontier {
+			if !r.seenIn(i, e) {
 				all = append(all, r.frontier[i])
 			}
 		}

@@ -1,0 +1,46 @@
+package topk
+
+import (
+	"context"
+
+	"repro/internal/faults"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// listSource is the infallible faults.Source: a cursor over an in-memory
+// partial ranking. Its accesses never fail; it exists so the fallible engines
+// (MedRankOver, ThresholdTopKOver) and the chaos wrappers of internal/faults
+// all speak one interface.
+type listSource struct {
+	c    *Cursor
+	pr   *ranking.PartialRanking
+	acc  *telemetry.AccessAccountant
+	list int
+}
+
+// NewListSource exposes a partial ranking as a faults.Source that charges its
+// sequential and random accesses to list `list` of acc. Wrap it with
+// faults.Inject and faults.WithRetry to build a chaos pipeline.
+func NewListSource(pr *ranking.PartialRanking, acc *telemetry.AccessAccountant, list int) faults.Source {
+	return &listSource{
+		c:    newCursorAt(pr, acc, list),
+		pr:   pr,
+		acc:  acc,
+		list: list,
+	}
+}
+
+func (s *listSource) Next(ctx context.Context) (Entry, bool, error) {
+	e, ok := s.c.Next() // the cursor charges the sequential access itself
+	return e, ok, nil
+}
+
+func (s *listSource) Peek2() int64 { return s.c.Peek2() }
+
+func (s *listSource) Pos2(ctx context.Context, elem int) (int64, error) {
+	s.acc.Random(s.list)
+	return s.pr.Pos2(elem), nil
+}
+
+func (s *listSource) N() int { return s.pr.N() }

@@ -28,6 +28,13 @@ import (
 // expensive; ThresholdTopK exists so experiments can report both regimes
 // through the same unified access accounting.
 func ThresholdTopK(rankings []*ranking.PartialRanking, k int) (*Result, error) {
+	return ThresholdTopKContext(context.Background(), rankings, k)
+}
+
+// ThresholdTopKContext is ThresholdTopK under a caller context: telemetry
+// labels attach to it and cancellation or deadline expiry aborts the run
+// between accesses with ctx.Err().
+func ThresholdTopKContext(ctx context.Context, rankings []*ranking.PartialRanking, k int) (*Result, error) {
 	if len(rankings) == 0 {
 		return nil, fmt.Errorf("topk: no input rankings")
 	}
@@ -57,13 +64,19 @@ func ThresholdTopK(rankings []*ranking.PartialRanking, k int) (*Result, error) {
 	kSmall := &int64MaxHeap{}
 	resolved := 0
 
+	var derr error
 	sp := telemetry.StartSpan("topk.ta")
-	telemetry.Do(context.Background(), "kernel", "ta", func(context.Context) {
+	telemetry.Do(ctx, "kernel", "ta", func(ctx context.Context) {
 		if k == 0 {
 			return
 		}
 		next := 0
-		for resolved < n {
+		for it := 0; resolved < n; it++ {
+			if it%ctxCheckStride == 0 {
+				if derr = ctx.Err(); derr != nil {
+					return
+				}
+			}
 			// Threshold test: with k exact medians strictly below the best
 			// median any unseen element could achieve, the answer is final
 			// (strictness sidesteps ties, which break by element ID).
@@ -110,6 +123,9 @@ func ThresholdTopK(rankings []*ranking.PartialRanking, k int) (*Result, error) {
 		}
 	})
 	sp.End()
+	if derr != nil {
+		return nil, derr
+	}
 
 	winners, medians2 := selectTopK(med, k)
 	top, err := ranking.TopKList(n, k, winners)

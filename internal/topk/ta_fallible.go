@@ -1,0 +1,307 @@
+package topk
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// ThresholdTopKOver is the TA-style baseline over fallible sources. Sorted
+// accesses proceed round-robin over the lists that are still alive; every
+// newly discovered element is resolved by random access in every other alive
+// list. Any non-context access error permanently kills the offending list:
+// the algorithm drops it from the aggregation, recomputes every resolved
+// median over the survivors (each resolved element's positions in all
+// currently-alive lists are known, so the recomputation is exact), and keeps
+// going. The answer is then the exact lower-median top-k over the surviving
+// lists and Result.Degraded is non-nil.
+//
+// Unlike MedRankOver, a truncated sorted scan costs TA nothing but
+// discovery: elements the scan never reveals are resolved by random access
+// once every survivor is exhausted, because random access by identity still
+// works on a source whose scan ended early.
+//
+// When acc is non-nil it must be the accountant the sources charge to; nil
+// allocates a fresh one.
+func ThresholdTopKOver(ctx context.Context, sources []faults.Source, k int, acc *telemetry.AccessAccountant) (*Result, error) {
+	m := len(sources)
+	if m == 0 {
+		return nil, fmt.Errorf("topk: no input sources")
+	}
+	n := sources[0].N()
+	for i, s := range sources {
+		if s.N() != n {
+			return nil, fmt.Errorf("topk: source %d has domain size %d, want %d", i, s.N(), n)
+		}
+	}
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
+	}
+	if acc == nil {
+		acc = telemetry.NewAccessAccountant(m)
+	}
+
+	t := &taFallibleRun{
+		sources:  sources,
+		acc:      acc,
+		n:        n,
+		m:        m,
+		k:        k,
+		alive:    make([]bool, m),
+		aliveCnt: m,
+		needed:   (m + 1) / 2,
+		frontier: make([]int64, m),
+		pos:      make([][]int64, n),
+		med:      make([]int64, n),
+		kSmall:   &int64MaxHeap{},
+	}
+	for i, s := range sources {
+		t.alive[i] = true
+		t.frontier[i] = s.Peek2()
+	}
+	for e := range t.med {
+		t.med[e] = math.MaxInt64
+	}
+
+	var derr error
+	sp := telemetry.StartSpan("topk.ta_fallible")
+	telemetry.Do(ctx, "kernel", "ta", func(ctx context.Context) {
+		derr = t.drive(ctx)
+	})
+	sp.End()
+	if derr != nil {
+		return nil, derr
+	}
+
+	winners, medians2 := selectTopK(t.med, k)
+	top, err := ranking.TopKList(n, k, winners)
+	if err != nil {
+		return nil, err
+	}
+	stats := statsFromReport(acc.Report())
+	tTARuns.Inc()
+	tTAProbes.Add(int64(stats.Total))
+	tTARandom.Add(int64(stats.Random))
+	return &Result{
+		TopK:     top,
+		Winners:  winners,
+		Medians2: medians2,
+		Stats:    stats,
+		Degraded: t.degraded(winners),
+	}, nil
+}
+
+type taFallibleRun struct {
+	sources  []faults.Source
+	acc      *telemetry.AccessAccountant
+	n, m, k  int
+	alive    []bool
+	aliveCnt int
+	needed   int // (aliveCnt+1)/2, the survivor median index
+	frontier []int64
+	pos      [][]int64 // per resolved element: positions, MaxInt64 = unknown
+	med      []int64   // per element: lower median over alive lists
+	kSmall   *int64MaxHeap
+	resolved int
+	lost     []int
+	rrNext   int
+}
+
+func (t *taFallibleRun) drive(ctx context.Context) error {
+	if t.k == 0 {
+		return nil
+	}
+	for t.resolved < t.n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Threshold test: dead and exhausted lists both sit at MaxInt64, so
+		// the needed-th smallest over the full frontier array is the
+		// needed-th smallest alive frontier.
+		if t.resolved >= t.k && t.kSmall.Peek() < kthSmallest(t.frontier, t.needed) {
+			return nil
+		}
+		i := -1
+		for tries := 0; tries < t.m; tries++ {
+			c := t.rrNext
+			t.rrNext = (t.rrNext + 1) % t.m
+			if t.alive[c] && t.frontier[c] < math.MaxInt64 {
+				i = c
+				break
+			}
+		}
+		if i < 0 {
+			// Every survivor's scan has ended. Lists that merely truncated
+			// still answer random accesses, so resolve the undiscovered rest
+			// by identity.
+			return t.finalizeByRandomAccess(ctx)
+		}
+		e, ok, err := t.sources[i].Next(ctx)
+		if err != nil {
+			if faults.IsContextErr(err) {
+				return err
+			}
+			if kerr := t.kill(i, err); kerr != nil {
+				return kerr
+			}
+			continue
+		}
+		if !ok {
+			t.frontier[i] = math.MaxInt64
+			continue
+		}
+		t.frontier[i] = t.sources[i].Peek2()
+		if t.med[e.Elem] != math.MaxInt64 {
+			continue // already resolved
+		}
+		if err := t.resolve(ctx, e.Elem, i, e.Pos2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolve random-accesses elem's position in every alive list (except seedList
+// when its position arrived by sorted access) and records the element's exact
+// lower median over the survivors. A list dying mid-resolution is killed and
+// the resolution continues over the rest.
+func (t *taFallibleRun) resolve(ctx context.Context, elem, seedList int, seedPos2 int64) error {
+	row := make([]int64, t.m)
+	for j := range row {
+		row[j] = math.MaxInt64
+	}
+	if seedList >= 0 {
+		row[seedList] = seedPos2
+	}
+	for j := 0; j < t.m; j++ {
+		if j == seedList || !t.alive[j] {
+			continue
+		}
+		v, err := t.sources[j].Pos2(ctx, elem)
+		if err != nil {
+			if faults.IsContextErr(err) {
+				return err
+			}
+			if kerr := t.kill(j, err); kerr != nil {
+				return kerr
+			}
+			continue
+		}
+		row[j] = v
+	}
+	t.pos[elem] = row
+	t.med[elem] = kthAlive(row, t.alive, t.needed)
+	t.resolved++
+	heap.Push(t.kSmall, t.med[elem])
+	if t.kSmall.Len() > t.k {
+		heap.Pop(t.kSmall)
+	}
+	return nil
+}
+
+func (t *taFallibleRun) finalizeByRandomAccess(ctx context.Context) error {
+	for e := 0; e < t.n && t.resolved < t.n; e++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if t.med[e] != math.MaxInt64 {
+			continue
+		}
+		if err := t.resolve(ctx, e, -1, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kill drops list j from the aggregation and recomputes every resolved median
+// over the survivors. The recomputation is exact: a resolved element's row
+// holds its true position in every list that was alive at resolution time, a
+// superset of the lists alive now.
+func (t *taFallibleRun) kill(j int, cause error) error {
+	t.alive[j] = false
+	t.aliveCnt--
+	t.frontier[j] = math.MaxInt64
+	t.lost = append(t.lost, j)
+	tListDeaths.Inc()
+	if t.aliveCnt == 0 {
+		return fmt.Errorf("topk: all %d input lists died mid-query (last: %w)", t.m, cause)
+	}
+	t.needed = (t.aliveCnt + 1) / 2
+	*t.kSmall = (*t.kSmall)[:0]
+	for e := 0; e < t.n; e++ {
+		if t.pos[e] == nil {
+			continue
+		}
+		t.med[e] = kthAlive(t.pos[e], t.alive, t.needed)
+		heap.Push(t.kSmall, t.med[e])
+		if t.kSmall.Len() > t.k {
+			heap.Pop(t.kSmall)
+		}
+	}
+	return nil
+}
+
+func (t *taFallibleRun) degraded(winners []int) *Degraded {
+	if len(t.lost) == 0 {
+		return nil
+	}
+	rep := t.acc.Report()
+	d := &Degraded{
+		Lost:             append([]int(nil), t.lost...),
+		Survivors:        t.aliveCnt,
+		Retried:          int(rep.Retried),
+		MedianIntervals2: make([][2]int64, len(winners)),
+	}
+	sort.Ints(d.Lost)
+	for _, li := range t.lost {
+		if li < len(rep.PerList) {
+			d.WastedSequential += int(rep.PerList[li])
+		}
+		if li < len(rep.RandomPerList) {
+			d.WastedRandom += int(rep.RandomPerList[li])
+		}
+	}
+	// Certificate on the fault-free median: positions resolved before a death
+	// are exact, positions in lists dead before resolution are unknown.
+	j := (t.m + 1) / 2
+	for i, w := range winners {
+		row := t.pos[w]
+		known := make([]int64, 0, t.m)
+		unknown := 0
+		for l := 0; l < t.m; l++ {
+			if row[l] != math.MaxInt64 {
+				known = append(known, row[l])
+			} else {
+				unknown++
+			}
+		}
+		lo := int64(0)
+		if j-unknown >= 1 {
+			lo = kthSmallest(known, j-unknown)
+		}
+		hi := int64(math.MaxInt64)
+		if len(known) >= j {
+			hi = kthSmallest(known, j)
+		}
+		d.MedianIntervals2[i] = [2]int64{lo, hi}
+	}
+	return d
+}
+
+// kthAlive returns the needed-th smallest of row restricted to alive lists.
+func kthAlive(row []int64, alive []bool, needed int) int64 {
+	vals := make([]int64, 0, len(row))
+	for j, v := range row {
+		if alive[j] {
+			vals = append(vals, v)
+		}
+	}
+	return kthSmallest(vals, needed)
+}

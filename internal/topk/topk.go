@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -35,11 +36,10 @@ var (
 )
 
 // Entry is one probed item of a list: an element and its (doubled) bucket
-// position in that list.
-type Entry struct {
-	Elem int
-	Pos2 int64
-}
+// position in that list. It is the access layer's wire type, aliased so the
+// infallible cursors here and the fallible sources of internal/faults share
+// one value type.
+type Entry = faults.Entry
 
 // Cursor provides sequential access to one partial ranking: entries arrive
 // in non-decreasing position order, ties within a bucket by ascending
@@ -136,6 +136,14 @@ type AccessStats struct {
 	// Random is the number of random accesses. MEDRANK makes none; the
 	// TA-style baseline pays one per list per newly discovered element.
 	Random int
+	// RandomPerList is the number of random accesses per list.
+	RandomPerList []int
+	// Failed counts access attempts that returned an error (always 0 on the
+	// infallible in-memory paths; chaos runs report injected failures here).
+	Failed int
+	// Retried counts access attempts a retry policy re-issued after a
+	// transient failure.
+	Retried int
 }
 
 // MiddlewareCost returns the FLN middleware cost cs*Total + cr*Random.
@@ -159,16 +167,22 @@ func statsFromReport(r telemetry.AccessReport) AccessStats {
 	st := AccessStats{
 		PerList:           make([]int, len(r.PerList)),
 		BucketProbes:      make([]int, len(r.BucketPerList)),
+		RandomPerList:     make([]int, len(r.RandomPerList)),
 		Total:             int(r.Sequential),
 		MaxDepth:          int(r.MaxDepth),
 		TotalBucketProbes: int(r.BucketIOs),
 		Random:            int(r.Random),
+		Failed:            int(r.Failed),
+		Retried:           int(r.Retried),
 	}
 	for i, v := range r.PerList {
 		st.PerList[i] = int(v)
 	}
 	for i, v := range r.BucketPerList {
 		st.BucketProbes[i] = int(v)
+	}
+	for i, v := range r.RandomPerList {
+		st.RandomPerList[i] = int(v)
 	}
 	return st
 }
@@ -209,16 +223,25 @@ type Result struct {
 	Medians2 []int64
 	// Stats is the access accounting.
 	Stats AccessStats
+	// Degraded is non-nil when one or more input lists died mid-query and
+	// the answer is the exact aggregation of the surviving lists only. It
+	// carries which lists were lost, the accesses wasted on them, and a
+	// conservative per-winner quality certificate. Nil on fault-free runs.
+	Degraded *Degraded
 }
 
 // medrankRun carries the certification state of one MEDRANK run; the engine
-// lives in run.go.
+// lives in run.go. The certification core is access-agnostic: it sees lists
+// only through frontier positions and the seenIn predicate, so the same core
+// drives the infallible cursor path (MedRank) and the fallible source path
+// (MedRankOver), which rebuilds a fresh run when a list dies.
 type medrankRun struct {
 	n, m, k, needed int
 	cursors         []*Cursor
-	frontier        []int64   // per list: doubled position of next unprobed entry
-	seen            [][]int64 // per element: probed doubled positions
-	exactMed        []int64   // per element: exact doubled median, MaxInt64 if unknown
+	seenIn          func(list, e int) bool // has list already yielded e?
+	frontier        []int64                // per list: doubled position of next unprobed entry
+	seen            [][]int64              // per element: probed doubled positions
+	exactMed        []int64                // per element: exact doubled median, MaxInt64 if unknown
 	exactCount      int
 	probedDistinct  int
 	pending         []int         // probed, not yet exact or cleared
@@ -233,6 +256,15 @@ type medrankRun struct {
 // with the given probe policy. It returns the exact lower-median top-k list
 // while probing only a prefix of each list — enough to certify the answer.
 func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result, error) {
+	return MedRankContext(context.Background(), rankings, k, policy)
+}
+
+// MedRankContext is MedRank under a caller context: the context's pprof
+// labels and spans attach to the certification kernel (so a db.TopK span
+// covers the engine it drove), and cancellation or deadline expiry aborts
+// the run between probes with ctx.Err(). The in-memory cursors themselves
+// cannot block; for sources that can, see MedRankOver.
+func MedRankContext(ctx context.Context, rankings []*ranking.PartialRanking, k int, policy Policy) (*Result, error) {
 	if len(rankings) == 0 {
 		return nil, fmt.Errorf("topk: no input rankings")
 	}
@@ -265,6 +297,7 @@ func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result,
 		run.cursors[i] = newCursorAt(r, acc, i)
 		run.frontier[i] = run.cursors[i].Peek2()
 	}
+	run.seenIn = func(list, e int) bool { return run.cursors[list].seenIn(e) }
 
 	pickMerge := func() int {
 		best, bestPos := -1, int64(math.MaxInt64)
@@ -302,13 +335,17 @@ func MedRank(rankings []*ranking.PartialRanking, k int, policy Policy) (*Result,
 		return nil, fmt.Errorf("topk: unknown policy %d", policy)
 	}
 	// With telemetry enabled the whole certification loop carries the pprof
-	// label "kernel"="medrank", so CPU profiles attribute its samples, and
-	// the run is timed as a trace span.
+	// label "kernel"="medrank", so CPU profiles attribute its samples (under
+	// the caller's own labels), and the run is timed as a trace span.
+	var derr error
 	sp := telemetry.StartSpan("topk.medrank")
-	telemetry.Do(context.Background(), "kernel", "medrank", func(context.Context) {
-		run.drive(pick)
+	telemetry.Do(ctx, "kernel", "medrank", func(ctx context.Context) {
+		derr = run.drive(ctx, pick)
 	})
 	sp.End()
+	if derr != nil {
+		return nil, derr
+	}
 
 	winners, medians2 := run.finalTopK()
 	top, err := ranking.TopKList(n, k, winners)

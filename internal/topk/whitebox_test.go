@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,6 +45,7 @@ func newExhaustedRun(t *testing.T, rankings []*ranking.PartialRanking, k int) *m
 		run.frontier[i] = math.MaxInt64
 	}
 	run.probedDistinct = n
+	run.seenIn = func(list, e int) bool { return run.cursors[list].seenIn(e) }
 	return run
 }
 
@@ -86,7 +88,9 @@ func TestDriveExitsViaFinalize(t *testing.T) {
 	// through the finalize path.
 	a := ranking.MustFromOrder([]int{1, 0})
 	run := newExhaustedRun(t, []*ranking.PartialRanking{a}, 1)
-	run.drive(func() int { return -1 })
+	if err := run.drive(context.Background(), func() int { return -1 }); err != nil {
+		t.Fatalf("drive: %v", err)
+	}
 	if run.exactCount != 2 {
 		t.Fatalf("drive+finalize promoted %d, want 2", run.exactCount)
 	}

@@ -1,6 +1,8 @@
 package rankties
 
 import (
+	"context"
+
 	"repro/internal/topk"
 )
 
@@ -34,6 +36,17 @@ const (
 func MedRank(rankings []*PartialRanking, k int, policy MedRankPolicy) (*MedRankResult, error) {
 	return topk.MedRank(rankings, k, policy)
 }
+
+// MedRankContext is MedRank under a caller context: cancellation or deadline
+// expiry aborts the run between probes with ctx.Err().
+func MedRankContext(ctx context.Context, rankings []*PartialRanking, k int, policy MedRankPolicy) (*MedRankResult, error) {
+	return topk.MedRankContext(ctx, rankings, k, policy)
+}
+
+// Degraded annotates a MedRankResult whose input lists partially died
+// mid-query (fallible-source runs only); see the internal faults package and
+// topk.MedRankOver for building fallible pipelines.
+type Degraded = topk.Degraded
 
 // FullScanCost returns the access cost of reading every list completely,
 // the baseline MedRank is measured against.
