@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corruptCatalog mixes clean rows with a non-integer stars cell (r2), a
+// non-float price cell (r3), and a duplicate key (second r1). The majority of
+// each numeric column still parses, so sniffing keeps stars=int, price=float.
+const corruptCatalog = `name,stars,price,cuisine
+r1,5,20.5,thai
+r2,many,8.0,bbq
+r3,4,cheap,deli
+r1,3,9.9,sushi
+r4,2,5.0,thai
+r5,1,3.5,deli
+`
+
+func writeCatalog(t *testing.T, contents string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "catalog.csv")
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	fn()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCatalogLenientLoadsAndRanks(t *testing.T) {
+	path := writeCatalog(t, corruptCatalog)
+	var out bytes.Buffer
+	var err error
+	stderr := captureStderr(t, func() {
+		err = run([]string{"-catalog", path, "-lenient", "-k", "2"}, &out)
+	})
+	if err != nil {
+		t.Fatalf("lenient catalog run failed: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "3 rows") {
+		t.Errorf("want 3 surviving rows (r1, r4, r5):\n%s", got)
+	}
+	if !strings.Contains(got, "ranking on stars, price") {
+		t.Errorf("numeric columns not sniffed:\n%s", got)
+	}
+	// Ascending on both columns: r5 (1 star, 3.5) beats r4 (2, 5.0).
+	if !strings.Contains(got, "1. r5") || !strings.Contains(got, "2. r4") {
+		t.Errorf("top-2 wrong:\n%s", got)
+	}
+	if n := strings.Count(stderr, "# defect:"); n != 3 {
+		t.Errorf("want 3 defect lines (bad int, bad float, dup key), got %d:\n%s", n, stderr)
+	}
+}
+
+func TestCatalogStrictRejectsCorruptRows(t *testing.T) {
+	path := writeCatalog(t, corruptCatalog)
+	var out bytes.Buffer
+	err := run([]string{"-catalog", path, "-k", "1"}, &out)
+	if err == nil {
+		t.Fatal("strict mode accepted a corrupted catalog")
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "\n") {
+		t.Errorf("diagnostic spans multiple lines: %q", msg)
+	}
+	if !strings.Contains(msg, `column "stars"`) {
+		t.Errorf("diagnostic %q does not name the defective cell", msg)
+	}
+}
+
+func TestCatalogErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-catalog", "/nonexistent/catalog.csv"}, &out); err == nil {
+		t.Error("missing catalog file accepted")
+	}
+	textOnly := writeCatalog(t, "name,cuisine\nr1,thai\nr2,bbq\n")
+	if err := run([]string{"-catalog", textOnly, "-k", "1"}, &out); err == nil {
+		t.Error("catalog without numeric columns accepted")
+	} else if !strings.Contains(err.Error(), "no numeric columns") {
+		t.Errorf("unexpected diagnostic: %v", err)
+	}
+	empty := writeCatalog(t, "")
+	if err := run([]string{"-catalog", empty}, &out); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+func TestCatalogKeycolOverride(t *testing.T) {
+	// With -keycol cuisine the name column sniffs to StringCol and is ignored;
+	// keys must be unique so use distinct cuisines.
+	path := writeCatalog(t, "name,stars,cuisine\nr1,2,thai\nr2,1,bbq\n")
+	var out bytes.Buffer
+	if err := run([]string{"-catalog", path, "-keycol", "cuisine", "-k", "1"}, &out); err != nil {
+		t.Fatalf("keycol override failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "1. bbq") {
+		t.Errorf("winner should be keyed by cuisine:\n%s", out.String())
+	}
+}

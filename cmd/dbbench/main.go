@@ -19,15 +19,24 @@
 // deadline on every engine run; a run that exceeds it aborts the sweep with
 // context.DeadlineExceeded.
 //
+// -catalog FILE replaces the synthetic sweep with a real CSV catalog: column
+// types are sniffed from the data, the table is loaded through the hardened
+// admission path (add -lenient to drop defective rows with a "# defect:"
+// report on stderr instead of aborting), and the top-k query runs over
+// ascending index scans of every numeric column for each -k value.
+//
 // Usage:
 //
 //	dbbench [-n 1000,10000] [-m 4,6] [-values 3,5,25] [-k 1,10] [-zipf 1.0]
 //	        [-theta 1.5] [-trials 3] [-seed 1] [-timeout 0] [-stats] [-trace]
 //	        [-chaos] [-debug addr]
+//	dbbench -catalog file.csv [-keycol name] [-lenient] [-k 1,10]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/csv"
 	"encoding/json"
 	_ "expvar"
 	"flag"
@@ -42,7 +51,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/db"
 	"repro/internal/experiments"
+	"repro/internal/guard"
 	"repro/internal/randrank"
 	"repro/internal/telemetry"
 	"repro/internal/topk"
@@ -106,6 +117,9 @@ func run(args []string, stdout io.Writer) error {
 	stats := fs.Bool("stats", false, "emit access statistics as JSON (MEDRANK and TA baselines, optimality ratios, telemetry snapshot)")
 	trace := fs.Bool("trace", false, "record telemetry spans and append the trace event log to the JSON (implies -stats)")
 	chaos := fs.Bool("chaos", false, "run the fault-injection experiment (E15) instead of the access-cost sweep")
+	catalog := fs.String("catalog", "", "query a real CSV catalog instead of sweeping synthetic ones")
+	keycol := fs.String("keycol", "", "primary-key column of -catalog (default: first header column)")
+	lenient := fs.Bool("lenient", false, "with -catalog, drop defective rows (reported as '# defect:' lines on stderr) instead of aborting")
 	timeout := fs.Duration("timeout", 0, "per-engine-run deadline; 0 means none")
 	debug := fs.String("debug", "", "serve net/http/pprof and expvar on this address for the duration of the run")
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +131,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		return table.Render(stdout)
+	}
+	if *catalog != "" {
+		ksV, err := parseInts(*ks)
+		if err != nil {
+			return err
+		}
+		return runCatalog(*catalog, *keycol, *lenient, ksV, stdout)
 	}
 
 	nsV, err := parseInts(*ns)
@@ -268,6 +289,128 @@ func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials in
 	cs.TA.OptimalityRatio = taRatio / float64(trials)
 	cs.ElapsedNs = int64(elapsed) / int64(trials)
 	return cs, nil
+}
+
+// runCatalog loads a real CSV catalog through the hardened admission path and
+// answers the multi-criteria top-k query over ascending index scans of every
+// numeric column, once per requested k.
+func runCatalog(path, keyCol string, lenient bool, ks []int, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	header, types, err := sniffCatalogTypes(data)
+	if err != nil {
+		return err
+	}
+	if keyCol == "" {
+		keyCol = header[0]
+	}
+	colTypes := make(map[string]db.ColumnType, len(header))
+	for _, h := range header {
+		if h != keyCol {
+			colTypes[h] = types[h]
+		}
+	}
+	tbl, report, err := db.LoadCSVWith(path, bytes.NewReader(data), keyCol, colTypes, db.LoadOptions{
+		Limits:  guard.DefaultLimits(),
+		Lenient: lenient,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range report.Defects {
+		fmt.Fprintf(os.Stderr, "# defect: %s\n", d)
+	}
+	if report.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "# defect: and %d more defects not shown\n", report.Dropped)
+	}
+
+	var prefs []db.Preference
+	for _, h := range header {
+		if h != keyCol && types[h] != db.StringCol {
+			prefs = append(prefs, db.Preference{Column: h, Direction: db.Ascending})
+		}
+	}
+	if len(prefs) == 0 {
+		return fmt.Errorf("catalog %s has no numeric columns to rank on", path)
+	}
+	cols := make([]string, len(prefs))
+	for i, p := range prefs {
+		cols[i] = p.Column
+	}
+	fmt.Fprintf(stdout, "catalog %s: %d rows, ranking on %s (ascending)\n",
+		path, tbl.NumRows(), strings.Join(cols, ", "))
+	for _, k := range ks {
+		if k > tbl.NumRows() {
+			continue
+		}
+		res, err := tbl.TopK(db.Query{Preferences: prefs, K: k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "k=%d\n", k)
+		for i, key := range res.Keys {
+			fmt.Fprintf(stdout, "  %d. %s (median position %g)\n", i+1, key, res.MedianPositions[i])
+		}
+		fmt.Fprintf(stdout, "  # probes: %d of %d (optimality ratio %.2f)\n",
+			res.Access.Total, res.FullScan.Total, res.OptimalityRatio)
+	}
+	return nil
+}
+
+// sniffCatalogTypes infers a column type for every header column by majority
+// vote over the data rows: a column most of whose non-empty cells parse as
+// integers is IntCol, else as floats FloatCol, else StringCol. Majority — not
+// unanimity — so that one corrupted cell in a numeric column becomes a row
+// defect at load time instead of silently demoting the whole column to
+// strings. Rows the CSV reader cannot parse are skipped here; the hardened
+// loader reports or rejects them afterwards.
+func sniffCatalogTypes(data []byte) ([]string, map[string]db.ColumnType, error) {
+	cr := csv.NewReader(bytes.NewReader(data))
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading CSV header of catalog: %w", err)
+	}
+	nonempty := make([]int, len(header))
+	ints := make([]int, len(header))
+	floats := make([]int, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			continue
+		}
+		for i := 0; i < len(rec) && i < len(header); i++ {
+			cell := strings.TrimSpace(rec[i])
+			if cell == "" {
+				continue
+			}
+			nonempty[i]++
+			if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+				ints[i]++
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err == nil {
+				floats[i]++
+			}
+		}
+	}
+	types := make(map[string]db.ColumnType, len(header))
+	for i, h := range header {
+		switch {
+		case nonempty[i] > 0 && ints[i]*2 > nonempty[i]:
+			types[h] = db.IntCol
+		case nonempty[i] > 0 && floats[i]*2 > nonempty[i]:
+			types[h] = db.FloatCol
+		default:
+			types[h] = db.StringCol
+		}
+	}
+	return header, types, nil
 }
 
 func parseInts(csv string) ([]int, error) {

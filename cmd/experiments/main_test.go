@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/guard"
 )
 
 func TestListFlag(t *testing.T) {
@@ -45,5 +48,33 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogusflag"}, &out); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// A panicking experiment body must come back from the CLI as an ordinary
+// single-line error (the one-line diagnostic main prints before exiting
+// non-zero), not crash the process.
+func TestPanickingExperimentOneLineDiagnostic(t *testing.T) {
+	experiments.Registry = append(experiments.Registry, experiments.Spec{
+		ID:    "EPANIC",
+		Title: "deliberately panicking experiment",
+		Run:   func(seed int64) (*experiments.Table, error) { panic("experiment bug") },
+	})
+	defer func() { experiments.Registry = experiments.Registry[:len(experiments.Registry)-1] }()
+
+	var out bytes.Buffer
+	err := run([]string{"EPANIC"}, &out)
+	if err == nil {
+		t.Fatal("panicking experiment reported success")
+	}
+	if _, ok := guard.Recovered(err); !ok {
+		t.Errorf("err = %v, want wrapped *guard.PanicError", err)
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "EPANIC:") || !strings.Contains(msg, "experiment bug") {
+		t.Errorf("diagnostic does not name the failed experiment: %q", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("diagnostic spans multiple lines: %q", msg)
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/metrics"
 	"repro/internal/randrank"
 	"repro/internal/ranking"
@@ -63,27 +64,63 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 }
 
-func readRankings(file string, stdin io.Reader) ([]*ranking.PartialRanking, *ranking.Domain, error) {
+// inputFlags are the shared flags of every ranking-reading subcommand: the
+// input file plus the admission mode. Strict (the default) aborts on the
+// first malformed line; -lenient repairs or drops defective lines under
+// guard.DefaultLimits and reports each one as a "# defect:" line on stderr.
+type inputFlags struct {
+	file    *string
+	lenient *bool
+	repair  *string
+}
+
+func addInputFlags(fs *flag.FlagSet) *inputFlags {
+	return &inputFlags{
+		file:    fs.String("file", "", "rankings file (default stdin)"),
+		lenient: fs.Bool("lenient", false, "repair or drop malformed lines instead of aborting; defects become '# defect:' lines on stderr"),
+		repair:  fs.String("repair", "drop", "lenient repair policy for lines covering a subset of the domain: drop | complete"),
+	}
+}
+
+func (in *inputFlags) read(stdin io.Reader) ([]*ranking.PartialRanking, *ranking.Domain, error) {
+	policy, err := guard.ParseRepairPolicy(*in.repair)
+	if err != nil {
+		return nil, nil, err
+	}
 	r := stdin
-	if file != "" {
-		f, err := os.Open(file)
+	if *in.file != "" {
+		f, err := os.Open(*in.file)
 		if err != nil {
 			return nil, nil, err
 		}
 		defer f.Close()
 		r = f
 	}
-	return ranking.ParseLines(r)
+	rs, dom, report, err := ranking.ParseLinesWith(r, ranking.ParseOptions{
+		Limits:  guard.DefaultLimits(),
+		Lenient: *in.lenient,
+		Repair:  policy,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, d := range report.Defects {
+		fmt.Fprintf(os.Stderr, "# defect: %s\n", d)
+	}
+	if report.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "# defect: and %d more defects not shown\n", report.Dropped)
+	}
+	return rs, dom, nil
 }
 
 func cmdDist(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dist", flag.ContinueOnError)
-	file := fs.String("file", "", "rankings file (default stdin)")
+	in := addInputFlags(fs)
 	penalty := fs.Float64("p", 0.5, "penalty parameter for K^(p)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rs, _, err := readRankings(*file, stdin)
+	rs, _, err := in.read(stdin)
 	if err != nil {
 		return err
 	}
@@ -114,7 +151,7 @@ func cmdDist(args []string, stdin io.Reader, stdout io.Writer) error {
 
 func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agg", flag.ContinueOnError)
-	file := fs.String("file", "", "rankings file (default stdin)")
+	in := addInputFlags(fs)
 	method := fs.String("method", "median", "median | dp | borda | mc4 | footrule-opt")
 	trace := fs.Bool("trace", false, "record telemetry spans and append per-phase timings as comment lines")
 	if err := fs.Parse(args); err != nil {
@@ -128,7 +165,7 @@ func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 			defer telemetry.Disable()
 		}
 	}
-	rs, dom, err := readRankings(*file, stdin)
+	rs, dom, err := in.read(stdin)
 	if err != nil {
 		return err
 	}
@@ -169,14 +206,14 @@ func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 
 func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("topk", flag.ContinueOnError)
-	file := fs.String("file", "", "rankings file (default stdin)")
+	in := addInputFlags(fs)
 	k := fs.Int("k", 1, "number of winners")
 	stats := fs.Bool("stats", false, "emit the run's access accounting as JSON instead of text")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long; 0 means no deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rs, dom, err := readRankings(*file, stdin)
+	rs, dom, err := in.read(stdin)
 	if err != nil {
 		return err
 	}
@@ -249,11 +286,11 @@ func cmdGen(args []string, stdout io.Writer) error {
 
 func cmdCompare(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	file := fs.String("file", "", "rankings file (default stdin)")
+	in := addInputFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rs, _, err := readRankings(*file, stdin)
+	rs, _, err := in.read(stdin)
 	if err != nil {
 		return err
 	}
@@ -272,11 +309,11 @@ func cmdCompare(args []string, stdin io.Reader, stdout io.Writer) error {
 
 func cmdCorr(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("corr", flag.ContinueOnError)
-	file := fs.String("file", "", "rankings file (default stdin)")
+	in := addInputFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rs, _, err := readRankings(*file, stdin)
+	rs, _, err := in.read(stdin)
 	if err != nil {
 		return err
 	}
@@ -312,11 +349,11 @@ func cmdCorr(args []string, stdin io.Reader, stdout io.Writer) error {
 // against the remaining rankings under all four metrics.
 func cmdEval(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
-	file := fs.String("file", "", "rankings file (default stdin); first line is the candidate")
+	in := addInputFlags(fs) // first line of the input is the candidate
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rs, _, err := readRankings(*file, stdin)
+	rs, _, err := in.read(stdin)
 	if err != nil {
 		return err
 	}

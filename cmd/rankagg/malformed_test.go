@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// corruptSample has a clean first and last line, an empty bucket on line 2,
+// and an under-covering ranking on line 3 (2 of the 4 domain elements).
+const corruptSample = `sushi thai | bbq | deli
+bbq | | thai deli sushi
+deli | sushi
+thai deli | sushi bbq
+`
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns what
+// was written (the defect report of lenient parsing goes to stderr).
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	fn()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Every reading subcommand must reject a malformed ensemble in strict mode
+// with a single-line diagnostic naming the defective line — and never panic.
+func TestStrictRejectsMalformedInput(t *testing.T) {
+	for _, sub := range []string{"dist", "agg", "topk", "compare", "corr", "eval"} {
+		var out bytes.Buffer
+		err := run([]string{sub}, strings.NewReader(corruptSample), &out)
+		if err == nil {
+			t.Errorf("%s accepted malformed input", sub)
+			continue
+		}
+		msg := err.Error()
+		if strings.Contains(msg, "\n") {
+			t.Errorf("%s: diagnostic spans multiple lines: %q", sub, msg)
+		}
+		if !strings.Contains(msg, "line 2") {
+			t.Errorf("%s: diagnostic %q does not name the defective line", sub, msg)
+		}
+	}
+}
+
+func TestLenientRecoversWithDefectReport(t *testing.T) {
+	var out bytes.Buffer
+	var err error
+	stderr := captureStderr(t, func() {
+		err = run([]string{"eval", "-lenient"}, strings.NewReader(corruptSample), &out)
+	})
+	if err != nil {
+		t.Fatalf("lenient eval failed: %v", err)
+	}
+	// Drop policy: lines 2 and 3 are dropped, leaving candidate + 1 input.
+	if !strings.Contains(out.String(), "candidate vs 1 inputs") {
+		t.Errorf("drop policy kept the wrong rankings:\n%s", out.String())
+	}
+	if n := strings.Count(stderr, "# defect:"); n != 2 {
+		t.Errorf("want 2 defect lines on stderr, got %d:\n%s", n, stderr)
+	}
+	if !strings.Contains(stderr, "line 2") || !strings.Contains(stderr, "line 3") {
+		t.Errorf("defect report does not localize the defects:\n%s", stderr)
+	}
+
+	// Complete policy: line 3 is repaired into the ensemble instead.
+	out.Reset()
+	stderr = captureStderr(t, func() {
+		err = run([]string{"eval", "-lenient", "-repair", "complete"}, strings.NewReader(corruptSample), &out)
+	})
+	if err != nil {
+		t.Fatalf("lenient -repair complete failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "candidate vs 2 inputs") {
+		t.Errorf("complete policy should repair the under-covering line:\n%s", out.String())
+	}
+	if !strings.Contains(stderr, "completed") {
+		t.Errorf("repair not reported:\n%s", stderr)
+	}
+}
+
+func TestBadRepairPolicyAndMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"agg", "-repair", "zap"}, strings.NewReader(sample), &out); err == nil {
+		t.Error("bad -repair value accepted")
+	}
+	if err := run([]string{"agg", "-file", "/nonexistent/rankings.txt"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -file accepted")
+	}
+}
+
+// Junk bytes must produce errors (or empty-input diagnostics), never panics,
+// in both strict and lenient modes.
+func TestNeverPanicsOnJunk(t *testing.T) {
+	junk := []string{
+		"\x00\x01\x02\n",
+		"| | |\n",
+		"a a a\n",
+		strings.Repeat("x ", 500) + "\n\xff\xfe\n",
+	}
+	for _, sub := range []string{"dist", "agg", "topk", "compare", "corr", "eval"} {
+		for _, in := range junk {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s panicked on junk input: %v", sub, r)
+					}
+				}()
+				var out bytes.Buffer
+				_ = captureStderr(t, func() {
+					_ = run([]string{sub}, strings.NewReader(in), &out)
+					_ = run([]string{sub, "-lenient"}, strings.NewReader(in), &out)
+				})
+			}()
+		}
+	}
+}

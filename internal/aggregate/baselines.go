@@ -1,6 +1,7 @@
 package aggregate
 
 import (
+	"repro/internal/guard"
 	"repro/internal/metrics"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
@@ -13,7 +14,8 @@ import (
 // element ID. The paper (Section 1) notes that, unlike median rank
 // aggregation, average-rank aggregation admits no instance-optimal
 // sequential-access algorithm.
-func Borda(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+func Borda(rankings []*ranking.PartialRanking) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.borda").End()
 	f, err := bordaScores(rankings)
 	if err != nil {
@@ -57,7 +59,8 @@ type Distance func(a, b *ranking.PartialRanking) (float64, error)
 // some input is always within factor 2 of the optimal aggregation under any
 // metric (triangle inequality), this is the paper's "trivial" baseline that
 // non-trivial aggregation algorithms must beat (footnote 4).
-func BestOfInputs(rankings []*ranking.PartialRanking, d Distance) (int, *ranking.PartialRanking, float64, error) {
+func BestOfInputs(rankings []*ranking.PartialRanking, d Distance) (_ int, _ *ranking.PartialRanking, _ float64, err error) {
+	defer guard.Capture(&err)
 	if err := checkInputs(rankings); err != nil {
 		return 0, nil, 0, err
 	}
@@ -80,7 +83,8 @@ func BestOfInputs(rankings []*ranking.PartialRanking, d Distance) (int, *ranking
 
 // SumDistance returns sum_i d(candidate, sigma_i), the generic aggregation
 // objective.
-func SumDistance(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d Distance) (float64, error) {
+func SumDistance(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d Distance) (_ float64, err error) {
+	defer guard.Capture(&err)
 	var sum float64
 	for _, r := range rankings {
 		v, err := d(candidate, r)
@@ -97,7 +101,8 @@ func SumDistance(candidate *ranking.PartialRanking, rankings []*ranking.PartialR
 // candidate against an ensemble performs O(1) allocations instead of O(m).
 // Objective-evaluation loops (best-of-inputs, Kemeny enumeration, MEDRANK
 // scoring) hold one workspace for their whole run.
-func SumDistanceWith(ws *metrics.Workspace, candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (float64, error) {
+func SumDistanceWith(ws *metrics.Workspace, candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (_ float64, err error) {
+	defer guard.Capture(&err)
 	var sum float64
 	for _, r := range rankings {
 		v, err := d(ws, candidate, r)
@@ -111,7 +116,8 @@ func SumDistanceWith(ws *metrics.Workspace, candidate *ranking.PartialRanking, r
 
 // BestOfInputsWith is BestOfInputs for workspace-aware distances: the whole
 // m^2 sweep shares the caller's workspace.
-func BestOfInputsWith(ws *metrics.Workspace, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (int, *ranking.PartialRanking, float64, error) {
+func BestOfInputsWith(ws *metrics.Workspace, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (_ int, _ *ranking.PartialRanking, _ float64, err error) {
+	defer guard.Capture(&err)
 	if err := checkInputs(rankings); err != nil {
 		return 0, nil, 0, err
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/guard"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -201,7 +202,8 @@ func bucketsFromCuts(sortedElems []int, parent []int) *ranking.PartialRanking {
 //	sum_i L1(f-dagger, sigma_i) <= 2 * sum_i L1(sigma, sigma_i),
 //
 // and the same bound with factor 3 holds against arbitrary score functions.
-func OptimalPartialAggregate(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+func OptimalPartialAggregate(rankings []*ranking.PartialRanking) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.optimal_partial").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, err

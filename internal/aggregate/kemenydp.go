@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -28,7 +29,8 @@ const KemenyMaxDP = 18
 // distance to the inputs, exactly, for domains up to KemenyMaxDP elements.
 // It matches KemenyOptimalBrute wherever both run and obeys the Condorcet
 // criterion.
-func KemenyOptimalDP(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, float64, error) {
+func KemenyOptimalDP(rankings []*ranking.PartialRanking) (_ *ranking.PartialRanking, _ float64, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.kemeny_dp").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, 0, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -73,7 +74,8 @@ func (o *MarkovChainOptions) defaults() {
 // the transition matrix, computes the stationary distribution by power
 // iteration, and returns the full ranking by descending stationary mass
 // (ties broken by element ID).
-func MarkovChain(rankings []*ranking.PartialRanking, variant MCVariant, opts MarkovChainOptions) (*ranking.PartialRanking, error) {
+func MarkovChain(rankings []*ranking.PartialRanking, variant MCVariant, opts MarkovChainOptions) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.markov_chain").End()
 	pi, err := StationaryDistribution(rankings, variant, opts)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -143,7 +144,8 @@ func AssignmentBrute(cost [][]int64) ([]int, int64, error) {
 // Hungarian algorithm, together with the optimal objective value. This is
 // the paper's "computationally simple it is not" exact footrule aggregation
 // that median rank aggregation 2-approximates (Theorem 11).
-func FootruleOptimalFull(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, float64, error) {
+func FootruleOptimalFull(rankings []*ranking.PartialRanking) (_ *ranking.PartialRanking, _ float64, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.footrule_full").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, 0, err

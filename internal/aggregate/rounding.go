@@ -3,6 +3,7 @@ package aggregate
 import (
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -16,7 +17,8 @@ import (
 //
 // The streaming MEDRANK engine in internal/topk computes the same output
 // while reading only a prefix of each input.
-func MedianTopK(rankings []*ranking.PartialRanking, k int) (*ranking.PartialRanking, error) {
+func MedianTopK(rankings []*ranking.PartialRanking, k int) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.median_topk").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, err
@@ -42,7 +44,8 @@ func MedianTopK(rankings []*ranking.PartialRanking, k int) (*ranking.PartialRank
 //
 // For general partial-ranking inputs the factor-3 guarantee of Theorem 9
 // (with k = n) applies instead.
-func MedianFull(rankings []*ranking.PartialRanking) (*ranking.PartialRanking, error) {
+func MedianFull(rankings []*ranking.PartialRanking) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
 	defer telemetry.StartSpan("aggregate.median_full").End()
 	if err := checkInputs(rankings); err != nil {
 		return nil, err

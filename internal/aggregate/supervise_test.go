@@ -1,0 +1,87 @@
+package aggregate
+
+import (
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+)
+
+// A panicking distance callback must surface from the baseline evaluators as
+// a typed *guard.PanicError, not crash the caller.
+func TestBaselinesContainDistancePanics(t *testing.T) {
+	in := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1, 2}),
+		ranking.MustFromOrder([]int{2, 1, 0}),
+	}
+	bomb := func(a, b *ranking.PartialRanking) (float64, error) { panic("distance bug") }
+	bombWS := func(ws *metrics.Workspace, a, b *ranking.PartialRanking) (float64, error) {
+		panic("distance bug")
+	}
+
+	if _, err := SumDistance(in[0], in, bomb); err == nil {
+		t.Error("SumDistance swallowed a panic")
+	} else if pe, ok := guard.Recovered(err); !ok || pe.Value != "distance bug" {
+		t.Errorf("SumDistance: %v, want *guard.PanicError", err)
+	}
+	if _, _, _, err := BestOfInputs(in, bomb); err == nil {
+		t.Error("BestOfInputs swallowed a panic")
+	} else if _, ok := guard.Recovered(err); !ok {
+		t.Errorf("BestOfInputs: %v, want *guard.PanicError", err)
+	}
+
+	ws := metrics.NewWorkspace()
+	if _, err := SumDistanceWith(ws, in[0], in, bombWS); err == nil {
+		t.Error("SumDistanceWith swallowed a panic")
+	} else if _, ok := guard.Recovered(err); !ok {
+		t.Errorf("SumDistanceWith: %v, want *guard.PanicError", err)
+	}
+	if _, _, _, err := BestOfInputsWith(ws, in, bombWS); err == nil {
+		t.Error("BestOfInputsWith swallowed a panic")
+	} else if _, ok := guard.Recovered(err); !ok {
+		t.Errorf("BestOfInputsWith: %v, want *guard.PanicError", err)
+	}
+}
+
+// The guarded aggregators still work and still validate inputs: supervision
+// must not change the error contract of ordinary failures.
+func TestGuardedAggregatorsKeepErrorContract(t *testing.T) {
+	in := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1, 2}),
+		ranking.MustFromBuckets(3, [][]int{{2, 1}, {0}}),
+	}
+	if _, err := Borda(in); err != nil {
+		t.Errorf("Borda: %v", err)
+	}
+	if _, err := MedianFull(in); err != nil {
+		t.Errorf("MedianFull: %v", err)
+	}
+	if _, err := OptimalPartialAggregate(in); err != nil {
+		t.Errorf("OptimalPartialAggregate: %v", err)
+	}
+	if _, _, err := KemenyOptimalDP(in); err != nil {
+		t.Errorf("KemenyOptimalDP: %v", err)
+	}
+	if _, _, err := FootruleOptimalFull(in); err != nil {
+		t.Errorf("FootruleOptimalFull: %v", err)
+	}
+	if _, err := MarkovChain(in, MC4, MarkovChainOptions{}); err != nil {
+		t.Errorf("MarkovChain: %v", err)
+	}
+	// Ordinary validation errors pass through untyped.
+	if _, err := Borda(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	} else if _, ok := guard.Recovered(err); ok {
+		t.Error("validation error misreported as a panic")
+	}
+	mismatched := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1}),
+		ranking.MustFromOrder([]int{0, 1, 2}),
+	}
+	if _, err := MedianFull(mismatched); err == nil {
+		t.Error("domain mismatch accepted")
+	} else if _, ok := guard.Recovered(err); ok {
+		t.Error("mismatch error misreported as a panic")
+	}
+}

@@ -1,80 +1,19 @@
 package db
 
 import (
-	"encoding/csv"
-	"fmt"
 	"io"
-	"strconv"
 )
 
 // LoadCSV builds a table from CSV data. The first record is the header; the
 // column named keyColumn supplies primary keys and every other header must
 // appear in types. Numeric parsing follows strconv (IntCol via ParseInt,
-// FloatCol via ParseFloat).
+// FloatCol via ParseFloat). The first defect aborts the load with an error
+// naming the CSV record line; use LoadCSVWith for admission limits and
+// lenient, defect-reporting loads.
 func LoadCSV(name string, r io.Reader, keyColumn string, types map[string]ColumnType) (*Table, error) {
-	cr := csv.NewReader(r)
-	cr.TrimLeadingSpace = true
-	header, err := cr.Read()
+	t, _, err := LoadCSVWith(name, r, keyColumn, types, LoadOptions{})
 	if err != nil {
-		return nil, fmt.Errorf("db: reading CSV header: %w", err)
-	}
-	keyIdx := -1
-	t := NewTable(name)
-	for i, h := range header {
-		if h == keyColumn {
-			if keyIdx >= 0 {
-				return nil, fmt.Errorf("db: duplicate key column %q", keyColumn)
-			}
-			keyIdx = i
-			continue
-		}
-		typ, ok := types[h]
-		if !ok {
-			return nil, fmt.Errorf("db: no type declared for CSV column %q", h)
-		}
-		if err := t.AddColumn(h, typ); err != nil {
-			return nil, err
-		}
-	}
-	if keyIdx < 0 {
-		return nil, fmt.Errorf("db: key column %q not in CSV header", keyColumn)
-	}
-	line := 1
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		line++
-		if err != nil {
-			return nil, fmt.Errorf("db: CSV line %d: %w", line, err)
-		}
-		row := make(Row, len(header)-1)
-		for i, h := range header {
-			if i == keyIdx {
-				continue
-			}
-			cell := rec[i]
-			switch types[h] {
-			case StringCol:
-				row[h] = cell
-			case IntCol:
-				v, err := strconv.ParseInt(cell, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("db: CSV line %d, column %q: %w", line, h, err)
-				}
-				row[h] = v
-			case FloatCol:
-				v, err := strconv.ParseFloat(cell, 64)
-				if err != nil {
-					return nil, fmt.Errorf("db: CSV line %d, column %q: %w", line, h, err)
-				}
-				row[h] = v
-			}
-		}
-		if err := t.Insert(rec[keyIdx], row); err != nil {
-			return nil, fmt.Errorf("db: CSV line %d: %w", line, err)
-		}
+		return nil, err
 	}
 	return t, nil
 }

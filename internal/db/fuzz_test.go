@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/guard"
 )
 
 // FuzzLoadCSV feeds arbitrary bytes through the CSV loader: malformed
@@ -44,12 +46,23 @@ func FuzzLoadCSV(f *testing.F) {
 			keyCol = strings.TrimSpace(cols[int(keyPick)%len(cols)])
 		}
 
+		// Lenient loading under limits must never panic, and its table must
+		// satisfy the same invariants as a strict one. When strict loading
+		// succeeds, lenient loading must agree exactly with an empty report.
+		limits := guard.Limits{MaxLineBytes: 1 << 12, MaxRankings: 64, MaxDefects: 16}
+		ltbl, report, lerr := LoadCSVWith("fuzz", bytes.NewReader(data), keyCol, types, LoadOptions{Limits: limits, Lenient: true})
+
 		tbl, err := LoadCSV("fuzz", bytes.NewReader(data), keyCol, types)
 		if err != nil {
 			if tbl != nil {
 				t.Fatal("LoadCSV returned a table alongside an error")
 			}
 			return
+		}
+		if lerr == nil && report.Len() == 0 {
+			if ltbl.NumRows() != tbl.NumRows() {
+				t.Fatalf("modes disagree on clean input: %d vs %d rows", ltbl.NumRows(), tbl.NumRows())
+			}
 		}
 		// Structural invariants of an accepted table.
 		if tbl.NumRows() < 0 {

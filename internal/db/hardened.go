@@ -1,0 +1,195 @@
+package db
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/guard"
+	"repro/internal/telemetry"
+)
+
+// Load telemetry: accepted rows are gated like other hot-path instruments;
+// dropped rows are force-counted because a catalog that needed repair is an
+// operational fact worth recording even when tracing is off.
+var (
+	tRowsLoaded  = telemetry.GetCounter("db.load.rows")
+	tRowsDropped = telemetry.GetCounter("db.load.rows_dropped")
+)
+
+// LoadOptions configures LoadCSVWith. The zero value is the historical strict
+// load with no admission limits.
+type LoadOptions struct {
+	// Limits bounds what the loader will admit; zero fields are unlimited.
+	// MaxLineBytes caps one record's encoded size, MaxElements the header
+	// width, MaxRankings the data-row count.
+	Limits guard.Limits
+	// Lenient, when set, drops defective rows (unparsable records, ragged
+	// rows, bad numeric cells, duplicate keys) with one guard.Defect each
+	// instead of aborting the load. Header defects are always fatal: without
+	// a trusted schema there is no table to repair into.
+	Lenient bool
+}
+
+// LoadCSVWith builds a table from CSV data under the given admission limits
+// and parse mode. The first record is the header; the column named keyColumn
+// supplies primary keys and every other header must appear in types.
+//
+// In strict mode it behaves exactly like LoadCSV: the first defect aborts
+// with an error naming the CSV record line (and column, for cell defects),
+// and the report is empty. In lenient mode each defective row becomes one
+// guard.Defect in the returned report (capped at Limits.MaxDefects) and is
+// dropped; the call succeeds with every row that survived, so a corrupted
+// catalog yields a usable table plus a defect report instead of one opaque
+// error. Defect positions use the csv package's physical line and column
+// accounting where available.
+func LoadCSVWith(name string, r io.Reader, keyColumn string, types map[string]ColumnType, opts LoadOptions) (*Table, *guard.ErrorList, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("db: reading CSV header: %w", err)
+	}
+	if !opts.Limits.ElementsOK(len(header)) {
+		return nil, nil, fmt.Errorf("db: CSV header has %d columns, limit %d", len(header), opts.Limits.MaxElements)
+	}
+	keyIdx := -1
+	t := NewTable(name)
+	for i, h := range header {
+		if h == keyColumn {
+			if keyIdx >= 0 {
+				return nil, nil, fmt.Errorf("db: duplicate key column %q", keyColumn)
+			}
+			keyIdx = i
+			continue
+		}
+		typ, ok := types[h]
+		if !ok {
+			return nil, nil, fmt.Errorf("db: no type declared for CSV column %q", h)
+		}
+		if err := t.AddColumn(h, typ); err != nil {
+			return nil, nil, err
+		}
+	}
+	if keyIdx < 0 {
+		return nil, nil, fmt.Errorf("db: key column %q not in CSV header", keyColumn)
+	}
+
+	report := guard.NewErrorList(opts.Limits.DefectCap())
+	line := 1 // records read, counting the header; matches LoadCSV's accounting
+	for {
+		prevOff := cr.InputOffset()
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			if !opts.Lenient {
+				return nil, nil, fmt.Errorf("db: CSV line %d: %w", line, err)
+			}
+			tRowsDropped.ForceInc()
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				report.Addf(pe.Line, pe.Column, "%v; row dropped", pe.Err)
+			} else {
+				report.Addf(line, 0, "%v; row dropped", err)
+			}
+			if cr.InputOffset() == prevOff {
+				// The reader made no progress past the defect; bailing out is
+				// the only alternative to spinning forever.
+				return nil, nil, fmt.Errorf("db: CSV line %d: unrecoverable: %w", line, err)
+			}
+			continue
+		}
+		if recBytes := cr.InputOffset() - prevOff; opts.Limits.MaxLineBytes > 0 && recBytes > int64(opts.Limits.MaxLineBytes) {
+			if !opts.Lenient {
+				return nil, nil, fmt.Errorf("db: CSV line %d: record of %d bytes exceeds limit %d", line, recBytes, opts.Limits.MaxLineBytes)
+			}
+			tRowsDropped.ForceInc()
+			report.Addf(line, 0, "record of %d bytes exceeds limit %d; row dropped", recBytes, opts.Limits.MaxLineBytes)
+			continue
+		}
+		if !opts.Limits.RankingsOK(t.NumRows() + 1) {
+			if !opts.Lenient {
+				return nil, nil, fmt.Errorf("db: CSV line %d: row count exceeds limit %d", line, opts.Limits.MaxRankings)
+			}
+			tRowsDropped.ForceInc()
+			report.Addf(line, 0, "row limit %d reached; remaining input dropped", opts.Limits.MaxRankings)
+			break
+		}
+		row, defect := parseRecord(cr, header, rec, types, keyIdx, line)
+		if defect != nil {
+			if !opts.Lenient {
+				return nil, nil, defect.strictErr
+			}
+			tRowsDropped.ForceInc()
+			report.Add(defect.Defect)
+			continue
+		}
+		if err := t.Insert(rec[keyIdx], row); err != nil {
+			if !opts.Lenient {
+				return nil, nil, fmt.Errorf("db: CSV line %d: %w", line, err)
+			}
+			tRowsDropped.ForceInc()
+			report.Addf(line, 0, "%v; row dropped", err)
+			continue
+		}
+		tRowsLoaded.Inc()
+	}
+	return t, report, nil
+}
+
+// rowDefect pairs the structured defect lenient mode records with the exact
+// error string strict mode has always returned for the same problem.
+type rowDefect struct {
+	guard.Defect
+	strictErr error
+}
+
+// parseRecord converts one clean CSV record into a Row, or describes the
+// first defective cell. rec is guaranteed rectangular here (ragged rows fail
+// in csv.Reader.Read), so FieldPos is safe for every index.
+func parseRecord(cr *csv.Reader, header []string, rec []string, types map[string]ColumnType, keyIdx, line int) (Row, *rowDefect) {
+	row := make(Row, len(header)-1)
+	for i, h := range header {
+		if i == keyIdx {
+			continue
+		}
+		cell := rec[i]
+		switch types[h] {
+		case StringCol:
+			row[h] = cell
+		case IntCol:
+			v, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				return nil, cellDefect(cr, i, h, line, err)
+			}
+			row[h] = v
+		case FloatCol:
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, cellDefect(cr, i, h, line, err)
+			}
+			row[h] = v
+		}
+	}
+	return row, nil
+}
+
+// cellDefect localizes a cell-level defect to the physical line and column
+// where the field starts, keeping LoadCSV's historical record-counting error
+// string for strict mode.
+func cellDefect(cr *csv.Reader, field int, col string, line int, err error) *rowDefect {
+	physLine, physCol := cr.FieldPos(field)
+	return &rowDefect{
+		Defect: guard.Defect{
+			Line: physLine,
+			Col:  physCol,
+			Msg:  fmt.Sprintf("column %q: %v; row dropped", col, err),
+		},
+		strictErr: fmt.Errorf("db: CSV line %d, column %q: %w", line, col, err),
+	}
+}

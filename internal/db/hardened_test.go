@@ -1,0 +1,160 @@
+package db
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+var catalogTypes = map[string]ColumnType{"stars": IntCol, "price": FloatCol, "cuisine": StringCol}
+
+// badCatalog has one defect of every row-level kind: a bad int cell, a ragged
+// row, a duplicate key, and a bad float cell.
+const badCatalog = `key,stars,price,cuisine
+r1,4,12.5,thai
+r2,many,9.0,deli
+r3,3,8.0
+r1,5,20.0,sushi
+r4,2,cheap,bbq
+r5,1,3.5,cart
+`
+
+func TestLoadCSVWithStrictMatchesLoadCSV(t *testing.T) {
+	clean := "key,stars,price,cuisine\nr1,4,12.5,thai\nr2,3,9.0,deli\n"
+	t1, err := LoadCSV("a", strings.NewReader(clean), "key", catalogTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, report, err := LoadCSVWith("a", strings.NewReader(clean), "key", catalogTypes, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Err() != nil {
+		t.Errorf("clean catalog produced defects: %v", report)
+	}
+	if t1.NumRows() != t2.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", t1.NumRows(), t2.NumRows())
+	}
+}
+
+func TestLoadCSVWithLenientDropsDefectiveRows(t *testing.T) {
+	tbl, report, err := LoadCSVWith("cat", strings.NewReader(badCatalog), "key", catalogTypes, LoadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("kept %d rows, want 2 (r1 and r5)", tbl.NumRows())
+	}
+	for _, k := range []string{"r1", "r5"} {
+		if _, ok := tbl.RowID(k); !ok {
+			t.Errorf("clean row %q missing", k)
+		}
+	}
+	wantLines := []int{3, 4, 5, 6} // physical lines of the four bad rows
+	if len(report.Defects) != len(wantLines) {
+		t.Fatalf("got %d defects, want %d: %v", len(report.Defects), len(wantLines), report)
+	}
+	for i, d := range report.Defects {
+		if d.Line != wantLines[i] {
+			t.Errorf("defect %d at line %d, want %d (%s)", i, d.Line, wantLines[i], d.Msg)
+		}
+	}
+	// The bad int cell is localized to its byte column ("many" starts at col 4).
+	if d := report.Defects[0]; d.Col != 4 || !strings.Contains(d.Msg, `"stars"`) {
+		t.Errorf("cell defect not localized: %+v", d)
+	}
+}
+
+func TestLoadCSVWithStrictStopsAtFirstDefect(t *testing.T) {
+	_, _, err := LoadCSVWith("cat", strings.NewReader(badCatalog), "key", catalogTypes, LoadOptions{})
+	if err == nil {
+		t.Fatal("strict mode accepted a defective catalog")
+	}
+	if want := `db: CSV line 3, column "stars"`; !strings.Contains(err.Error(), want) {
+		t.Errorf("err = %v, want prefix %q", err, want)
+	}
+}
+
+func TestLoadCSVWithHeaderDefectsFatalEvenLenient(t *testing.T) {
+	cases := []string{
+		"key,stars,mystery\nr1,1,x\n", // undeclared column
+		"key,key,stars\nr1,r1,1\n",    // duplicate key column
+		"stars,price\n1,2.0\n",        // key column absent
+	}
+	for _, c := range cases {
+		if _, _, err := LoadCSVWith("cat", strings.NewReader(c), "key", catalogTypes, LoadOptions{Lenient: true}); err == nil {
+			t.Errorf("lenient mode repaired a broken header: %q", c)
+		}
+	}
+}
+
+func TestLoadCSVWithAdmissionLimits(t *testing.T) {
+	input := "key,stars\nr1,1\nr2,2\nr3,3\n"
+	types := map[string]ColumnType{"stars": IntCol}
+	// Row cap, lenient: keeps the first two, reports the cut.
+	tbl, report, err := LoadCSVWith("cat", strings.NewReader(input), "key", types, LoadOptions{
+		Limits:  guard.Limits{MaxRankings: 2},
+		Lenient: true,
+	})
+	if err != nil || tbl.NumRows() != 2 || report.Len() != 1 {
+		t.Errorf("row cap lenient: %d rows, report %v, err %v", tbl.NumRows(), report, err)
+	}
+	// Row cap, strict: error.
+	if _, _, err := LoadCSVWith("cat", strings.NewReader(input), "key", types, LoadOptions{
+		Limits: guard.Limits{MaxRankings: 2},
+	}); err == nil {
+		t.Error("strict mode accepted over-cap table")
+	}
+	// Header width cap: fatal both ways.
+	if _, _, err := LoadCSVWith("cat", strings.NewReader(input), "key", types, LoadOptions{
+		Limits:  guard.Limits{MaxElements: 1},
+		Lenient: true,
+	}); err == nil {
+		t.Error("over-wide header admitted")
+	}
+	// Record size cap, lenient: oversized row dropped, rest kept.
+	big := "key,cuisine\nr1,thai\nr2," + strings.Repeat("x", 64) + "\nr3,deli\n"
+	tbl, report, err = LoadCSVWith("cat", strings.NewReader(big), "key",
+		map[string]ColumnType{"cuisine": StringCol}, LoadOptions{
+			Limits:  guard.Limits{MaxLineBytes: 32},
+			Lenient: true,
+		})
+	if err != nil || tbl.NumRows() != 2 || report.Len() != 1 {
+		t.Errorf("record cap lenient: %d rows, report %v, err %v", tbl.NumRows(), report, err)
+	}
+}
+
+func TestLoadCSVWithDefectReportCapped(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("key,stars\n")
+	for i := 0; i < 30; i++ {
+		sb.WriteString("r,bad\n") // duplicate keys AND bad ints; one defect each
+	}
+	_, report, err := LoadCSVWith("cat", strings.NewReader(sb.String()), "key",
+		map[string]ColumnType{"stars": IntCol}, LoadOptions{
+			Limits:  guard.Limits{MaxDefects: 4},
+			Lenient: true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Defects) != 4 || report.Dropped != 26 {
+		t.Errorf("report: %d retained, %d dropped; want 4, 26", len(report.Defects), report.Dropped)
+	}
+}
+
+func TestLoadCSVWithQuotingDefectRecovers(t *testing.T) {
+	input := "key,cuisine\nr1,thai\nr2,\"unterminated\nr3,deli\n"
+	tbl, report, err := LoadCSVWith("cat", strings.NewReader(input), "key",
+		map[string]ColumnType{"cuisine": StringCol}, LoadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() == 0 {
+		t.Error("quoting defect wiped out the whole table")
+	}
+	if report.Len() == 0 {
+		t.Error("quoting defect not reported")
+	}
+}

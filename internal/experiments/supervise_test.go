@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// A buggy experiment body must come back from Run as an error wrapping
+// *guard.PanicError with a stack, never crash the batch driver.
+func TestRunContainsPanickingExperiment(t *testing.T) {
+	Registry = append(Registry, Spec{
+		ID:    "EPANIC",
+		Title: "deliberately panicking experiment",
+		Run:   func(seed int64) (*Table, error) { panic("experiment bug") },
+	})
+	defer func() { Registry = Registry[:len(Registry)-1] }()
+
+	tbl, err := Run("EPANIC", 1)
+	if tbl != nil {
+		t.Error("panicking experiment returned a table")
+	}
+	pe, ok := guard.Recovered(err)
+	if !ok {
+		t.Fatalf("err = %v, want wrapped *guard.PanicError", err)
+	}
+	if pe.Value != "experiment bug" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "supervise_test") {
+		t.Errorf("stack does not point at the panic site:\n%s", pe.Stack)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E999", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/guard"
 )
 
 // Table is one experiment's result: a titled grid of rows plus free-form
@@ -148,8 +150,12 @@ var Registry = []Spec{
 	{"E15", "Degraded-mode MEDRANK under injected list death", E15Chaos},
 }
 
-// Run looks up and runs one experiment by ID.
-func Run(id string, seed int64) (*Table, error) {
+// Run looks up and runs one experiment by ID under panic supervision: a bug
+// in one experiment body surfaces as an error wrapping *guard.PanicError
+// (with the stack attached), so a batch run over the registry reports the
+// failed experiment and carries on instead of crashing the process.
+func Run(id string, seed int64) (_ *Table, err error) {
+	defer guard.Capture(&err)
 	for _, s := range Registry {
 		if s.ID == id {
 			return s.Run(seed)

@@ -1,0 +1,83 @@
+package guard
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitmap is a fixed-size concurrent bitset. Batch engines use one as a
+// completed-cell map: every worker sets the bit of a cell it finished, and a
+// resume pass skips the set bits. Set and Get are lock-free and safe for
+// concurrent use; sizing and snapshot methods (Clone, Count) assume the
+// writers have quiesced, which is the state a returned SweepError is in.
+//
+// The zero value is an empty bitmap of size 0; use NewBitmap.
+type Bitmap struct {
+	n     int
+	words []atomic.Uint64
+}
+
+// NewBitmap returns an all-zero bitmap over n bits.
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitmap{n: n, words: make([]atomic.Uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Set sets bit i. It panics if i is out of range.
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic("guard: Bitmap.Set out of range")
+	}
+	w := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// Get reports bit i. A nil bitmap or out-of-range index reads as false, so
+// engines can treat "no bitmap" as "nothing completed".
+func (b *Bitmap) Get(i int) bool {
+	if b == nil || i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6].Load()&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	if b == nil {
+		return 0
+	}
+	total := 0
+	for i := range b.words {
+		total += bits.OnesCount64(b.words[i].Load())
+	}
+	return total
+}
+
+// Clone returns an independent copy. A nil receiver clones to an empty
+// bitmap of size 0.
+func (b *Bitmap) Clone() *Bitmap {
+	if b == nil {
+		return NewBitmap(0)
+	}
+	cp := NewBitmap(b.n)
+	for i := range b.words {
+		cp.words[i].Store(b.words[i].Load())
+	}
+	return cp
+}

@@ -1,0 +1,125 @@
+package guard
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Defect is one localized problem in an input: where it was found and what
+// was wrong. Line and Col are 1-based; zero means "not applicable" (a
+// whole-input defect has no line, a whole-line defect has no column).
+type Defect struct {
+	// Line is the 1-based physical line (text codec) or record line (CSV)
+	// of the defect.
+	Line int `json:"line,omitempty"`
+	// Col is the 1-based byte column at which the defect starts, when the
+	// codec can attribute it that precisely.
+	Col int `json:"col,omitempty"`
+	// Msg describes the defect and, for repaired lines, the repair applied.
+	Msg string `json:"msg"`
+	// Repaired reports whether lenient parsing salvaged the line (true) or
+	// dropped it (false).
+	Repaired bool `json:"repaired,omitempty"`
+}
+
+// String renders the defect as "line L, col C: msg".
+func (d Defect) String() string {
+	var sb strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&sb, "line %d", d.Line)
+		if d.Col > 0 {
+			fmt.Fprintf(&sb, ", col %d", d.Col)
+		}
+		sb.WriteString(": ")
+	}
+	sb.WriteString(d.Msg)
+	return sb.String()
+}
+
+// ErrorList is a capped, ordered collection of input defects. Lenient codecs
+// accumulate one Defect per problem and return the list alongside the
+// repaired result; strict codecs fail on the first defect instead. The cap
+// keeps a pathological input (a million bad lines) from turning the defect
+// report itself into a memory bomb: defects past the cap are counted in
+// Dropped but not stored.
+//
+// An ErrorList is an error; a nil or empty list means "no defects" and
+// should be surfaced via Err, which maps both to nil.
+type ErrorList struct {
+	// Defects holds the first DefectCap defects in input order.
+	Defects []Defect `json:"defects"`
+	// Dropped counts defects beyond the cap that were observed but not
+	// retained.
+	Dropped int `json:"dropped,omitempty"`
+
+	cap int
+}
+
+// NewErrorList returns an empty list retaining at most cap defects
+// (DefaultMaxDefects when cap <= 0).
+func NewErrorList(cap int) *ErrorList {
+	if cap <= 0 {
+		cap = DefaultMaxDefects
+	}
+	return &ErrorList{cap: cap}
+}
+
+// Add records a defect, retaining it only while the list is under its cap.
+func (el *ErrorList) Add(d Defect) {
+	if el.cap <= 0 {
+		el.cap = DefaultMaxDefects
+	}
+	if len(el.Defects) < el.cap {
+		el.Defects = append(el.Defects, d)
+		return
+	}
+	el.Dropped++
+}
+
+// Addf formats and records an unrepaired defect at the given position.
+func (el *ErrorList) Addf(line, col int, format string, args ...any) {
+	el.Add(Defect{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of defects observed, including dropped ones.
+func (el *ErrorList) Len() int {
+	if el == nil {
+		return 0
+	}
+	return len(el.Defects) + el.Dropped
+}
+
+// Err returns the list as an error, or nil when no defects were observed.
+// Codecs return (*ErrorList, error) pairs; callers that only care about
+// pass/fail use Err.
+func (el *ErrorList) Err() error {
+	if el.Len() == 0 {
+		return nil
+	}
+	return el
+}
+
+// Error renders the first few defects plus a count of the rest.
+func (el *ErrorList) Error() string {
+	const show = 3
+	n := el.Len()
+	if n == 0 {
+		return "guard: no defects"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "guard: %d defect", n)
+	if n != 1 {
+		sb.WriteByte('s')
+	}
+	for i, d := range el.Defects {
+		if i == show {
+			break
+		}
+		sb.WriteString("; ")
+		sb.WriteString(d.String())
+	}
+	if rest := n - min(show, len(el.Defects)); rest > 0 {
+		fmt.Fprintf(&sb, "; and %d more", rest)
+	}
+	return sb.String()
+}

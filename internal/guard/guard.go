@@ -1,0 +1,124 @@
+// Package guard is the supervision-and-admission layer of the system: the
+// pieces every trust boundary shares when it stops assuming its inputs are
+// well-formed and its callbacks are well-behaved.
+//
+// Three concerns live here, deliberately together, because they are the same
+// concern — graceful degradation — applied to three boundaries:
+//
+//   - Admission: Limits bounds what the ingestion codecs (ranking.ParseLines,
+//     db.LoadCSV) will accept from hostile or corrupted input, and ErrorList
+//     is the structured, capped multi-defect report lenient parsing returns
+//     alongside whatever it could repair.
+//   - Supervision: Recover/Capture/Safe convert panics in user-supplied
+//     callbacks (distance functions, experiment bodies) into a typed
+//     *PanicError carrying the stack, so a bug in one cell of a batch sweep
+//     degrades into an error instead of killing the process or deadlocking a
+//     worker pool.
+//   - Resumption: Bitmap is the concurrent completed-cell set a batch engine
+//     records into, so an interrupted m x m sweep can be finished
+//     incrementally instead of restarted.
+//
+// The package sits below ranking, db, metrics, and aggregate in the layering
+// and imports only telemetry.
+package guard
+
+import "fmt"
+
+// Limits bounds the resources an ingestion codec will commit to a single
+// input before giving up. The zero value means "no limit" for every field;
+// use DefaultLimits for the generous-but-bounded defaults the CLI layers use.
+type Limits struct {
+	// MaxLineBytes caps the byte length of one input line (text codec) or
+	// one field (CSV codec). Longer lines are a defect: fatal in strict
+	// mode, dropped in lenient mode.
+	MaxLineBytes int
+	// MaxElements caps the domain size (text codec: distinct element
+	// names; CSV codec: columns).
+	MaxElements int
+	// MaxRankings caps the number of rankings parsed from one input
+	// (CSV codec: data rows). Input past the cap is dropped with a defect.
+	MaxRankings int
+	// MaxBuckets caps the bucket count of a single parsed ranking.
+	MaxBuckets int
+	// MaxDefects caps the number of defects an ErrorList retains; further
+	// defects are counted but not stored. Zero means DefaultMaxDefects.
+	MaxDefects int
+}
+
+// DefaultMaxDefects is the ErrorList cap used when Limits.MaxDefects is zero.
+const DefaultMaxDefects = 100
+
+// DefaultLimits returns the admission limits the command-line tools use:
+// large enough for any plausible legitimate corpus, small enough that one
+// hostile input cannot exhaust memory.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxLineBytes: 16 << 20, // the text codec's historical scanner cap
+		MaxElements:  1 << 20,
+		MaxRankings:  1 << 20,
+		MaxBuckets:   1 << 20,
+		MaxDefects:   DefaultMaxDefects,
+	}
+}
+
+// LineOK reports whether a line of n bytes passes MaxLineBytes.
+func (l Limits) LineOK(n int) bool { return l.MaxLineBytes <= 0 || n <= l.MaxLineBytes }
+
+// ElementsOK reports whether a domain of n elements passes MaxElements.
+func (l Limits) ElementsOK(n int) bool { return l.MaxElements <= 0 || n <= l.MaxElements }
+
+// RankingsOK reports whether an ensemble of n rankings (or a table of n rows)
+// passes MaxRankings.
+func (l Limits) RankingsOK(n int) bool { return l.MaxRankings <= 0 || n <= l.MaxRankings }
+
+// BucketsOK reports whether a ranking of n buckets passes MaxBuckets.
+func (l Limits) BucketsOK(n int) bool { return l.MaxBuckets <= 0 || n <= l.MaxBuckets }
+
+// DefectCap returns the ErrorList capacity the limits imply.
+func (l Limits) DefectCap() int {
+	if l.MaxDefects <= 0 {
+		return DefaultMaxDefects
+	}
+	return l.MaxDefects
+}
+
+// RepairPolicy selects how lenient parsing repairs a defective line.
+type RepairPolicy int
+
+const (
+	// DropLine discards any line that does not parse as a complete ranking
+	// over the shared domain. The surviving ensemble is exactly the set of
+	// clean lines.
+	DropLine RepairPolicy = iota
+	// CompleteBottom repairs a line that covers a strict subset of the
+	// domain by appending the missing elements as one trailing bottom
+	// bucket, the paper's Section 2 convention for top-k lists (the k
+	// ranked elements followed by one bucket holding the rest of the
+	// domain). Lines that are malformed in any other way (empty buckets,
+	// duplicates, names outside the domain) are still dropped.
+	CompleteBottom
+)
+
+// String returns the policy's flag-friendly name.
+func (p RepairPolicy) String() string {
+	switch p {
+	case DropLine:
+		return "drop"
+	case CompleteBottom:
+		return "complete"
+	default:
+		return fmt.Sprintf("RepairPolicy(%d)", int(p))
+	}
+}
+
+// ParseRepairPolicy parses the flag-friendly names of String.
+func ParseRepairPolicy(s string) (RepairPolicy, error) {
+	switch s {
+	case "drop":
+		return DropLine, nil
+	case "complete":
+		return CompleteBottom, nil
+	default:
+		return 0, fmt.Errorf("guard: unknown repair policy %q (want drop or complete)", s)
+	}
+}

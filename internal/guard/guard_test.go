@@ -1,0 +1,246 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLimitsZeroValueIsUnlimited(t *testing.T) {
+	var l Limits
+	if !l.LineOK(1<<30) || !l.ElementsOK(1<<30) || !l.RankingsOK(1<<30) || !l.BucketsOK(1<<30) {
+		t.Error("zero-value Limits rejected input")
+	}
+	if l.DefectCap() != DefaultMaxDefects {
+		t.Errorf("zero-value DefectCap = %d, want %d", l.DefectCap(), DefaultMaxDefects)
+	}
+}
+
+func TestDefaultLimitsBound(t *testing.T) {
+	l := DefaultLimits()
+	if l.LineOK(l.MaxLineBytes + 1) {
+		t.Error("LineOK above cap")
+	}
+	if !l.LineOK(l.MaxLineBytes) {
+		t.Error("LineOK at cap")
+	}
+	if l.ElementsOK(l.MaxElements+1) || l.RankingsOK(l.MaxRankings+1) || l.BucketsOK(l.MaxBuckets+1) {
+		t.Error("caps not enforced")
+	}
+}
+
+func TestRepairPolicyRoundTrip(t *testing.T) {
+	for _, p := range []RepairPolicy{DropLine, CompleteBottom} {
+		got, err := ParseRepairPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseRepairPolicy("nonsense"); err == nil {
+		t.Error("bad policy name accepted")
+	}
+}
+
+func TestErrorListCapAndDropped(t *testing.T) {
+	el := NewErrorList(3)
+	for i := 1; i <= 10; i++ {
+		el.Addf(i, 0, "defect %d", i)
+	}
+	if len(el.Defects) != 3 {
+		t.Fatalf("retained %d defects, want 3", len(el.Defects))
+	}
+	if el.Dropped != 7 || el.Len() != 10 {
+		t.Errorf("Dropped = %d, Len = %d; want 7, 10", el.Dropped, el.Len())
+	}
+	msg := el.Error()
+	if !strings.Contains(msg, "10 defects") || !strings.Contains(msg, "line 1") {
+		t.Errorf("Error() = %q", msg)
+	}
+	if !strings.Contains(msg, "and 7 more") {
+		t.Errorf("Error() does not count the dropped tail: %q", msg)
+	}
+}
+
+func TestErrorListErrNilWhenEmpty(t *testing.T) {
+	var nilList *ErrorList
+	if nilList.Err() != nil || nilList.Len() != 0 {
+		t.Error("nil list should read as no defects")
+	}
+	el := NewErrorList(0)
+	if el.Err() != nil {
+		t.Error("empty list Err() != nil")
+	}
+	el.Addf(1, 2, "bad")
+	if el.Err() == nil {
+		t.Error("non-empty list Err() == nil")
+	}
+}
+
+func TestDefectString(t *testing.T) {
+	cases := []struct {
+		d    Defect
+		want string
+	}{
+		{Defect{Line: 3, Col: 7, Msg: "boom"}, "line 3, col 7: boom"},
+		{Defect{Line: 3, Msg: "boom"}, "line 3: boom"},
+		{Defect{Msg: "boom"}, "boom"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestCaptureConvertsPanic(t *testing.T) {
+	before := PanicsRecovered()
+	work := func() (err error) {
+		defer Capture(&err)
+		panic("cell 17 exploded")
+	}
+	err := work()
+	pe, ok := Recovered(err)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "cell 17 exploded" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "guard") {
+		t.Error("stack not captured")
+	}
+	if PanicsRecovered() != before+1 {
+		t.Errorf("panic counter %d, want %d (must count even with telemetry disabled)",
+			PanicsRecovered(), before+1)
+	}
+}
+
+func TestCaptureLeavesErrorsAlone(t *testing.T) {
+	boom := errors.New("plain failure")
+	work := func() (err error) {
+		defer Capture(&err)
+		return boom
+	}
+	if err := work(); !errors.Is(err, boom) {
+		t.Errorf("Capture rewrote a non-panic error: %v", err)
+	}
+	ok := func() (err error) {
+		defer Capture(&err)
+		return nil
+	}
+	if err := ok(); err != nil {
+		t.Errorf("Capture invented an error: %v", err)
+	}
+}
+
+func TestSafe(t *testing.T) {
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Errorf("Safe(ok) = %v", err)
+	}
+	err := Safe(func() error { panic(fmt.Errorf("wrapped")) })
+	if _, ok := Recovered(err); !ok {
+		t.Errorf("Safe(panic) = %v", err)
+	}
+}
+
+// Recovered must see a PanicError through wrapping, the contract the sweep
+// engine relies on (SweepError wraps the panic).
+func TestRecoveredThroughWrapping(t *testing.T) {
+	inner := Safe(func() error { panic(42) })
+	wrapped := fmt.Errorf("sweep aborted: %w", inner)
+	pe, ok := Recovered(wrapped)
+	if !ok || pe.Value != 42 {
+		t.Errorf("Recovered(wrapped) = %v, %v", pe, ok)
+	}
+	if _, ok := Recovered(errors.New("no panic")); ok {
+		t.Error("Recovered on a plain error")
+	}
+	if _, ok := Recovered(nil); ok {
+		t.Error("Recovered(nil)")
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bitmap: len %d count %d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 6 {
+		t.Errorf("Count = %d, want 6", b.Count())
+	}
+	if b.Get(2) || b.Get(128) {
+		t.Error("unset bit reads true")
+	}
+	// Idempotent set.
+	b.Set(64)
+	if b.Count() != 6 {
+		t.Errorf("re-set changed count to %d", b.Count())
+	}
+}
+
+func TestBitmapNilAndRangeSemantics(t *testing.T) {
+	var nilMap *Bitmap
+	if nilMap.Get(0) || nilMap.Count() != 0 || nilMap.Len() != 0 {
+		t.Error("nil bitmap should read empty")
+	}
+	if cl := nilMap.Clone(); cl == nil || cl.Len() != 0 {
+		t.Error("nil Clone")
+	}
+	b := NewBitmap(10)
+	if b.Get(-1) || b.Get(10) {
+		t.Error("out-of-range Get should be false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Set did not panic")
+		}
+	}()
+	b.Set(10)
+}
+
+func TestBitmapClone(t *testing.T) {
+	b := NewBitmap(100)
+	b.Set(5)
+	b.Set(99)
+	cp := b.Clone()
+	cp.Set(50)
+	if b.Get(50) {
+		t.Error("clone aliases original")
+	}
+	if !cp.Get(5) || !cp.Get(99) {
+		t.Error("clone lost bits")
+	}
+}
+
+// Concurrent setters must never lose a bit (the property the sweep's
+// completed-cell accounting depends on under -race).
+func TestBitmapConcurrentSet(t *testing.T) {
+	const n = 4096
+	b := NewBitmap(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				b.Set(i)
+			}
+			// Overlapping writer stripes the same words.
+			for i := (w + 1) % 8; i < n; i += 8 {
+				b.Set(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Count(); got != n {
+		t.Errorf("lost bits: count %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,76 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/telemetry"
+)
+
+// tPanics counts every panic the guard layer converted into an error. It is
+// recorded unconditionally (ForceInc), not gated on telemetry.Enabled():
+// a contained panic is a supervision event operators must be able to count
+// after the fact even when tracing was off.
+var tPanics = telemetry.GetCounter("guard.panics_recovered")
+
+// PanicError is a panic converted into an error by Recover, Capture, or
+// Safe: the recovered value plus the goroutine stack at the panic site.
+// Batch engines flow it through their normal error short-circuit paths
+// (e.g. metrics.SweepError wraps it), so one panicking callback degrades a
+// sweep the same way an error-returning callback does.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is available on the field for
+// loggers that want it.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: recovered panic: %v", e.Value)
+}
+
+// newPanicError captures the stack and bumps the supervision counter.
+func newPanicError(v any) *PanicError {
+	tPanics.ForceInc()
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// Capture converts an in-flight panic into a *PanicError written to *errp.
+// Use it as a deferred call with a named return value:
+//
+//	func work() (err error) {
+//		defer guard.Capture(&err)
+//		return riskyCallback()
+//	}
+//
+// A panic overwrites whatever error was about to be returned; if no panic is
+// in flight, *errp is left untouched. Runtime aborts that recover cannot
+// intercept (deadlock, out of memory, explicit runtime.Goexit) are out of
+// scope.
+func Capture(errp *error) {
+	if r := recover(); r != nil {
+		*errp = newPanicError(r)
+	}
+}
+
+// Safe runs fn, converting a panic into a *PanicError. It is Capture for
+// call sites without a named return.
+func Safe(fn func() error) (err error) {
+	defer Capture(&err)
+	return fn()
+}
+
+// Recovered reports whether err is (or wraps) a contained panic.
+func Recovered(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// PanicsRecovered returns the process-wide count of contained panics.
+func PanicsRecovered() int64 { return tPanics.Value() }

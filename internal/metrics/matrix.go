@@ -2,11 +2,13 @@ package metrics
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/guard"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -25,12 +27,23 @@ var (
 // finished one instead of silently losing that accounting. The matrix
 // returned alongside it holds every cell that did complete (still symmetric
 // cell-by-cell); skipped and failed cells stay zero.
+//
+// Completed records exactly which upper-triangle cells finished (including
+// cells carried over from an earlier interrupted sweep), indexed by
+// PairIndex, so ResumeDistanceMatrix can finish the matrix incrementally. A
+// panic inside the distance function surfaces here as Err wrapping a
+// *guard.PanicError rather than crashing the process.
 type SweepError struct {
 	// Err is the first error returned by the distance function.
 	Err error
-	// SkippedCells counts the upper-triangle cells that were never computed
-	// because the sweep short-circuited.
+	// SkippedCells counts the upper-triangle cells this sweep was asked to
+	// compute but never did because of the short-circuit.
 	SkippedCells int64
+	// M is the ensemble size the sweep ran over; the triangle has
+	// M*(M-1)/2 cells.
+	M int
+	// Completed marks every finished cell by PairIndex.
+	Completed *guard.Bitmap
 }
 
 func (e *SweepError) Error() string {
@@ -106,22 +119,99 @@ func DistanceMatrixWith(rankings []*ranking.PartialRanking, d DistanceWS) ([][]f
 	return out, err
 }
 
+// PairIndex maps an upper-triangle cell (i, j), i < j, of an m x m matrix to
+// its linear index in row-major triangle order: (0,1), (0,2), ..., (1,2), ...
+// SweepError.Completed is indexed by it.
+func PairIndex(m, i, j int) int {
+	return i*(2*m-i-1)/2 + (j - i - 1)
+}
+
+// ResumeDistanceMatrix finishes a distance matrix whose earlier sweep was
+// aborted by an error or contained panic. prev and prevErr are the matrix and
+// error of the interrupted DistanceMatrixWith (or a previous resume) over the
+// same ensemble; only the cells the earlier sweep did not complete are
+// recomputed, and the completed ones are copied through. If prevErr carries
+// no usable completion state — it is not a *SweepError, or it was produced by
+// a sweep over a different ensemble size — the whole matrix is recomputed
+// from scratch.
+//
+// On success the returned matrix equals the one an uninterrupted sweep would
+// have produced. On another failure the returned *SweepError's Completed
+// bitmap is the union of every cell finished so far, so resumption can be
+// retried with monotonically shrinking work.
+func ResumeDistanceMatrix(rankings []*ranking.PartialRanking, prev [][]float64, prevErr error, d DistanceWS) ([][]float64, error) {
+	m := len(rankings)
+	var se *SweepError
+	if !errors.As(prevErr, &se) || se.Completed == nil || se.M != m {
+		return DistanceMatrixWith(rankings, d)
+	}
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		if i < len(prev) {
+			copy(out[i], prev[i])
+		}
+	}
+	err := forEachPairFrom(m, "distance_matrix_resume", se.Completed, func(ws *Workspace, i, j int) error {
+		v, err := d(ws, rankings[i], rankings[j])
+		if err != nil {
+			return err
+		}
+		out[i][j] = v
+		out[j][i] = v
+		return nil
+	})
+	return out, err
+}
+
 // forEachPair runs compute over every upper-triangle pair (i, j), i < j, of
-// an m-element ensemble on GOMAXPROCS worker goroutines, each holding one
-// pooled workspace and carrying the pprof label "kernel"=label while
-// telemetry is enabled, so CPU profiles attribute samples to the sweep that
-// spent them. The first error short-circuits: the producer stops feeding the
-// job channel and the remaining queued pairs are skipped, not computed; the
-// error is returned as a *SweepError recording the skipped-cell count.
-// Writes performed by compute must target disjoint cells per pair.
+// an m-element ensemble. See forEachPairFrom.
 func forEachPair(m int, label string, compute func(ws *Workspace, i, j int) error) error {
+	return forEachPairFrom(m, label, nil, compute)
+}
+
+// safeCompute invokes compute under panic supervision: a panicking cell
+// returns a *guard.PanicError instead of unwinding into the worker loop. The
+// named return plus guard.Capture keeps the no-panic path allocation-free, so
+// supervision costs the zero-alloc sweep contract nothing.
+func safeCompute(ws *Workspace, i, j int, compute func(ws *Workspace, i, j int) error) (err error) {
+	defer guard.Capture(&err)
+	return compute(ws, i, j)
+}
+
+// forEachPairFrom runs compute over every upper-triangle pair (i, j), i < j,
+// of an m-element ensemble that is not already marked done, on GOMAXPROCS
+// worker goroutines, each holding one pooled workspace and carrying the pprof
+// label "kernel"=label while telemetry is enabled, so CPU profiles attribute
+// samples to the sweep that spent them. done (nil for a fresh sweep) marks
+// cells a previous interrupted sweep already finished, indexed by PairIndex;
+// the producer skips them.
+//
+// The first error short-circuits: the producer stops feeding the job channel
+// and the remaining queued pairs are skipped, not computed; the error is
+// returned as a *SweepError recording the skipped-cell count and the bitmap
+// of every cell completed so far (the union of done and this sweep's
+// completions). A panic inside compute is contained per cell: it becomes a
+// *guard.PanicError that short-circuits like any other error, the poisoned
+// workspace is abandoned rather than returned to the pool, and no worker is
+// lost — the sweep always runs to a clean join. Writes performed by compute
+// must target disjoint cells per pair.
+func forEachPairFrom(m int, label string, done *guard.Bitmap, compute func(ws *Workspace, i, j int) error) error {
 	type cell struct{ i, j int }
+	total := m * (m - 1) / 2
+	completed := done.Clone()
+	if completed.Len() != total {
+		// No usable prior state (fresh sweep, or a bitmap from a different
+		// ensemble size): start an empty completion map.
+		completed = guard.NewBitmap(total)
+	}
+	preDone := completed.Count()
 	jobs := make(chan cell, m)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
 	var failed atomic.Bool
-	var computed atomic.Int64
+	var attempted atomic.Int64
 	fail := func(err error) {
 		mu.Lock()
 		if firstErr == nil {
@@ -143,17 +233,24 @@ func forEachPair(m int, label string, compute func(ws *Workspace, i, j int) erro
 			defer wg.Done()
 			telemetry.Do(context.Background(), "kernel", label, func(context.Context) {
 				ws := GetWorkspace()
-				defer PutWorkspace(ws)
+				defer func() { PutWorkspace(ws) }()
 				var cells int64
 				for c := range jobs {
 					if failed.Load() {
 						continue
 					}
-					computed.Add(1)
+					attempted.Add(1)
 					cells++
-					if err := compute(ws, c.i, c.j); err != nil {
+					if err := safeCompute(ws, c.i, c.j, compute); err != nil {
+						if _, panicked := guard.Recovered(err); panicked {
+							// The panic may have left the workspace's scratch
+							// state mid-mutation; hand the pool a fresh one.
+							ws = NewWorkspace()
+						}
 						fail(err)
+						continue
 					}
+					completed.Set(PairIndex(m, c.i, c.j))
 				}
 				tMatrixCells.Add(cells)
 				tMatrixWorkerCells.Observe(cells)
@@ -163,6 +260,9 @@ func forEachPair(m int, label string, compute func(ws *Workspace, i, j int) erro
 produce:
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
+			if done.Get(PairIndex(m, i, j)) {
+				continue
+			}
 			if failed.Load() {
 				break produce
 			}
@@ -172,10 +272,10 @@ produce:
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
-		skipped := int64(m)*int64(m-1)/2 - computed.Load()
+		skipped := int64(total) - int64(preDone) - attempted.Load()
 		tMatrixShortCircuits.Inc()
 		tMatrixSkipped.Add(skipped)
-		return &SweepError{Err: firstErr, SkippedCells: skipped}
+		return &SweepError{Err: firstErr, SkippedCells: skipped, M: m, Completed: completed}
 	}
 	return nil
 }

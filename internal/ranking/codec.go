@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/guard"
 )
 
 // The text codec represents one partial ranking per line. Buckets are
@@ -15,61 +18,116 @@ import (
 // read through one Domain share IDs. Every ranking in a file must mention
 // exactly the same element set (partial rankings in the paper share a fixed
 // domain D).
+//
+// ParseText and ParseLines are the strict entry points: the first defect is
+// an error. ParseLinesWith (hardened.go) adds admission limits and lenient
+// parsing with deterministic repair, for corpora that cannot be trusted.
+
+// token is one element name with the 1-based byte column it starts at, kept
+// so defect reports can point into the offending line.
+type token struct {
+	name string
+	col  int
+}
+
+// appendFields appends seg's whitespace-separated fields to dst, recording
+// each field's column relative to a segment starting at byte offset base.
+// The splitting matches strings.Fields (any unicode whitespace separates).
+func appendFields(dst []token, seg string, base int) []token {
+	i := 0
+	for i < len(seg) {
+		r, w := utf8.DecodeRuneInString(seg[i:])
+		if unicode.IsSpace(r) {
+			i += w
+			continue
+		}
+		start := i
+		for i < len(seg) {
+			r, w := utf8.DecodeRuneInString(seg[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += w
+		}
+		dst = append(dst, token{name: seg[start:i], col: base + start + 1})
+	}
+	return dst
+}
+
+// tokenizeLine splits a text-codec line into buckets of (name, column)
+// tokens. The only structural defect detectable at this stage is an empty
+// bucket, reported with the 1-based column where the bucket starts.
+func tokenizeLine(line string) (buckets [][]token, emptyAt int) {
+	offset := 0
+	rest := line
+	for {
+		end := len(rest)
+		for k := 0; k < len(rest); k++ {
+			if rest[k] == '|' {
+				end = k
+				break
+			}
+		}
+		toks := appendFields(nil, rest[:end], offset)
+		if len(toks) == 0 {
+			return nil, offset + 1
+		}
+		buckets = append(buckets, toks)
+		if end == len(rest) {
+			return buckets, 0
+		}
+		offset += end + 1
+		rest = rest[end+1:]
+	}
+}
 
 // ParseText parses a single ranking line ("a b | c | d e") against dom,
 // interning any new names. The ranking's domain size is dom.Size() after
 // interning, so callers parsing several rankings over one shared domain
 // should parse all lines with ParseLines instead, which validates that every
 // line covers the same element set.
+//
+// A failed parse leaves dom unchanged: names interned while reading the line
+// are rolled back before the error is returned, so a rejected line never
+// pollutes a shared domain.
 func ParseText(dom *Domain, line string) (*PartialRanking, error) {
-	parts := strings.Split(line, "|")
-	var buckets [][]int
-	for _, part := range parts {
-		fields := strings.Fields(part)
-		if len(fields) == 0 {
-			return nil, fmt.Errorf("ranking: empty bucket in %q", line)
-		}
-		b := make([]int, 0, len(fields))
-		for _, f := range fields {
-			b = append(b, dom.Intern(f))
-		}
-		buckets = append(buckets, b)
+	buckets, emptyAt := tokenizeLine(line)
+	if emptyAt > 0 {
+		return nil, fmt.Errorf("ranking: empty bucket in %q", line)
 	}
-	return FromBuckets(dom.Size(), buckets)
+	before := dom.Size()
+	idBuckets := make([][]int, len(buckets))
+	for bi, b := range buckets {
+		ids := make([]int, 0, len(b))
+		for _, tok := range b {
+			ids = append(ids, dom.Intern(tok.name))
+		}
+		idBuckets[bi] = ids
+	}
+	pr, err := FromBuckets(dom.Size(), idBuckets)
+	if err != nil {
+		dom.truncate(before)
+		return nil, err
+	}
+	return pr, nil
 }
 
 // ParseLines reads rankings from r, one per line in the text codec, all over
 // one shared domain. It returns the rankings and the interned domain. Every
 // line must cover exactly the same set of element names; the first line
-// fixes the domain.
+// fixes the domain. The first malformed line aborts the parse with an error
+// naming its physical line (and column where known); reader failures,
+// including a line longer than the 16 MiB cap, are likewise wrapped with the
+// line number at which they occurred. Use ParseLinesWith for admission
+// limits and lenient parsing.
 func ParseLines(r io.Reader) ([]*PartialRanking, *Domain, error) {
-	dom := NewDomain()
-	var lines []string
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		lines = append(lines, line)
-	}
-	if err := sc.Err(); err != nil {
+	rs, dom, _, err := ParseLinesWith(r, ParseOptions{
+		Limits: guard.Limits{MaxLineBytes: 16 << 20},
+	})
+	if err != nil {
 		return nil, nil, err
 	}
-	var out []*PartialRanking
-	for i, line := range lines {
-		before := dom.Size()
-		pr, err := ParseText(dom, line)
-		if err != nil {
-			return nil, nil, fmt.Errorf("line %d: %w", i+1, err)
-		}
-		if i > 0 && dom.Size() != before {
-			return nil, nil, fmt.Errorf("line %d: introduces element names not in the first ranking's domain", i+1)
-		}
-		out = append(out, pr)
-	}
-	return out, dom, nil
+	return rs, dom, nil
 }
 
 // WriteLines writes rankings to w in the text codec using dom's names.

@@ -50,6 +50,20 @@ func (d *Domain) Intern(name string) int {
 	return id
 }
 
+// truncate rolls the domain back to its first size names, forgetting every
+// name interned after that point. The codec uses it to undo the interning of
+// a line that failed validation, so a rejected parse leaves the shared
+// domain exactly as it found it.
+func (d *Domain) truncate(size int) {
+	if size < 0 || size >= len(d.names) {
+		return
+	}
+	for _, name := range d.names[size:] {
+		delete(d.index, name)
+	}
+	d.names = d.names[:size]
+}
+
 // ID returns the ID for name and whether it is known.
 func (d *Domain) ID(name string) (int, bool) {
 	id, ok := d.index[name]

@@ -1,7 +1,11 @@
 package ranking
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+
+	"repro/internal/guard"
 )
 
 // FuzzParseText checks that arbitrary input never panics the parser and
@@ -17,6 +21,9 @@ func FuzzParseText(f *testing.F) {
 		dom := NewDomain()
 		pr, err := ParseText(dom, line)
 		if err != nil {
+			if dom.Size() != 0 {
+				t.Fatalf("failed parse polluted the domain with %v", dom.Names())
+			}
 			return
 		}
 		rendered := dom.Render(pr)
@@ -27,6 +34,61 @@ func FuzzParseText(f *testing.F) {
 		}
 		if back.N() != pr.N() || back.NumBuckets() != pr.NumBuckets() {
 			t.Fatalf("round trip changed shape: %v -> %v", pr, back)
+		}
+	})
+}
+
+// FuzzParseLinesWith feeds arbitrary multi-line corpora through strict and
+// lenient parsing and checks the agreement contract: on a corpus strict mode
+// accepts, every lenient policy returns the identical ensemble with an empty
+// defect report; on any corpus, the lenient result re-parses strictly with
+// zero defects (the repair fixed point).
+func FuzzParseLinesWith(f *testing.F) {
+	f.Add("a b | c\nc | a b\n")
+	f.Add("a b\na | | b\nb a\n")
+	f.Add("x\n# c\n\nx\n")
+	f.Add("a a\nq r\nr | q s\n")
+	f.Add("| \r\nü ✓\n✓ | ü\n")
+	f.Fuzz(func(t *testing.T, corpus string) {
+		if len(corpus) > 1<<16 {
+			return
+		}
+		limits := guard.Limits{MaxLineBytes: 1 << 12, MaxRankings: 64, MaxDefects: 16}
+		strictRs, strictDom, strictReport, strictErr := ParseLinesWith(strings.NewReader(corpus), ParseOptions{Limits: limits})
+		if strictErr == nil && strictReport.Len() != 0 {
+			t.Fatalf("strict success with non-empty report: %v", strictReport)
+		}
+		for _, policy := range []guard.RepairPolicy{guard.DropLine, guard.CompleteBottom} {
+			rs, dom, report, err := ParseLinesWith(strings.NewReader(corpus), ParseOptions{Limits: limits, Lenient: true, Repair: policy})
+			if err != nil {
+				t.Fatalf("%v: lenient parse failed fatally: %v", policy, err)
+			}
+			if strictErr == nil {
+				// Strict-vs-lenient agreement on valid input.
+				if report.Len() != 0 {
+					t.Fatalf("%v: clean corpus produced defects: %v", policy, report)
+				}
+				if len(rs) != len(strictRs) || dom.Size() != strictDom.Size() {
+					t.Fatalf("%v: modes disagree on clean corpus", policy)
+				}
+				for i := range rs {
+					if !rs[i].Equal(strictRs[i]) {
+						t.Fatalf("%v: ranking %d differs between modes", policy, i)
+					}
+				}
+			}
+			// Repair fixed point: what lenient mode kept is strictly valid.
+			var buf bytes.Buffer
+			if err := WriteLines(&buf, dom, rs); err != nil {
+				t.Fatal(err)
+			}
+			back, _, report2, err := ParseLinesWith(bytes.NewReader(buf.Bytes()), ParseOptions{Limits: limits})
+			if err != nil {
+				t.Fatalf("%v: repaired ensemble failed strict re-parse: %v", policy, err)
+			}
+			if report2.Len() != 0 || len(back) != len(rs) {
+				t.Fatalf("%v: repaired ensemble is not a fixed point", policy)
+			}
 		}
 	})
 }

@@ -1,0 +1,442 @@
+package ranking
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/telemetry"
+)
+
+// corrupt is a corpus with one defect of every recoverable kind: an empty
+// bucket, a duplicate element, a name outside the fixed domain, and a line
+// covering a strict subset of the domain.
+const corrupt = `a b | c | d
+a | | d
+a a b c d
+a | zebra | c d b
+c d | a
+# comment
+d c b a
+`
+
+func TestParseLinesWithStrictMatchesParseLines(t *testing.T) {
+	clean := "a b | c\nc | a b\nb | c | a\n"
+	rs1, dom1, err := ParseLines(strings.NewReader(clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, dom2, report, err := ParseLinesWith(strings.NewReader(clean), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Err() != nil {
+		t.Errorf("clean corpus produced defects: %v", report)
+	}
+	if len(rs1) != len(rs2) || dom1.Size() != dom2.Size() {
+		t.Fatalf("strict paths disagree: %d/%d rankings, %d/%d names",
+			len(rs1), len(rs2), dom1.Size(), dom2.Size())
+	}
+	for i := range rs1 {
+		if !rs1[i].Equal(rs2[i]) {
+			t.Errorf("ranking %d differs", i)
+		}
+	}
+}
+
+func TestParseLinesStrictReportsPhysicalLine(t *testing.T) {
+	// The defect is on physical line 4 (line 2 is blank, line 3 a comment).
+	input := "a b | c\n\n# fine\na | | c\n"
+	_, _, err := ParseLines(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("defective corpus accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error does not name physical line 4: %v", err)
+	}
+	if strings.Count(err.Error(), "\n") != 0 {
+		t.Errorf("parse error spans lines: %q", err.Error())
+	}
+}
+
+func TestParseLinesWithLenientDropPolicy(t *testing.T) {
+	rs, dom, report, err := ParseLinesWith(strings.NewReader(corrupt), ParseOptions{Lenient: true, Repair: guard.DropLine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines 2, 3, 4, 5 are defective; 1 and 7 survive.
+	if len(rs) != 2 {
+		t.Fatalf("kept %d rankings, want 2:\n%v", len(rs), rs)
+	}
+	if dom.Size() != 4 {
+		t.Errorf("domain size %d, want 4 (defective lines must not pollute it)", dom.Size())
+	}
+	wantLines := []int{2, 3, 4, 5}
+	if len(report.Defects) != len(wantLines) {
+		t.Fatalf("got %d defects, want %d: %v", len(report.Defects), len(wantLines), report)
+	}
+	for i, d := range report.Defects {
+		if d.Line != wantLines[i] {
+			t.Errorf("defect %d at line %d, want %d (%s)", i, d.Line, wantLines[i], d.Msg)
+		}
+		if d.Repaired {
+			t.Errorf("drop policy marked a defect repaired: %+v", d)
+		}
+	}
+}
+
+func TestParseLinesWithCompleteBottomRepair(t *testing.T) {
+	rs, dom, report, err := ParseLinesWith(strings.NewReader(corrupt), ParseOptions{Lenient: true, Repair: guard.CompleteBottom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 5 ("c d | a") is now repaired rather than dropped: b lands in a
+	// trailing bottom bucket.
+	if len(rs) != 3 {
+		t.Fatalf("kept %d rankings, want 3", len(rs))
+	}
+	repairedCount := 0
+	for _, d := range report.Defects {
+		if d.Repaired {
+			repairedCount++
+			if d.Line != 5 {
+				t.Errorf("repaired defect at line %d, want 5", d.Line)
+			}
+		}
+	}
+	if repairedCount != 1 {
+		t.Fatalf("repaired %d lines, want 1: %v", repairedCount, report)
+	}
+	repaired := rs[1]
+	bID, _ := dom.ID("b")
+	if repaired.BucketOf(bID) != repaired.NumBuckets()-1 {
+		t.Errorf("missing element not in the bottom bucket: %v", dom.Render(repaired))
+	}
+	if repaired.N() != 4 {
+		t.Errorf("repaired ranking over %d elements, want 4", repaired.N())
+	}
+}
+
+// The acceptance-criterion round trip: a repaired ensemble re-parses
+// strictly with zero defects and identical content.
+func TestLenientRepairRoundTripsStrict(t *testing.T) {
+	for _, policy := range []guard.RepairPolicy{guard.DropLine, guard.CompleteBottom} {
+		rs, dom, report, err := ParseLinesWith(strings.NewReader(corrupt), ParseOptions{Lenient: true, Repair: policy})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if report.Len() == 0 {
+			t.Fatalf("%v: corrupted corpus produced no defects", policy)
+		}
+		var buf bytes.Buffer
+		if err := WriteLines(&buf, dom, rs); err != nil {
+			t.Fatal(err)
+		}
+		back, dom2, report2, err := ParseLinesWith(bytes.NewReader(buf.Bytes()), ParseOptions{})
+		if err != nil {
+			t.Fatalf("%v: repaired ensemble failed strict re-parse: %v", policy, err)
+		}
+		if report2.Len() != 0 {
+			t.Errorf("%v: re-parse found %d defects", policy, report2.Len())
+		}
+		if len(back) != len(rs) || dom2.Size() != dom.Size() {
+			t.Fatalf("%v: round trip changed shape", policy)
+		}
+		for i := range rs {
+			if !back[i].Equal(rs[i]) {
+				t.Errorf("%v: ranking %d changed in round trip", policy, i)
+			}
+		}
+	}
+}
+
+// Lenient parsing is deterministic: same bytes, same result, every time.
+func TestLenientParseDeterministic(t *testing.T) {
+	parse := func() ([]*PartialRanking, *guard.ErrorList) {
+		rs, _, report, err := ParseLinesWith(strings.NewReader(corrupt), ParseOptions{Lenient: true, Repair: guard.CompleteBottom})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs, report
+	}
+	rs1, rep1 := parse()
+	for trial := 0; trial < 5; trial++ {
+		rs2, rep2 := parse()
+		if len(rs1) != len(rs2) || rep1.Len() != rep2.Len() {
+			t.Fatal("lenient parse not deterministic in shape")
+		}
+		for i := range rs1 {
+			if !rs1[i].Equal(rs2[i]) {
+				t.Fatalf("trial %d: ranking %d differs", trial, i)
+			}
+		}
+		for i := range rep1.Defects {
+			if rep1.Defects[i] != rep2.Defects[i] {
+				t.Fatalf("trial %d: defect %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestParseTextLeavesDomainCleanOnFailure(t *testing.T) {
+	dom := MustDomainOf("a", "b")
+	// Duplicate element: interns nothing new, fails, domain untouched.
+	if _, err := ParseText(dom, "a a | b"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if dom.Size() != 2 {
+		t.Errorf("domain grew to %d after failed parse", dom.Size())
+	}
+	// New names on a failing line must be rolled back.
+	if _, err := ParseText(dom, "a | zebra | | b"); err == nil {
+		t.Fatal("empty bucket accepted")
+	}
+	if _, ok := dom.ID("zebra"); ok {
+		t.Error("failed parse interned a new name")
+	}
+	// A line that interns new names but then under-covers the domain.
+	if _, err := ParseText(dom, "zebra yak"); err == nil {
+		t.Fatal("partial cover accepted")
+	}
+	if dom.Size() != 2 {
+		t.Errorf("domain polluted: size %d, names %v", dom.Size(), dom.Names())
+	}
+	// And a successful parse still interns permanently.
+	if _, err := ParseText(dom, "b | a | c"); err != nil {
+		t.Fatal(err)
+	}
+	if dom.Size() != 3 {
+		t.Errorf("successful parse did not intern: %v", dom.Names())
+	}
+}
+
+func TestParseLinesTooLongLineHasLocation(t *testing.T) {
+	long := strings.Repeat("x", 1<<12)
+	input := "a b\n" + long + "\nb a\n"
+	_, _, _, err := ParseLinesWith(strings.NewReader(input), ParseOptions{Limits: guard.Limits{MaxLineBytes: 1 << 10}})
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("too-long error lacks line number: %v", err)
+	}
+	// Lenient mode recovers and keeps the surrounding lines.
+	rs, _, report, err := ParseLinesWith(strings.NewReader(input), ParseOptions{
+		Limits:  guard.Limits{MaxLineBytes: 1 << 10},
+		Lenient: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Errorf("kept %d rankings around the oversized line, want 2", len(rs))
+	}
+	if len(report.Defects) != 1 || report.Defects[0].Line != 2 {
+		t.Errorf("defect report = %v, want one defect at line 2", report)
+	}
+}
+
+// A truncated final line (no newline before EOF) still parses.
+func TestParseLinesNoTrailingNewline(t *testing.T) {
+	rs, _, err := ParseLines(strings.NewReader("a b\r\nb a"))
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("got %d rankings, err %v", len(rs), err)
+	}
+}
+
+// Mid-stream reader failures surface with the line they occurred on.
+func TestParseLinesReaderErrorHasLocation(t *testing.T) {
+	boom := errors.New("disk fell over")
+	r := io.MultiReader(strings.NewReader("a b\nb a\nju"), &failingReader{err: boom})
+	_, _, err := ParseLines(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped reader error", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("reader error lacks line location: %v", err)
+	}
+}
+
+type failingReader struct{ err error }
+
+func (f *failingReader) Read([]byte) (int, error) { return 0, f.err }
+
+func TestParseLinesWithAdmissionLimits(t *testing.T) {
+	input := "a b c\nb a c\nc a b\n"
+	// Ranking cap.
+	rs, _, report, err := ParseLinesWith(strings.NewReader(input), ParseOptions{
+		Limits:  guard.Limits{MaxRankings: 2},
+		Lenient: true,
+	})
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("rankings cap: kept %d, err %v", len(rs), err)
+	}
+	if report.Len() != 1 {
+		t.Errorf("rankings cap: %v", report)
+	}
+	if _, _, _, err := ParseLinesWith(strings.NewReader(input), ParseOptions{
+		Limits: guard.Limits{MaxRankings: 2},
+	}); err == nil {
+		t.Error("strict mode accepted over-cap ensemble")
+	}
+	// Element cap.
+	if _, _, _, err := ParseLinesWith(strings.NewReader(input), ParseOptions{
+		Limits: guard.Limits{MaxElements: 2},
+	}); err == nil {
+		t.Error("strict mode accepted over-cap domain")
+	}
+	rs, _, report, err = ParseLinesWith(strings.NewReader(input), ParseOptions{
+		Limits:  guard.Limits{MaxElements: 2},
+		Lenient: true,
+	})
+	if err != nil || len(rs) != 0 || report.Len() != 3 {
+		t.Errorf("element cap lenient: %d rankings, report %v, err %v", len(rs), report, err)
+	}
+	// Bucket cap.
+	if _, _, _, err := ParseLinesWith(strings.NewReader("a | b | c\n"), ParseOptions{
+		Limits: guard.Limits{MaxBuckets: 2},
+	}); err == nil {
+		t.Error("strict mode accepted over-cap bucket count")
+	}
+}
+
+// The defect cap must bound the report even when every line is bad.
+func TestLenientDefectReportCapped(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("a b\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("a | | b\n")
+	}
+	_, _, report, err := ParseLinesWith(strings.NewReader(sb.String()), ParseOptions{
+		Limits:  guard.Limits{MaxDefects: 5},
+		Lenient: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Defects) != 5 || report.Dropped != 45 {
+		t.Errorf("report: %d retained, %d dropped; want 5, 45", len(report.Defects), report.Dropped)
+	}
+}
+
+// An all-defective corpus yields an empty ensemble, not an error, in lenient
+// mode — degraded, but deterministic and usable.
+func TestLenientAllLinesBad(t *testing.T) {
+	rs, dom, report, err := ParseLinesWith(strings.NewReader("| |\na a\n"), ParseOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 0 || dom.Size() != 0 {
+		t.Errorf("kept %d rankings over %d names from garbage", len(rs), dom.Size())
+	}
+	if report.Len() != 2 {
+		t.Errorf("report %v, want 2 defects", report)
+	}
+}
+
+// When the first line is defective, the next clean line fixes the domain.
+func TestLenientFirstLineDefective(t *testing.T) {
+	rs, dom, _, err := ParseLinesWith(strings.NewReader("a a\nx y | z\nz | x y\n"), ParseOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || dom.Size() != 3 {
+		t.Fatalf("kept %d over %d names, want 2 over 3", len(rs), dom.Size())
+	}
+	if _, ok := dom.ID("a"); ok {
+		t.Error("dropped first line polluted the domain")
+	}
+}
+
+func TestDefectColumnsPointAtOffendingBytes(t *testing.T) {
+	_, _, report, err := ParseLinesWith(strings.NewReader("a b | c\na b c a\n"), ParseOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Defects) != 1 {
+		t.Fatalf("report %v", report)
+	}
+	d := report.Defects[0]
+	// The duplicate "a" starts at column 7 of "a b c a".
+	if d.Line != 2 || d.Col != 7 {
+		t.Errorf("defect at line %d col %d, want line 2 col 7 (%s)", d.Line, d.Col, d.Msg)
+	}
+}
+
+func TestLineReaderColdPath(t *testing.T) {
+	// Lines longer than the bufio buffer but under the cap reassemble.
+	long := strings.Repeat("ab ", 40*1024) // ~120 KiB > 64 KiB buffer
+	lr := newLineReader(strings.NewReader(long+"\nshort\n"), 1<<20)
+	line, n, tooLong, err := lr.next()
+	if err != nil || tooLong || n != 1 {
+		t.Fatalf("long line: err %v tooLong %v line %d", err, tooLong, n)
+	}
+	if line != long {
+		t.Fatalf("long line mangled: got %d bytes, want %d", len(line), len(long))
+	}
+	line, n, _, err = lr.next()
+	if err != nil || line != "short" || n != 2 {
+		t.Fatalf("after long line: %q %d %v", line, n, err)
+	}
+	if _, _, _, err := lr.next(); err != io.EOF {
+		t.Fatalf("EOF not reported: %v", err)
+	}
+}
+
+func TestLineReaderDiscardSpansBuffers(t *testing.T) {
+	// An over-cap line spanning many buffer fills must be fully discarded.
+	input := strings.Repeat("z", 300*1024) + "\na b\n"
+	lr := newLineReader(strings.NewReader(input), 1024)
+	_, n, tooLong, err := lr.next()
+	if err != nil || !tooLong || n != 1 {
+		t.Fatalf("oversized: err %v tooLong %v", err, tooLong)
+	}
+	line, n, tooLong, err := lr.next()
+	if err != nil || tooLong || line != "a b" || n != 2 {
+		t.Fatalf("resume after discard: %q line %d err %v", line, n, err)
+	}
+}
+
+func TestGuardCountersAdvanceOnRepair(t *testing.T) {
+	droppedBefore := countOf(t, "ranking.parse.lines_dropped")
+	repairedBefore := countOf(t, "ranking.parse.lines_repaired")
+	_, _, _, err := ParseLinesWith(strings.NewReader(corrupt), ParseOptions{Lenient: true, Repair: guard.CompleteBottom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countOf(t, "ranking.parse.lines_dropped") - droppedBefore; got != 3 {
+		t.Errorf("lines_dropped advanced by %d, want 3", got)
+	}
+	if got := countOf(t, "ranking.parse.lines_repaired") - repairedBefore; got != 1 {
+		t.Errorf("lines_repaired advanced by %d, want 1", got)
+	}
+}
+
+func countOf(t *testing.T, name string) int64 {
+	t.Helper()
+	return telemetry.GetCounter(name).Value()
+}
+
+func ExampleParseLinesWith() {
+	input := "sushi | thai bbq | deli\nbad | | line\ndeli | sushi\n"
+	rs, dom, report, _ := ParseLinesWith(strings.NewReader(input), ParseOptions{
+		Lenient: true,
+		Repair:  guard.CompleteBottom,
+	})
+	for _, pr := range rs {
+		fmt.Println(dom.Render(pr))
+	}
+	for _, d := range report.Defects {
+		fmt.Println("defect:", d)
+	}
+	// Output:
+	// sushi | thai bbq | deli
+	// deli | sushi | thai bbq
+	// defect: line 2, col 6: empty bucket
+	// defect: line 3: covers 2 of 4 domain elements; completed 2 missing into a bottom bucket
+}

@@ -33,6 +33,15 @@ func (c *Counter) Add(d int64) {
 	}
 }
 
+// ForceInc adds one regardless of Enabled(). Reserve it for supervision
+// events — contained panics, dropped inputs — that operators must be able to
+// count after the fact even when tracing was off; ordinary hot-path
+// instruments stay gated so disabled telemetry stays free.
+func (c *Counter) ForceInc() { c.v.Add(1) }
+
+// ForceAdd adds d regardless of Enabled(); see ForceInc.
+func (c *Counter) ForceAdd(d int64) { c.v.Add(d) }
+
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 

@@ -40,6 +40,23 @@ func TestCounterGatedOnEnabled(t *testing.T) {
 	}
 }
 
+// Supervision counters must record through a disabled registry: a contained
+// panic is an operational fact, not a trace sample.
+func TestCounterForcePathsIgnoreGate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.forced")
+	was := Enabled()
+	Disable()
+	c.ForceInc()
+	c.ForceAdd(9)
+	if was {
+		Enable()
+	}
+	if c.Value() != 10 {
+		t.Errorf("forced counter = %d, want 10 with telemetry disabled", c.Value())
+	}
+}
+
 func TestCounterGetOrCreate(t *testing.T) {
 	r := NewRegistry()
 	if r.Counter("x") != r.Counter("x") {
