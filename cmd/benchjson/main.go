@@ -6,9 +6,15 @@
 // up as a diffable artifact (BENCH_PR1.json, BENCH_PR3.json) rather than only
 // in ad-hoc `go test -bench` output.
 //
+// It also measures the pairwise-distance cache on a duplicate-heavy ensemble
+// (-dup distinct rankings cloned out to m voters): matrix sweeps and
+// best-of-inputs scoring with and without memoization, with the cache's
+// hit/miss/eviction counters — cross-checked against the telemetry registry
+// mirrors — reported in a "cache" section of the artifact (BENCH_PR5.json).
+//
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-n 1000] [-m 64] [-maxbucket 6] [-seed 42]
+//	benchjson [-out BENCH_PR1.json] [-n 1000] [-m 64] [-maxbucket 6] [-seed 42] [-dup 8]
 //
 // With no -out flag the JSON goes to stdout.
 package main
@@ -26,6 +32,7 @@ import (
 	"testing"
 
 	"repro/internal/aggregate"
+	"repro/internal/cache"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/randrank"
@@ -52,14 +59,27 @@ type record struct {
 //   - benchmarks: one record per engine, with ns/op averaged over the
 //     iteration count testing.Benchmark settled on.
 type report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Commit     string   `json:"commit,omitempty"`
-	N          int      `json:"n"`
-	M          int      `json:"m"`
-	MaxBucket  int      `json:"max_bucket"`
-	Seed       int64    `json:"seed"`
-	Benchmarks []record `json:"benchmarks"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Commit      string       `json:"commit,omitempty"`
+	N           int          `json:"n"`
+	M           int          `json:"m"`
+	MaxBucket   int          `json:"max_bucket"`
+	Seed        int64        `json:"seed"`
+	DupDistinct int          `json:"dup_distinct"`
+	Benchmarks  []record     `json:"benchmarks"`
+	Cache       *cacheReport `json:"cache,omitempty"`
+}
+
+// cacheReport summarizes the distance cache's behavior over the dup_* cache
+// benchmarks: the per-cache counters, the derived hit rate, and the telemetry
+// registry's gated mirrors (deltas over the same window, as an independent
+// cross-check that instrumentation is wired through).
+type cacheReport struct {
+	cache.Stats
+	HitRate         float64 `json:"hit_rate"`
+	TelemetryHits   int64   `json:"telemetry_hits"`
+	TelemetryMisses int64   `json:"telemetry_misses"`
 }
 
 // vcsRevision reads the commit hash the binary was built from out of the
@@ -99,11 +119,12 @@ func run(args []string, stdout io.Writer) error {
 	m := fs.Int("m", 64, "ensemble size for the matrix/sum sweeps")
 	maxBucket := fs.Int("maxbucket", 6, "bucket-size cap of the random bucket orders")
 	seed := fs.Int64("seed", 42, "random seed")
+	dup := fs.Int("dup", 8, "distinct rankings in the duplicate-heavy cache ensemble")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *n < 1 || *m < 2 || *maxBucket < 1 {
-		return fmt.Errorf("need n >= 1, m >= 2, maxbucket >= 1")
+	if *n < 1 || *m < 2 || *maxBucket < 1 || *dup < 1 {
+		return fmt.Errorf("need n >= 1, m >= 2, maxbucket >= 1, dup >= 1")
 	}
 	// Create the output file before the benchmarks run, so a bad path fails
 	// in milliseconds rather than after a minute of measurement.
@@ -238,6 +259,52 @@ func run(args []string, stdout io.Writer) error {
 		_, err := topk.ThresholdTopKOver(ctx, srcs, topkK, acc)
 		return err
 	})
+
+	// Duplicate-heavy cache benchmarks: -dup distinct Mallows voters cloned
+	// out to m rankings. Clones are distinct structs with equal content, so
+	// cache hits come from fingerprint equality, exactly as they would for
+	// re-ingested votes in production. Telemetry is enabled first — both the
+	// cached and uncached paths then pay the same instrumentation cost, and
+	// the registry mirrors of the cache counters get exercised.
+	rep.DupDistinct = *dup
+	telemetry.Enable()
+	base, _ := randrank.MallowsEnsemble(rng, *n, *dup, 1.0)
+	dupEns := make([]*ranking.PartialRanking, *m)
+	for i := range dupEns {
+		dupEns[i] = base[rng.Intn(*dup)].Clone()
+	}
+	benchCache := cache.New(0)
+	telHits := telemetry.GetCounter("cache.distance.hits")
+	telMisses := telemetry.GetCounter("cache.distance.misses")
+	telHits0, telMisses0 := telHits.Value(), telMisses.Value()
+	cachedKProf := metrics.CachedKProf(benchCache)
+	bench("distancematrix_kprof/dup_uncached", func() error {
+		_, err := metrics.DistanceMatrixWith(dupEns, metrics.KProfWS)
+		return err
+	})
+	bench("distancematrix_kprof/dup_cached", func() error {
+		_, err := metrics.DistanceMatrixWith(dupEns, cachedKProf)
+		return err
+	})
+	bench("bestofinputs_kprof/dup_serial", func() error {
+		_, _, _, err := aggregate.BestOfInputsWith(ws, dupEns, metrics.KProfWS)
+		return err
+	})
+	bench("bestofinputs_kprof/dup_parallel", func() error {
+		_, _, _, err := aggregate.BestOfInputsParallel(dupEns, metrics.KProfWS)
+		return err
+	})
+	bench("bestofinputs_kprof/dup_parallel_cached", func() error {
+		_, _, _, err := aggregate.BestOfInputsParallel(dupEns, cachedKProf)
+		return err
+	})
+	st := benchCache.Stats()
+	rep.Cache = &cacheReport{
+		Stats:           st,
+		HitRate:         st.HitRate(),
+		TelemetryHits:   telHits.Value() - telHits0,
+		TelemetryMisses: telMisses.Value() - telMisses0,
+	}
 	if firstErr != nil {
 		return firstErr
 	}

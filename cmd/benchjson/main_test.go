@@ -14,7 +14,7 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 	var out bytes.Buffer
 	// Tiny sizes: each testing.Benchmark call still runs for ~1s, so this
 	// test is dominated by benchmark wall clock, not problem size.
-	if err := run([]string{"-n", "40", "-m", "4", "-maxbucket", "3"}, &out); err != nil {
+	if err := run([]string{"-n", "40", "-m", "4", "-maxbucket", "3", "-dup", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var rep report
@@ -45,6 +45,12 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 		"medrank/source_retry":           false,
 		"medrank/source_degraded":        false,
 		"ta/source":                      false,
+
+		"distancematrix_kprof/dup_uncached":      false,
+		"distancematrix_kprof/dup_cached":        false,
+		"bestofinputs_kprof/dup_serial":          false,
+		"bestofinputs_kprof/dup_parallel":        false,
+		"bestofinputs_kprof/dup_parallel_cached": false,
 	}
 	for _, r := range rep.Benchmarks {
 		if _, ok := want[r.Name]; !ok {
@@ -59,6 +65,15 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 		if !seen {
 			t.Errorf("missing benchmark %q", name)
 		}
+	}
+	if rep.Cache == nil {
+		t.Fatal("missing cache section")
+	}
+	if rep.Cache.Hits <= 0 || rep.Cache.HitRate <= 0 || rep.Cache.HitRate > 1 {
+		t.Errorf("implausible cache stats %+v", rep.Cache)
+	}
+	if rep.Cache.TelemetryHits != rep.Cache.Hits || rep.Cache.TelemetryMisses != rep.Cache.Misses {
+		t.Errorf("telemetry mirrors diverged from cache counters: %+v", rep.Cache)
 	}
 }
 

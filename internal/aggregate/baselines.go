@@ -133,3 +133,60 @@ func BestOfInputsWith(ws *metrics.Workspace, rankings []*ranking.PartialRanking,
 	}
 	return bestIdx, rankings[bestIdx], bestObj, nil
 }
+
+// SumDistanceParallel is SumDistanceWith with the m objective terms fanned
+// across the parallel evaluation pool: each term lands in its own slot and
+// the slots are summed serially in input order, so the result is bit-for-bit
+// identical to the serial evaluation. Compose d with metrics.Cached to also
+// memoize repeat pairs of duplicate-heavy ensembles.
+func SumDistanceParallel(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (_ float64, err error) {
+	defer guard.Capture(&err)
+	vals := make([]float64, len(rankings))
+	if err := metrics.ParallelEach(len(rankings), "sum_distance", func(ws *metrics.Workspace, i int) error {
+		v, err := d(ws, candidate, rankings[i])
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum, nil
+}
+
+// BestOfInputsParallel is BestOfInputsWith with candidate scoring fanned
+// across the parallel evaluation pool: one worker evaluates each candidate's
+// full objective (the same serial inner sum as SumDistanceWith, so each
+// objective is bit-for-bit identical), and the argmin scan runs serially in
+// candidate order with the same strict-improvement tie-break. The output is
+// therefore exactly the serial result, at GOMAXPROCS times the throughput on
+// the m^2 distance sweep.
+func BestOfInputsParallel(rankings []*ranking.PartialRanking, d metrics.DistanceWS) (_ int, _ *ranking.PartialRanking, _ float64, err error) {
+	defer guard.Capture(&err)
+	if err := checkInputs(rankings); err != nil {
+		return 0, nil, 0, err
+	}
+	objs := make([]float64, len(rankings))
+	if err := metrics.ParallelEach(len(rankings), "best_of_inputs", func(ws *metrics.Workspace, i int) error {
+		obj, err := SumDistanceWith(ws, rankings[i], rankings, d)
+		if err != nil {
+			return err
+		}
+		objs[i] = obj
+		return nil
+	}); err != nil {
+		return 0, nil, 0, err
+	}
+	bestIdx := 0
+	for i, obj := range objs {
+		if obj < objs[bestIdx] {
+			bestIdx = i
+		}
+	}
+	return bestIdx, rankings[bestIdx], objs[bestIdx], nil
+}

@@ -8,6 +8,12 @@ import (
 	"repro/internal/ranking"
 )
 
+// kemenizeMarginCap bounds the domain size for which LocalKemenize
+// precomputes the full pairwise-margin matrix (n^2 int32 entries: 16 MB at
+// the cap); beyond it the swap loop falls back to recomputing majorities on
+// the fly rather than risk the quadratic allocation.
+const kemenizeMarginCap = 2048
+
 // LocalKemenize applies the local Kemenization of Dwork et al. to a full
 // ranking: repeatedly swap adjacent elements when the voters expressing a
 // preference favor the swapped order by strict majority (ties abstain),
@@ -29,18 +35,49 @@ func LocalKemenize(candidate *ranking.PartialRanking, rankings []*ranking.Partia
 	}
 	order := candidate.Order()
 	n := len(order)
-	prefers := func(a, b int) bool {
-		// More inputs rank a strictly ahead of b than the reverse.
-		margin := 0
-		for _, r := range rankings {
-			switch {
-			case r.Ahead(a, b):
-				margin++
-			case r.Ahead(b, a):
-				margin--
+	// More inputs rank a strictly ahead of b than the reverse. The swap loop
+	// below queries the same pairs over and over, so for domains where the
+	// matrix fits (n^2 int32), the margins are precomputed once with the pair
+	// sweep fanned across the parallel evaluation pool — identical integer
+	// margins, so identical swaps — and each query becomes a lookup. Larger
+	// domains keep the on-the-fly scan.
+	var prefers func(a, b int) bool
+	if n > 0 && n <= kemenizeMarginCap {
+		margins := make([]int32, n*n)
+		if err := metrics.ParallelEach(n, "kemenize_margins", func(_ *metrics.Workspace, a int) error {
+			for b := a + 1; b < n; b++ {
+				var margin int32
+				for _, r := range rankings {
+					switch {
+					case r.Ahead(a, b):
+						margin++
+					case r.Ahead(b, a):
+						margin--
+					}
+				}
+				// Row a owns cells (a, b) and (b, a) for all b > a, so the
+				// antisymmetric mirror write never collides across workers.
+				margins[a*n+b] = margin
+				margins[b*n+a] = -margin
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		return margin > 0
+		prefers = func(a, b int) bool { return margins[a*n+b] > 0 }
+	} else {
+		prefers = func(a, b int) bool {
+			margin := 0
+			for _, r := range rankings {
+				switch {
+				case r.Ahead(a, b):
+					margin++
+				case r.Ahead(b, a):
+					margin--
+				}
+			}
+			return margin > 0
+		}
 	}
 	// Insertion-sort-like passes; each beneficial swap strictly reduces the
 	// summed margin over majority-violated pairs, so this terminates.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 	"repro/internal/telemetry"
 )
@@ -154,10 +155,16 @@ func FootruleOptimalFull(rankings []*ranking.PartialRanking) (_ *ranking.Partial
 	if n == 0 {
 		return ranking.MustFromBuckets(0, nil), 0, nil
 	}
-	// cost2[e][r] = sum_i |2*(r+1) - pos2_i(e)|, in doubled units.
+	// cost2[e][r] = sum_i |2*(r+1) - pos2_i(e)|, in doubled units. Rows are
+	// independent, so the n*n*m fill fans out across the parallel evaluation
+	// pool; the costs are exact integers, so the parallel fill is identical
+	// to the serial one and only the Hungarian solve below stays sequential.
 	cost := make([][]int64, n)
 	for e := 0; e < n; e++ {
-		row := make([]int64, n)
+		cost[e] = make([]int64, n)
+	}
+	if err := metrics.ParallelEach(n, "footrule_cost", func(_ *metrics.Workspace, e int) error {
+		row := cost[e]
 		for r := 0; r < n; r++ {
 			var c int64
 			target := int64(2 * (r + 1))
@@ -166,7 +173,9 @@ func FootruleOptimalFull(rankings []*ranking.PartialRanking) (_ *ranking.Partial
 			}
 			row[r] = c
 		}
-		cost[e] = row
+		return nil
+	}); err != nil {
+		return nil, 0, err
 	}
 	assign, total2, err := AssignmentSolve(cost)
 	if err != nil {

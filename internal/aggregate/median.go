@@ -32,6 +32,12 @@ import (
 	"repro/internal/ranking"
 )
 
+// The parallel candidate-evaluation paths in this package (MedianScores2,
+// FootruleOptimalFull's cost fill, LocalKemenize's margin sweep,
+// BestOfInputsParallel, SumDistanceParallel) all ride metrics.ParallelEach
+// and share its determinism contract: parallel fill of disjoint slots,
+// serial reduce in index order.
+
 // ErrNoInput is returned by aggregators called with no rankings.
 var ErrNoInput = errors.New("aggregate: no input rankings")
 
@@ -94,6 +100,11 @@ func MedianScores(rankings []*ranking.PartialRanking, choice MedianChoice) ([]fl
 // MedianScores2 returns the median position vector scaled by 4 as exact
 // integers (positions are half-integral, and MeanMedian can halve once
 // more). LowerMedian and UpperMedian outputs are always multiples of 2.
+//
+// Coordinates are independent, so sweeps big enough to matter (n*m position
+// reads above medianParallelCells) are chunked across the parallel
+// evaluation pool; every coordinate's value is the same exact integer either
+// way, so the parallel fill is indistinguishable from the serial one.
 func MedianScores2(rankings []*ranking.PartialRanking, choice MedianChoice) ([]int64, error) {
 	if err := checkInputs(rankings); err != nil {
 		return nil, err
@@ -101,8 +112,36 @@ func MedianScores2(rankings []*ranking.PartialRanking, choice MedianChoice) ([]i
 	n := rankings[0].N()
 	m := len(rankings)
 	out := make([]int64, n)
+	const chunk = 256
+	if n*m >= medianParallelCells && n > chunk {
+		chunks := (n + chunk - 1) / chunk
+		if err := metrics.ParallelEach(chunks, "median_scores", func(_ *metrics.Workspace, c int) error {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			return medianFill2(rankings, choice, out, lo, hi)
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if err := medianFill2(rankings, choice, out, 0, n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// medianParallelCells is the n*m size past which MedianScores2 fans its
+// coordinate sweep out across the worker pool.
+const medianParallelCells = 1 << 15
+
+// medianFill2 fills out[lo:hi] with quadrupled coordinate-wise medians; each
+// call owns its sort buffer, so chunks run concurrently.
+func medianFill2(rankings []*ranking.PartialRanking, choice MedianChoice, out []int64, lo, hi int) error {
+	m := len(rankings)
 	buf := make([]int64, m)
-	for e := 0; e < n; e++ {
+	for e := lo; e < hi; e++ {
 		for i, r := range rankings {
 			buf[i] = r.Pos2(e)
 		}
@@ -123,7 +162,7 @@ func MedianScores2(rankings []*ranking.PartialRanking, choice MedianChoice) ([]i
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // InMedianSet reports whether g(d) lies in median(sigma_1(d), ..., sigma_m(d))

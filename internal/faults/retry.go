@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -75,9 +76,16 @@ func (p RetryPolicy) normalized() RetryPolicy {
 type retrySource struct {
 	src  Source
 	pol  RetryPolicy
-	rng  *rand.Rand
 	acc  *telemetry.AccessAccountant
 	list int
+
+	// mu guards the jitter RNG and the dead flag: chaos harnesses share one
+	// wrapped stack across goroutines, and an unsynchronized *rand.Rand races
+	// under that use. The lock is never held across the underlying access or
+	// a backoff sleep, so retries on one list do not serialize the others;
+	// single-goroutine runs draw the exact same jitter sequence as before.
+	mu   sync.Mutex
+	rng  *rand.Rand
 	dead bool
 }
 
@@ -90,6 +98,10 @@ type retrySource struct {
 // When acc is non-nil, every failed attempt is charged as a failure and
 // every re-attempt as a retry on list `list`, so injected faults appear in
 // the same access report as the probes they delayed.
+//
+// The wrapper's own state (jitter RNG, dead flag) is safe for concurrent
+// use; concurrent accesses to the underlying source are only safe when the
+// source itself is (faults.Inject's wrapper is).
 func WithRetry(src Source, pol RetryPolicy, acc *telemetry.AccessAccountant, list int) Source {
 	pol = pol.normalized()
 	return &retrySource{
@@ -101,9 +113,23 @@ func WithRetry(src Source, pol RetryPolicy, acc *telemetry.AccessAccountant, lis
 	}
 }
 
+// markDead flips the sticky dead flag under the lock.
+func (r *retrySource) markDead() {
+	r.mu.Lock()
+	r.dead = true
+	r.mu.Unlock()
+}
+
+// isDead reads the sticky dead flag under the lock.
+func (r *retrySource) isDead() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dead
+}
+
 // do runs op, absorbing transient failures per the policy.
 func (r *retrySource) do(ctx context.Context, op func() error) error {
-	if r.dead {
+	if r.isDead() {
 		return ErrSourceDead
 	}
 	delay := r.pol.BaseDelay
@@ -117,7 +143,7 @@ func (r *retrySource) do(ctx context.Context, op func() error) error {
 		}
 		if !IsTransient(err) {
 			// Permanent: the list is gone for good.
-			r.dead = true
+			r.markDead()
 			return err
 		}
 		if r.acc != nil {
@@ -125,11 +151,13 @@ func (r *retrySource) do(ctx context.Context, op func() error) error {
 		}
 		if attempt >= r.pol.MaxAttempts {
 			tRetriesExhausted.Inc()
-			r.dead = true
+			r.markDead()
 			return fmt.Errorf("%w (after %d attempts: %v)", ErrSourceDead, attempt, err)
 		}
 		// Jittered backoff in [delay/2, delay]: deterministic given the seed.
+		r.mu.Lock()
 		d := delay/2 + time.Duration(r.rng.Int63n(int64(delay/2)+1))
+		r.mu.Unlock()
 		tRetries.Inc()
 		hRetryBackoff.Observe(int64(d))
 		if r.acc != nil {
@@ -173,7 +201,7 @@ func (r *retrySource) Pos2(ctx context.Context, elem int) (int64, error) {
 }
 
 func (r *retrySource) Peek2() int64 {
-	if r.dead {
+	if r.isDead() {
 		return math.MaxInt64
 	}
 	return r.src.Peek2()

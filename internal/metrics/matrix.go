@@ -135,24 +135,51 @@ func PairIndex(m, i, j int) int {
 // a sweep over a different ensemble size — the whole matrix is recomputed
 // from scratch.
 //
+// The Completed bitmap is trusted only as far as prev can back it: a cell
+// marked complete whose value cannot be recovered from either triangle of
+// prev (the matrix is nil, truncated, or has short rows) is treated as
+// incomplete and recomputed rather than silently copied through as zero.
+//
 // On success the returned matrix equals the one an uninterrupted sweep would
 // have produced. On another failure the returned *SweepError's Completed
 // bitmap is the union of every cell finished so far, so resumption can be
 // retried with monotonically shrinking work.
 func ResumeDistanceMatrix(rankings []*ranking.PartialRanking, prev [][]float64, prevErr error, d DistanceWS) ([][]float64, error) {
 	m := len(rankings)
+	total := m * (m - 1) / 2
 	var se *SweepError
-	if !errors.As(prevErr, &se) || se.Completed == nil || se.M != m {
+	if !errors.As(prevErr, &se) || se.Completed == nil || se.M != m || se.Completed.Len() != total {
 		return DistanceMatrixWith(rankings, d)
 	}
 	out := make([][]float64, m)
 	for i := range out {
 		out[i] = make([]float64, m)
-		if i < len(prev) {
-			copy(out[i], prev[i])
+	}
+	// Copy through exactly the completed cells whose values prev still holds;
+	// a completed cell prev cannot back (either orientation) stays unmarked in
+	// usable and is recomputed below.
+	usable := guard.NewBitmap(total)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			idx := PairIndex(m, i, j)
+			if !se.Completed.Get(idx) {
+				continue
+			}
+			var v float64
+			switch {
+			case i < len(prev) && j < len(prev[i]):
+				v = prev[i][j]
+			case j < len(prev) && i < len(prev[j]):
+				v = prev[j][i]
+			default:
+				continue
+			}
+			out[i][j] = v
+			out[j][i] = v
+			usable.Set(idx)
 		}
 	}
-	err := forEachPairFrom(m, "distance_matrix_resume", se.Completed, func(ws *Workspace, i, j int) error {
+	err := forEachPairFrom(m, "distance_matrix_resume", usable, func(ws *Workspace, i, j int) error {
 		v, err := d(ws, rankings[i], rankings[j])
 		if err != nil {
 			return err

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/guard"
+	"repro/internal/telemetry"
+)
+
+// Gated telemetry instruments of the parallel candidate-evaluation pool.
+var (
+	tParallelTasks  = telemetry.GetCounter("metrics.parallel.tasks")
+	tParallelAborts = telemetry.GetCounter("metrics.parallel.aborts")
+)
+
+// ParallelEach runs compute(ws, i) for every index in [0, count) on up to
+// GOMAXPROCS worker goroutines — the one-dimensional sibling of the pairwise
+// sweep engine, with the same contract: each worker holds one pooled
+// workspace for its whole lifetime and carries the pprof label
+// "kernel"=label while telemetry is enabled; the first error short-circuits
+// the producer and the remaining queued indices are skipped; a panic inside
+// compute is contained per index as a *guard.PanicError (the poisoned
+// workspace is abandoned, the sweep runs to a clean join).
+//
+// Determinism: compute must write only to slots owned by its index (e.g.
+// out[i]). Because every slot is computed exactly once by one worker, in the
+// same code path the serial loop would take, a parallel fill followed by a
+// serial reduce in index order is bit-for-bit identical to the serial
+// evaluation — which is how the aggregate candidate-scoring loops stay
+// reproducible while saturating the machine.
+func ParallelEach(count int, label string, compute func(ws *Workspace, i int) error) error {
+	if count <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var failed atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			telemetry.Do(context.Background(), "kernel", label, func(context.Context) {
+				ws := GetWorkspace()
+				defer func() { PutWorkspace(ws) }()
+				var tasks int64
+				for i := range jobs {
+					if failed.Load() {
+						continue
+					}
+					tasks++
+					if err := safeComputeIndex(ws, i, compute); err != nil {
+						if _, panicked := guard.Recovered(err); panicked {
+							// The panic may have left the workspace's scratch
+							// state mid-mutation; hand the pool a fresh one.
+							ws = NewWorkspace()
+						}
+						fail(err)
+					}
+				}
+				tParallelTasks.Add(tasks)
+			})
+		}()
+	}
+produce:
+	for i := 0; i < count; i++ {
+		if failed.Load() {
+			break produce
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		tParallelAborts.Inc()
+	}
+	return firstErr
+}
+
+// safeComputeIndex invokes compute under panic supervision; see safeCompute.
+func safeComputeIndex(ws *Workspace, i int, compute func(ws *Workspace, i int) error) (err error) {
+	defer guard.Capture(&err)
+	return compute(ws, i)
+}

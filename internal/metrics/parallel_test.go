@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// Every index in [0, count) is computed exactly once, whatever the worker
+// count does with the schedule.
+func TestParallelEachCoversEveryIndexOnce(t *testing.T) {
+	const count = 1000
+	var seen [count]atomic.Int32
+	err := ParallelEach(count, "test_cover", func(_ *Workspace, i int) error {
+		seen[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d computed %d times, want 1", i, got)
+		}
+	}
+}
+
+// The first error is returned and stops the producer: only a fraction of the
+// index space is ever attempted.
+func TestParallelEachShortCircuits(t *testing.T) {
+	const count = 10_000
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := ParallelEach(count, "test_abort", func(_ *Workspace, i int) error {
+		calls.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := calls.Load(); got > count/4 {
+		t.Errorf("attempted %d of %d indices after first error", got, count)
+	}
+}
+
+// A panicking compute surfaces as *guard.PanicError instead of crashing the
+// pool, and the sweep still joins cleanly.
+func TestParallelEachContainsPanics(t *testing.T) {
+	err := ParallelEach(64, "test_panic", func(_ *Workspace, i int) error {
+		if i == 7 {
+			panic("kernel exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *guard.PanicError", err, err)
+	}
+}
+
+// Degenerate counts are no-ops.
+func TestParallelEachDegenerateCounts(t *testing.T) {
+	for _, count := range []int{0, -3} {
+		called := false
+		if err := ParallelEach(count, "test_empty", func(_ *Workspace, i int) error {
+			called = true
+			return nil
+		}); err != nil {
+			t.Fatalf("count %d: %v", count, err)
+		}
+		if called {
+			t.Fatalf("count %d: compute invoked", count)
+		}
+	}
+}
+
+// Workers hand each compute a usable workspace (the panic path swaps in a
+// fresh one; both must be non-nil and functional).
+func TestParallelEachProvidesWorkspaces(t *testing.T) {
+	var bad atomic.Bool
+	err := ParallelEach(128, "test_ws", func(ws *Workspace, i int) error {
+		if ws == nil {
+			bad.Store(true)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Error("compute received a nil workspace")
+	}
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// PairIndex must agree with explicit row-major enumeration of the upper
+// triangle for every cell, across a range of ensemble sizes up to m=100.
+func TestPairIndexRoundTrip(t *testing.T) {
+	for _, m := range []int{2, 3, 5, 10, 37, 100} {
+		counter := 0
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				if got := PairIndex(m, i, j); got != counter {
+					t.Fatalf("m=%d: PairIndex(%d,%d) = %d, want %d", m, i, j, got, counter)
+				}
+				counter++
+			}
+		}
+		if want := m * (m - 1) / 2; counter != want {
+			t.Fatalf("m=%d: enumerated %d cells, want %d", m, counter, want)
+		}
+	}
+}
+
+// forEachPairFrom must compute exactly the complement of the done bitmap: no
+// done cell recomputed, no pending cell skipped, nothing twice.
+func TestForEachPairFromSkipsDone(t *testing.T) {
+	const m = 16
+	total := m * (m - 1) / 2
+	done := guard.NewBitmap(total)
+	rng := rand.New(rand.NewSource(13))
+	for idx := 0; idx < total; idx++ {
+		if rng.Intn(2) == 0 {
+			done.Set(idx)
+		}
+	}
+	var mu sync.Mutex
+	computed := make(map[int]int)
+	err := forEachPairFrom(m, "test_skip", done, func(_ *Workspace, i, j int) error {
+		mu.Lock()
+		computed[PairIndex(m, i, j)]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < total; idx++ {
+		n := computed[idx]
+		if done.Get(idx) && n != 0 {
+			t.Errorf("done cell %d recomputed %d times", idx, n)
+		}
+		if !done.Get(idx) && n != 1 {
+			t.Errorf("pending cell %d computed %d times, want 1", idx, n)
+		}
+	}
+}
+
+// poisonSweep aborts a DistanceMatrixWith over in by failing every pair that
+// touches index poison, returning the partial matrix and its *SweepError.
+func poisonSweep(t *testing.T, in []*ranking.PartialRanking, poison int) ([][]float64, *SweepError) {
+	t.Helper()
+	boom := errors.New("poisoned pair")
+	mat, err := DistanceMatrixWith(in, func(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) {
+		if a == in[poison] || b == in[poison] {
+			return 0, boom
+		}
+		return KProfWS(ws, a, b)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("poisoned sweep err = %v, want boom", err)
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SweepError", err)
+	}
+	return mat, se
+}
+
+// Regression for the silent-zero resume bug: a SweepError whose Completed
+// bitmap outlives its matrix (prev truncated, rows shortened, or nil) must
+// not copy missing cells through as zeros — every unrecoverable cell is
+// recomputed, and the result matches an uninterrupted sweep exactly.
+func TestResumeDistanceMatrixTruncatedPrev(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const m = 20
+	var in []*ranking.PartialRanking
+	for i := 0; i < m; i++ {
+		in = append(in, randrank.Partial(rng, 12, 3))
+	}
+	want, err := DistanceMatrixWith(in, KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, got [][]float64, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	t.Run("truncated_rows", func(t *testing.T) {
+		mat, se := poisonSweep(t, in, m-1)
+		// Drop trailing rows and shorten an early one: cells the bitmap still
+		// claims as complete become unrecoverable.
+		trunc := make([][]float64, m-6)
+		for i := range trunc {
+			trunc[i] = mat[i]
+		}
+		trunc[0] = trunc[0][:3]
+		got, err := ResumeDistanceMatrix(in, trunc, se, KProfWS)
+		check(t, got, err)
+	})
+	t.Run("nil_prev", func(t *testing.T) {
+		_, se := poisonSweep(t, in, m-1)
+		got, err := ResumeDistanceMatrix(in, nil, se, KProfWS)
+		check(t, got, err)
+	})
+	t.Run("intact_prev_skips_completed", func(t *testing.T) {
+		mat, se := poisonSweep(t, in, m-1)
+		calls := make(map[int]bool)
+		var mu sync.Mutex
+		got, err := ResumeDistanceMatrix(in, mat, se, func(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) {
+			var i, j int
+			for idx, r := range in {
+				if r == a {
+					i = idx
+				}
+				if r == b {
+					j = idx
+				}
+			}
+			mu.Lock()
+			calls[PairIndex(m, i, j)] = true
+			mu.Unlock()
+			return KProfWS(ws, a, b)
+		})
+		check(t, got, err)
+		for idx := range calls {
+			if se.Completed.Get(idx) {
+				t.Errorf("cell %d recomputed despite intact prev value", idx)
+			}
+		}
+		if len(calls) == 0 {
+			t.Error("resume recomputed nothing; poison never aborted any cell")
+		}
+	})
+	t.Run("recover_from_lower_triangle", func(t *testing.T) {
+		mat, se := poisonSweep(t, in, m-1)
+		// Cut every row down to its lower-triangle prefix: cell (i, j), i < j,
+		// is now out of bounds in row i, and its value survives only mirrored
+		// at prev[j][i], which the resume must still recover.
+		for i := range mat {
+			mat[i] = mat[i][:i]
+		}
+		calls := 0
+		var mu sync.Mutex
+		got, err := ResumeDistanceMatrix(in, mat, se, func(ws *Workspace, a, b *ranking.PartialRanking) (float64, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return KProfWS(ws, a, b)
+		})
+		check(t, got, err)
+		if completed := se.Completed.Count(); calls != m*(m-1)/2-completed {
+			t.Errorf("recomputed %d cells, want exactly the %d incomplete ones",
+				calls, m*(m-1)/2-completed)
+		}
+	})
+	t.Run("non_sweep_error_recomputes_fully", func(t *testing.T) {
+		got, err := ResumeDistanceMatrix(in, nil, errors.New("opaque failure"), KProfWS)
+		check(t, got, err)
+	})
+}

@@ -166,6 +166,12 @@ func (pr *PartialRanking) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	*pr = *built
+	// Field-wise rebind rather than a struct copy: the fingerprint memo is an
+	// atomic and must be reset, not copied, now that the content changed.
+	pr.n = built.n
+	pr.buckets = built.buckets
+	pr.bucketOf = built.bucketOf
+	pr.pos2 = built.pos2
+	pr.fp.Store(nil)
 	return nil
 }

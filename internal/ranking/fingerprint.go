@@ -1,0 +1,63 @@
+package ranking
+
+// Fingerprint is a 128-bit content hash of a partial ranking, the cache key
+// of the pairwise-distance memoization layer (internal/cache). Two rankings
+// with Equal bucket orders always have equal fingerprints; two distinct
+// bucket orders collide with probability ~2^-128 per pair, which is the
+// determinism argument of the cache layer: over any realistic ensemble the
+// expected number of colliding pairs is far below one, so a cache hit can be
+// treated as an equality witness.
+//
+// The hash is deterministic across processes and runs: it depends only on
+// the bucket order's canonical content (domain size and the element ->
+// bucket-index vector, which together determine the order completely), not
+// on construction path, memory layout, or any per-process seed.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// Less orders fingerprints lexicographically (Hi, then Lo); the cache layer
+// uses it to canonicalize unordered pairs under symmetric metrics.
+func (f Fingerprint) Less(g Fingerprint) bool {
+	if f.Hi != g.Hi {
+		return f.Hi < g.Hi
+	}
+	return f.Lo < g.Lo
+}
+
+// splitmix64-style finalizer: a bijective mixer with full avalanche, the
+// standard way to turn a weak combining step into a strong chained hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint returns the ranking's 128-bit content hash, computing it on
+// first use and memoizing it on the struct. PartialRanking is immutable, so
+// the memoized value never goes stale; the memo is published through an
+// atomic pointer, so concurrent first calls are safe (both compute the same
+// value and one of the idempotent stores wins).
+func (pr *PartialRanking) Fingerprint() Fingerprint {
+	if p := pr.fp.Load(); p != nil {
+		return *p
+	}
+	// Two independently-seeded 64-bit lanes over the same word stream. The
+	// stream is (n, bucketOf[0], ..., bucketOf[n-1]): the bucket-index vector
+	// determines the bucket order exactly (buckets are the index's level sets
+	// in index order), so content-equal rankings hash identically no matter
+	// how they were built.
+	h1 := mix64(uint64(pr.n) ^ 0x9e3779b97f4a7c15)
+	h2 := mix64(uint64(pr.n) ^ 0xc2b2ae3d27d4eb4f)
+	for _, b := range pr.bucketOf {
+		w := uint64(b)
+		h1 = mix64(h1 ^ (w + 0x9e3779b97f4a7c15))
+		h2 = mix64(h2 ^ (w*0xff51afd7ed558ccd + 0x2545f4914f6cdd1d))
+	}
+	fp := Fingerprint{Hi: h1, Lo: h2}
+	pr.fp.Store(&fp)
+	return fp
+}

@@ -1,0 +1,120 @@
+package ranking
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Content-equal rankings fingerprint identically no matter how they were
+// constructed.
+func TestFingerprintContentEquality(t *testing.T) {
+	a := MustFromBuckets(4, [][]int{{2}, {0, 3}, {1}})
+	b := MustFromBuckets(4, [][]int{{2}, {3, 0}, {1}}) // same buckets, listed differently
+	c := a.Clone()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("equal rankings fingerprint differently: %v vs %v", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Errorf("clone fingerprints differently: %v vs %v", a.Fingerprint(), c.Fingerprint())
+	}
+	full := MustFromOrder([]int{2, 0, 3, 1})
+	viaScores := FromScores([]float64{1, 3, 0, 2})
+	if full.Fingerprint() != viaScores.Fingerprint() {
+		t.Error("same full ranking via FromOrder and FromScores fingerprints differently")
+	}
+}
+
+// Every distinct bucket order of a small domain gets a distinct fingerprint:
+// the hash separates the full candidate space with zero collisions.
+func TestFingerprintSeparatesAllBucketOrders(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		seen := make(map[Fingerprint]string)
+		count := 0
+		ForEachPartialRanking(n, func(pr *PartialRanking) bool {
+			count++
+			fp := pr.Fingerprint()
+			if prev, dup := seen[fp]; dup {
+				t.Fatalf("n=%d: collision between %q and %q", n, prev, pr.String())
+			}
+			seen[fp] = pr.String()
+			return true
+		})
+		want, _ := Fubini(n)
+		if int64(count) != want {
+			t.Fatalf("n=%d: enumerated %d orders, want %d", n, count, want)
+		}
+	}
+}
+
+// Rankings that differ only in domain size must not collide either (the
+// bucket-index vector of the identity full ranking is a prefix of the larger
+// one's).
+func TestFingerprintDomainSizeMatters(t *testing.T) {
+	a := MustFromOrder([]int{0, 1, 2})
+	b := MustFromOrder([]int{0, 1, 2, 3})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different domain sizes collided")
+	}
+}
+
+// The memo is computed once and is safe under concurrent first use.
+func TestFingerprintMemoConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		pr := MustFromOrder(rng.Perm(50))
+		want := pr.Clone().Fingerprint()
+		var wg sync.WaitGroup
+		got := make([]Fingerprint, 8)
+		for g := range got {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got[g] = pr.Fingerprint()
+			}(g)
+		}
+		wg.Wait()
+		for g, fp := range got {
+			if fp != want {
+				t.Fatalf("goroutine %d saw %v, want %v", g, fp, want)
+			}
+		}
+	}
+}
+
+// Reusing a ranking value through UnmarshalJSON resets the memo: the second
+// decode must not serve the first decode's fingerprint.
+func TestFingerprintResetOnUnmarshal(t *testing.T) {
+	var pr PartialRanking
+	if err := json.Unmarshal([]byte(`{"n":3,"buckets":[[0],[1],[2]]}`), &pr); err != nil {
+		t.Fatal(err)
+	}
+	first := pr.Fingerprint()
+	if err := json.Unmarshal([]byte(`{"n":3,"buckets":[[2],[1],[0]]}`), &pr); err != nil {
+		t.Fatal(err)
+	}
+	second := pr.Fingerprint()
+	if first == second {
+		t.Error("fingerprint memo survived UnmarshalJSON content change")
+	}
+	if want := MustFromOrder([]int{2, 1, 0}).Fingerprint(); second != want {
+		t.Errorf("post-unmarshal fingerprint = %v, want %v", second, want)
+	}
+}
+
+// Less is a strict total order usable for pair canonicalization.
+func TestFingerprintLess(t *testing.T) {
+	a := Fingerprint{Hi: 1, Lo: 9}
+	b := Fingerprint{Hi: 2, Lo: 0}
+	c := Fingerprint{Hi: 1, Lo: 10}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Hi ordering broken")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("Lo tiebreak broken")
+	}
+	if a.Less(a) {
+		t.Error("irreflexivity broken")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // PartialRanking is an immutable bucket order over the domain {0, ..., n-1}.
@@ -34,6 +35,11 @@ type PartialRanking struct {
 	buckets  [][]int // elements of each bucket, ascending within a bucket
 	bucketOf []int   // element -> index of its bucket
 	pos2     []int64 // bucket index -> doubled position 2*pos(Bi)
+
+	// fp memoizes the 128-bit content hash of Fingerprint. Lazily published
+	// through an atomic pointer so the ranking stays immutable to observers;
+	// nil until the first Fingerprint call.
+	fp atomic.Pointer[Fingerprint]
 }
 
 // FromBuckets builds a partial ranking over {0..n-1} from an ordered list of
