@@ -27,12 +27,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"runtime"
-	"runtime/debug"
 	"testing"
 
 	"repro/internal/aggregate"
 	"repro/internal/cache"
+	"repro/internal/envstamp"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/randrank"
@@ -59,9 +58,7 @@ type record struct {
 //   - benchmarks: one record per engine, with ns/op averaged over the
 //     iteration count testing.Benchmark settled on.
 type report struct {
-	GoVersion   string       `json:"go_version"`
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Commit      string       `json:"commit,omitempty"`
+	envstamp.Stamp
 	N           int          `json:"n"`
 	M           int          `json:"m"`
 	MaxBucket   int          `json:"max_bucket"`
@@ -80,29 +77,6 @@ type cacheReport struct {
 	HitRate         float64 `json:"hit_rate"`
 	TelemetryHits   int64   `json:"telemetry_hits"`
 	TelemetryMisses int64   `json:"telemetry_misses"`
-}
-
-// vcsRevision reads the commit hash the binary was built from out of the
-// build info, if the toolchain recorded one.
-func vcsRevision() string {
-	info, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	var rev string
-	dirty := false
-	for _, s := range info.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if rev != "" && dirty {
-		rev += "+dirty"
-	}
-	return rev
 }
 
 func main() {
@@ -154,13 +128,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	rep := report{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Commit:     vcsRevision(),
-		N:          *n,
-		M:          *m,
-		MaxBucket:  *maxBucket,
-		Seed:       *seed,
+		Stamp:     envstamp.New(),
+		N:         *n,
+		M:         *m,
+		MaxBucket: *maxBucket,
+		Seed:      *seed,
 	}
 	var firstErr error
 	bench := func(name string, body func() error) {

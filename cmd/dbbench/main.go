@@ -38,14 +38,10 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
-	_ "expvar"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -55,6 +51,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/guard"
 	"repro/internal/randrank"
+	"repro/internal/service/debugserve"
 	"repro/internal/telemetry"
 	"repro/internal/topk"
 )
@@ -168,15 +165,19 @@ func run(args []string, stdout io.Writer) error {
 		telemetry.ResetTrace()
 	}
 	if *debug != "" {
-		ln, err := net.Listen("tcp", *debug)
+		srv, err := debugserve.Start(*debug)
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}
-		defer ln.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dbbench: debug server shutdown: %v\n", err)
+			}
+		}()
 		telemetry.PublishExpvar()
-		// pprof and expvar register on the default mux via their imports.
-		go http.Serve(ln, nil) //nolint:errcheck // torn down with the listener
-		fmt.Fprintf(os.Stderr, "dbbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "dbbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", srv.Addr())
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("topk=6,resilient=1,agg=2,submit=1,stats=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["topk"] != 6 || w["agg"] != 2 || w["stats"] != 1 {
+		t.Errorf("weights = %v", w)
+	}
+	for _, bad := range []string{"", "topk", "topk=x", "topk=-1", "nosuch=1", "topk=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// Zero-weight entries are fine as long as something has weight.
+	if _, err := parseMix("topk=0,agg=3"); err != nil {
+		t.Errorf("mixed zero weight rejected: %v", err)
+	}
+}
+
+func TestMixPickRespectsWeights(t *testing.T) {
+	w, err := parseMix("topk=3,stats=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		counts[w.pick(rng)]++
+	}
+	if counts["topk"]+counts["stats"] != draws {
+		t.Fatalf("picked ops outside the mix: %v", counts)
+	}
+	// 3:1 weighting: topk should land near 75%.
+	frac := float64(counts["topk"]) / draws
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("topk fraction = %.3f, want ~0.75", frac)
+	}
+}
+
+func TestQuantileNs(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}} {
+		if got := quantileNs(sorted, tc.q); got != tc.want {
+			t.Errorf("quantileNs(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := quantileNs(nil, 0.5); got != 0 {
+		t.Errorf("quantileNs(nil) = %d, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	lat := []int64{30, 10, 20, 40} // unsorted on purpose
+	r := summarize(lat, 1, 2, 2*time.Second)
+	if r.Count != 4 || r.Errors != 1 || r.Dropped != 2 {
+		t.Errorf("tallies = %+v", r)
+	}
+	if r.MeanNs != 25 || r.MaxNs != 40 || r.P50Ns != 20 {
+		t.Errorf("stats = %+v", r)
+	}
+	if r.PerSec != 2 {
+		t.Errorf("per_sec = %g, want 2", r.PerSec)
+	}
+	empty := summarize(nil, 0, 3, time.Second)
+	if empty.Count != 0 || empty.Dropped != 3 || empty.MeanNs != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestDomainNames(t *testing.T) {
+	names := domainNames(3)
+	if len(names) != 3 || names[0] != "e000" || names[2] != "e002" {
+		t.Errorf("domainNames(3) = %v", names)
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{},                          // -addr missing
+		{"-addr", "x", "-mix", "="}, // bad mix
+		{"-addr", "x", "-clients", "0"},
+		{"-addr", "x", "-n", "1"},
+	} {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command rankserve is the multi-tenant ranking-as-a-service front end: a
+// stdlib net/http JSON API over the repo's aggregation engines. Tenants
+// register catalogs of ranking lists (strict or lenient ingestion with
+// deterministic repair), then run top-k queries (MEDRANK or the TA-style
+// baseline, optionally in resilient degraded mode over fault-wrapped
+// sources) and full aggregations (median scores, best-of-inputs, local
+// Kemenization) against them. One sharded distance cache and one
+// GOMAXPROCS-sized worker gate are shared across tenants; guard.Limits
+// admission rejects oversized inputs with structured defect JSON.
+//
+// Endpoints (see README "Running the server" for curl examples):
+//
+//	GET    /healthz
+//	GET    /stats
+//	GET    /debug/vars, /debug/pprof/
+//	PUT    /v1/tenants/{t}/catalogs/{c}?mode=strict|lenient&repair=drop|complete
+//	POST   /v1/tenants/{t}/catalogs/{c}/rankings
+//	GET    /v1/tenants/{t}/catalogs/{c}
+//	DELETE /v1/tenants/{t}/catalogs/{c}
+//	GET    /v1/tenants/{t}/catalogs
+//	DELETE /v1/tenants/{t}
+//	POST   /v1/tenants/{t}/catalogs/{c}/topk
+//	POST   /v1/tenants/{t}/catalogs/{c}/aggregate
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections and
+// drains in-flight queries for -grace; queries still running after the
+// grace window are canceled through their contexts.
+//
+// Usage:
+//
+//	rankserve [-addr :8080] [-max-tenants 64] [-max-catalogs 64]
+//	          [-max-body 8388608] [-max-rankings N] [-max-elements N]
+//	          [-cache N] [-workers N] [-grace 10s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rankserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("rankserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+	maxTenants := fs.Int("max-tenants", 64, "maximum concurrent tenants")
+	maxCatalogs := fs.Int("max-catalogs", 64, "maximum catalogs per tenant")
+	maxBody := fs.Int64("max-body", 8<<20, "maximum request body bytes")
+	maxRankings := fs.Int("max-rankings", 0, "maximum ranking lists per catalog (0 = guard default)")
+	maxElements := fs.Int("max-elements", 0, "maximum domain size per catalog (0 = guard default)")
+	cacheCap := fs.Int("cache", 0, "shared distance cache capacity in entries (0 = default)")
+	workers := fs.Int("workers", 0, "concurrent query slots (0 = GOMAXPROCS)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain window for in-flight queries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	limits := guard.DefaultLimits()
+	if *maxRankings > 0 {
+		limits.MaxRankings = *maxRankings
+	}
+	if *maxElements > 0 {
+		limits.MaxElements = *maxElements
+	}
+
+	// A server wants its instruments live: enable the gated telemetry layer
+	// and publish both registries — the process-wide one under "rankties",
+	// the service's endpoint-latency registry under "rankties.server" — so
+	// /debug/vars carries both without colliding.
+	telemetry.Enable()
+	svc := service.New(service.Config{
+		MaxTenants:           *maxTenants,
+		MaxCatalogsPerTenant: *maxCatalogs,
+		MaxBodyBytes:         *maxBody,
+		Limits:               limits,
+		CacheCapacity:        *cacheCap,
+		Workers:              *workers,
+	})
+	telemetry.PublishExpvar()
+	telemetry.PublishExpvarNamed("rankties.server", svc.Registry())
+
+	// Register the signal handler before the listener exists: once a client
+	// can reach the server, SIGINT is already guaranteed to drain rather
+	// than kill.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	// baseCtx parents every request context; canceling it after the grace
+	// window threads cancellation into in-flight engine runs (MedRank,
+	// ThresholdTopK, and the fallible variants all honor their contexts).
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	serveErr := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		serveErr <- err
+	}()
+	fmt.Fprintf(logw, "rankserve: listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop()
+	fmt.Fprintf(logw, "rankserve: draining (grace %s)\n", *grace)
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	cancelBase() // cancel any queries that outlived the grace window
+	if errors.Is(shutErr, context.DeadlineExceeded) {
+		// In-flight queries were canceled rather than drained; the engines
+		// unwind through their contexts, so this is still a clean exit.
+		fmt.Fprintln(logw, "rankserve: grace window expired; canceled remaining queries")
+		shutErr = nil
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Fprintln(logw, "rankserve: drained")
+	return shutErr
+}

@@ -1,0 +1,86 @@
+// Package debugserve is the one place the repo stands up a diagnostics HTTP
+// surface: expvar at /debug/vars and net/http/pprof under /debug/pprof/.
+// Both dbbench's -debug sidecar and rankserve's main mux mount the same
+// handlers through it, replacing the ad-hoc default-mux http.Serve (no
+// ReadHeaderTimeout, unchecked error) dbbench used to carry.
+package debugserve
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ReadHeaderTimeout bounds how long a debug server waits for request
+// headers, so an idle or hostile connection cannot pin an accept slot
+// forever (the slowloris guard the ad-hoc server lacked).
+const ReadHeaderTimeout = 5 * time.Second
+
+// Register mounts the diagnostics handlers on mux: expvar's full variable
+// dump at /debug/vars and the pprof index, profile, symbol, trace, and
+// cmdline endpoints under /debug/pprof/. It registers explicit handlers
+// rather than relying on the packages' DefaultServeMux init side effects, so
+// any mux — rankserve's API mux included — gets the same surface.
+func Register(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Server is a standalone diagnostics HTTP server with sane timeouts and
+// graceful shutdown, for tools that want a debug sidecar next to their real
+// work (dbbench -debug).
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan error
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves the
+// diagnostics mux in a background goroutine until Shutdown.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserve: %w", err)
+	}
+	mux := http.NewServeMux()
+	Register(mux)
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: ReadHeaderTimeout,
+		},
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests drained until ctx expires. It returns the first error from either
+// the serve loop or the shutdown itself.
+func (s *Server) Shutdown(ctx context.Context) error {
+	shutErr := s.srv.Shutdown(ctx)
+	serveErr := <-s.done
+	if serveErr != nil {
+		return serveErr
+	}
+	return shutErr
+}

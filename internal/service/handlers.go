@@ -1,0 +1,649 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/cache"
+	"repro/internal/faults"
+	"repro/internal/guard"
+	"repro/internal/ranking"
+	"repro/internal/service/debugserve"
+	"repro/internal/telemetry"
+	"repro/internal/topk"
+)
+
+// ErrorResponse is the JSON body of every non-2xx answer: a summary line
+// plus the structured defects behind it, mirroring the guard layer's
+// ErrorList shape so CLI and HTTP clients parse rejections the same way.
+type ErrorResponse struct {
+	Error   string         `json:"error"`
+	Defects []guard.Defect `json:"defects,omitempty"`
+	Dropped int            `json:"dropped,omitempty"`
+}
+
+// apiError carries a status code and structured defects up from helpers to
+// the handler rim, where it is rendered as an ErrorResponse.
+type apiError struct {
+	status  int
+	msg     string
+	defects []guard.Defect
+	dropped int
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// fail builds an apiError with one optional defect message.
+func fail(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// IngestResponse reports one catalog submit/append: how much was stored and
+// what lenient parsing had to repair or drop.
+type IngestResponse struct {
+	Tenant   string         `json:"tenant"`
+	Catalog  string         `json:"catalog"`
+	Rankings int            `json:"rankings"`
+	Elements int            `json:"elements"`
+	Mode     string         `json:"mode"`
+	Appended int            `json:"appended,omitempty"`
+	Defects  []guard.Defect `json:"defects,omitempty"`
+	Dropped  int            `json:"dropped,omitempty"`
+}
+
+// CatalogInfo describes one stored catalog.
+type CatalogInfo struct {
+	Tenant   string   `json:"tenant"`
+	Catalog  string   `json:"catalog"`
+	Rankings int      `json:"rankings"`
+	Elements int      `json:"elements"`
+	Names    []string `json:"names,omitempty"`
+}
+
+// ChaosPlan is the optional fault-injection clause of a resilient top-k
+// request: it wraps every list source in a deterministic injector, so
+// degraded-mode behavior is reachable (and replayable) over HTTP exactly as
+// it is in the chaos experiments.
+type ChaosPlan struct {
+	Seed          int64   `json:"seed"`
+	TransientRate float64 `json:"transient_rate,omitempty"`
+	DeathRate     float64 `json:"death_rate,omitempty"`
+	DeathAfter    int     `json:"death_after,omitempty"`
+}
+
+// TopKRequest asks for the top k elements of a catalog.
+type TopKRequest struct {
+	K int `json:"k"`
+	// Algo selects the engine: "medrank" (default) or "ta".
+	Algo string `json:"algo,omitempty"`
+	// Resilient runs the degraded-mode engine over fallible sources with
+	// bounded retries; with Chaos set, faults are injected deterministically.
+	Resilient bool       `json:"resilient,omitempty"`
+	Chaos     *ChaosPlan `json:"chaos,omitempty"`
+}
+
+// AccessSummary is the wire form of a query's access accounting.
+type AccessSummary struct {
+	Sequential int `json:"sequential"`
+	Random     int `json:"random"`
+	BucketIOs  int `json:"bucket_ios"`
+	MaxDepth   int `json:"max_depth"`
+}
+
+// TopKResponse is the answer to a TopKRequest.
+type TopKResponse struct {
+	Winners   []string       `json:"winners"`
+	Medians   []float64      `json:"medians"`
+	TopK      string         `json:"topk"`
+	Access    AccessSummary  `json:"access"`
+	Degraded  *topk.Degraded `json:"degraded,omitempty"`
+	ElapsedNs int64          `json:"elapsed_ns"`
+}
+
+// AggregateRequest asks for a full aggregation of a catalog.
+type AggregateRequest struct {
+	// Metric names the pairwise distance: kprof (default), fprof, khaus,
+	// fhaus.
+	Metric string `json:"metric,omitempty"`
+	// Kemenize applies local Kemenization to the median aggregate
+	// (default true unless explicitly false).
+	Kemenize *bool `json:"kemenize,omitempty"`
+}
+
+// RankedCandidate is one candidate consensus ranking with its summed
+// distance to the inputs under the requested metric.
+type RankedCandidate struct {
+	Ranking     string  `json:"ranking"`
+	SumDistance float64 `json:"sum_distance"`
+}
+
+// AggregateResponse is the answer to an AggregateRequest: the median
+// aggregate, the best single input, and (optionally) the locally Kemenized
+// refinement of the median aggregate.
+type AggregateResponse struct {
+	Metric    string             `json:"metric"`
+	Medians   map[string]float64 `json:"medians"`
+	Median    RankedCandidate    `json:"median"`
+	BestInput int                `json:"best_input"`
+	Best      RankedCandidate    `json:"best"`
+	Kemenized *RankedCandidate   `json:"kemenized,omitempty"`
+	ElapsedNs int64              `json:"elapsed_ns"`
+}
+
+// TenantStats is one tenant's row in the /stats snapshot.
+type TenantStats struct {
+	Name         string  `json:"name"`
+	Catalogs     int     `json:"catalogs"`
+	Rankings     int     `json:"rankings"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// CacheStats is the shared cache's totals plus derived hit rate.
+type CacheStats struct {
+	cache.Stats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// EndpointStats is one endpoint's always-on request/error tally.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// StatsResponse is the /stats snapshot.
+type StatsResponse struct {
+	UptimeNs        int64                    `json:"uptime_ns"`
+	Tenants         []TenantStats            `json:"tenants"`
+	Cache           CacheStats               `json:"cache"`
+	Endpoints       map[string]EndpointStats `json:"endpoints"`
+	DegradedQueries int64                    `json:"degraded_queries"`
+	Telemetry       telemetry.Snapshot       `json:"telemetry"`
+	Server          telemetry.Snapshot       `json:"server"`
+}
+
+// Handler returns the service's HTTP API mux, with the diagnostics surface
+// (expvar, pprof) mounted under /debug/ via debugserve.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/catalogs/{catalog}", s.instrument("put_catalog", s.handlePutCatalog))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/catalogs/{catalog}/rankings", s.instrument("append_rankings", s.handleAppendRankings))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/catalogs/{catalog}", s.instrument("get_catalog", s.handleGetCatalog))
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}/catalogs/{catalog}", s.instrument("delete_catalog", s.handleDeleteCatalog))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/catalogs", s.instrument("list_catalogs", s.handleListCatalogs))
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.instrument("delete_tenant", s.handleDeleteTenant))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/catalogs/{catalog}/topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/catalogs/{catalog}/aggregate", s.instrument("aggregate", s.handleAggregate))
+	debugserve.Register(mux)
+	return mux
+}
+
+// apiHandler is a handler that returns its result (or structured failure)
+// instead of writing it, so the rim can render, count, and time uniformly.
+type apiHandler func(w http.ResponseWriter, r *http.Request) (any, *apiError)
+
+// instrument wraps an apiHandler with the service's per-endpoint plumbing:
+// body cap, telemetry span, latency histogram in the service registry,
+// always-on request/error tallies, and uniform JSON rendering.
+func (s *Service) instrument(op string, h apiHandler) http.HandlerFunc {
+	hist := s.reg.Histogram("http." + op + ".latency_ns")
+	stats := s.endpoints[op]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		stats.requests.Add(1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		ctx, span := telemetry.Start(r.Context(), "http."+op)
+		result, apiErr := h(w, r.WithContext(ctx))
+		span.End()
+		hist.Observe(time.Since(start).Nanoseconds())
+		if apiErr != nil {
+			stats.errors.Add(1)
+			writeJSON(w, apiErr.status, ErrorResponse{
+				Error:   apiErr.msg,
+				Defects: apiErr.defects,
+				Dropped: apiErr.dropped,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, result)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// parseModeOptions reads the ?mode= and ?repair= ingestion query params.
+func (s *Service) parseModeOptions(r *http.Request) (ranking.ParseOptions, string, *apiError) {
+	opts := ranking.ParseOptions{Limits: s.cfg.Limits}
+	mode := r.URL.Query().Get("mode")
+	switch mode {
+	case "", "strict":
+		mode = "strict"
+	case "lenient":
+		opts.Lenient = true
+	default:
+		return opts, "", fail(http.StatusBadRequest, "unknown mode %q (want strict or lenient)", mode)
+	}
+	if rep := r.URL.Query().Get("repair"); rep != "" {
+		pol, err := guard.ParseRepairPolicy(rep)
+		if err != nil {
+			return opts, "", fail(http.StatusBadRequest, "%v", err)
+		}
+		opts.Repair = pol
+	}
+	return opts, mode, nil
+}
+
+// readBodyErr converts a body-read failure into the right admission error:
+// the body cap maps to 413 with a structured defect.
+func readBodyErr(err error) *apiError {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		e := fail(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		e.defects = []guard.Defect{{Msg: e.msg}}
+		return e
+	}
+	return fail(http.StatusBadRequest, "reading request body: %v", err)
+}
+
+// ingest parses a request body of ranking lines under the tenant's admission
+// limits and parse mode.
+func (s *Service) ingest(r *http.Request) ([]*ranking.PartialRanking, *ranking.Domain, *guard.ErrorList, string, *apiError) {
+	opts, mode, apiErr := s.parseModeOptions(r)
+	if apiErr != nil {
+		return nil, nil, nil, "", apiErr
+	}
+	rankings, dom, report, err := ranking.ParseLinesWith(r.Body, opts)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, nil, nil, "", readBodyErr(err)
+		}
+		e := fail(http.StatusBadRequest, "%v", err)
+		return nil, nil, nil, "", e
+	}
+	return rankings, dom, report, mode, nil
+}
+
+func (s *Service) handleHealthz(_ http.ResponseWriter, _ *http.Request) (any, *apiError) {
+	return map[string]string{"status": "ok"}, nil
+}
+
+// handlePutCatalog registers or replaces a catalog from a text-codec body of
+// ranking lines.
+func (s *Service) handlePutCatalog(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	tenantName, catalogName := r.PathValue("tenant"), r.PathValue("catalog")
+	rankings, dom, report, mode, apiErr := s.ingest(r)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if len(rankings) == 0 {
+		e := fail(http.StatusBadRequest, "no valid ranking lists in request body")
+		if report != nil {
+			e.defects, e.dropped = report.Defects, report.Dropped
+		}
+		return nil, e
+	}
+	t, ok := s.tenantFor(tenantName, true)
+	if !ok {
+		e := fail(http.StatusTooManyRequests, "tenant limit %d reached", s.cfg.MaxTenants)
+		e.defects = []guard.Defect{{Msg: e.msg}}
+		return nil, e
+	}
+	if !t.putCatalog(catalogName, &catalog{dom: dom, rankings: rankings}, s.cfg.MaxCatalogsPerTenant) {
+		e := fail(http.StatusTooManyRequests, "catalog limit %d reached for tenant %q", s.cfg.MaxCatalogsPerTenant, tenantName)
+		e.defects = []guard.Defect{{Msg: e.msg}}
+		return nil, e
+	}
+	resp := IngestResponse{
+		Tenant:   tenantName,
+		Catalog:  catalogName,
+		Rankings: len(rankings),
+		Elements: dom.Size(),
+		Mode:     mode,
+	}
+	if report != nil {
+		resp.Defects, resp.Dropped = report.Defects, report.Dropped
+	}
+	return resp, nil
+}
+
+// handleAppendRankings submits additional ranking lists to an existing
+// catalog; the new lists must cover the catalog's domain (by element name).
+func (s *Service) handleAppendRankings(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	tenantName, catalogName := r.PathValue("tenant"), r.PathValue("catalog")
+	t, ok := s.tenantFor(tenantName, false)
+	if !ok {
+		return nil, fail(http.StatusNotFound, "unknown tenant %q", tenantName)
+	}
+	old, ok := t.getCatalog(catalogName)
+	if !ok {
+		return nil, fail(http.StatusNotFound, "unknown catalog %q", catalogName)
+	}
+	newRankings, newDom, report, mode, apiErr := s.ingest(r)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if len(newRankings) == 0 {
+		e := fail(http.StatusBadRequest, "no valid ranking lists in request body")
+		if report != nil {
+			e.defects, e.dropped = report.Defects, report.Dropped
+		}
+		return nil, e
+	}
+	remapped, err := remapToDomain(old.dom, newDom, newRankings)
+	if err != nil {
+		return nil, fail(http.StatusConflict, "%v", err)
+	}
+	if !s.cfg.Limits.RankingsOK(len(old.rankings) + len(remapped)) {
+		e := fail(http.StatusRequestEntityTooLarge, "catalog would exceed ranking limit %d", s.cfg.Limits.MaxRankings)
+		e.defects = []guard.Defect{{Msg: e.msg}}
+		return nil, e
+	}
+	merged := make([]*ranking.PartialRanking, 0, len(old.rankings)+len(remapped))
+	merged = append(merged, old.rankings...)
+	merged = append(merged, remapped...)
+	// Re-fetch under the write path: a concurrent replace wins over a stale
+	// append base, but the swap itself is atomic either way.
+	if !t.putCatalog(catalogName, &catalog{dom: old.dom, rankings: merged}, s.cfg.MaxCatalogsPerTenant) {
+		return nil, fail(http.StatusTooManyRequests, "catalog limit reached")
+	}
+	resp := IngestResponse{
+		Tenant:   tenantName,
+		Catalog:  catalogName,
+		Rankings: len(merged),
+		Elements: old.dom.Size(),
+		Mode:     mode,
+		Appended: len(remapped),
+	}
+	if report != nil {
+		resp.Defects, resp.Dropped = report.Defects, report.Dropped
+	}
+	return resp, nil
+}
+
+func (s *Service) handleGetCatalog(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	t, ok := s.tenantFor(r.PathValue("tenant"), false)
+	if !ok {
+		return nil, fail(http.StatusNotFound, "unknown tenant %q", r.PathValue("tenant"))
+	}
+	c, ok := t.getCatalog(r.PathValue("catalog"))
+	if !ok {
+		return nil, fail(http.StatusNotFound, "unknown catalog %q", r.PathValue("catalog"))
+	}
+	return CatalogInfo{
+		Tenant:   t.name,
+		Catalog:  r.PathValue("catalog"),
+		Rankings: len(c.rankings),
+		Elements: c.dom.Size(),
+		Names:    c.dom.Names(),
+	}, nil
+}
+
+func (s *Service) handleDeleteCatalog(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	t, ok := s.tenantFor(r.PathValue("tenant"), false)
+	if !ok {
+		return nil, fail(http.StatusNotFound, "unknown tenant %q", r.PathValue("tenant"))
+	}
+	if !t.deleteCatalog(r.PathValue("catalog")) {
+		return nil, fail(http.StatusNotFound, "unknown catalog %q", r.PathValue("catalog"))
+	}
+	return map[string]string{"deleted": r.PathValue("catalog")}, nil
+}
+
+func (s *Service) handleListCatalogs(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	t, ok := s.tenantFor(r.PathValue("tenant"), false)
+	if !ok {
+		return nil, fail(http.StatusNotFound, "unknown tenant %q", r.PathValue("tenant"))
+	}
+	return map[string]any{"tenant": t.name, "catalogs": t.catalogNames()}, nil
+}
+
+func (s *Service) handleDeleteTenant(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	if !s.deleteTenant(r.PathValue("tenant")) {
+		return nil, fail(http.StatusNotFound, "unknown tenant %q", r.PathValue("tenant"))
+	}
+	return map[string]string{"deleted": r.PathValue("tenant")}, nil
+}
+
+// decodeJSONBody strictly decodes one JSON document into v.
+func decodeJSONBody(r *http.Request, v any) *apiError {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if err == io.EOF {
+			return fail(http.StatusBadRequest, "empty request body (want a JSON document)")
+		}
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return readBodyErr(err)
+		}
+		return fail(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+// lookupCatalog resolves the request's tenant and catalog path segments.
+func (s *Service) lookupCatalog(r *http.Request) (*tenant, *catalog, *apiError) {
+	t, ok := s.tenantFor(r.PathValue("tenant"), false)
+	if !ok {
+		return nil, nil, fail(http.StatusNotFound, "unknown tenant %q", r.PathValue("tenant"))
+	}
+	c, ok := t.getCatalog(r.PathValue("catalog"))
+	if !ok {
+		return nil, nil, fail(http.StatusNotFound, "unknown catalog %q", r.PathValue("catalog"))
+	}
+	return t, c, nil
+}
+
+func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	_, c, apiErr := s.lookupCatalog(r)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	var req TopKRequest
+	if apiErr := decodeJSONBody(r, &req); apiErr != nil {
+		return nil, apiErr
+	}
+	if req.K < 1 || req.K > c.dom.Size() {
+		return nil, fail(http.StatusBadRequest, "k=%d out of range [1,%d]", req.K, c.dom.Size())
+	}
+	switch req.Algo {
+	case "", "medrank", "ta":
+	default:
+		return nil, fail(http.StatusBadRequest, "unknown algo %q (want medrank or ta)", req.Algo)
+	}
+	if req.Chaos != nil && !req.Resilient {
+		return nil, fail(http.StatusBadRequest, "chaos requires resilient mode")
+	}
+
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		return nil, fail(http.StatusServiceUnavailable, "query admission: %v", err)
+	}
+	defer release()
+
+	start := time.Now()
+	var res *topk.Result
+	if req.Resilient {
+		res, err = s.runResilientTopK(r, c, req)
+	} else if req.Algo == "ta" {
+		res, err = topk.ThresholdTopKContext(r.Context(), c.rankings, req.K)
+	} else {
+		res, err = topk.MedRankContext(r.Context(), c.rankings, req.K, topk.GlobalMerge)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fail(http.StatusServiceUnavailable, "query aborted: %v", err)
+		}
+		return nil, fail(http.StatusInternalServerError, "top-k query: %v", err)
+	}
+	if res.Degraded != nil {
+		s.degraded.Add(1)
+	}
+
+	resp := TopKResponse{
+		Winners: make([]string, len(res.Winners)),
+		Medians: make([]float64, len(res.Winners)),
+		TopK:    c.dom.Render(res.TopK),
+		Access: AccessSummary{
+			Sequential: res.Stats.Total,
+			Random:     res.Stats.Random,
+			BucketIOs:  res.Stats.TotalBucketProbes,
+			MaxDepth:   res.Stats.MaxDepth,
+		},
+		Degraded:  res.Degraded,
+		ElapsedNs: time.Since(start).Nanoseconds(),
+	}
+	for i, e := range res.Winners {
+		resp.Winners[i] = c.dom.Name(e)
+		resp.Medians[i] = float64(res.Medians2[i]) / 2
+	}
+	return resp, nil
+}
+
+// runResilientTopK runs the degraded-mode engines over fallible sources,
+// optionally fault-injected per the request's chaos plan.
+func (s *Service) runResilientTopK(r *http.Request, c *catalog, req TopKRequest) (*topk.Result, error) {
+	acc := telemetry.NewAccessAccountant(len(c.rankings))
+	sources := make([]faults.Source, len(c.rankings))
+	for i, pr := range c.rankings {
+		var src faults.Source = topk.NewListSource(pr, acc, i)
+		if req.Chaos != nil {
+			src = faults.Inject(src, faults.Plan{
+				Seed:          req.Chaos.Seed + int64(i),
+				TransientRate: req.Chaos.TransientRate,
+				DeathRate:     req.Chaos.DeathRate,
+				DeathAfter:    req.Chaos.DeathAfter,
+			})
+		}
+		sources[i] = faults.WithRetry(src, faults.DefaultRetryPolicy(), acc, i)
+	}
+	if req.Algo == "ta" {
+		return topk.ThresholdTopKOver(r.Context(), sources, req.K, acc)
+	}
+	return topk.MedRankOver(r.Context(), sources, req.K, topk.GlobalMerge, acc)
+}
+
+func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
+	t, c, apiErr := s.lookupCatalog(r)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	var req AggregateRequest
+	if apiErr := decodeJSONBody(r, &req); apiErr != nil {
+		return nil, apiErr
+	}
+	id, base, err := metricByName(req.Metric)
+	if err != nil {
+		return nil, fail(http.StatusBadRequest, "%v", err)
+	}
+	d := t.cachedDistance(s.cache, id, base)
+
+	release, aerr := s.acquire(r.Context())
+	if aerr != nil {
+		return nil, fail(http.StatusServiceUnavailable, "query admission: %v", aerr)
+	}
+	defer release()
+
+	start := time.Now()
+	n := c.dom.Size()
+	scores, err := aggregate.MedianScores(c.rankings, aggregate.LowerMedian)
+	if err != nil {
+		return nil, fail(http.StatusInternalServerError, "median scores: %v", err)
+	}
+	median, err := aggregate.MedianTopK(c.rankings, n)
+	if err != nil {
+		return nil, fail(http.StatusInternalServerError, "median aggregate: %v", err)
+	}
+	medianDist, err := aggregate.SumDistanceParallel(median, c.rankings, d)
+	if err != nil {
+		return nil, fail(http.StatusInternalServerError, "scoring median aggregate: %v", err)
+	}
+	bestIdx, bestPR, bestDist, err := aggregate.BestOfInputsParallel(c.rankings, d)
+	if err != nil {
+		return nil, fail(http.StatusInternalServerError, "best-of-inputs: %v", err)
+	}
+
+	resp := AggregateResponse{
+		Metric:    req.Metric,
+		Medians:   make(map[string]float64, n),
+		Median:    RankedCandidate{Ranking: c.dom.Render(median), SumDistance: medianDist},
+		BestInput: bestIdx,
+		Best:      RankedCandidate{Ranking: c.dom.Render(bestPR), SumDistance: bestDist},
+	}
+	if resp.Metric == "" {
+		resp.Metric = "kprof"
+	}
+	for e := 0; e < n; e++ {
+		resp.Medians[c.dom.Name(e)] = scores[e]
+	}
+	if req.Kemenize == nil || *req.Kemenize {
+		kem, err := aggregate.LocalKemenize(median, c.rankings)
+		if err != nil {
+			return nil, fail(http.StatusInternalServerError, "local kemenization: %v", err)
+		}
+		kemDist, err := aggregate.SumDistanceParallel(kem, c.rankings, d)
+		if err != nil {
+			return nil, fail(http.StatusInternalServerError, "scoring kemenized aggregate: %v", err)
+		}
+		resp.Kemenized = &RankedCandidate{Ranking: c.dom.Render(kem), SumDistance: kemDist}
+	}
+	resp.ElapsedNs = time.Since(start).Nanoseconds()
+	return resp, nil
+}
+
+func (s *Service) handleStats(_ http.ResponseWriter, _ *http.Request) (any, *apiError) {
+	tenants := s.tenantsSnapshot()
+	resp := StatsResponse{
+		UptimeNs:        time.Since(s.start).Nanoseconds(),
+		Tenants:         make([]TenantStats, 0, len(tenants)),
+		DegradedQueries: s.degraded.Load(),
+		Endpoints:       make(map[string]EndpointStats, len(s.endpoints)),
+		Telemetry:       telemetry.Default.Snapshot(),
+		Server:          s.reg.Snapshot(),
+	}
+	for _, t := range tenants {
+		hits, misses := t.cacheHits.Load(), t.cacheMisses.Load()
+		ts := TenantStats{
+			Name:        t.name,
+			Catalogs:    len(t.catalogNames()),
+			Rankings:    t.rankingCount(),
+			CacheHits:   hits,
+			CacheMisses: misses,
+		}
+		if total := hits + misses; total > 0 {
+			ts.CacheHitRate = float64(hits) / float64(total)
+		}
+		resp.Tenants = append(resp.Tenants, ts)
+	}
+	sortTenantStats(resp.Tenants)
+	cs := s.cache.Stats()
+	resp.Cache = CacheStats{Stats: cs, HitRate: cs.HitRate()}
+	for name, es := range s.endpoints {
+		resp.Endpoints[name] = EndpointStats{Requests: es.requests.Load(), Errors: es.errors.Load()}
+	}
+	return resp, nil
+}
+
+// sortTenantStats orders tenant rows by name for deterministic snapshots.
+func sortTenantStats(ts []TenantStats) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+}

@@ -1,0 +1,198 @@
+// Package service is the multi-tenant ranking-as-a-service layer: the state
+// and policy that turn the repo's engines (median/threshold top-k,
+// median-rank aggregation, pairwise-distance metrics) into a server the CLIs
+// and cmd/rankserve both sit on.
+//
+// The layer owns what no single engine does:
+//
+//   - Tenancy: named tenants, each holding named catalogs of ranking lists
+//     ingested through the hardened parser (strict or lenient, with
+//     deterministic repair), isolated from each other.
+//   - Admission: guard.Limits bounds every ingest, a body cap bounds every
+//     request, and tenant/catalog counts are capped; every rejection is a
+//     structured guard.Defect JSON document, not an opaque string.
+//   - Shared compute: one sharded distance cache serves all tenants (the
+//     duplicate-heavy workloads that justify the cache cross tenant
+//     boundaries) with per-tenant hit/miss attribution, and one worker gate
+//     sized to GOMAXPROCS keeps concurrent queries from oversubscribing the
+//     machine the parallel engines already saturate.
+//   - Observability: every endpoint opens a telemetry span and records its
+//     latency into a service-owned registry, which a server publishes under
+//     a namespaced expvar slot ("rankties.server") next to the process-wide
+//     "rankties" registry.
+//
+// The package sits above ranking/metrics/aggregate/topk/faults/guard/cache
+// and below cmd/rankserve; it knows nothing about flags or listeners.
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/guard"
+	"repro/internal/telemetry"
+)
+
+// Config bounds one Service. The zero value selects the defaults below.
+type Config struct {
+	// MaxTenants caps how many tenants may exist at once (default 64).
+	MaxTenants int
+	// MaxCatalogsPerTenant caps catalogs per tenant (default 64).
+	MaxCatalogsPerTenant int
+	// MaxBodyBytes caps a single request body (default 8 MiB). Oversized
+	// bodies are rejected with a structured defect and HTTP 413.
+	MaxBodyBytes int64
+	// Limits is the per-tenant ingestion admission policy handed to
+	// ranking.ParseLinesWith. Zero-valued fields fall back to
+	// guard.DefaultLimits.
+	Limits guard.Limits
+	// CacheCapacity is the shared distance cache's entry budget
+	// (cache.DefaultCapacity when <= 0).
+	CacheCapacity int
+	// Workers caps concurrently executing queries (default GOMAXPROCS).
+	// Excess queries wait in the gate until a slot frees or their context
+	// is canceled.
+	Workers int
+}
+
+// withDefaults fills the zero fields of a Config.
+func (c Config) withDefaults() Config {
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.MaxCatalogsPerTenant <= 0 {
+		c.MaxCatalogsPerTenant = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if (c.Limits == guard.Limits{}) {
+		c.Limits = guard.DefaultLimits()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// endpointStats is the always-on per-endpoint tally surfaced by /stats,
+// independent of whether gated telemetry is enabled.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Service is the multi-tenant aggregation service. Construct with New; all
+// methods and handlers are safe for concurrent use.
+type Service struct {
+	cfg   Config
+	cache *cache.Cache
+	reg   *telemetry.Registry
+	sem   chan struct{}
+	start time.Time
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	degraded  atomic.Int64 // queries answered in degraded mode
+	endpoints map[string]*endpointStats
+}
+
+// endpointNames is the fixed set of per-endpoint stat rows. Adding a handler
+// means adding its operation name here so /stats covers it.
+var endpointNames = []string{
+	"put_catalog", "append_rankings", "get_catalog", "delete_catalog",
+	"list_catalogs", "delete_tenant", "topk", "aggregate", "stats", "healthz",
+}
+
+// New builds a Service with the given bounds and a fresh shared distance
+// cache. The service's endpoint-latency instruments live in their own
+// registry (see Registry) so they can be published under a namespaced expvar
+// slot without colliding with the process-wide default registry.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:       cfg,
+		cache:     cache.New(cfg.CacheCapacity),
+		reg:       telemetry.NewRegistry(),
+		sem:       make(chan struct{}, cfg.Workers),
+		start:     time.Now(),
+		tenants:   make(map[string]*tenant),
+		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+	}
+	for _, name := range endpointNames {
+		s.endpoints[name] = &endpointStats{}
+	}
+	return s
+}
+
+// Registry returns the service-owned telemetry registry holding the
+// http.<op>.latency_ns histograms, for publication under a namespaced expvar
+// name (telemetry.PublishExpvarNamed("rankties.server", svc.Registry())).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Cache returns the shared distance cache (tests cross-check its totals
+// against the per-tenant attributions).
+func (s *Service) Cache() *cache.Cache { return s.cache }
+
+// acquire takes one worker slot, waiting until a slot frees or ctx is
+// canceled. Release by calling the returned func exactly once.
+func (s *Service) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// tenantFor returns the named tenant, creating it if the tenant cap allows.
+// The bool reports whether the tenant exists (or was created); a false
+// return means the cap rejected creation.
+func (s *Service) tenantFor(name string, create bool) (*tenant, bool) {
+	s.mu.RLock()
+	t, ok := s.tenants[name]
+	s.mu.RUnlock()
+	if ok || !create {
+		return t, ok
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, true
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, false
+	}
+	t = newTenant(name)
+	s.tenants[name] = t
+	return t, true
+}
+
+// deleteTenant removes a tenant and all its catalogs. Reports whether the
+// tenant existed.
+func (s *Service) deleteTenant(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; !ok {
+		return false
+	}
+	delete(s.tenants, name)
+	return true
+}
+
+// tenantsSnapshot returns the live tenants sorted by name.
+func (s *Service) tenantsSnapshot() []*tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+// expvarJSON fetches one published expvar by name and decodes its JSON.
+func expvarJSON(t *testing.T, name string) map[string]any {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &out); err != nil {
+		t.Fatalf("expvar %q is not valid JSON: %v", name, err)
+	}
+	return out
+}
+
+func TestPublishExpvarNamedMultiRegistry(t *testing.T) {
+	// The default registry publishes under "rankties" with the trace ring;
+	// a second, component-owned registry publishes under a namespaced name
+	// without colliding. Both survive repeat publication.
+	PublishExpvar()
+	PublishExpvar() // idempotent
+
+	reg := NewRegistry()
+	reg.Counter("test.expvar.counter").ForceAdd(7)
+	PublishExpvarNamed("rankties.test", reg)
+	PublishExpvarNamed("rankties.test", reg) // idempotent, no panic
+
+	doc := expvarJSON(t, "rankties")
+	if _, ok := doc["trace"]; !ok {
+		t.Errorf("default publication should carry the trace ring, got keys %v", doc)
+	}
+
+	named := expvarJSON(t, "rankties.test")
+	if _, ok := named["trace"]; ok {
+		t.Errorf("namespaced publication of a non-default registry must not carry the global trace")
+	}
+	tel, ok := named["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("namespaced publication missing telemetry snapshot: %v", named)
+	}
+	counters, _ := tel["counters"].(map[string]any)
+	if got := counters["test.expvar.counter"]; got != float64(7) {
+		t.Errorf("namespaced registry counter = %v, want 7", got)
+	}
+}
+
+func TestPublishExpvarNamedFirstWins(t *testing.T) {
+	// Re-publishing an already-claimed name with a different registry is a
+	// no-op: the first registration owns the name for the process lifetime.
+	a := NewRegistry()
+	a.Counter("firstwins.c").ForceAdd(1)
+	PublishExpvarNamed("rankties.firstwins", a)
+
+	b := NewRegistry()
+	b.Counter("firstwins.c").ForceAdd(99)
+	PublishExpvarNamed("rankties.firstwins", b) // must not panic or replace
+
+	doc := expvarJSON(t, "rankties.firstwins")
+	tel := doc["telemetry"].(map[string]any)
+	counters, _ := tel["counters"].(map[string]any)
+	if got := counters["firstwins.c"]; got != float64(1) {
+		t.Errorf("second publication replaced the first: got %v, want 1", got)
+	}
+}

@@ -258,19 +258,51 @@ func (r *Registry) Reset() {
 	}
 }
 
-var expvarOnce sync.Once
+// expvar publication bookkeeping. expvar.Publish panics on a duplicate name
+// and has no unpublish, so each name is claimed at most once per process;
+// the map records which names this package has already published.
+var (
+	expvarMu    sync.Mutex
+	expvarNames = map[string]bool{}
+)
 
 // PublishExpvar publishes the default registry (and the trace ring buffer)
 // under the expvar name "rankties", so any net/http server with the expvar
 // handler mounted exposes the live snapshot at /debug/vars. Safe to call
 // more than once; only the first call publishes.
-func PublishExpvar() {
-	expvarOnce.Do(func() {
-		expvar.Publish("rankties", expvar.Func(func() any {
+func PublishExpvar() { PublishExpvarNamed("rankties", Default) }
+
+// PublishExpvarNamed publishes a registry under an arbitrary expvar name, so
+// components with their own registries coexist at /debug/vars instead of
+// colliding on the one "rankties" slot: the convention is
+// "rankties.<component>" (e.g. "rankties.server" for rankserve's
+// endpoint-latency registry) next to the CLI-historical "rankties" for the
+// process-wide Default.
+//
+// Constraint: expvar names are process-global and cannot be unpublished, so
+// the first publication under a name wins for the life of the process —
+// repeat calls with the same name are no-ops regardless of which registry
+// they carry. The trace ring buffer is likewise global and is therefore
+// attached only to the Default registry's publications.
+func PublishExpvarNamed(name string, r *Registry) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarNames[name] {
+		return
+	}
+	expvarNames[name] = true
+	if r == Default {
+		expvar.Publish(name, expvar.Func(func() any {
 			return struct {
 				Telemetry Snapshot `json:"telemetry"`
 				Trace     []Event  `json:"trace"`
 			}{Default.Snapshot(), TraceEvents()}
 		}))
-	})
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return struct {
+			Telemetry Snapshot `json:"telemetry"`
+		}{r.Snapshot()}
+	}))
 }
