@@ -12,6 +12,12 @@
 // hit/miss/eviction counters — cross-checked against the telemetry registry
 // mirrors — reported in a "cache" section of the artifact (BENCH_PR5.json).
 //
+// The "telemetry_overhead" section prices the tracing layer on the MedRank
+// source engine: telemetry disabled (baseline), enabled with no trace in the
+// context (the unsampled fast path every production request pays), and
+// enabled with a sampled trace collecting the full span tree. CI gates on
+// unsampled_overhead staying under 5% (BENCH_PR7.json).
+//
 // Usage:
 //
 //	benchjson [-out BENCH_PR1.json] [-n 1000] [-m 64] [-maxbucket 6] [-seed 42] [-dup 8]
@@ -66,6 +72,20 @@ type report struct {
 	DupDistinct int          `json:"dup_distinct"`
 	Benchmarks  []record     `json:"benchmarks"`
 	Cache       *cacheReport `json:"cache,omitempty"`
+
+	TelemetryOverhead *overheadReport `json:"telemetry_overhead,omitempty"`
+}
+
+// overheadReport prices the tracing layer on one engine op (MedRank over
+// healthy sources). The overheads are fractions relative to the disabled
+// baseline: (mode - baseline) / baseline, so 0.05 means 5% slower. Negative
+// values are measurement noise on an overhead too small to resolve.
+type overheadReport struct {
+	BaselineNsPerOp   float64 `json:"baseline_ns_per_op"`
+	UnsampledNsPerOp  float64 `json:"unsampled_ns_per_op"`
+	SampledNsPerOp    float64 `json:"sampled_ns_per_op"`
+	UnsampledOverhead float64 `json:"unsampled_overhead"`
+	SampledOverhead   float64 `json:"sampled_overhead"`
 }
 
 // cacheReport summarizes the distance cache's behavior over the dup_* cache
@@ -231,6 +251,51 @@ func run(args []string, stdout io.Writer) error {
 		_, err := topk.ThresholdTopKOver(ctx, srcs, topkK, acc)
 		return err
 	})
+
+	// Telemetry overhead: the same healthy MedRank op measured three ways.
+	// This section must run before the cache section enables telemetry, so
+	// the baseline really is the disabled fast path. benchNs reuses bench()
+	// (the records land in the benchmarks list too) and hands back the ns/op
+	// of the record it just appended.
+	benchNs := func(name string, body func() error) float64 {
+		bench(name, body)
+		if firstErr != nil || len(rep.Benchmarks) == 0 {
+			return 0
+		}
+		return rep.Benchmarks[len(rep.Benchmarks)-1].NsPerOp
+	}
+	medrankOp := func(opCtx context.Context) error {
+		srcs, acc := newSources(noPlan, false)
+		_, err := topk.MedRankOver(opCtx, srcs, topkK, topk.RoundRobin, acc)
+		return err
+	}
+	telemetry.Disable()
+	baselineNs := benchNs("telemetry/medrank_disabled", func() error {
+		return medrankOp(ctx)
+	})
+	telemetry.Enable()
+	unsampledNs := benchNs("telemetry/medrank_unsampled", func() error {
+		return medrankOp(ctx)
+	})
+	var traceID uint64
+	sampledNs := benchNs("telemetry/medrank_sampled", func() error {
+		traceID++
+		tctx := telemetry.WithTrace(ctx, traceID, true)
+		if err := medrankOp(tctx); err != nil {
+			return err
+		}
+		telemetry.FinishTrace(tctx, telemetry.TraceMeta{Endpoint: "bench"})
+		return nil
+	})
+	if baselineNs > 0 {
+		rep.TelemetryOverhead = &overheadReport{
+			BaselineNsPerOp:   baselineNs,
+			UnsampledNsPerOp:  unsampledNs,
+			SampledNsPerOp:    sampledNs,
+			UnsampledOverhead: (unsampledNs - baselineNs) / baselineNs,
+			SampledOverhead:   (sampledNs - baselineNs) / baselineNs,
+		}
+	}
 
 	// Duplicate-heavy cache benchmarks: -dup distinct Mallows voters cloned
 	// out to m rankings. Clones are distinct structs with equal content, so

@@ -51,6 +51,10 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 		"bestofinputs_kprof/dup_serial":          false,
 		"bestofinputs_kprof/dup_parallel":        false,
 		"bestofinputs_kprof/dup_parallel_cached": false,
+
+		"telemetry/medrank_disabled":  false,
+		"telemetry/medrank_unsampled": false,
+		"telemetry/medrank_sampled":   false,
 	}
 	for _, r := range rep.Benchmarks {
 		if _, ok := want[r.Name]; !ok {
@@ -74,6 +78,21 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 	}
 	if rep.Cache.TelemetryHits != rep.Cache.Hits || rep.Cache.TelemetryMisses != rep.Cache.Misses {
 		t.Errorf("telemetry mirrors diverged from cache counters: %+v", rep.Cache)
+	}
+	if rep.TelemetryOverhead == nil {
+		t.Fatal("missing telemetry_overhead section")
+	}
+	to := rep.TelemetryOverhead
+	if to.BaselineNsPerOp <= 0 || to.UnsampledNsPerOp <= 0 || to.SampledNsPerOp <= 0 {
+		t.Errorf("implausible overhead measurements %+v", to)
+	}
+	// The overheads are noisy at this problem size; only pin the arithmetic
+	// that derives them from the measured rows.
+	if got := (to.UnsampledNsPerOp - to.BaselineNsPerOp) / to.BaselineNsPerOp; got != to.UnsampledOverhead {
+		t.Errorf("unsampled_overhead %v inconsistent with its rows (want %v)", to.UnsampledOverhead, got)
+	}
+	if got := (to.SampledNsPerOp - to.BaselineNsPerOp) / to.BaselineNsPerOp; got != to.SampledOverhead {
+		t.Errorf("sampled_overhead %v inconsistent with its rows (want %v)", to.SampledOverhead, got)
 	}
 }
 

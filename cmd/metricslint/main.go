@@ -1,0 +1,96 @@
+// Command metricslint checks a Prometheus text exposition (format 0.0.4)
+// with the repo's own linter — no external Prometheus dependency. It is the
+// CI tripwire for the rankserve GET /metrics surface: malformed sample
+// lines, duplicate series, invalid label names, non-monotone or
+// +Inf-less histograms, and _count/_bucket disagreements all fail the
+// build instead of failing the first real scraper pointed at the server.
+//
+// Input comes from a live server (-url), a file argument, or stdin:
+//
+//	metricslint -url http://localhost:8080/metrics
+//	metricslint metrics.txt
+//	curl -s localhost:8080/metrics | metricslint
+//
+// On a clean exposition it prints one summary line (series and family
+// counts) and exits 0; otherwise it prints every problem with its line
+// number and exits 1.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("metricslint", flag.ContinueOnError)
+	url := fs.String("url", "", "scrape this URL instead of reading a file or stdin")
+	timeout := fs.Duration("timeout", 10*time.Second, "scrape timeout with -url")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var body []byte
+	switch {
+	case *url != "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("-url and a file argument are mutually exclusive")
+		}
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scraping %s: %s", *url, resp.Status)
+		}
+		body, err = io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+	case fs.NArg() == 1:
+		var err error
+		body, err = os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+	case fs.NArg() == 0:
+		var err error
+		body, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("at most one file argument (got %d)", fs.NArg())
+	}
+
+	problems := telemetry.LintExposition(bytes.NewReader(body))
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(stdout, p.String())
+		}
+		return fmt.Errorf("%d problem(s)", len(problems))
+	}
+	exp, _ := telemetry.ParseExposition(bytes.NewReader(body))
+	families := make(map[string]bool)
+	for _, s := range exp.Samples {
+		families[s.Name] = true
+	}
+	fmt.Fprintf(stdout, "ok: %d samples across %d metric names, %d TYPE declarations\n",
+		len(exp.Samples), len(families), len(exp.Types))
+	return nil
+}

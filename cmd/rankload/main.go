@@ -12,12 +12,21 @@
 // exact p50/p95/p99 over every observation; the final report also scrapes
 // the server's /stats for the shared distance cache's hit rate.
 //
+// With -scrape, rankload additionally polls the server's GET /metrics
+// Prometheus exposition during the run (exercising concurrent scrapes) and
+// takes one final scrape after the load drains: the
+// rankserve_request_latency_ns histogram series are merged across tenant
+// labels per endpoint, lint-checked with the repo's own exposition linter,
+// and reduced to server-side p50/p95/p99 in a server_metrics section — so
+// the artifact carries both the client's view and the server's view of the
+// same run.
+//
 // Usage:
 //
 //	rankload -addr host:port [-tenants 2] [-clients 32] [-requests 1000]
 //	         [-n 40] [-m 12] [-theta 1.0] [-k 5] [-seed 1]
 //	         [-mix topk=6,resilient=1,agg=2,submit=1,stats=1]
-//	         [-timeout 30s] [-out BENCH_PR6.json]
+//	         [-timeout 30s] [-scrape] [-out BENCH_PR6.json]
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"repro/internal/envstamp"
 	"repro/internal/randrank"
 	"repro/internal/ranking"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -178,6 +188,30 @@ type report struct {
 	DegradedQueries  int64                     `json:"degraded_queries"`
 	DegradedFraction float64                   `json:"degraded_fraction"`
 	Cache            *cacheSummary             `json:"cache,omitempty"`
+	ServerMetrics    *serverMetrics            `json:"server_metrics,omitempty"`
+}
+
+// serverEndpointMetrics is one endpoint's latency as the *server* measured
+// it, reconstructed from the rankserve_request_latency_ns histogram with the
+// tenant label summed away. Quantiles are bucket upper bounds (base-2 edges),
+// so they are coarser than the client-side exact quantiles but immune to
+// client-side queueing.
+type serverEndpointMetrics struct {
+	Count  float64 `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// serverMetrics is the report's server_metrics section: the final /metrics
+// scrape reduced to per-endpoint latency summaries, plus how many mid-run
+// scrapes succeeded and whether the exposition linted clean.
+type serverMetrics struct {
+	Scrapes       int                              `json:"scrapes"`
+	LintProblems  []string                         `json:"lint_problems,omitempty"`
+	RequestsTotal float64                          `json:"requests_total"`
+	Endpoints     map[string]serverEndpointMetrics `json:"endpoints"`
 }
 
 // cacheSummary is the slice of the server's /stats this artifact keeps.
@@ -216,6 +250,7 @@ type loadConfig struct {
 	mix      mixWeights
 	mixStr   string
 	timeout  time.Duration
+	scrape   bool
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -231,6 +266,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	mixFlag := fs.String("mix", "topk=6,resilient=1,agg=2,submit=1,stats=1", "weighted request mix")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	scrape := fs.Bool("scrape", false, "poll GET /metrics during the run and embed server-side latency quantiles")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,7 +284,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := loadConfig{
 		addr: *addr, tenants: *tenants, clients: *clients, requests: *requests,
 		n: *n, m: *m, k: *k, theta: *theta, seed: *seed,
-		mix: mix, mixStr: *mixFlag, timeout: *timeout,
+		mix: mix, mixStr: *mixFlag, timeout: *timeout, scrape: *scrape,
 	}
 	rep, err := drive(cfg)
 	if err != nil {
@@ -320,7 +356,12 @@ func drive(cfg loadConfig) (*report, error) {
 	}
 
 	// Load phase: clients pull tickets from a shared counter until the
-	// request budget is spent.
+	// request budget is spent. The metrics poller runs alongside them so the
+	// exposition path is scraped concurrently with the traffic it measures.
+	var poller *metricsPoller
+	if cfg.scrape {
+		poller = startMetricsPoller(client, base, 500*time.Millisecond)
+	}
 	var ticket atomic.Int64
 	var wg sync.WaitGroup
 	stats := make([]*clientStats, cfg.clients)
@@ -403,7 +444,118 @@ func drive(cfg loadConfig) (*report, error) {
 		rep.ThroughputPerSec = float64(total) / elapsed.Seconds()
 	}
 	rep.Cache = scrapeCache(client, base)
+	if poller != nil {
+		scrapes := poller.stop()
+		rep.ServerMetrics = scrapeServerMetrics(client, base, scrapes)
+	}
 	return rep, nil
+}
+
+// metricsPoller scrapes GET /metrics on a fixed cadence in the background.
+// Its job during the run is concurrency, not data: the summary comes from
+// one final scrape after the load drains.
+type metricsPoller struct {
+	done    chan struct{}
+	stopped sync.WaitGroup
+	scrapes atomic.Int64
+}
+
+func startMetricsPoller(client *http.Client, base string, every time.Duration) *metricsPoller {
+	p := &metricsPoller{done: make(chan struct{})}
+	p.stopped.Add(1)
+	go func() {
+		defer p.stopped.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-tick.C:
+				resp, err := client.Get(base + "/metrics")
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					p.scrapes.Add(1)
+				}
+			}
+		}
+	}()
+	return p
+}
+
+// stop halts the poller and returns how many mid-run scrapes succeeded.
+func (p *metricsPoller) stop() int {
+	close(p.done)
+	p.stopped.Wait()
+	return int(p.scrapes.Load())
+}
+
+// scrapeServerMetrics takes the final /metrics scrape and reduces it to the
+// report's server_metrics section: lint problems (the repo's own checker, so
+// a broken exposition shows up in the artifact), the total request count,
+// and per-endpoint latency quantiles with the tenant label summed away.
+// Summing is sound because cumulative histogram buckets with identical edges
+// add pointwise.
+func scrapeServerMetrics(client *http.Client, base string, scrapes int) *serverMetrics {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+
+	sm := &serverMetrics{Scrapes: scrapes, Endpoints: make(map[string]serverEndpointMetrics)}
+	for _, pr := range telemetry.LintExposition(bytes.NewReader(body)) {
+		sm.LintProblems = append(sm.LintProblems, pr.String())
+	}
+	exp, _ := telemetry.ParseExposition(bytes.NewReader(body))
+
+	const latency = "rankserve_request_latency_ns"
+	buckets := make(map[string]map[float64]float64) // endpoint -> le -> count
+	sums := make(map[string]float64)
+	counts := make(map[string]float64)
+	for _, s := range exp.Samples {
+		if s.Name == "rankserve_requests_total" {
+			sm.RequestsTotal += s.Value
+			continue
+		}
+		ep := s.Labels["endpoint"]
+		switch s.Name {
+		case latency + "_bucket":
+			le, perr := strconv.ParseFloat(s.Labels["le"], 64)
+			if perr != nil {
+				continue
+			}
+			if buckets[ep] == nil {
+				buckets[ep] = make(map[float64]float64)
+			}
+			buckets[ep][le] += s.Value
+		case latency + "_sum":
+			sums[ep] += s.Value
+		case latency + "_count":
+			counts[ep] += s.Value
+		}
+	}
+	for ep, b := range buckets {
+		em := serverEndpointMetrics{
+			Count: counts[ep],
+			P50Ns: telemetry.QuantileFromBuckets(b, 0.50),
+			P95Ns: telemetry.QuantileFromBuckets(b, 0.95),
+			P99Ns: telemetry.QuantileFromBuckets(b, 0.99),
+		}
+		if em.Count > 0 {
+			em.MeanNs = sums[ep] / em.Count
+		}
+		sm.Endpoints[ep] = em
+	}
+	return sm
 }
 
 // worker is one client goroutine's state.

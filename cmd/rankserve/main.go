@@ -12,6 +12,8 @@
 //
 //	GET    /healthz
 //	GET    /stats
+//	GET    /metrics                 (Prometheus text exposition)
+//	GET    /debug/traces[?trace_id=]
 //	GET    /debug/vars, /debug/pprof/
 //	PUT    /v1/tenants/{t}/catalogs/{c}?mode=strict|lenient&repair=drop|complete
 //	POST   /v1/tenants/{t}/catalogs/{c}/rankings
@@ -31,6 +33,7 @@
 //	rankserve [-addr :8080] [-max-tenants 64] [-max-catalogs 64]
 //	          [-max-body 8388608] [-max-rankings N] [-max-elements N]
 //	          [-cache N] [-workers N] [-grace 10s]
+//	          [-trace-sample 0.1] [-traces 64] [-access-log path|-]
 package main
 
 import (
@@ -69,6 +72,9 @@ func run(args []string, logw io.Writer) error {
 	cacheCap := fs.Int("cache", 0, "shared distance cache capacity in entries (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent query slots (0 = GOMAXPROCS)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain window for in-flight queries")
+	traceSample := fs.Float64("trace-sample", 0.1, "fraction of requests that collect a span tree (deterministic in the trace ID; X-Trace-Sample: 1 forces)")
+	traces := fs.Int("traces", 64, "recent-traces buffer capacity behind GET /debug/traces")
+	accessLog := fs.String("access-log", "", "structured JSON access-log destination: a file path, or - for stderr (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,11 +87,32 @@ func run(args []string, logw io.Writer) error {
 		limits.MaxElements = *maxElements
 	}
 
+	var logSink io.Writer
+	var logClose func() error
+	switch *accessLog {
+	case "":
+	case "-":
+		logSink = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening access log: %w", err)
+		}
+		logSink = f
+		logClose = f.Close
+	}
+	if logClose != nil {
+		defer logClose() //nolint:errcheck // best-effort close on exit
+	}
+
 	// A server wants its instruments live: enable the gated telemetry layer
 	// and publish both registries — the process-wide one under "rankties",
 	// the service's endpoint-latency registry under "rankties.server" — so
-	// /debug/vars carries both without colliding.
+	// /debug/vars carries both without colliding. The Prometheus exposition
+	// of the same instruments (plus the labeled per-tenant families) lives at
+	// GET /metrics; span trees of sampled requests at GET /debug/traces.
 	telemetry.Enable()
+	telemetry.SetRecentTraceCapacity(*traces)
 	svc := service.New(service.Config{
 		MaxTenants:           *maxTenants,
 		MaxCatalogsPerTenant: *maxCatalogs,
@@ -93,6 +120,8 @@ func run(args []string, logw io.Writer) error {
 		Limits:               limits,
 		CacheCapacity:        *cacheCap,
 		Workers:              *workers,
+		TraceSampleRate:      *traceSample,
+		AccessLog:            logSink,
 	})
 	telemetry.PublishExpvar()
 	telemetry.PublishExpvarNamed("rankties.server", svc.Registry())

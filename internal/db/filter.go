@@ -175,7 +175,7 @@ func (t *Table) TopKWhere(q FilteredQuery) (*QueryResult, error) {
 // TopKWhereContext is TopKWhere under a caller context: cancellation or
 // deadline expiry aborts the aggregation mid-scan with ctx.Err().
 func (t *Table) TopKWhereContext(ctx context.Context, q FilteredQuery) (*QueryResult, error) {
-	sp := telemetry.StartSpan("db.topk_where")
+	ctx, sp := telemetry.Start(ctx, "db.topk_where")
 	defer sp.End()
 	tFilteredQueries.Inc()
 	subset, err := t.Filter(q.Conditions)

@@ -75,7 +75,7 @@ func (t *Table) TopK(q Query) (*QueryResult, error) {
 // TopKContext is TopK under a caller context: cancellation or deadline
 // expiry aborts the aggregation mid-scan with ctx.Err().
 func (t *Table) TopKContext(ctx context.Context, q Query) (*QueryResult, error) {
-	sp := telemetry.StartSpan("db.topk")
+	ctx, sp := telemetry.Start(ctx, "db.topk")
 	defer sp.End()
 	tQueries.Inc()
 	if q.Offset < 0 {
@@ -98,7 +98,7 @@ func (t *Table) TopKContext(ctx context.Context, q Query) (*QueryResult, error) 
 // engine). If scans die mid-query the answer degrades to the survivors and
 // QueryResult.Degraded reports the loss; see topk.MedRankOver.
 func (t *Table) TopKResilient(ctx context.Context, q Query, wrap faults.Wrapper) (*QueryResult, error) {
-	sp := telemetry.StartSpan("db.topk_resilient")
+	ctx, sp := telemetry.Start(ctx, "db.topk_resilient")
 	defer sp.End()
 	tQueries.Inc()
 	tResilientQueries.Inc()

@@ -7,12 +7,15 @@ package debugserve
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ReadHeaderTimeout bounds how long a debug server waits for request
@@ -32,6 +35,28 @@ func Register(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", handleTraces)
+}
+
+// handleTraces serves the process-wide recent-traces buffer: the span trees
+// of the most recent sampled requests, oldest first. ?trace_id=<16-hex>
+// narrows the answer to one trace (404 if it has been evicted or never
+// sampled).
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		tr, ok := telemetry.FindTrace(id)
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "trace " + id + " not retained"}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(tr) //nolint:errcheck
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Traces []telemetry.Trace `json:"traces"`
+	}{telemetry.RecentTraces()}) //nolint:errcheck
 }
 
 // Server is a standalone diagnostics HTTP server with sane timeouts and

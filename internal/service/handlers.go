@@ -137,7 +137,9 @@ type AggregateResponse struct {
 	ElapsedNs int64              `json:"elapsed_ns"`
 }
 
-// TenantStats is one tenant's row in the /stats snapshot.
+// TenantStats is one tenant's row in the /stats snapshot. A deleted tenant's
+// cache attribution survives for one snapshot cycle with Deleted set, so
+// tenant-churning load tests don't under-report cache traffic.
 type TenantStats struct {
 	Name         string  `json:"name"`
 	Catalogs     int     `json:"catalogs"`
@@ -145,6 +147,7 @@ type TenantStats struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	Deleted      bool    `json:"deleted,omitempty"`
 }
 
 // CacheStats is the shared cache's totals plus derived hit rate.
@@ -153,10 +156,16 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-// EndpointStats is one endpoint's always-on request/error tally.
+// EndpointStats is one endpoint's always-on request/error tally plus the
+// latency percentiles self-reported from the endpoint's base-2 histogram
+// (upper-bound quantiles; zero when telemetry is disabled, since latency
+// observations are gated).
 type EndpointStats struct {
 	Requests int64 `json:"requests"`
 	Errors   int64 `json:"errors"`
+	P50Ns    int64 `json:"p50_ns,omitempty"`
+	P95Ns    int64 `json:"p95_ns,omitempty"`
+	P99Ns    int64 `json:"p99_ns,omitempty"`
 }
 
 // StatsResponse is the /stats snapshot.
@@ -184,6 +193,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.instrument("delete_tenant", s.handleDeleteTenant))
 	mux.HandleFunc("POST /v1/tenants/{tenant}/catalogs/{catalog}/topk", s.instrument("topk", s.handleTopK))
 	mux.HandleFunc("POST /v1/tenants/{tenant}/catalogs/{catalog}/aggregate", s.instrument("aggregate", s.handleAggregate))
+	// The metrics scrape is deliberately uninstrumented: scrapers poll it on
+	// their own cadence and must not perturb the request series they read.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	debugserve.Register(mux)
 	return mux
 }
@@ -191,35 +203,6 @@ func (s *Service) Handler() http.Handler {
 // apiHandler is a handler that returns its result (or structured failure)
 // instead of writing it, so the rim can render, count, and time uniformly.
 type apiHandler func(w http.ResponseWriter, r *http.Request) (any, *apiError)
-
-// instrument wraps an apiHandler with the service's per-endpoint plumbing:
-// body cap, telemetry span, latency histogram in the service registry,
-// always-on request/error tallies, and uniform JSON rendering.
-func (s *Service) instrument(op string, h apiHandler) http.HandlerFunc {
-	hist := s.reg.Histogram("http." + op + ".latency_ns")
-	stats := s.endpoints[op]
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		stats.requests.Add(1)
-		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		}
-		ctx, span := telemetry.Start(r.Context(), "http."+op)
-		result, apiErr := h(w, r.WithContext(ctx))
-		span.End()
-		hist.Observe(time.Since(start).Nanoseconds())
-		if apiErr != nil {
-			stats.errors.Add(1)
-			writeJSON(w, apiErr.status, ErrorResponse{
-				Error:   apiErr.msg,
-				Defects: apiErr.defects,
-				Dropped: apiErr.dropped,
-			})
-			return
-		}
-		writeJSON(w, http.StatusOK, result)
-	}
-}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -474,41 +457,62 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		return nil, fail(http.StatusBadRequest, "chaos requires resilient mode")
 	}
 
-	release, err := s.acquire(r.Context())
+	actx, adm := telemetry.Start(r.Context(), "admission")
+	release, err := s.acquire(actx)
+	adm.End()
 	if err != nil {
 		return nil, fail(http.StatusServiceUnavailable, "query admission: %v", err)
 	}
 	defer release()
 
+	algo := req.Algo
+	if algo == "" {
+		algo = "medrank"
+	}
 	start := time.Now()
 	var res *topk.Result
+	ectx, eng := telemetry.Start(r.Context(), "engine."+algo)
 	if req.Resilient {
-		res, err = s.runResilientTopK(r, c, req)
+		res, err = s.runResilientTopK(r.WithContext(ectx), c, req)
 	} else if req.Algo == "ta" {
-		res, err = topk.ThresholdTopKContext(r.Context(), c.rankings, req.K)
+		res, err = topk.ThresholdTopKContext(ectx, c.rankings, req.K)
 	} else {
-		res, err = topk.MedRankContext(r.Context(), c.rankings, req.K, topk.GlobalMerge)
+		res, err = topk.MedRankContext(ectx, c.rankings, req.K, topk.GlobalMerge)
 	}
 	if err != nil {
+		eng.End()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, fail(http.StatusServiceUnavailable, "query aborted: %v", err)
 		}
 		return nil, fail(http.StatusInternalServerError, "top-k query: %v", err)
 	}
+	access := AccessSummary{
+		Sequential: res.Stats.Total,
+		Random:     res.Stats.Random,
+		BucketIOs:  res.Stats.TotalBucketProbes,
+		MaxDepth:   res.Stats.MaxDepth,
+	}
+	spanAttrsFromAccess(&eng, access, res.Degraded != nil)
+	eng.End()
 	if res.Degraded != nil {
 		s.degraded.Add(1)
 	}
+	if meta := metaFrom(r.Context()); meta != nil {
+		meta.access = access
+		meta.degraded = res.Degraded != nil
+	}
+	// The top-k path never probes the distance cache; the zero-traffic cache
+	// span keeps request span trees structurally uniform across endpoints.
+	_, csp := telemetry.Start(r.Context(), "cache")
+	csp.SetAttr("hits", 0)
+	csp.SetAttr("misses", 0)
+	csp.End()
 
 	resp := TopKResponse{
-		Winners: make([]string, len(res.Winners)),
-		Medians: make([]float64, len(res.Winners)),
-		TopK:    c.dom.Render(res.TopK),
-		Access: AccessSummary{
-			Sequential: res.Stats.Total,
-			Random:     res.Stats.Random,
-			BucketIOs:  res.Stats.TotalBucketProbes,
-			MaxDepth:   res.Stats.MaxDepth,
-		},
+		Winners:   make([]string, len(res.Winners)),
+		Medians:   make([]float64, len(res.Winners)),
+		TopK:      c.dom.Render(res.TopK),
+		Access:    access,
 		Degraded:  res.Degraded,
 		ElapsedNs: time.Since(start).Nanoseconds(),
 	}
@@ -555,9 +559,12 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 	if err != nil {
 		return nil, fail(http.StatusBadRequest, "%v", err)
 	}
-	d := t.cachedDistance(s.cache, id, base)
+	meta := metaFrom(r.Context())
+	d := t.cachedDistance(s.cache, id, base, meta)
 
-	release, aerr := s.acquire(r.Context())
+	actx, adm := telemetry.Start(r.Context(), "admission")
+	release, aerr := s.acquire(actx)
+	adm.End()
 	if aerr != nil {
 		return nil, fail(http.StatusServiceUnavailable, "query admission: %v", aerr)
 	}
@@ -565,21 +572,53 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 
 	start := time.Now()
 	n := c.dom.Size()
-	scores, err := aggregate.MedianScores(c.rankings, aggregate.LowerMedian)
-	if err != nil {
-		return nil, fail(http.StatusInternalServerError, "median scores: %v", err)
+	ectx, eng := telemetry.Start(r.Context(), "engine.aggregate")
+	phase := func(name string, f func(ctx context.Context) error) *apiError {
+		pctx, sp := telemetry.Start(ectx, "aggregate."+name)
+		err := f(pctx)
+		sp.End()
+		if err != nil {
+			return fail(http.StatusInternalServerError, "%s: %v", name, err)
+		}
+		return nil
 	}
-	median, err := aggregate.MedianTopK(c.rankings, n)
-	if err != nil {
-		return nil, fail(http.StatusInternalServerError, "median aggregate: %v", err)
+	var scores []float64
+	var median *ranking.PartialRanking
+	var medianDist float64
+	if apiErr := phase("median_scores", func(context.Context) error {
+		var err error
+		scores, err = aggregate.MedianScores(c.rankings, aggregate.LowerMedian)
+		return err
+	}); apiErr != nil {
+		eng.End()
+		return nil, apiErr
 	}
-	medianDist, err := aggregate.SumDistanceParallel(median, c.rankings, d)
-	if err != nil {
-		return nil, fail(http.StatusInternalServerError, "scoring median aggregate: %v", err)
+	if apiErr := phase("median_topk", func(context.Context) error {
+		var err error
+		median, err = aggregate.MedianTopK(c.rankings, n)
+		return err
+	}); apiErr != nil {
+		eng.End()
+		return nil, apiErr
 	}
-	bestIdx, bestPR, bestDist, err := aggregate.BestOfInputsParallel(c.rankings, d)
-	if err != nil {
-		return nil, fail(http.StatusInternalServerError, "best-of-inputs: %v", err)
+	if apiErr := phase("score_median", func(context.Context) error {
+		var err error
+		medianDist, err = aggregate.SumDistanceParallel(median, c.rankings, d)
+		return err
+	}); apiErr != nil {
+		eng.End()
+		return nil, apiErr
+	}
+	var bestIdx int
+	var bestPR *ranking.PartialRanking
+	var bestDist float64
+	if apiErr := phase("best_of_inputs", func(context.Context) error {
+		var err error
+		bestIdx, bestPR, bestDist, err = aggregate.BestOfInputsParallel(c.rankings, d)
+		return err
+	}); apiErr != nil {
+		eng.End()
+		return nil, apiErr
 	}
 
 	resp := AggregateResponse{
@@ -596,16 +635,29 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 		resp.Medians[c.dom.Name(e)] = scores[e]
 	}
 	if req.Kemenize == nil || *req.Kemenize {
-		kem, err := aggregate.LocalKemenize(median, c.rankings)
-		if err != nil {
-			return nil, fail(http.StatusInternalServerError, "local kemenization: %v", err)
-		}
-		kemDist, err := aggregate.SumDistanceParallel(kem, c.rankings, d)
-		if err != nil {
-			return nil, fail(http.StatusInternalServerError, "scoring kemenized aggregate: %v", err)
+		var kem *ranking.PartialRanking
+		var kemDist float64
+		if apiErr := phase("kemenize", func(context.Context) error {
+			var err error
+			kem, err = aggregate.LocalKemenize(median, c.rankings)
+			if err != nil {
+				return err
+			}
+			kemDist, err = aggregate.SumDistanceParallel(kem, c.rankings, d)
+			return err
+		}); apiErr != nil {
+			eng.End()
+			return nil, apiErr
 		}
 		resp.Kemenized = &RankedCandidate{Ranking: c.dom.Render(kem), SumDistance: kemDist}
 	}
+	eng.End()
+	_, csp := telemetry.Start(r.Context(), "cache")
+	if meta != nil {
+		csp.SetAttr("hits", meta.cacheHits.Load())
+		csp.SetAttr("misses", meta.cacheMisses.Load())
+	}
+	csp.End()
 	resp.ElapsedNs = time.Since(start).Nanoseconds()
 	return resp, nil
 }
@@ -634,11 +686,20 @@ func (s *Service) handleStats(_ http.ResponseWriter, _ *http.Request) (any, *api
 		}
 		resp.Tenants = append(resp.Tenants, ts)
 	}
+	// Recently deleted tenants keep their attribution for one snapshot.
+	resp.Tenants = append(resp.Tenants, s.takeDeparted()...)
 	sortTenantStats(resp.Tenants)
 	cs := s.cache.Stats()
 	resp.Cache = CacheStats{Stats: cs, HitRate: cs.HitRate()}
 	for name, es := range s.endpoints {
-		resp.Endpoints[name] = EndpointStats{Requests: es.requests.Load(), Errors: es.errors.Load()}
+		hist := s.reg.Histogram("http." + name + ".latency_ns")
+		resp.Endpoints[name] = EndpointStats{
+			Requests: es.requests.Load(),
+			Errors:   es.errors.Load(),
+			P50Ns:    hist.Quantile(0.50),
+			P95Ns:    hist.Quantile(0.95),
+			P99Ns:    hist.Quantile(0.99),
+		}
 	}
 	return resp, nil
 }

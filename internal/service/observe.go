@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Request-scoped observability: every request gets a trace identity (minted
+// or propagated via X-Trace-Id), a deterministic sampling decision, a root
+// span, labeled Prometheus-style metrics, and — when an access log is
+// configured — one structured JSON line. Handlers fill a requestMeta carried
+// in the context so the rim can attribute engine access counts, cache
+// traffic, and degradation to the request without changing handler return
+// types.
+
+// Trace propagation headers. A request may carry its own 16-hex-digit
+// X-Trace-Id (e.g. minted by a load balancer or a retrying client); the
+// response always echoes the ID actually used. X-Trace-Sample: 1 forces the
+// request to be sampled regardless of the configured rate, which is how
+// tests and operators pull a span tree on demand.
+const (
+	TraceIDHeader     = "X-Trace-Id"
+	TraceSampleHeader = "X-Trace-Sample"
+	TraceSampledNote  = "X-Trace-Sampled"
+)
+
+// requestMeta is the per-request accounting handlers fill for the rim.
+// Cache counters are atomics because aggregation fans distance probes out
+// across ParallelEach workers.
+type requestMeta struct {
+	access      AccessSummary
+	degraded    bool
+	defects     int
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+type metaKey struct{}
+
+// metaFrom returns the request's meta, or nil outside an instrumented
+// request (direct tenant method calls in tests).
+func metaFrom(ctx context.Context) *requestMeta {
+	m, _ := ctx.Value(metaKey{}).(*requestMeta)
+	return m
+}
+
+// accessLogLine is one structured access-log record.
+type accessLogLine struct {
+	Time        string `json:"time"`
+	TraceID     string `json:"trace_id"`
+	Sampled     bool   `json:"sampled"`
+	Tenant      string `json:"tenant"`
+	Endpoint    string `json:"endpoint"`
+	Status      int    `json:"status"`
+	LatencyNs   int64  `json:"latency_ns"`
+	Sequential  int    `json:"sequential"`
+	Random      int    `json:"random"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Degraded    bool   `json:"degraded"`
+	Defects     int    `json:"defects"`
+}
+
+// logAccess writes one JSON line; the mutex serializes writers so concurrent
+// requests never interleave bytes mid-line.
+func (s *Service) logAccess(line accessLogLine) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(b) //nolint:errcheck // best-effort log sink
+	s.logMu.Unlock()
+}
+
+// tenantLabel bounds the tenant label: endpoints without a tenant path
+// segment ("/stats", "/healthz") share the "-" series.
+func tenantLabel(r *http.Request) string {
+	if t := r.PathValue("tenant"); t != "" {
+		return t
+	}
+	return "-"
+}
+
+// instrument wraps an apiHandler with the service's per-request plumbing:
+// body cap, trace identity + sampling + root span, labeled metrics, latency
+// histograms (both the unlabeled service registry and the per-tenant labeled
+// family), always-on request/error tallies, the access log, and uniform JSON
+// rendering.
+func (s *Service) instrument(op string, h apiHandler) http.HandlerFunc {
+	hist := s.reg.Histogram("http." + op + ".latency_ns")
+	stats := s.endpoints[op]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		stats.requests.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+
+		traceID, ok := telemetry.ParseTraceID(r.Header.Get(TraceIDHeader))
+		if !ok {
+			traceID = rand.Uint64()
+		}
+		sampled := telemetry.Enabled() &&
+			(r.Header.Get(TraceSampleHeader) == "1" ||
+				telemetry.SampleTrace(traceID, s.cfg.TraceSampleRate))
+		meta := &requestMeta{}
+		tctx := telemetry.WithTrace(context.WithValue(r.Context(), metaKey{}, meta), traceID, sampled)
+		w.Header().Set(TraceIDHeader, telemetry.TraceIDString(traceID))
+		if sampled {
+			w.Header().Set(TraceSampledNote, "1")
+		}
+
+		rctx, root := telemetry.Start(tctx, "http."+op)
+		result, apiErr := h(w, r.WithContext(rctx))
+		status := http.StatusOK
+		if apiErr != nil {
+			status = apiErr.status
+			meta.defects += len(apiErr.defects)
+		}
+		root.End()
+
+		elapsed := time.Since(start).Nanoseconds()
+		tenant := tenantLabel(r)
+		hist.Observe(elapsed)
+		s.mRequests.With(tenant, op, strconv.Itoa(status)).Inc()
+		s.mLatency.With(tenant, op).Observe(elapsed)
+		if meta.access.Sequential > 0 {
+			s.mSequential.With(tenant).Add(int64(meta.access.Sequential))
+		}
+		if meta.access.Random > 0 {
+			s.mRandom.With(tenant).Add(int64(meta.access.Random))
+		}
+		if hits := meta.cacheHits.Load(); hits > 0 {
+			s.mCacheHits.With(tenant).Add(hits)
+		}
+		if misses := meta.cacheMisses.Load(); misses > 0 {
+			s.mCacheMisses.With(tenant).Add(misses)
+		}
+		if meta.degraded {
+			s.mDegraded.With(tenant).Inc()
+		}
+		telemetry.FinishTrace(tctx, telemetry.TraceMeta{Tenant: tenant, Endpoint: op, Status: status})
+		s.logAccess(accessLogLine{
+			Time:        start.UTC().Format(time.RFC3339Nano),
+			TraceID:     telemetry.TraceIDString(traceID),
+			Sampled:     sampled,
+			Tenant:      tenant,
+			Endpoint:    op,
+			Status:      status,
+			LatencyNs:   elapsed,
+			Sequential:  meta.access.Sequential,
+			Random:      meta.access.Random,
+			CacheHits:   meta.cacheHits.Load(),
+			CacheMisses: meta.cacheMisses.Load(),
+			Degraded:    meta.degraded,
+			Defects:     meta.defects,
+		})
+
+		if apiErr != nil {
+			stats.errors.Add(1)
+			writeJSON(w, apiErr.status, ErrorResponse{
+				Error:   apiErr.msg,
+				Defects: apiErr.defects,
+				Dropped: apiErr.dropped,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, result)
+	}
+}
+
+// handleMetrics renders the Prometheus text exposition: the service's
+// labeled families first, then the service registry's per-endpoint
+// instruments under rankserve_server_*, then the process-wide default
+// registry under rankties_*. The three prefixes cannot collide, so every
+// family appears exactly once per scrape.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.labeled.WritePrometheus(w); err != nil {
+		return
+	}
+	if err := s.reg.WritePrometheus(w, "rankserve_server_"); err != nil {
+		return
+	}
+	telemetry.Default.WritePrometheus(w, "rankties_") //nolint:errcheck // client gone
+}
+
+// spanAttrsFromAccess stamps an engine span with the request's
+// AccessAccountant totals, the per-query face of the Fagin–Lotem–Naor
+// middleware cost model.
+func spanAttrsFromAccess(sp *telemetry.Span, a AccessSummary, degraded bool) {
+	sp.SetAttr("sequential", int64(a.Sequential))
+	sp.SetAttr("random", int64(a.Random))
+	sp.SetAttr("bucket_ios", int64(a.BucketIOs))
+	sp.SetAttr("max_depth", int64(a.MaxDepth))
+	if degraded {
+		sp.SetAttr("degraded", 1)
+	}
+}

@@ -26,6 +26,7 @@
 package service
 
 import (
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,14 @@ type Config struct {
 	// Excess queries wait in the gate until a slot frees or their context
 	// is canceled.
 	Workers int
+	// TraceSampleRate is the fraction of requests that collect a span tree
+	// (deterministic in the trace ID; see telemetry.SampleTrace). 0 disables
+	// rate sampling; a request can still force sampling with the
+	// X-Trace-Sample header.
+	TraceSampleRate float64
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request. Writes are serialized by the service.
+	AccessLog io.Writer
 }
 
 // withDefaults fills the zero fields of a Config.
@@ -99,8 +108,27 @@ type Service struct {
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 
+	// departed holds cache-attribution rows of recently deleted tenants so
+	// churn-heavy load tests don't under-report: each row survives until the
+	// next /stats snapshot reports it (marked deleted=true), then drops.
+	departedMu sync.Mutex
+	departed   map[string]TenantStats
+
 	degraded  atomic.Int64 // queries answered in degraded mode
 	endpoints map[string]*endpointStats
+	inflight  *telemetry.Gauge
+	logMu     sync.Mutex // serializes AccessLog writes
+
+	// Labeled metric families backing GET /metrics.
+	labeled      *telemetry.LabeledRegistry
+	mRequests    telemetry.CounterVec   // {tenant, endpoint, status}
+	mLatency     telemetry.HistogramVec // {tenant, endpoint}
+	mSequential  telemetry.CounterVec   // {tenant}
+	mRandom      telemetry.CounterVec   // {tenant}
+	mCacheHits   telemetry.CounterVec   // {tenant}
+	mCacheMisses telemetry.CounterVec   // {tenant}
+	mDegraded    telemetry.CounterVec   // {tenant}
+	mTenants     *telemetry.Gauge
 }
 
 // endpointNames is the fixed set of per-endpoint stat rows. Adding a handler
@@ -123,13 +151,37 @@ func New(cfg Config) *Service {
 		sem:       make(chan struct{}, cfg.Workers),
 		start:     time.Now(),
 		tenants:   make(map[string]*tenant),
+		departed:  make(map[string]TenantStats),
 		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+		labeled:   telemetry.NewLabeledRegistry(),
 	}
 	for _, name := range endpointNames {
 		s.endpoints[name] = &endpointStats{}
 	}
+	s.mRequests = s.labeled.CounterVec("rankserve_requests_total",
+		"Requests served, by tenant, endpoint, and HTTP status.", "tenant", "endpoint", "status")
+	s.mLatency = s.labeled.HistogramVec("rankserve_request_latency_ns",
+		"Request latency in nanoseconds (base-2 buckets), by tenant and endpoint.", "tenant", "endpoint")
+	s.mSequential = s.labeled.CounterVec("rankserve_access_sequential_total",
+		"Sequential (sorted) list accesses charged to queries, by tenant.", "tenant")
+	s.mRandom = s.labeled.CounterVec("rankserve_access_random_total",
+		"Random list accesses charged to queries, by tenant.", "tenant")
+	s.mCacheHits = s.labeled.CounterVec("rankserve_cache_hits_total",
+		"Shared distance-cache hits attributed to requests, by tenant.", "tenant")
+	s.mCacheMisses = s.labeled.CounterVec("rankserve_cache_misses_total",
+		"Shared distance-cache misses attributed to requests, by tenant.", "tenant")
+	s.mDegraded = s.labeled.CounterVec("rankserve_degraded_queries_total",
+		"Queries answered in degraded mode, by tenant.", "tenant")
+	s.mTenants = s.labeled.GaugeVec("rankserve_tenants",
+		"Live tenants.").With()
+	s.inflight = s.labeled.GaugeVec("rankserve_inflight_requests",
+		"Requests currently being served.").With()
 	return s
 }
+
+// LabeledRegistry returns the labeled families behind GET /metrics (tests
+// cross-check series against /stats).
+func (s *Service) LabeledRegistry() *telemetry.LabeledRegistry { return s.labeled }
 
 // Registry returns the service-owned telemetry registry holding the
 // http.<op>.latency_ns histograms, for publication under a namespaced expvar
@@ -171,19 +223,59 @@ func (s *Service) tenantFor(name string, create bool) (*tenant, bool) {
 	}
 	t = newTenant(name)
 	s.tenants[name] = t
+	s.mTenants.Set(int64(len(s.tenants)))
 	return t, true
 }
 
-// deleteTenant removes a tenant and all its catalogs. Reports whether the
-// tenant existed.
+// deleteTenant removes a tenant and all its catalogs, parking its cache
+// attribution in the departed set so the next /stats snapshot still reports
+// it (deleted=true). Reports whether the tenant existed.
 func (s *Service) deleteTenant(name string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tenants[name]; !ok {
+	t, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.tenants, name)
+	s.mTenants.Set(int64(len(s.tenants)))
+	s.mu.Unlock()
+
+	s.departedMu.Lock()
+	row, seen := s.departed[name]
+	// A tenant deleted twice between snapshots (delete, recreate, delete)
+	// accumulates: the row must account for all of the name's traffic.
+	row.Name = name
+	row.Deleted = true
+	if seen {
+		row.CacheHits += t.cacheHits.Load()
+		row.CacheMisses += t.cacheMisses.Load()
+	} else {
+		row.CacheHits = t.cacheHits.Load()
+		row.CacheMisses = t.cacheMisses.Load()
+	}
+	if total := row.CacheHits + row.CacheMisses; total > 0 {
+		row.CacheHitRate = float64(row.CacheHits) / float64(total)
+	}
+	s.departed[name] = row
+	s.departedMu.Unlock()
 	return true
+}
+
+// takeDeparted drains the departed-tenant rows: each deleted tenant is
+// reported in exactly one /stats snapshot.
+func (s *Service) takeDeparted() []TenantStats {
+	s.departedMu.Lock()
+	defer s.departedMu.Unlock()
+	if len(s.departed) == 0 {
+		return nil
+	}
+	out := make([]TenantStats, 0, len(s.departed))
+	for _, row := range s.departed {
+		out = append(out, row)
+	}
+	s.departed = make(map[string]TenantStats)
+	return out
 }
 
 // tenantsSnapshot returns the live tenants sorted by name.

@@ -98,15 +98,23 @@ func (t *tenant) rankingCount() int {
 // metrics.Cached, but attributes each probe to the tenant: hits and misses
 // land in the tenant's always-on counters as well as the cache's own. This
 // is the only path service queries use to probe the cache, which is what
-// makes per-tenant stats sum exactly to the shared totals.
-func (t *tenant) cachedDistance(c *cache.Cache, id uint32, d metrics.DistanceWS) metrics.DistanceWS {
+// makes per-tenant stats sum exactly to the shared totals. A non-nil meta
+// additionally attributes the probes to the current request (per-request
+// cache columns in the access log and the request's cache span).
+func (t *tenant) cachedDistance(c *cache.Cache, id uint32, d metrics.DistanceWS, meta *requestMeta) metrics.DistanceWS {
 	return func(ws *metrics.Workspace, a, b *ranking.PartialRanking) (float64, error) {
 		k := cache.PairKey(id, a.Fingerprint(), b.Fingerprint())
 		if v, ok := c.Get(k); ok {
 			t.cacheHits.Add(1)
+			if meta != nil {
+				meta.cacheHits.Add(1)
+			}
 			return v, nil
 		}
 		t.cacheMisses.Add(1)
+		if meta != nil {
+			meta.cacheMisses.Add(1)
+		}
 		v, err := d(ws, a, b)
 		if err != nil {
 			return 0, err

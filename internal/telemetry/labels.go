@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled instruments: one metric family ("rankserve_requests_total") fanning
+// out into series distinguished by label values ({tenant="acme",
+// endpoint="topk", status="200"}). A vec owns its family's fixed label keys;
+// With(values...) get-or-creates the series for one value tuple. This is what
+// lets per-tenant series share one family instead of requiring one Registry
+// per tenant.
+//
+// Series creation takes a lock; the returned instruments are the same atomic
+// Counter/Gauge/Histogram types as the unlabeled registry, so hot paths that
+// cache the series pointer pay no lookup at all.
+
+// Gauge is a settable instrument (current value, not monotone). Unlike
+// Counter it is NOT gated on Enabled(): gauges track states (tenant count,
+// in-flight requests) whose bookkeeping must not drift with the telemetry
+// switch — a request admitted while disabled still has to decrement on the
+// way out.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// labelSep joins label values into a series key; 0x1f (ASCII unit separator)
+// cannot collide with printable label values' own bytes ambiguously enough to
+// matter for our controlled label sets (tenant names are admission-checked,
+// endpoints and statuses are program constants).
+const labelSep = "\x1f"
+
+func seriesKey(vec string, keys, values []string) string {
+	if len(values) != len(keys) {
+		panic(fmt.Sprintf("telemetry: %s expects %d label values %v, got %d",
+			vec, len(keys), keys, len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// series pairs one value tuple with its instrument.
+type series[T any] struct {
+	values []string
+	inst   *T
+}
+
+// vec is the shared shape of CounterVec/GaugeVec/HistogramVec.
+type vec[T any] struct {
+	name   string
+	help   string
+	keys   []string
+	mu     sync.Mutex
+	series map[string]*series[T]
+}
+
+func newVec[T any](name, help string, keys []string) *vec[T] {
+	return &vec[T]{name: name, help: help, keys: keys, series: make(map[string]*series[T])}
+}
+
+func (v *vec[T]) with(values ...string) *T {
+	k := seriesKey(v.name, v.keys, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s, ok := v.series[k]
+	if !ok {
+		s = &series[T]{values: append([]string(nil), values...), inst: new(T)}
+		v.series[k] = s
+	}
+	return s.inst
+}
+
+// snapshot returns the series sorted by value tuple for deterministic
+// exposition output.
+func (v *vec[T]) snapshot() []*series[T] {
+	v.mu.Lock()
+	out := make([]*series[T], 0, len(v.series))
+	for _, s := range v.series {
+		out = append(out, s)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, labelSep) < strings.Join(out[j].values, labelSep)
+	})
+	return out
+}
+
+// CounterVec is a counter family with fixed label keys.
+type CounterVec struct{ *vec[Counter] }
+
+// With returns the counter for the given label values (one per key, in key
+// order), creating it on first use. Panics on arity mismatch.
+func (v CounterVec) With(values ...string) *Counter { return v.with(values...) }
+
+// GaugeVec is a gauge family with fixed label keys.
+type GaugeVec struct{ *vec[Gauge] }
+
+// With returns the gauge for the given label values; see CounterVec.With.
+func (v GaugeVec) With(values ...string) *Gauge { return v.with(values...) }
+
+// HistogramVec is a histogram family with fixed label keys.
+type HistogramVec struct{ *vec[Histogram] }
+
+// With returns the histogram for the given label values; see
+// CounterVec.With.
+func (v HistogramVec) With(values ...string) *Histogram { return v.with(values...) }
+
+// LabeledRegistry is a named collection of labeled instrument families,
+// get-or-create like Registry. Re-declaring a family with different label
+// keys panics: a family's schema is fixed for the life of the process, and a
+// silent second schema would corrupt the exposition.
+type LabeledRegistry struct {
+	mu       sync.Mutex
+	counters map[string]CounterVec
+	gauges   map[string]GaugeVec
+	hists    map[string]HistogramVec
+}
+
+// NewLabeledRegistry returns an empty labeled registry.
+func NewLabeledRegistry() *LabeledRegistry {
+	return &LabeledRegistry{
+		counters: make(map[string]CounterVec),
+		gauges:   make(map[string]GaugeVec),
+		hists:    make(map[string]HistogramVec),
+	}
+}
+
+func checkKeys(name string, have, want []string) {
+	if len(have) == len(want) {
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	panic(fmt.Sprintf("telemetry: family %s re-declared with keys %v (was %v)", name, want, have))
+}
+
+// CounterVec returns the registry's counter family with the given name,
+// creating it with the given help text and label keys on first use.
+func (r *LabeledRegistry) CounterVec(name, help string, keys ...string) CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.counters[name]
+	if !ok {
+		v = CounterVec{newVec[Counter](name, help, append([]string(nil), keys...))}
+		r.counters[name] = v
+		return v
+	}
+	checkKeys(name, v.keys, keys)
+	return v
+}
+
+// GaugeVec returns the registry's gauge family with the given name; see
+// CounterVec.
+func (r *LabeledRegistry) GaugeVec(name, help string, keys ...string) GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	if !ok {
+		v = GaugeVec{newVec[Gauge](name, help, append([]string(nil), keys...))}
+		r.gauges[name] = v
+		return v
+	}
+	checkKeys(name, v.keys, keys)
+	return v
+}
+
+// HistogramVec returns the registry's histogram family with the given name;
+// see CounterVec.
+func (r *LabeledRegistry) HistogramVec(name, help string, keys ...string) HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.hists[name]
+	if !ok {
+		v = HistogramVec{newVec[Histogram](name, help, append([]string(nil), keys...))}
+		r.hists[name] = v
+		return v
+	}
+	checkKeys(name, v.keys, keys)
+	return v
+}
+
+// familyNames returns the sorted names of every family of one kind, for
+// deterministic exposition order.
+func (r *LabeledRegistry) familyNames() (counters, gauges, hists []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for both registries.
+//
+// Mapping for base-2 histograms: internal bucket i holds observations v with
+// bits.Len64(v) == i, i.e. the half-open range [2^(i-1), 2^i). Prometheus
+// buckets are cumulative and keyed by inclusive upper bound `le`, so bucket i
+// is rendered with le = 2^i - 1 (bucket 0, which holds only v == 0, gets
+// le="0"). Buckets are emitted up to the highest non-empty one, then "+Inf".
+// To keep each scrape internally consistent without a registry-wide lock,
+// "+Inf" and `_count` are both computed as the sum of the bucket loads from
+// this scrape (the atomic `count` field could be mid-update relative to the
+// buckets).
+
+// promName sanitizes an internal instrument name ("span.topk.medrank") into
+// a Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*): every other rune
+// becomes '_', and a leading digit is prefixed with '_'.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if c >= '0' && c <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(c)
+			continue
+		}
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {k1="v1",k2="v2"} (empty string for no labels).
+func formatLabels(keys, values []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// bucketEdge returns the `le` value of internal bucket i: the inclusive
+// upper bound 2^i - 1 ("0" for bucket 0).
+func bucketEdge(i int) string {
+	if i <= 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%d", uint64(1)<<uint(i)-1)
+}
+
+// writePromHistogram renders one histogram series. labels is the pre-rendered
+// label set without braces ("" for none); `le` is appended to it.
+func writePromHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	hi := 0
+	var loads [histBuckets]int64
+	for i := 0; i < histBuckets; i++ {
+		loads[i] = h.buckets[i].Load()
+		if loads[i] > 0 {
+			hi = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= hi; i++ {
+		cum += loads[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, labels, sep, bucketEdge(i), cum); err != nil {
+			return err
+		}
+	}
+	total := cum
+	for i := hi + 1; i < histBuckets; i++ {
+		total += loads[i]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, braceOrEmpty(labels), h.sum.Load()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braceOrEmpty(labels), total)
+	return err
+}
+
+func braceOrEmpty(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// WritePrometheus renders every instrument in the registry as an unlabeled
+// family named prefix + sanitized instrument name: counters as `counter`,
+// histograms as `histogram` with the base-2 bucket mapping described above.
+// Families are emitted in sorted name order.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	r.mu.Lock()
+	counterNames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		counterNames = append(counterNames, n)
+	}
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	sort.Strings(counterNames)
+	sort.Strings(histNames)
+
+	for _, n := range counterNames {
+		pn := promName(prefix + n)
+		if _, err := fmt.Fprintf(w, "# HELP %s Counter %q.\n# TYPE %s counter\n%s %d\n",
+			pn, n, pn, pn, counters[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range histNames {
+		pn := promName(prefix + n)
+		if _, err := fmt.Fprintf(w, "# HELP %s Base-2 histogram %q (ns or units).\n# TYPE %s histogram\n", pn, n, pn); err != nil {
+			return err
+		}
+		if err := writePromHistogram(w, pn, "", hists[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders every labeled family in the registry: counters,
+// then gauges, then histograms, each family's series sorted by label values.
+func (r *LabeledRegistry) WritePrometheus(w io.Writer) error {
+	counterNames, gaugeNames, histNames := r.familyNames()
+
+	for _, n := range counterNames {
+		r.mu.Lock()
+		v := r.counters[n]
+		r.mu.Unlock()
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", pn, v.help, pn); err != nil {
+			return err
+		}
+		for _, s := range v.snapshot() {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, formatLabels(v.keys, s.values), s.inst.Value()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range gaugeNames {
+		r.mu.Lock()
+		v := r.gauges[n]
+		r.mu.Unlock()
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", pn, v.help, pn); err != nil {
+			return err
+		}
+		for _, s := range v.snapshot() {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, formatLabels(v.keys, s.values), s.inst.Value()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range histNames {
+		r.mu.Lock()
+		v := r.hists[n]
+		r.mu.Unlock()
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", pn, v.help, pn); err != nil {
+			return err
+		}
+		for _, s := range v.snapshot() {
+			inner := strings.TrimSuffix(strings.TrimPrefix(formatLabels(v.keys, s.values), "{"), "}")
+			if err := writePromHistogram(w, pn, inner, s.inst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -15,6 +15,15 @@ type Event struct {
 	Start time.Time `json:"start"`
 	// DurationNs is the span's duration in nanoseconds.
 	DurationNs int64 `json:"duration_ns"`
+	// TraceID is the owning request's hex trace ID; empty for spans recorded
+	// outside a sampled request.
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID and ParentID link the span into its request's tree; 0 outside a
+	// sampled request (and ParentID 0 marks a trace root).
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// Attrs carries the integer attributes attached via Span.SetAttr.
+	Attrs map[string]int64 `json:"attrs,omitempty"`
 }
 
 // traceCap bounds the trace ring buffer: the most recent traceCap completed
@@ -38,7 +47,9 @@ func (t *traceRing) record(e Event) {
 	t.mu.Unlock()
 }
 
-// TraceEvents returns the retained completed spans, oldest first.
+// TraceEvents returns the retained completed spans, oldest first. The events
+// are deep copies (attribute maps included), so callers may read or mutate
+// them without racing against concurrent span recording.
 func TraceEvents() []Event {
 	trace.mu.Lock()
 	defer trace.mu.Unlock()
@@ -52,7 +63,9 @@ func TraceEvents() []Event {
 		start = trace.next
 	}
 	for i := int64(0); i < n; i++ {
-		out = append(out, trace.buf[(start+int(i))%traceCap])
+		e := trace.buf[(start+int(i))%traceCap]
+		e.Attrs = copyAttrs(e.Attrs)
+		out = append(out, e)
 	}
 	return out
 }
@@ -72,19 +85,38 @@ type Span struct {
 	name  string
 	start time.Time
 	prev  context.Context // goroutine labels to restore at End
+
+	// Trace linkage; zero outside a sampled request.
+	rt       *requestTrace
+	spanID   uint64
+	parentID uint64
+	attrs    map[string]int64
 }
 
 // Start opens a span: the returned context (and the calling goroutine, until
 // End) carries the pprof label "span"=name, so CPU profiles attribute
-// samples inside the span to the named phase. When telemetry is disabled the
-// context is returned unchanged and the zero Span is returned.
+// samples inside the span to the named phase. When the context carries a
+// sampled trace (WithTrace), the span additionally joins the request's span
+// tree — it is assigned a span ID, its parent is the context's innermost
+// open span, and the returned context makes it the parent of any span
+// started beneath it. When telemetry is disabled the context is returned
+// unchanged and the zero Span is returned.
 func Start(ctx context.Context, name string) (context.Context, Span) {
 	if !enabled.Load() {
 		return ctx, Span{}
 	}
+	sp := Span{name: name, start: time.Now(), prev: ctx}
 	lctx := pprof.WithLabels(ctx, pprof.Labels("span", name))
+	if st, ok := ctx.Value(traceCtxKey{}).(*traceState); ok && st.rt != nil {
+		sp.rt = st.rt
+		sp.parentID = st.SpanID
+		sp.spanID = st.rt.nextID.Add(1)
+		child := &traceState{TraceContext: st.TraceContext, rt: st.rt}
+		child.SpanID = sp.spanID
+		lctx = context.WithValue(lctx, traceCtxKey{}, child)
+	}
 	pprof.SetGoroutineLabels(lctx)
-	return lctx, Span{name: name, start: time.Now(), prev: ctx}
+	return lctx, sp
 }
 
 // StartSpan is Start without a caller context, for instrumenting functions
@@ -94,15 +126,44 @@ func StartSpan(name string) Span {
 	return s
 }
 
+// SetAttr attaches an integer attribute to the span, surfaced in both the
+// ring buffer event and the request's span tree at End. No-op on the zero
+// Span. Not safe for concurrent use on one Span (a span belongs to the
+// goroutine that started it).
+func (s *Span) SetAttr(key string, v int64) {
+	if s.prev == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]int64, 4)
+	}
+	s.attrs[key] = v
+}
+
 // End closes the span: the event is appended to the trace ring buffer, the
 // duration is recorded in the default registry's "span.<name>" histogram,
-// and the goroutine's pprof labels are restored. No-op on the zero Span.
+// the goroutine's pprof labels are restored, and — inside a sampled request —
+// the span is appended to the request's span tree. No-op on the zero Span.
 func (s Span) End() {
 	if s.prev == nil {
 		return
 	}
 	d := time.Since(s.start)
-	trace.record(Event{Name: s.name, Start: s.start, DurationNs: d.Nanoseconds()})
+	e := Event{Name: s.name, Start: s.start, DurationNs: d.Nanoseconds(), Attrs: s.attrs}
+	if s.rt != nil {
+		e.TraceID = TraceIDString(s.rt.traceID)
+		e.SpanID = s.spanID
+		e.ParentID = s.parentID
+		s.rt.append(SpanRecord{
+			SpanID:     s.spanID,
+			ParentID:   s.parentID,
+			Name:       s.name,
+			Start:      s.start,
+			DurationNs: d.Nanoseconds(),
+			Attrs:      s.attrs,
+		})
+	}
+	trace.record(e)
 	GetHistogram("span." + s.name).Observe(d.Nanoseconds())
 	pprof.SetGoroutineLabels(s.prev)
 }

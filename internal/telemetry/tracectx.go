@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-scoped half of the tracing layer. The flat span
+// ring buffer of span.go answers "what ran recently in this process"; the
+// types here answer "what did THIS request do": a TraceContext (trace ID,
+// current span ID, sampling decision) rides the context.Context through the
+// service handlers into the engines, sampled requests collect their spans
+// into a parent/child-linked tree, and finished trees land in a bounded
+// recent-traces buffer that a server exposes at GET /debug/traces.
+//
+// Cost discipline: when telemetry is disabled nothing here runs at all
+// (Start's enabled gate short-circuits first). When telemetry is enabled but
+// a request is NOT sampled, the only added cost per span is one ctx.Value
+// lookup; no per-request allocation happens beyond the TraceContext itself.
+// The sampling decision is a pure function of the trace ID, so a load
+// generator replaying trace IDs replays sampling exactly.
+
+// TraceContext identifies one request's trace: the trace ID shared by every
+// span of the request, the innermost open span (the parent of any span
+// started next), and the sampling decision.
+type TraceContext struct {
+	// TraceID is the request-unique trace identifier (rendered as 16 hex
+	// digits on the wire: X-Trace-Id header, access log, /debug/traces).
+	TraceID uint64
+	// SpanID is the innermost open span's ID; 0 before the root span opens.
+	SpanID uint64
+	// Sampled reports whether this request collects a span tree.
+	Sampled bool
+}
+
+// traceState is what actually lives in the context: the public TraceContext
+// plus the sampled request's span collector (nil when unsampled).
+type traceState struct {
+	TraceContext
+	rt *requestTrace
+}
+
+type traceCtxKey struct{}
+
+// WithTrace installs a trace context for one request. When sampled is true
+// the returned context also carries a span collector: every Span started
+// under it (directly or through child contexts) records into the request's
+// span tree, to be sealed by FinishTrace.
+func WithTrace(ctx context.Context, traceID uint64, sampled bool) context.Context {
+	st := &traceState{TraceContext: TraceContext{TraceID: traceID, Sampled: sampled}}
+	if sampled {
+		st.rt = &requestTrace{traceID: traceID, start: time.Now()}
+	}
+	return context.WithValue(ctx, traceCtxKey{}, st)
+}
+
+// TraceFrom returns the context's trace context, ok=false when none is
+// installed.
+func TraceFrom(ctx context.Context) (TraceContext, bool) {
+	st, ok := ctx.Value(traceCtxKey{}).(*traceState)
+	if !ok {
+		return TraceContext{}, false
+	}
+	return st.TraceContext, true
+}
+
+// TraceIDString renders a trace ID the way the wire does: 16 lowercase hex
+// digits.
+func TraceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID parses a 16-hex-digit trace ID; ok=false when s is not one.
+func ParseTraceID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | d
+	}
+	return id, true
+}
+
+// SampleTrace is the deterministic sampling decision: a pure function of the
+// trace ID and the rate, so a retried or replayed request (same trace ID)
+// lands on the same side of the cut, and so every process in a fleet agrees
+// about a propagated ID. The ID is scrambled (splitmix-style) first so
+// sequential or low-entropy IDs still sample uniformly.
+func SampleTrace(traceID uint64, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	x := traceID
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x%1_000_000) < rate*1_000_000
+}
+
+// SpanRecord is one completed span of a sampled request: parent/child links
+// via SpanID/ParentID, plus the integer attributes the instrumented code
+// attached (access totals, cache hits, ...).
+type SpanRecord struct {
+	SpanID     uint64           `json:"span_id"`
+	ParentID   uint64           `json:"parent_id"` // 0 = root of the trace
+	Name       string           `json:"name"`
+	Start      time.Time        `json:"start"`
+	DurationNs int64            `json:"duration_ns"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+}
+
+// requestTrace collects the spans of one sampled request. Span IDs are
+// allocated from an atomic counter; appends take the mutex because a request
+// may fan out across goroutines (parallel engine phases).
+type requestTrace struct {
+	traceID uint64
+	start   time.Time
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	spans   []SpanRecord
+}
+
+func (rt *requestTrace) append(rec SpanRecord) {
+	rt.mu.Lock()
+	rt.spans = append(rt.spans, rec)
+	rt.mu.Unlock()
+}
+
+// TraceMeta annotates a finished trace with the request facts that are not
+// themselves spans.
+type TraceMeta struct {
+	Tenant   string
+	Endpoint string
+	Status   int
+}
+
+// Trace is one finished request's span tree, flattened: spans link to their
+// parents through ParentID (0 marks the root).
+type Trace struct {
+	TraceID    string       `json:"trace_id"`
+	Tenant     string       `json:"tenant,omitempty"`
+	Endpoint   string       `json:"endpoint,omitempty"`
+	Status     int          `json:"status,omitempty"`
+	Start      time.Time    `json:"start"`
+	DurationNs int64        `json:"duration_ns"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// Root returns the trace's root span (ParentID 0), ok=false when the trace
+// recorded none (every request rim opens one, so this is a defect signal).
+func (t Trace) Root() (SpanRecord, bool) {
+	for _, s := range t.Spans {
+		if s.ParentID == 0 {
+			return s, true
+		}
+	}
+	return SpanRecord{}, false
+}
+
+// Children returns the spans whose parent is spanID, in recording order.
+func (t Trace) Children(spanID uint64) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range t.Spans {
+		if s.ParentID == spanID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FinishTrace seals the request's span collector into the recent-traces
+// buffer and returns the finished trace. A context without a sampled trace
+// finishes to ok=false and records nothing. Call it after the root span's
+// End, from the request rim.
+func FinishTrace(ctx context.Context, meta TraceMeta) (Trace, bool) {
+	st, ok := ctx.Value(traceCtxKey{}).(*traceState)
+	if !ok || st.rt == nil {
+		return Trace{}, false
+	}
+	st.rt.mu.Lock()
+	spans := st.rt.spans
+	st.rt.spans = nil
+	st.rt.mu.Unlock()
+	tr := Trace{
+		TraceID:    TraceIDString(st.rt.traceID),
+		Tenant:     meta.Tenant,
+		Endpoint:   meta.Endpoint,
+		Status:     meta.Status,
+		Start:      st.rt.start,
+		DurationNs: time.Since(st.rt.start).Nanoseconds(),
+		Spans:      spans,
+	}
+	recentTraces.add(tr)
+	return tr, true
+}
+
+// defaultRecentTraceCap bounds the recent-traces buffer: the most recent
+// finished sampled traces are retained whole (span trees included), older
+// ones are overwritten in place.
+const defaultRecentTraceCap = 64
+
+type traceRingBuffer struct {
+	mu    sync.Mutex
+	buf   []Trace
+	next  int
+	total int64
+}
+
+var recentTraces = &traceRingBuffer{buf: make([]Trace, defaultRecentTraceCap)}
+
+func (b *traceRingBuffer) add(tr Trace) {
+	b.mu.Lock()
+	b.buf[b.next] = tr
+	b.next = (b.next + 1) % len(b.buf)
+	b.total++
+	b.mu.Unlock()
+}
+
+// snapshot returns the retained traces oldest-first, deep-copying span slices
+// and attribute maps so callers never alias buffer-owned state.
+func (b *traceRingBuffer) snapshot() []Trace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.total
+	if n > int64(len(b.buf)) {
+		n = int64(len(b.buf))
+	}
+	start := 0
+	if b.total > int64(len(b.buf)) {
+		start = b.next
+	}
+	out := make([]Trace, 0, n)
+	for i := int64(0); i < n; i++ {
+		out = append(out, copyTrace(b.buf[(start+int(i))%len(b.buf)]))
+	}
+	return out
+}
+
+func copyTrace(tr Trace) Trace {
+	spans := make([]SpanRecord, len(tr.Spans))
+	for i, s := range tr.Spans {
+		s.Attrs = copyAttrs(s.Attrs)
+		spans[i] = s
+	}
+	tr.Spans = spans
+	return tr
+}
+
+func copyAttrs(m map[string]int64) map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]int64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
+// RecentTraces returns the retained finished traces, oldest first. The
+// returned traces are deep copies; callers may mutate them freely.
+func RecentTraces() []Trace { return recentTraces.snapshot() }
+
+// FindTrace returns the most recent retained trace with the given hex trace
+// ID.
+func FindTrace(traceID string) (Trace, bool) {
+	traces := recentTraces.snapshot()
+	for i := len(traces) - 1; i >= 0; i-- {
+		if traces[i].TraceID == traceID {
+			return traces[i], true
+		}
+	}
+	return Trace{}, false
+}
+
+// SetRecentTraceCapacity resizes the recent-traces buffer (minimum 1),
+// discarding currently retained traces. Servers call it once at startup from
+// a flag.
+func SetRecentTraceCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	recentTraces.mu.Lock()
+	recentTraces.buf = make([]Trace, n)
+	recentTraces.next = 0
+	recentTraces.total = 0
+	recentTraces.mu.Unlock()
+}
+
+// ResetRecentTraces clears the recent-traces buffer (tests).
+func ResetRecentTraces() {
+	recentTraces.mu.Lock()
+	for i := range recentTraces.buf {
+		recentTraces.buf[i] = Trace{}
+	}
+	recentTraces.next = 0
+	recentTraces.total = 0
+	recentTraces.mu.Unlock()
+}

@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestParseTraceIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 0xdeadbeef, ^uint64(0), 0x0123456789abcdef} {
+		s := TraceIDString(id)
+		if len(s) != 16 {
+			t.Fatalf("TraceIDString(%d) = %q, want 16 hex digits", id, s)
+		}
+		got, ok := ParseTraceID(s)
+		if !ok || got != id {
+			t.Errorf("ParseTraceID(%q) = %d, %v; want %d, true", s, got, ok, id)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "0123456789abcde", "0123456789abcdef0", "0123456789abcdeg"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+	// Uppercase hex parses to the same ID.
+	if got, ok := ParseTraceID("DEADBEEF00000000"); !ok || got != 0xdeadbeef00000000 {
+		t.Errorf("uppercase parse = %x, %v", got, ok)
+	}
+}
+
+func TestSampleTraceDeterministicAndCalibrated(t *testing.T) {
+	if !SampleTrace(42, 1.0) || SampleTrace(42, 0.0) {
+		t.Fatal("rate 1 must always sample, rate 0 never")
+	}
+	// Deterministic: same ID, same decision.
+	for id := uint64(0); id < 100; id++ {
+		if SampleTrace(id, 0.3) != SampleTrace(id, 0.3) {
+			t.Fatalf("SampleTrace(%d, 0.3) not deterministic", id)
+		}
+	}
+	// Calibrated: over sequential IDs (the worst, lowest-entropy case) the
+	// hit rate should land near the requested rate.
+	const n = 100_000
+	hits := 0
+	for id := uint64(0); id < n; id++ {
+		if SampleTrace(id, 0.1) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Errorf("rate 0.1 sampled %.4f of sequential IDs", frac)
+	}
+	// Monotone in rate for a fixed ID: sampled at r implies sampled at r' > r.
+	for id := uint64(0); id < 1000; id++ {
+		if SampleTrace(id, 0.2) && !SampleTrace(id, 0.8) {
+			t.Fatalf("id %d sampled at 0.2 but not 0.8", id)
+		}
+	}
+}
+
+func TestSpanTreeParentChildLinks(t *testing.T) {
+	withEnabled(t, func() {
+		ResetRecentTraces()
+		defer ResetRecentTraces()
+		const id = uint64(0xabcdef0123456789)
+		ctx := WithTrace(context.Background(), id, true)
+		if tc, ok := TraceFrom(ctx); !ok || tc.TraceID != id || !tc.Sampled || tc.SpanID != 0 {
+			t.Fatalf("TraceFrom = %+v, %v", tc, ok)
+		}
+		rctx, root := Start(ctx, "http.topk")
+		if tc, _ := TraceFrom(rctx); tc.SpanID == 0 {
+			t.Fatal("root span did not become the context's open span")
+		}
+		actx, admission := Start(rctx, "admission")
+		admission.End()
+		ectx, engine := Start(rctx, "engine.medrank")
+		engine.SetAttr("sequential", 123)
+		engine.SetAttr("random", 4)
+		_, inner := Start(ectx, "engine.inner")
+		inner.End()
+		engine.End()
+		_ = actx
+		root.End()
+		tr, ok := FinishTrace(ctx, TraceMeta{Tenant: "acme", Endpoint: "topk", Status: 200})
+		if !ok {
+			t.Fatal("FinishTrace found no sampled trace")
+		}
+		if tr.TraceID != TraceIDString(id) || tr.Tenant != "acme" || tr.Endpoint != "topk" || tr.Status != 200 {
+			t.Fatalf("trace meta = %+v", tr)
+		}
+		if len(tr.Spans) != 4 {
+			t.Fatalf("got %d spans, want 4: %+v", len(tr.Spans), tr.Spans)
+		}
+		rootRec, ok := tr.Root()
+		if !ok || rootRec.Name != "http.topk" {
+			t.Fatalf("root = %+v, %v", rootRec, ok)
+		}
+		kids := tr.Children(rootRec.SpanID)
+		if len(kids) != 2 {
+			t.Fatalf("root has %d children, want 2 (admission, engine): %+v", len(kids), kids)
+		}
+		names := map[string]SpanRecord{}
+		for _, k := range kids {
+			names[k.Name] = k
+		}
+		if _, ok := names["admission"]; !ok {
+			t.Error("missing admission child")
+		}
+		eng, ok := names["engine.medrank"]
+		if !ok {
+			t.Fatal("missing engine child")
+		}
+		if eng.Attrs["sequential"] != 123 || eng.Attrs["random"] != 4 {
+			t.Errorf("engine attrs = %v", eng.Attrs)
+		}
+		if grand := tr.Children(eng.SpanID); len(grand) != 1 || grand[0].Name != "engine.inner" {
+			t.Errorf("engine children = %+v", grand)
+		}
+		// Retrievable from the recent-traces buffer by hex ID.
+		got, ok := FindTrace(TraceIDString(id))
+		if !ok || len(got.Spans) != 4 {
+			t.Fatalf("FindTrace = %+v, %v", got, ok)
+		}
+		// Ring-buffer events carry the same linkage.
+		found := false
+		for _, e := range TraceEvents() {
+			if e.Name == "engine.medrank" && e.TraceID == TraceIDString(id) {
+				found = true
+				if e.ParentID != rootRec.SpanID {
+					t.Errorf("ring event parent = %d, want %d", e.ParentID, rootRec.SpanID)
+				}
+			}
+		}
+		if !found {
+			t.Error("engine span missing from ring buffer with trace linkage")
+		}
+	})
+}
+
+func TestUnsampledTraceCollectsNothing(t *testing.T) {
+	withEnabled(t, func() {
+		ResetRecentTraces()
+		defer ResetRecentTraces()
+		ctx := WithTrace(context.Background(), 7, false)
+		sctx, sp := Start(ctx, "unsampled.work")
+		_, inner := Start(sctx, "unsampled.inner")
+		inner.End()
+		sp.End()
+		if _, ok := FinishTrace(ctx, TraceMeta{}); ok {
+			t.Fatal("unsampled trace finished ok")
+		}
+		if got := RecentTraces(); len(got) != 0 {
+			t.Fatalf("unsampled request left %d traces", len(got))
+		}
+		if tc, ok := TraceFrom(sctx); !ok || tc.TraceID != 7 || tc.Sampled {
+			t.Errorf("unsampled TraceFrom = %+v, %v", tc, ok)
+		}
+	})
+}
+
+func TestRecentTracesCapacityOldestEvicted(t *testing.T) {
+	withEnabled(t, func() {
+		SetRecentTraceCapacity(4)
+		defer SetRecentTraceCapacity(defaultRecentTraceCap)
+		for i := uint64(1); i <= 10; i++ {
+			ctx := WithTrace(context.Background(), i, true)
+			_, sp := Start(ctx, "cap.test")
+			sp.End()
+			FinishTrace(ctx, TraceMeta{Endpoint: "t"})
+		}
+		got := RecentTraces()
+		if len(got) != 4 {
+			t.Fatalf("retained %d traces, want 4", len(got))
+		}
+		for i, tr := range got {
+			want := TraceIDString(uint64(7 + i))
+			if tr.TraceID != want {
+				t.Errorf("trace[%d] = %s, want %s", i, tr.TraceID, want)
+			}
+		}
+		if _, ok := FindTrace(TraceIDString(1)); ok {
+			t.Error("evicted trace still findable")
+		}
+	})
+}
+
+// TestFinishTraceConcurrentSpans exercises the collector under fan-out: one
+// request's spans recorded from many goroutines (run with -race).
+func TestFinishTraceConcurrentSpans(t *testing.T) {
+	withEnabled(t, func() {
+		ResetRecentTraces()
+		defer ResetRecentTraces()
+		ctx := WithTrace(context.Background(), 99, true)
+		rctx, root := Start(ctx, "fanout.root")
+		var wg sync.WaitGroup
+		const workers = 8
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					_, sp := Start(rctx, "fanout.worker")
+					sp.SetAttr("i", int64(i))
+					sp.End()
+				}
+			}()
+		}
+		wg.Wait()
+		root.End()
+		tr, ok := FinishTrace(ctx, TraceMeta{})
+		if !ok || len(tr.Spans) != workers*50+1 {
+			t.Fatalf("got %d spans, want %d", len(tr.Spans), workers*50+1)
+		}
+		rootRec, _ := tr.Root()
+		if got := len(tr.Children(rootRec.SpanID)); got != workers*50 {
+			t.Errorf("root has %d children, want %d", got, workers*50)
+		}
+		// Span IDs unique.
+		ids := map[uint64]bool{}
+		for _, s := range tr.Spans {
+			if ids[s.SpanID] {
+				t.Fatalf("duplicate span ID %d", s.SpanID)
+			}
+			ids[s.SpanID] = true
+		}
+	})
+}
+
+// TestTraceEventsDeepCopiesAttrs is the satellite regression for the ring
+// buffer aliasing bug: readers of TraceEvents must be able to mutate the
+// returned events (attribute maps included) while writers keep recording.
+// Run with -race to make aliasing fail loudly.
+func TestTraceEventsDeepCopiesAttrs(t *testing.T) {
+	withEnabled(t, func() {
+		ResetTrace()
+		defer ResetTrace()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ctx := WithTrace(context.Background(), uint64(w*1_000_000+i), true)
+					_, sp := Start(ctx, "copy.writer")
+					sp.SetAttr("i", int64(i))
+					sp.SetAttr("w", int64(w))
+					sp.End()
+					FinishTrace(ctx, TraceMeta{})
+				}
+			}(w)
+		}
+		for r := 0; r < 4; r++ {
+			for _, e := range TraceEvents() {
+				// Mutating the returned event must never race with writers.
+				if e.Attrs != nil {
+					e.Attrs["mutated"] = 1
+					delete(e.Attrs, "i")
+				}
+			}
+			for _, tr := range RecentTraces() {
+				for i := range tr.Spans {
+					if tr.Spans[i].Attrs != nil {
+						tr.Spans[i].Attrs["mutated"] = 1
+					}
+					tr.Spans[i].Name = "clobbered"
+				}
+			}
+		}
+		close(stop)
+		wg.Wait()
+		ResetRecentTraces()
+	})
+}

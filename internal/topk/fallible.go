@@ -124,8 +124,8 @@ func MedRankOver(ctx context.Context, sources []faults.Source, k int, policy Pol
 	f.rebuild()
 
 	var derr error
-	sp := telemetry.StartSpan("topk.medrank_fallible")
-	telemetry.Do(ctx, "kernel", "medrank", func(ctx context.Context) {
+	sctx, sp := telemetry.Start(ctx, "topk.medrank_fallible")
+	telemetry.Do(sctx, "kernel", "medrank", func(ctx context.Context) {
 		derr = f.drive(ctx)
 	})
 	sp.End()

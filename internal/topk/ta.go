@@ -65,8 +65,8 @@ func ThresholdTopKContext(ctx context.Context, rankings []*ranking.PartialRankin
 	resolved := 0
 
 	var derr error
-	sp := telemetry.StartSpan("topk.ta")
-	telemetry.Do(ctx, "kernel", "ta", func(ctx context.Context) {
+	sctx, sp := telemetry.Start(ctx, "topk.ta")
+	telemetry.Do(sctx, "kernel", "ta", func(ctx context.Context) {
 		if k == 0 {
 			return
 		}

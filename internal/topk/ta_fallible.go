@@ -70,8 +70,8 @@ func ThresholdTopKOver(ctx context.Context, sources []faults.Source, k int, acc 
 	}
 
 	var derr error
-	sp := telemetry.StartSpan("topk.ta_fallible")
-	telemetry.Do(ctx, "kernel", "ta", func(ctx context.Context) {
+	sctx, sp := telemetry.Start(ctx, "topk.ta_fallible")
+	telemetry.Do(sctx, "kernel", "ta", func(ctx context.Context) {
 		derr = t.drive(ctx)
 	})
 	sp.End()

@@ -338,8 +338,8 @@ func MedRankContext(ctx context.Context, rankings []*ranking.PartialRanking, k i
 	// label "kernel"="medrank", so CPU profiles attribute its samples (under
 	// the caller's own labels), and the run is timed as a trace span.
 	var derr error
-	sp := telemetry.StartSpan("topk.medrank")
-	telemetry.Do(ctx, "kernel", "medrank", func(ctx context.Context) {
+	sctx, sp := telemetry.Start(ctx, "topk.medrank")
+	telemetry.Do(sctx, "kernel", "medrank", func(ctx context.Context) {
 		derr = run.drive(ctx, pick)
 	})
 	sp.End()
