@@ -7,6 +7,8 @@
 //
 //	rankagg dist  [-file F]            distances between the first two rankings
 //	rankagg agg   [-file F] [-method M] aggregate all rankings (median | dp | borda | mc4 | footrule-opt)
+//	              [-robust M] [-trim K]  robust aggregation (trimmed-borda | weighted-median | minmax),
+//	                                     dropping the K least-reliable rankings; weights go to stderr
 //	rankagg topk  [-file F] -k K [-timeout D]  streaming median top-k with access stats
 //	rankagg gen   -n N -m M [...]       generate a random ensemble
 //
@@ -29,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/randrank"
 	"repro/internal/ranking"
+	"repro/internal/robust"
 	"repro/internal/telemetry"
 	"repro/internal/topk"
 )
@@ -153,9 +156,14 @@ func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agg", flag.ContinueOnError)
 	in := addInputFlags(fs)
 	method := fs.String("method", "median", "median | dp | borda | mc4 | footrule-opt")
+	robustMode := fs.String("robust", "", "hostile-voter-robust mode (overrides -method): trimmed-borda | weighted-median | minmax")
+	trim := fs.Int("trim", 0, "drop this many least-reliable rankings before aggregating (requires -robust)")
 	trace := fs.Bool("trace", false, "record telemetry spans and append per-phase timings as comment lines")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trim != 0 && *robustMode == "" {
+		return fmt.Errorf("-trim requires -robust")
 	}
 	if *trace {
 		was := telemetry.Enabled()
@@ -173,22 +181,49 @@ func cmdAgg(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no rankings to aggregate")
 	}
 	var out *ranking.PartialRanking
-	switch *method {
-	case "median":
-		out, err = aggregate.MedianFull(rs)
-	case "dp":
-		out, err = aggregate.OptimalPartialAggregate(rs)
-	case "borda":
-		out, err = aggregate.Borda(rs)
-	case "mc4":
-		out, err = aggregate.MarkovChain(rs, aggregate.MC4, aggregate.MarkovChainOptions{})
-	case "footrule-opt":
-		out, _, err = aggregate.FootruleOptimalFull(rs)
-	default:
-		return fmt.Errorf("unknown method %q", *method)
-	}
-	if err != nil {
-		return err
+	if *robustMode != "" {
+		mode, merr := robust.ParseMode(*robustMode)
+		if merr != nil {
+			return merr
+		}
+		res, rerr := robust.Aggregate(rs, robust.Options{Mode: mode, Trim: *trim})
+		if rerr != nil {
+			return rerr
+		}
+		// Reliability forensics ride on stderr like parse defects, keeping
+		// stdout a clean ranking-plus-comments stream.
+		dropped := make(map[int]bool, len(res.Trimmed))
+		for _, i := range res.Trimmed {
+			dropped[i] = true
+		}
+		for i, w := range res.Weights {
+			status := "kept"
+			if dropped[i] {
+				status = "trimmed"
+			}
+			fmt.Fprintf(os.Stderr, "# robust: voter %d weight %.6f (%s)\n", i, w, status)
+		}
+		fmt.Fprintf(os.Stderr, "# robust: mode=%s trim=%d survivors=%d max=%g sum=%g\n",
+			mode, *trim, len(res.Kept), res.MaxDistance, res.SumDistance)
+		out = res.Aggregate
+	} else {
+		switch *method {
+		case "median":
+			out, err = aggregate.MedianFull(rs)
+		case "dp":
+			out, err = aggregate.OptimalPartialAggregate(rs)
+		case "borda":
+			out, err = aggregate.Borda(rs)
+		case "mc4":
+			out, err = aggregate.MarkovChain(rs, aggregate.MC4, aggregate.MarkovChainOptions{})
+		case "footrule-opt":
+			out, _, err = aggregate.FootruleOptimalFull(rs)
+		default:
+			return fmt.Errorf("unknown method %q", *method)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	obj, err := aggregate.SumL1Ranking(out, rs)
 	if err != nil {

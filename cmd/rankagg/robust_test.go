@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// robustSample has three agreeing voters and one reversal spammer, so trim=1
+// must report voter 3 trimmed.
+const robustSample = `a | b | c | d
+a | b | d | c
+b | a | c | d
+d | c | b | a
+`
+
+func TestAggRobustModes(t *testing.T) {
+	for _, mode := range []string{"trimmed-borda", "weighted-median", "minmax"} {
+		var out bytes.Buffer
+		stderr := captureStderr(t, func() {
+			if err := run([]string{"agg", "-robust", mode, "-trim", "1"}, strings.NewReader(robustSample), &out); err != nil {
+				t.Fatalf("agg -robust %s failed: %v", mode, err)
+			}
+		})
+		if !strings.Contains(out.String(), "a") || !strings.Contains(out.String(), "objective") {
+			t.Errorf("agg -robust %s stdout wrong:\n%s", mode, out.String())
+		}
+		if !strings.Contains(stderr, "# robust: voter 3") || !strings.Contains(stderr, "(trimmed)") {
+			t.Errorf("agg -robust %s stderr missing trimmed-voter line:\n%s", mode, stderr)
+		}
+		if !strings.Contains(stderr, "# robust: voter 0") || !strings.Contains(stderr, "(kept)") {
+			t.Errorf("agg -robust %s stderr missing kept-voter line:\n%s", mode, stderr)
+		}
+		if !strings.Contains(stderr, "mode="+mode) || !strings.Contains(stderr, "survivors=3") {
+			t.Errorf("agg -robust %s stderr missing summary line:\n%s", mode, stderr)
+		}
+		// The spammer must not drag d to the front: the robust consensus
+		// starts with a or b.
+		first := strings.Fields(out.String())[0]
+		if first != "a" && first != "b" {
+			t.Errorf("agg -robust %s consensus starts with %q, want a or b:\n%s", mode, first, out.String())
+		}
+	}
+}
+
+func TestAggRobustFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"agg", "-trim", "1"}, strings.NewReader(robustSample), &out); err == nil {
+		t.Error("agg -trim without -robust should fail")
+	}
+	if err := run([]string{"agg", "-robust", "mystery"}, strings.NewReader(robustSample), &out); err == nil {
+		t.Error("agg -robust mystery should fail")
+	}
+	if err := run([]string{"agg", "-robust", "minmax", "-trim", "4"}, strings.NewReader(robustSample), &out); err == nil {
+		t.Error("agg -robust with trim leaving no voters should fail")
+	}
+}

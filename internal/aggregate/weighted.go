@@ -1,0 +1,150 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/guard"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// Weighted aggregation primitives: the per-voter-weight generalizations of
+// Borda and median-rank aggregation that the robust layer (internal/robust)
+// builds on. A weight vector scales each voter's influence; weights need not
+// be normalized, only non-negative with a positive sum. With uniform weights
+// every function below reproduces its unweighted counterpart exactly
+// (WeightedBorda ≡ Borda, WeightedMedianScores ≡ MedianScores with
+// LowerMedian), which is what lets trimming and down-weighting compose with
+// the paper's approximation machinery: a trimmed run is just a weighted run
+// with 0/1 weights.
+
+// checkWeights validates a weight vector against an ensemble: one
+// non-negative finite weight per voter, positive total.
+func checkWeights(rankings []*ranking.PartialRanking, weights []float64) (total float64, err error) {
+	if len(weights) != len(rankings) {
+		return 0, fmt.Errorf("aggregate: %d weights for %d rankings", len(weights), len(rankings))
+	}
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("aggregate: weight %d is %v, want finite and >= 0", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("aggregate: weights sum to %v, want > 0", total)
+	}
+	return total, nil
+}
+
+// WeightedBordaScores returns the weighted mean position vector
+// f(d) = sum_i w_i sigma_i(d) / sum_i w_i. With uniform weights this is
+// exactly bordaScores.
+func WeightedBordaScores(rankings []*ranking.PartialRanking, weights []float64) ([]float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, err
+	}
+	total, err := checkWeights(rankings, weights)
+	if err != nil {
+		return nil, err
+	}
+	n := rankings[0].N()
+	f := make([]float64, n)
+	for e := 0; e < n; e++ {
+		var sum float64
+		for i, r := range rankings {
+			sum += weights[i] * float64(r.Pos2(e))
+		}
+		f[e] = sum / (2 * total)
+	}
+	return f, nil
+}
+
+// WeightedBorda returns the full ranking sorting elements on their weighted
+// mean position, ties broken by element ID.
+func WeightedBorda(rankings []*ranking.PartialRanking, weights []float64) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
+	defer telemetry.StartSpan("aggregate.weighted_borda").End()
+	f, err := WeightedBordaScores(rankings, weights)
+	if err != nil {
+		return nil, err
+	}
+	return ranking.MustFromOrder(sortedByScore(f)), nil
+}
+
+// WeightedMedianScores returns the coordinate-wise weighted lower median:
+// for each element, the smallest position p among the voters' positions such
+// that the voters at or below p carry at least half the total weight. This
+// minimizes sum_i w_i |f(d) - sigma_i(d)| coordinate-wise (the weighted
+// Lemma 8), and with uniform weights equals MedianScores(LowerMedian)
+// exactly: the comparison 2*cum >= total is evaluated on the raw weights, so
+// integer weight vectors stay exact.
+func WeightedMedianScores(rankings []*ranking.PartialRanking, weights []float64) ([]float64, error) {
+	if err := checkInputs(rankings); err != nil {
+		return nil, err
+	}
+	total, err := checkWeights(rankings, weights)
+	if err != nil {
+		return nil, err
+	}
+	n := rankings[0].N()
+	m := len(rankings)
+	type pw struct {
+		pos2 int64
+		w    float64
+	}
+	buf := make([]pw, m)
+	out := make([]float64, n)
+	for e := 0; e < n; e++ {
+		for i, r := range rankings {
+			buf[i] = pw{r.Pos2(e), weights[i]}
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].pos2 < buf[b].pos2 })
+		cum := 0.0
+		med := buf[m-1].pos2
+		for _, p := range buf {
+			cum += p.w
+			if 2*cum >= total {
+				med = p.pos2
+				break
+			}
+		}
+		out[e] = float64(med) / 2
+	}
+	return out, nil
+}
+
+// WeightedMedianFull returns a full ranking refining the weighted-median
+// bucket order, ties broken by element ID — the weighted analogue of
+// MedianFull.
+func WeightedMedianFull(rankings []*ranking.PartialRanking, weights []float64) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
+	defer telemetry.StartSpan("aggregate.weighted_median").End()
+	f, err := WeightedMedianScores(rankings, weights)
+	if err != nil {
+		return nil, err
+	}
+	return ranking.MustFromOrder(sortedByScore(f)), nil
+}
+
+// MaxDistanceWith returns (max_i d(candidate, sigma_i), sum_i d(...)): the
+// MinMax aggregation objective of Li–Milenkovic next to the classical sum,
+// evaluated in one sweep over the caller's workspace. The sum rides along
+// because the MinMax local search breaks objective ties lexicographically on
+// it.
+func MaxDistanceWith(ws *metrics.Workspace, candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (maxv, sumv float64, err error) {
+	defer guard.Capture(&err)
+	for _, r := range rankings {
+		v, err := d(ws, candidate, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		sumv += v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	return maxv, sumv, nil
+}

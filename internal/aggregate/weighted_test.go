@@ -1,0 +1,163 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func uniformWeights(m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// TestWeightedBordaUniformEqualsBorda: all-ones weights reproduce plain
+// Borda exactly — score vector and final ranking.
+func TestWeightedBordaUniformEqualsBorda(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		ens := make([]*ranking.PartialRanking, 7)
+		for i := range ens {
+			ens[i] = randrank.Partial(rng, 12, 3)
+		}
+		w := uniformWeights(len(ens))
+		wf, err := WeightedBordaScores(ens, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := bordaScores(ens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range f {
+			if math.Abs(wf[e]-f[e]) > 1e-12 {
+				t.Errorf("trial %d: weighted score[%d] = %v, plain = %v", trial, e, wf[e], f[e])
+			}
+		}
+		wr, err := WeightedBorda(ens, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Borda(ens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wr.Equal(r) {
+			t.Errorf("trial %d: WeightedBorda %v != Borda %v", trial, wr, r)
+		}
+	}
+}
+
+// TestWeightedMedianUniformEqualsLowerMedian: all-ones weights reproduce the
+// unweighted lower median exactly (the 2*cum >= total comparison is exact on
+// integer weight vectors).
+func TestWeightedMedianUniformEqualsLowerMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		m := 4 + trial%4 // cover even and odd ensemble sizes
+		ens := make([]*ranking.PartialRanking, m)
+		for i := range ens {
+			ens[i] = randrank.Partial(rng, 10, 3)
+		}
+		wf, err := WeightedMedianScores(ens, uniformWeights(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := MedianScores(ens, LowerMedian)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range f {
+			if wf[e] != f[e] {
+				t.Errorf("trial %d (m=%d): weighted median[%d] = %v, lower median = %v",
+					trial, m, e, wf[e], f[e])
+			}
+		}
+	}
+}
+
+// TestWeightedMedianDownweightsOutlier: with the outlier's weight crushed,
+// the weighted median tracks the majority coordinate exactly.
+func TestWeightedMedianDownweightsOutlier(t *testing.T) {
+	maj := ranking.MustFromOrder([]int{0, 1, 2, 3})
+	out := ranking.MustFromOrder([]int{3, 2, 1, 0})
+	ens := []*ranking.PartialRanking{maj, out, out}
+	// Outliers outnumber the majority, but carry almost no weight.
+	f, err := WeightedMedianScores(ens, []float64{1, 0.01, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 4; e++ {
+		if f[e] != maj.Pos(e) {
+			t.Errorf("element %d: weighted median %v, want majority position %v", e, f[e], maj.Pos(e))
+		}
+	}
+}
+
+// TestCheckWeightsRejections: the weight validator rejects length mismatch,
+// negatives, NaN/Inf, and an all-zero vector.
+func TestCheckWeightsRejections(t *testing.T) {
+	ens := []*ranking.PartialRanking{
+		ranking.MustFromOrder([]int{0, 1}),
+		ranking.MustFromOrder([]int{1, 0}),
+	}
+	bad := [][]float64{
+		{1},              // length mismatch
+		{1, -0.5},        // negative
+		{1, math.NaN()},  // NaN
+		{1, math.Inf(1)}, // Inf
+		{0, 0},           // zero total
+	}
+	for _, w := range bad {
+		if _, err := WeightedBordaScores(ens, w); err == nil {
+			t.Errorf("WeightedBordaScores accepted bad weights %v", w)
+		}
+		if _, err := WeightedMedianScores(ens, w); err == nil {
+			t.Errorf("WeightedMedianScores accepted bad weights %v", w)
+		}
+	}
+}
+
+// TestMaxDistanceWith: the (max, sum) sweep agrees with SumDistanceWith on
+// the sum and with a direct per-voter max.
+func TestMaxDistanceWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ens := make([]*ranking.PartialRanking, 6)
+	for i := range ens {
+		ens[i] = randrank.Full(rng, 9)
+	}
+	cand := randrank.Full(rng, 9)
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
+	maxv, sumv, err := MaxDistanceWith(ws, cand, ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, err := SumDistanceWith(ws, cand, ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sumv-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, SumDistanceWith = %v", sumv, wantSum)
+	}
+	var wantMax float64
+	for _, r := range ens {
+		v, err := metrics.KProfWS(ws, cand, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > wantMax {
+			wantMax = v
+		}
+	}
+	if maxv != wantMax {
+		t.Errorf("max = %v, direct max = %v", maxv, wantMax)
+	}
+}

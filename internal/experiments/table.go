@@ -148,6 +148,7 @@ var Registry = []Spec{
 	{"E13", "Hidden-center recovery from noisy ties (Sec. 1 robustness)", E13Recovery},
 	{"E14", "Condorcet-winner compliance of the aggregators", E14Condorcet},
 	{"E15", "Degraded-mode MEDRANK under injected list death", E15Chaos},
+	{"E16", "Hostile-voter injection vs robust aggregation", E16Robust},
 }
 
 // Run looks up and runs one experiment by ID under panic supervision: a bug

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+func cleanEnsemble(t *testing.T, seed int64, n, m int) []*ranking.PartialRanking {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ens := make([]*ranking.PartialRanking, m)
+	for i := range ens {
+		ens[i] = randrank.Full(rng, n)
+	}
+	return ens
+}
+
+// TestInjectVotersDeterministic: replaying the same plan over the same clean
+// ensemble — including concurrently, so -race watches the injector — yields
+// identical ensembles and identical reports.
+func TestInjectVotersDeterministic(t *testing.T) {
+	clean := cleanEnsemble(t, 9, 12, 10)
+	plans := []AdversaryPlan{
+		{Seed: 42, Kind: ReversalSpam, Fraction: 0.2},
+		{Seed: 42, Kind: CollusionClique, Count: 3, Targets: []int{7, 2}},
+		{Seed: 42, Kind: NoiseVoters, Count: 4},
+	}
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.Kind.String(), func(t *testing.T) {
+			type run struct {
+				ens []*ranking.PartialRanking
+				rep *AdversaryReport
+			}
+			const replays = 4
+			runs := make([]run, replays)
+			var wg sync.WaitGroup
+			for g := 0; g < replays; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					ens, rep, err := InjectVoters(clean, plan)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					runs[g] = run{ens, rep}
+				}(g)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			for g := 1; g < replays; g++ {
+				if !reflect.DeepEqual(runs[g].rep, runs[0].rep) {
+					t.Fatalf("replay %d report %+v != replay 0 report %+v", g, runs[g].rep, runs[0].rep)
+				}
+				if len(runs[g].ens) != len(runs[0].ens) {
+					t.Fatalf("replay %d ensemble size %d != %d", g, len(runs[g].ens), len(runs[0].ens))
+				}
+				for i := range runs[0].ens {
+					if !runs[g].ens[i].Equal(runs[0].ens[i]) {
+						t.Fatalf("replay %d voter %d differs from replay 0", g, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInjectVotersSeedsDiffer: different seeds place the adversaries at
+// different positions (content may coincide for reversal, placement must not).
+func TestInjectVotersSeedsDiffer(t *testing.T) {
+	clean := cleanEnsemble(t, 3, 10, 20)
+	_, repA, err := InjectVoters(clean, AdversaryPlan{Seed: 1, Kind: NoiseVoters, Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repB, err := InjectVoters(clean, AdversaryPlan{Seed: 2, Kind: NoiseVoters, Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(repA.Injected, repB.Injected) {
+		t.Errorf("seeds 1 and 2 placed adversaries identically: %v", repA.Injected)
+	}
+}
+
+// TestInjectVotersStructure: kind-specific shape checks — ensemble size,
+// interleaved placement, clean voters preserved in order, and the attack
+// ranking itself.
+func TestInjectVotersStructure(t *testing.T) {
+	clean := cleanEnsemble(t, 5, 8, 10)
+
+	t.Run("fraction rounds up", func(t *testing.T) {
+		ens, rep, err := InjectVoters(clean, AdversaryPlan{Seed: 11, Kind: ReversalSpam, Fraction: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ceil(0.25 * 10) = 3
+		if len(rep.Injected) != 3 || len(ens) != 13 {
+			t.Fatalf("injected %d voters into ensemble of %d, want 3 into 13", len(rep.Injected), len(ens))
+		}
+	})
+
+	t.Run("clean voters survive in order", func(t *testing.T) {
+		ens, rep, err := InjectVoters(clean, AdversaryPlan{Seed: 11, Kind: NoiseVoters, Count: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		isAdv := make(map[int]bool, len(rep.Injected))
+		for _, p := range rep.Injected {
+			isAdv[p] = true
+		}
+		ci := 0
+		for i, r := range ens {
+			if isAdv[i] {
+				continue
+			}
+			if r != clean[ci] {
+				t.Fatalf("position %d: clean voter %d not preserved in order", i, ci)
+			}
+			ci++
+		}
+		if ci != len(clean) {
+			t.Fatalf("found %d clean voters, want %d", ci, len(clean))
+		}
+	})
+
+	t.Run("reversal spam reverses the consensus", func(t *testing.T) {
+		ens, rep, err := InjectVoters(clean, AdversaryPlan{Seed: 11, Kind: ReversalSpam, Count: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := reversalOfConsensus(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rep.Injected {
+			if !ens[p].Equal(want) {
+				t.Errorf("adversary at %d is not the consensus reversal", p)
+			}
+		}
+		// And the reversal really is the reverse of the clean Borda order:
+		// recompute the consensus and check element-wise reversal.
+		fwd := want.Reverse()
+		for _, p := range rep.Injected {
+			if !ens[p].Reverse().Equal(fwd) {
+				t.Errorf("reversal at %d does not invert back to the consensus", p)
+			}
+		}
+	})
+
+	t.Run("clique promotes the slate first", func(t *testing.T) {
+		targets := []int{6, 1, 4}
+		ens, rep, err := InjectVoters(clean, AdversaryPlan{Seed: 11, Kind: CollusionClique, Count: 3, Targets: targets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rep.Injected {
+			order := ens[p].Order()
+			for i, tgt := range targets {
+				if order[i] != tgt {
+					t.Fatalf("adversary at %d ranks %d at position %d, want slate %v first", p, order[i], i, targets)
+				}
+			}
+			// All clique members share one ranking.
+			if !ens[p].Equal(ens[rep.Injected[0]]) {
+				t.Errorf("clique member at %d disagrees with the clique", p)
+			}
+		}
+	})
+}
+
+// TestInjectVotersValidation: bad plans are rejected.
+func TestInjectVotersValidation(t *testing.T) {
+	clean := cleanEnsemble(t, 5, 6, 4)
+	if _, _, err := InjectVoters(nil, AdversaryPlan{Kind: ReversalSpam, Count: 1}); err == nil {
+		t.Error("empty clean ensemble accepted")
+	}
+	if _, _, err := InjectVoters(clean, AdversaryPlan{Kind: CollusionClique, Count: 1}); err == nil {
+		t.Error("clique without targets accepted")
+	}
+	if _, _, err := InjectVoters(clean, AdversaryPlan{Kind: CollusionClique, Count: 1, Targets: []int{9}}); err == nil {
+		t.Error("out-of-domain clique target accepted")
+	}
+	if _, _, err := InjectVoters(clean, AdversaryPlan{Kind: CollusionClique, Count: 1, Targets: []int{1, 1}}); err == nil {
+		t.Error("duplicate clique target accepted")
+	}
+	if _, _, err := InjectVoters(clean, AdversaryPlan{Kind: ReversalSpam, Count: -2}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, _, err := InjectVoters(clean, AdversaryPlan{Kind: AdversaryKind(99), Count: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package robust
+
+import (
+	"repro/internal/aggregate"
+	"repro/internal/guard"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// minMaxMaxPasses bounds the adjacent-swap local search. The lexicographic
+// (max, sum) objective strictly decreases on every accepted swap over a
+// finite candidate set, so the search terminates on its own; the cap is a
+// supervision backstop against a pathological number of passes on large
+// domains, mirroring the spirit of the guard layer's admission bounds.
+const minMaxMaxPasses = 256
+
+// MinMaxKemenize locally optimizes a full ranking for the MinMax objective
+// of Li–Milenkovic: repeatedly swap adjacent elements whenever the swap
+// lexicographically reduces (max_i d(candidate, sigma_i),
+// sum_i d(candidate, sigma_i)), until no adjacent swap helps. The sum
+// tie-break keeps the search from wandering across the typically large
+// plateau where the single worst voter pins the max, and makes the result
+// deterministic. The candidate's ties, if any, are first refined by element
+// ID, exactly like LocalKemenize.
+//
+// Every swap evaluates the full per-voter distance sweep, so one pass costs
+// (n-1) * m distance evaluations; callers aggregating large ensembles should
+// pass a cached distance.
+func MinMaxKemenize(candidate *ranking.PartialRanking, rankings []*ranking.PartialRanking, d metrics.DistanceWS) (_ *ranking.PartialRanking, err error) {
+	defer guard.Capture(&err)
+	defer telemetry.StartSpan("robust.minmax").End()
+	if len(rankings) == 0 {
+		return nil, aggregate.ErrNoInput
+	}
+	if err := ranking.CheckSameDomain(append([]*ranking.PartialRanking{candidate}, rankings...)...); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		d = metrics.KProfWS
+	}
+	if !candidate.IsFull() {
+		order := make([]int, candidate.N())
+		for i := range order {
+			order[i] = i
+		}
+		candidate = candidate.RefineBy(ranking.MustFromOrder(order))
+	}
+	order := append([]int(nil), candidate.Order()...)
+	n := len(order)
+
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
+	eval := func(ord []int) (float64, float64, error) {
+		cand, err := ranking.FromOrder(ord)
+		if err != nil {
+			return 0, 0, err
+		}
+		return aggregate.MaxDistanceWith(ws, cand, rankings, d)
+	}
+	bestMax, bestSum, err := eval(order)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; pass < minMaxMaxPasses; pass++ {
+		changed := false
+		for i := 0; i+1 < n; i++ {
+			order[i], order[i+1] = order[i+1], order[i]
+			maxv, sumv, err := eval(order)
+			if err != nil {
+				return nil, err
+			}
+			if maxv < bestMax || (maxv == bestMax && sumv < bestSum) {
+				bestMax, bestSum = maxv, sumv
+				changed = true
+				tMinMaxSwaps.Inc()
+			} else {
+				order[i], order[i+1] = order[i+1], order[i]
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ranking.FromOrder(order)
+}

@@ -1,0 +1,288 @@
+// Package robust implements hostile-voter-robust rank aggregation: the
+// engines that keep a consensus meaningful when some input rankings are spam
+// or colluding rather than noisy-but-honest.
+//
+// The pipeline has three independently useful stages:
+//
+//  1. Reliability weights (Weights): each voter is scored by its closeness
+//     centrality in the pairwise-distance graph of the ensemble — voters
+//     whose rankings sit near the crowd get high weight, outliers get low
+//     weight. This is the proximity-based reliability of trimmed partial
+//     Borda (Amazon's ums-tsad rank_aggregation exemplar), computed exactly
+//     on the distance matrix the sharded cache makes cheap.
+//  2. Trimming (TrimByWeight): drop the k least-reliable voters outright, or
+//     keep everyone and let the weights down-weight continuously.
+//  3. A robust objective: trimmed Borda and weighted median reuse the
+//     paper's sum-minimizing machinery over the surviving/reweighted voters;
+//     MinMax (Li–Milenkovic, "Multiclass MinMax Rank Aggregation") instead
+//     minimizes the *worst* surviving voter's distance by lexicographic
+//     (max, sum) adjacent-swap local search.
+//
+// MinMax is a fairness objective, not an outlier filter: run un-trimmed over
+// an ensemble containing adversaries it caters to them (the adversary IS the
+// worst-off voter). The robust composition is therefore trim-then-MinMax,
+// which Aggregate wires together; experiment E16 measures all three variants
+// against plain Borda under injected reversal spam and colluding cliques.
+//
+// The package sits above aggregate/metrics/ranking and below the service
+// layer and the CLIs; callers inject the distance (typically a cached one)
+// so reliability sweeps share the process-wide distance cache.
+package robust
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aggregate"
+	"repro/internal/guard"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// Gated telemetry instruments of the robust layer.
+var (
+	tWeightSweeps  = telemetry.GetCounter("robust.weight.sweeps")
+	tTrimmedVoters = telemetry.GetCounter("robust.trim.dropped")
+	tMinMaxSwaps   = telemetry.GetCounter("robust.minmax.swaps")
+)
+
+// Mode selects a robust aggregation engine.
+type Mode string
+
+const (
+	// ModeTrimmedBorda drops the Trim least-reliable voters and runs plain
+	// Borda over the survivors (with Trim = 0 it IS plain Borda).
+	ModeTrimmedBorda Mode = "trimmed-borda"
+	// ModeWeightedMedian aggregates by the coordinate-wise weighted median,
+	// down-weighting unreliable voters continuously (after any trim).
+	ModeWeightedMedian Mode = "weighted-median"
+	// ModeMinMax minimizes the maximum per-voter distance over the post-trim
+	// voter set by adjacent-swap local search from the trimmed Borda ranking.
+	ModeMinMax Mode = "minmax"
+)
+
+// ParseMode resolves the wire/CLI name of a robust mode.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeTrimmedBorda, ModeWeightedMedian, ModeMinMax:
+		return Mode(s), nil
+	default:
+		return "", fmt.Errorf("robust: unknown mode %q (want %s, %s, or %s)",
+			s, ModeTrimmedBorda, ModeWeightedMedian, ModeMinMax)
+	}
+}
+
+// Options configures one robust aggregation.
+type Options struct {
+	// Mode selects the engine; required.
+	Mode Mode
+	// Trim drops this many least-reliable voters before aggregating. Must
+	// leave at least one voter. 0 keeps everyone.
+	Trim int
+	// Distance scores voter proximity for the reliability weights and
+	// evaluates the objective annotations; nil means metrics.KProfWS. Inject
+	// a cached distance (metrics.Cached or the service's tenant-attributed
+	// wrapper) to share the process-wide distance cache.
+	Distance metrics.DistanceWS
+}
+
+// Result is one robust aggregation with its reliability annotations.
+type Result struct {
+	// Aggregate is the robust consensus ranking.
+	Aggregate *ranking.PartialRanking
+	// Weights holds every original voter's reliability weight (normalized to
+	// sum to 1), trimmed voters included.
+	Weights []float64
+	// Trimmed holds the original indices of dropped voters, ascending.
+	Trimmed []int
+	// Kept holds the original indices of surviving voters, ascending.
+	Kept []int
+	// SumDistance and MaxDistance are the aggregate's summed and worst
+	// per-voter distance over the KEPT voters — the two objectives the
+	// engines trade off.
+	SumDistance float64
+	MaxDistance float64
+	// PerVoter is the aggregate's distance to every ORIGINAL voter (trimmed
+	// included), for spam forensics: a trimmed voter with a huge distance is
+	// the annotation that justifies the trim.
+	PerVoter []float64
+}
+
+// Weights returns the reliability weight of every voter: with
+// mu_i = mean_{j != i} d(sigma_i, sigma_j) and mubar the mean of the mu_i,
+// voter i's raw reliability is 1/(mu_i + mubar) — closeness centrality in
+// the pairwise-distance graph, damped by the ensemble scale so the weights
+// are invariant under rescaling the metric — normalized to sum to 1. A
+// perfectly symmetric ensemble (all mu_i equal, in particular m == 1 or all
+// voters identical) yields uniform weights.
+func Weights(rankings []*ranking.PartialRanking, d metrics.DistanceWS) (_ []float64, err error) {
+	defer guard.Capture(&err)
+	defer telemetry.StartSpan("robust.weights").End()
+	if len(rankings) == 0 {
+		return nil, aggregate.ErrNoInput
+	}
+	if err := ranking.CheckSameDomain(rankings...); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		d = metrics.KProfWS
+	}
+	M, err := metrics.DistanceMatrixWith(rankings, d)
+	if err != nil {
+		return nil, err
+	}
+	tWeightSweeps.Inc()
+	return WeightsFromMatrix(M), nil
+}
+
+// WeightsFromMatrix computes the reliability weights from a precomputed
+// symmetric pairwise-distance matrix (see Weights for the formula). Callers
+// that already hold a matrix (experiments, resumable sweeps) skip the
+// distance pass entirely.
+func WeightsFromMatrix(M [][]float64) []float64 {
+	m := len(M)
+	w := make([]float64, m)
+	if m == 0 {
+		return w
+	}
+	mu := make([]float64, m)
+	var mubar float64
+	for i := range M {
+		var sum float64
+		for j, v := range M[i] {
+			if j != i {
+				sum += v
+			}
+		}
+		if m > 1 {
+			mu[i] = sum / float64(m-1)
+		}
+		mubar += mu[i]
+	}
+	mubar /= float64(m)
+	if mubar == 0 {
+		// Degenerate ensemble (single voter, or all voters identical): every
+		// voter is equally central.
+		for i := range w {
+			w[i] = 1 / float64(m)
+		}
+		return w
+	}
+	var total float64
+	for i := range w {
+		w[i] = 1 / (mu[i] + mubar)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// TrimByWeight returns the original indices of the k least-reliable voters
+// (trimmed, ascending) and of the survivors (kept, ascending). Ties on
+// weight are broken by voter index, lower index trimmed first, so the trim
+// is deterministic. k must satisfy 0 <= k < len(weights).
+func TrimByWeight(weights []float64, k int) (trimmed, kept []int, err error) {
+	m := len(weights)
+	if k < 0 || k >= m {
+		return nil, nil, fmt.Errorf("robust: trim %d out of range [0,%d] for %d voters", k, m-1, m)
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return weights[idx[a]] < weights[idx[b]] })
+	trimmed = append([]int(nil), idx[:k]...)
+	sort.Ints(trimmed)
+	dropped := make([]bool, m)
+	for _, i := range trimmed {
+		dropped[i] = true
+	}
+	kept = make([]int, 0, m-k)
+	for i := 0; i < m; i++ {
+		if !dropped[i] {
+			kept = append(kept, i)
+		}
+	}
+	tTrimmedVoters.Add(int64(k))
+	return trimmed, kept, nil
+}
+
+// Aggregate runs one robust aggregation: score every voter's reliability,
+// trim, aggregate the survivors under the selected objective, and annotate
+// the result with the weights and per-voter distances. Deterministic: same
+// ensemble, same options, same result.
+func Aggregate(rankings []*ranking.PartialRanking, opts Options) (_ *Result, err error) {
+	defer guard.Capture(&err)
+	defer telemetry.StartSpan("robust.aggregate").End()
+	if _, err := ParseMode(string(opts.Mode)); err != nil {
+		return nil, err
+	}
+	d := opts.Distance
+	if d == nil {
+		d = metrics.KProfWS
+	}
+	weights, err := Weights(rankings, d)
+	if err != nil {
+		return nil, err
+	}
+	trimmed, keptIdx, err := TrimByWeight(weights, opts.Trim)
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]*ranking.PartialRanking, len(keptIdx))
+	for i, orig := range keptIdx {
+		kept[i] = rankings[orig]
+	}
+
+	var agg *ranking.PartialRanking
+	switch opts.Mode {
+	case ModeTrimmedBorda:
+		agg, err = aggregate.Borda(kept)
+	case ModeWeightedMedian:
+		keptWeights := make([]float64, len(keptIdx))
+		for i, orig := range keptIdx {
+			keptWeights[i] = weights[orig]
+		}
+		agg, err = aggregate.WeightedMedianFull(kept, keptWeights)
+	case ModeMinMax:
+		var start *ranking.PartialRanking
+		start, err = aggregate.Borda(kept)
+		if err == nil {
+			agg, err = MinMaxKemenize(start, kept, d)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Aggregate: agg,
+		Weights:   weights,
+		Trimmed:   trimmed,
+		Kept:      keptIdx,
+		PerVoter:  make([]float64, len(rankings)),
+	}
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
+	keptSet := make([]bool, len(rankings))
+	for _, i := range keptIdx {
+		keptSet[i] = true
+	}
+	for i, r := range rankings {
+		v, err := d(ws, agg, r)
+		if err != nil {
+			return nil, err
+		}
+		res.PerVoter[i] = v
+		if keptSet[i] {
+			res.SumDistance += v
+			if v > res.MaxDistance {
+				res.MaxDistance = v
+			}
+		}
+	}
+	return res, nil
+}

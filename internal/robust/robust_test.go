@@ -1,0 +1,302 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/metrics"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+)
+
+// TestWeightsUniformOnSymmetricEnsemble: an ensemble of identical voters has
+// a perfectly symmetric distance graph, so every voter must get exactly the
+// same weight.
+func TestWeightsUniformOnSymmetricEnsemble(t *testing.T) {
+	r := ranking.MustFromOrder([]int{2, 0, 1, 3})
+	ens := []*ranking.PartialRanking{r, r.Clone(), r.Clone(), r.Clone(), r.Clone()}
+	w, err := Weights(ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wi := range w {
+		if math.Abs(wi-1.0/float64(len(ens))) > 1e-12 {
+			t.Errorf("weight[%d] = %v, want uniform %v", i, wi, 1.0/float64(len(ens)))
+		}
+	}
+}
+
+// TestWeightsNormalizedAndPositive: weights sum to 1 and are strictly
+// positive on arbitrary ensembles.
+func TestWeightsNormalizedAndPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		ens := make([]*ranking.PartialRanking, 6)
+		for i := range ens {
+			ens[i] = randrank.Partial(rng, 12, 3)
+		}
+		w, err := Weights(ens, metrics.KProfWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i, wi := range w {
+			if wi <= 0 {
+				t.Errorf("trial %d: weight[%d] = %v, want > 0", trial, i, wi)
+			}
+			sum += wi
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("trial %d: weights sum to %v, want 1", trial, sum)
+		}
+	}
+}
+
+// TestWeightsPermutationEquivariant: permuting the voters permutes the
+// weights the same way — reliability depends on the ranking, not the slot.
+func TestWeightsPermutationEquivariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ens := make([]*ranking.PartialRanking, 7)
+	for i := range ens {
+		ens[i] = randrank.Full(rng, 10)
+	}
+	w, err := Weights(ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.Perm(len(ens))
+	shuffled := make([]*ranking.PartialRanking, len(ens))
+	for i, p := range perm {
+		shuffled[i] = ens[p]
+	}
+	ws, err := Weights(shuffled, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		if math.Abs(ws[i]-w[p]) > 1e-12 {
+			t.Errorf("shuffled weight[%d] = %v, want original weight[%d] = %v", i, ws[i], p, w[p])
+		}
+	}
+}
+
+// TestWeightsOutlierGetsLeastWeight: a voter ranking the exact reverse of an
+// otherwise agreeing crowd must be the least reliable.
+func TestWeightsOutlierGetsLeastWeight(t *testing.T) {
+	n := 8
+	fwd := make([]int, n)
+	for i := range fwd {
+		fwd[i] = i
+	}
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+	}
+	ens := []*ranking.PartialRanking{
+		ranking.MustFromOrder(fwd),
+		ranking.MustFromOrder(fwd),
+		ranking.MustFromOrder([]int{1, 0, 2, 3, 4, 5, 6, 7}),
+		ranking.MustFromOrder(rev), // the outlier
+	}
+	w, err := Weights(ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if w[3] >= w[i] {
+			t.Errorf("outlier weight %v not below voter %d weight %v", w[3], i, w[i])
+		}
+	}
+	trimmed, kept, err := TrimByWeight(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trimmed) != 1 || trimmed[0] != 3 {
+		t.Errorf("trimmed = %v, want [3]", trimmed)
+	}
+	if len(kept) != 3 {
+		t.Errorf("kept = %v, want the three honest voters", kept)
+	}
+}
+
+// TestTrimZeroEqualsPlainBorda: the trim-k=0 trimmed-Borda aggregate is
+// byte-identical to plain Borda — trimming is a strict generalization.
+func TestTrimZeroEqualsPlainBorda(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ens := make([]*ranking.PartialRanking, 9)
+	for i := range ens {
+		ens[i] = randrank.Partial(rng, 15, 4)
+	}
+	res, err := Aggregate(ens, Options{Mode: ModeTrimmedBorda, Trim: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := aggregate.Borda(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aggregate.Equal(plain) {
+		t.Errorf("trim-0 trimmed Borda %v != plain Borda %v", res.Aggregate, plain)
+	}
+	if len(res.Trimmed) != 0 || len(res.Kept) != len(ens) {
+		t.Errorf("trim-0 dropped voters: trimmed=%v kept=%v", res.Trimmed, res.Kept)
+	}
+}
+
+// TestTrimByWeightValidation: trims that leave no voter are rejected.
+func TestTrimByWeightValidation(t *testing.T) {
+	w := []float64{0.5, 0.5}
+	if _, _, err := TrimByWeight(w, 2); err == nil {
+		t.Error("TrimByWeight(2 of 2) should fail")
+	}
+	if _, _, err := TrimByWeight(w, -1); err == nil {
+		t.Error("TrimByWeight(-1) should fail")
+	}
+}
+
+// TestAggregateDeterministic: the full robust pipeline is a pure function of
+// (ensemble, options) for every mode.
+func TestAggregateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ens := make([]*ranking.PartialRanking, 8)
+	for i := range ens {
+		ens[i] = randrank.Full(rng, 10)
+	}
+	for _, mode := range []Mode{ModeTrimmedBorda, ModeWeightedMedian, ModeMinMax} {
+		a, err := Aggregate(ens, Options{Mode: mode, Trim: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		b, err := Aggregate(ens, Options{Mode: mode, Trim: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !a.Aggregate.Equal(b.Aggregate) {
+			t.Errorf("%s: two runs disagree: %v vs %v", mode, a.Aggregate, b.Aggregate)
+		}
+		for i := range a.Weights {
+			if a.Weights[i] != b.Weights[i] {
+				t.Errorf("%s: weight[%d] differs across runs", mode, i)
+			}
+		}
+	}
+}
+
+// TestMinMaxNeverWorseThanStart: the local search only accepts strict
+// lexicographic improvements, so the MinMax objective of the result is never
+// above the start's.
+func TestMinMaxNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		ens := make([]*ranking.PartialRanking, 7)
+		for i := range ens {
+			ens[i] = randrank.Full(rng, 9)
+		}
+		start, err := aggregate.Borda(ens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := MinMaxKemenize(start, ens, metrics.KProfWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := metrics.GetWorkspace()
+		startMax, startSum, err := aggregate.MaxDistanceWith(ws, start, ens, metrics.KProfWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outMax, outSum, err := aggregate.MaxDistanceWith(ws, out, ens, metrics.KProfWS)
+		metrics.PutWorkspace(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outMax > startMax || (outMax == startMax && outSum > startSum) {
+			t.Errorf("trial %d: minmax worsened (max, sum): (%v, %v) -> (%v, %v)",
+				trial, startMax, startSum, outMax, outSum)
+		}
+	}
+}
+
+// TestMinMaxReducesWorstVoterDistance: with one voter far from an otherwise
+// unanimous crowd, MinMax must land strictly closer to the outlier than the
+// crowd's own ranking does — the fairness objective at work.
+func TestMinMaxReducesWorstVoterDistance(t *testing.T) {
+	n := 7
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	for i := range fwd {
+		fwd[i], rev[i] = i, n-1-i
+	}
+	crowd := ranking.MustFromOrder(fwd)
+	outlier := ranking.MustFromOrder(rev)
+	ens := []*ranking.PartialRanking{crowd, crowd.Clone(), outlier}
+	out, err := MinMaxKemenize(crowd, ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := metrics.GetWorkspace()
+	defer metrics.PutWorkspace(ws)
+	crowdMax, _, err := aggregate.MaxDistanceWith(ws, crowd, ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outMax, _, err := aggregate.MaxDistanceWith(ws, out, ens, metrics.KProfWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outMax >= crowdMax {
+		t.Errorf("minmax max distance %v not below crowd ranking's %v", outMax, crowdMax)
+	}
+}
+
+// TestAggregateAnnotations: Sum/MaxDistance cover exactly the kept voters
+// and PerVoter covers everyone, so a trimmed spam voter's huge distance is
+// visible without influencing the objective.
+func TestAggregateAnnotations(t *testing.T) {
+	n := 10
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	for i := range fwd {
+		fwd[i], rev[i] = i, n-1-i
+	}
+	ens := []*ranking.PartialRanking{
+		ranking.MustFromOrder(fwd),
+		ranking.MustFromOrder(fwd),
+		ranking.MustFromOrder(fwd),
+		ranking.MustFromOrder(rev),
+	}
+	res, err := Aggregate(ens, Options{Mode: ModeTrimmedBorda, Trim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trimmed) != 1 || res.Trimmed[0] != 3 {
+		t.Fatalf("trimmed = %v, want the reversal voter [3]", res.Trimmed)
+	}
+	if len(res.PerVoter) != len(ens) {
+		t.Fatalf("PerVoter has %d entries, want %d", len(res.PerVoter), len(ens))
+	}
+	if res.MaxDistance != 0 || res.SumDistance != 0 {
+		t.Errorf("objective over kept voters = (max %v, sum %v), want 0 (aggregate equals the crowd)",
+			res.MaxDistance, res.SumDistance)
+	}
+	if res.PerVoter[3] == 0 {
+		t.Error("trimmed voter's PerVoter distance is 0, want the full reversal distance")
+	}
+}
+
+// TestParseMode rejects unknown modes and accepts the three engines.
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"trimmed-borda", "weighted-median", "minmax"} {
+		if _, err := ParseMode(s); err != nil {
+			t.Errorf("ParseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseMode("kemeny"); err == nil {
+		t.Error("ParseMode(kemeny) should fail")
+	}
+	if _, err := Aggregate([]*ranking.PartialRanking{ranking.MustFromOrder([]int{0, 1})}, Options{Mode: "nope"}); err == nil {
+		t.Error("Aggregate with unknown mode should fail")
+	}
+}

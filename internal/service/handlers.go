@@ -14,7 +14,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/faults"
 	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/ranking"
+	"repro/internal/robust"
 	"repro/internal/service/debugserve"
 	"repro/internal/telemetry"
 	"repro/internal/topk"
@@ -87,6 +89,24 @@ type TopKRequest struct {
 	// bounded retries; with Chaos set, faults are injected deterministically.
 	Resilient bool       `json:"resilient,omitempty"`
 	Chaos     *ChaosPlan `json:"chaos,omitempty"`
+	// Trim drops this many least-reliable lists (by reliability weight under
+	// the default kprof metric) before the query runs. Composes with the
+	// resilient path: degraded annotations and quality intervals then reflect
+	// the post-trim voter set, with lost-list indices reported in the
+	// original catalog's index space.
+	Trim int `json:"trim,omitempty"`
+}
+
+// TrimSummary annotates a reliability-trimmed query: which lists were
+// dropped, how many survived, and every original list's reliability weight.
+type TrimSummary struct {
+	// Dropped holds the trimmed lists' original catalog indices, ascending.
+	Dropped []int `json:"dropped"`
+	// Survivors is the number of lists the query actually ran over.
+	Survivors int `json:"survivors"`
+	// Weights holds every ORIGINAL list's reliability weight (normalized to
+	// sum to 1), dropped lists included.
+	Weights []float64 `json:"weights"`
 }
 
 // AccessSummary is the wire form of a query's access accounting.
@@ -104,7 +124,19 @@ type TopKResponse struct {
 	TopK      string         `json:"topk"`
 	Access    AccessSummary  `json:"access"`
 	Degraded  *topk.Degraded `json:"degraded,omitempty"`
+	Trim      *TrimSummary   `json:"trim,omitempty"`
 	ElapsedNs int64          `json:"elapsed_ns"`
+}
+
+// RobustClause is the optional hostile-voter-robust clause of an aggregation
+// request: score every input list's reliability, drop the trim least-reliable,
+// and aggregate the survivors under the selected robust objective.
+type RobustClause struct {
+	// Mode selects the robust engine: trimmed-borda, weighted-median, or
+	// minmax.
+	Mode string `json:"mode"`
+	// Trim drops this many least-reliable lists before aggregating.
+	Trim int `json:"trim,omitempty"`
 }
 
 // AggregateRequest asks for a full aggregation of a catalog.
@@ -115,6 +147,29 @@ type AggregateRequest struct {
 	// Kemenize applies local Kemenization to the median aggregate
 	// (default true unless explicitly false).
 	Kemenize *bool `json:"kemenize,omitempty"`
+	// Robust additionally runs a hostile-voter-robust aggregation and
+	// annotates the response with per-list reliability weights and the
+	// trimmed list indices.
+	Robust *RobustClause `json:"robust,omitempty"`
+}
+
+// RobustResult is the robust clause's answer: the robust consensus with its
+// reliability forensics.
+type RobustResult struct {
+	Mode    string `json:"mode"`
+	Trim    int    `json:"trim"`
+	Ranking string `json:"ranking"`
+	// SumDistance and MaxDistance are the robust aggregate's summed and worst
+	// per-list distance over the SURVIVING lists.
+	SumDistance float64 `json:"sum_distance"`
+	MaxDistance float64 `json:"max_distance"`
+	// Weights holds every original list's reliability weight (normalized to
+	// sum to 1), trimmed lists included.
+	Weights []float64 `json:"weights"`
+	// Trimmed holds the dropped lists' original indices, ascending.
+	Trimmed []int `json:"trimmed,omitempty"`
+	// Survivors is the number of lists the robust aggregate covers.
+	Survivors int `json:"survivors"`
 }
 
 // RankedCandidate is one candidate consensus ranking with its summed
@@ -134,6 +189,7 @@ type AggregateResponse struct {
 	BestInput int                `json:"best_input"`
 	Best      RankedCandidate    `json:"best"`
 	Kemenized *RankedCandidate   `json:"kemenized,omitempty"`
+	Robust    *RobustResult      `json:"robust,omitempty"`
 	ElapsedNs int64              `json:"elapsed_ns"`
 }
 
@@ -437,7 +493,7 @@ func (s *Service) lookupCatalog(r *http.Request) (*tenant, *catalog, *apiError) 
 }
 
 func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiError) {
-	_, c, apiErr := s.lookupCatalog(r)
+	t, c, apiErr := s.lookupCatalog(r)
 	if apiErr != nil {
 		return nil, apiErr
 	}
@@ -456,6 +512,10 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	if req.Chaos != nil && !req.Resilient {
 		return nil, fail(http.StatusBadRequest, "chaos requires resilient mode")
 	}
+	if req.Trim < 0 || req.Trim >= len(c.rankings) {
+		return nil, fail(http.StatusBadRequest, "trim=%d out of range [0,%d] for %d lists",
+			req.Trim, len(c.rankings)-1, len(c.rankings))
+	}
 
 	actx, adm := telemetry.Start(r.Context(), "admission")
 	release, err := s.acquire(actx)
@@ -470,14 +530,44 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		algo = "medrank"
 	}
 	start := time.Now()
+	meta := metaFrom(r.Context())
+
+	// Reliability trim: score every list's centrality in the catalog's
+	// pairwise-distance graph (default kprof metric, shared cache) and drop
+	// the Trim least reliable BEFORE the engines run, so the query — and on
+	// the resilient path the degraded quality intervals, whose median index
+	// is derived from the voter count — sees only the post-trim voter set.
+	rankings := c.rankings
+	keptIdx := []int(nil) // non-nil only when trimming; maps engine index -> catalog index
+	var trimSummary *TrimSummary
+	if req.Trim > 0 {
+		_, tsp := telemetry.Start(r.Context(), "robust.trim")
+		d := t.cachedDistance(s.cache, metrics.CacheIDKProf, metrics.KProfWS, meta)
+		weights, werr := robust.Weights(c.rankings, d)
+		var dropped []int
+		if werr == nil {
+			dropped, keptIdx, werr = robust.TrimByWeight(weights, req.Trim)
+		}
+		tsp.End()
+		if werr != nil {
+			return nil, fail(http.StatusInternalServerError, "reliability trim: %v", werr)
+		}
+		rankings = make([]*ranking.PartialRanking, len(keptIdx))
+		for i, orig := range keptIdx {
+			rankings[i] = c.rankings[orig]
+		}
+		trimSummary = &TrimSummary{Dropped: dropped, Survivors: len(keptIdx), Weights: weights}
+		s.mRobustTrim.With(t.name).Add(int64(len(dropped)))
+	}
+
 	var res *topk.Result
 	ectx, eng := telemetry.Start(r.Context(), "engine."+algo)
 	if req.Resilient {
-		res, err = s.runResilientTopK(r.WithContext(ectx), c, req)
+		res, err = s.runResilientTopK(r.WithContext(ectx), rankings, req)
 	} else if req.Algo == "ta" {
-		res, err = topk.ThresholdTopKContext(ectx, c.rankings, req.K)
+		res, err = topk.ThresholdTopKContext(ectx, rankings, req.K)
 	} else {
-		res, err = topk.MedRankContext(ectx, c.rankings, req.K, topk.GlobalMerge)
+		res, err = topk.MedRankContext(ectx, rankings, req.K, topk.GlobalMerge)
 	}
 	if err != nil {
 		eng.End()
@@ -485,6 +575,14 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 			return nil, fail(http.StatusServiceUnavailable, "query aborted: %v", err)
 		}
 		return nil, fail(http.StatusInternalServerError, "top-k query: %v", err)
+	}
+	// A trimmed resilient run reports lost lists in the trimmed slice's index
+	// space; remap to the original catalog indices so clients and the trim
+	// summary speak the same coordinates.
+	if res.Degraded != nil && keptIdx != nil {
+		for i, lost := range res.Degraded.Lost {
+			res.Degraded.Lost[i] = keptIdx[lost]
+		}
 	}
 	access := AccessSummary{
 		Sequential: res.Stats.Total,
@@ -497,15 +595,21 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	if res.Degraded != nil {
 		s.degraded.Add(1)
 	}
-	if meta := metaFrom(r.Context()); meta != nil {
+	if meta != nil {
 		meta.access = access
 		meta.degraded = res.Degraded != nil
 	}
-	// The top-k path never probes the distance cache; the zero-traffic cache
-	// span keeps request span trees structurally uniform across endpoints.
+	// The cache span is zero-traffic unless the reliability trim probed the
+	// distance cache; emitting it regardless keeps request span trees
+	// structurally uniform across endpoints.
 	_, csp := telemetry.Start(r.Context(), "cache")
-	csp.SetAttr("hits", 0)
-	csp.SetAttr("misses", 0)
+	if meta != nil {
+		csp.SetAttr("hits", meta.cacheHits.Load())
+		csp.SetAttr("misses", meta.cacheMisses.Load())
+	} else {
+		csp.SetAttr("hits", 0)
+		csp.SetAttr("misses", 0)
+	}
 	csp.End()
 
 	resp := TopKResponse{
@@ -514,6 +618,7 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		TopK:      c.dom.Render(res.TopK),
 		Access:    access,
 		Degraded:  res.Degraded,
+		Trim:      trimSummary,
 		ElapsedNs: time.Since(start).Nanoseconds(),
 	}
 	for i, e := range res.Winners {
@@ -523,12 +628,13 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	return resp, nil
 }
 
-// runResilientTopK runs the degraded-mode engines over fallible sources,
-// optionally fault-injected per the request's chaos plan.
-func (s *Service) runResilientTopK(r *http.Request, c *catalog, req TopKRequest) (*topk.Result, error) {
-	acc := telemetry.NewAccessAccountant(len(c.rankings))
-	sources := make([]faults.Source, len(c.rankings))
-	for i, pr := range c.rankings {
+// runResilientTopK runs the degraded-mode engines over fallible sources built
+// from the given (possibly reliability-trimmed) lists, optionally
+// fault-injected per the request's chaos plan.
+func (s *Service) runResilientTopK(r *http.Request, rankings []*ranking.PartialRanking, req TopKRequest) (*topk.Result, error) {
+	acc := telemetry.NewAccessAccountant(len(rankings))
+	sources := make([]faults.Source, len(rankings))
+	for i, pr := range rankings {
 		var src faults.Source = topk.NewListSource(pr, acc, i)
 		if req.Chaos != nil {
 			src = faults.Inject(src, faults.Plan{
@@ -558,6 +664,17 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 	id, base, err := metricByName(req.Metric)
 	if err != nil {
 		return nil, fail(http.StatusBadRequest, "%v", err)
+	}
+	var robustMode robust.Mode
+	if req.Robust != nil {
+		robustMode, err = robust.ParseMode(req.Robust.Mode)
+		if err != nil {
+			return nil, fail(http.StatusBadRequest, "%v", err)
+		}
+		if req.Robust.Trim < 0 || req.Robust.Trim >= len(c.rankings) {
+			return nil, fail(http.StatusBadRequest, "robust trim=%d out of range [0,%d] for %d lists",
+				req.Robust.Trim, len(c.rankings)-1, len(c.rankings))
+		}
 	}
 	meta := metaFrom(r.Context())
 	d := t.cachedDistance(s.cache, id, base, meta)
@@ -650,6 +767,33 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 			return nil, apiErr
 		}
 		resp.Kemenized = &RankedCandidate{Ranking: c.dom.Render(kem), SumDistance: kemDist}
+	}
+	if req.Robust != nil {
+		var rres *robust.Result
+		if apiErr := phase("robust", func(context.Context) error {
+			var err error
+			rres, err = robust.Aggregate(c.rankings, robust.Options{
+				Mode:     robustMode,
+				Trim:     req.Robust.Trim,
+				Distance: d,
+			})
+			return err
+		}); apiErr != nil {
+			eng.End()
+			return nil, apiErr
+		}
+		s.mRobust.With(t.name, string(robustMode)).Inc()
+		s.mRobustTrim.With(t.name).Add(int64(len(rres.Trimmed)))
+		resp.Robust = &RobustResult{
+			Mode:        string(robustMode),
+			Trim:        req.Robust.Trim,
+			Ranking:     c.dom.Render(rres.Aggregate),
+			SumDistance: rres.SumDistance,
+			MaxDistance: rres.MaxDistance,
+			Weights:     rres.Weights,
+			Trimmed:     rres.Trimmed,
+			Survivors:   len(rres.Kept),
+		}
 	}
 	eng.End()
 	_, csp := telemetry.Start(r.Context(), "cache")

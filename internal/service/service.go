@@ -128,6 +128,8 @@ type Service struct {
 	mCacheHits   telemetry.CounterVec   // {tenant}
 	mCacheMisses telemetry.CounterVec   // {tenant}
 	mDegraded    telemetry.CounterVec   // {tenant}
+	mRobust      telemetry.CounterVec   // {tenant, mode}
+	mRobustTrim  telemetry.CounterVec   // {tenant}
 	mTenants     *telemetry.Gauge
 }
 
@@ -172,6 +174,10 @@ func New(cfg Config) *Service {
 		"Shared distance-cache misses attributed to requests, by tenant.", "tenant")
 	s.mDegraded = s.labeled.CounterVec("rankserve_degraded_queries_total",
 		"Queries answered in degraded mode, by tenant.", "tenant")
+	s.mRobust = s.labeled.CounterVec("rankserve_robust_requests_total",
+		"Robust aggregations served, by tenant and robust mode.", "tenant", "mode")
+	s.mRobustTrim = s.labeled.CounterVec("rankserve_robust_trimmed_voters_total",
+		"Voters dropped by reliability trimming, by tenant.", "tenant")
 	s.mTenants = s.labeled.GaugeVec("rankserve_tenants",
 		"Live tenants.").With()
 	s.inflight = s.labeled.GaugeVec("rankserve_inflight_requests",
