@@ -21,12 +21,19 @@
 // the artifact carries both the client's view and the server's view of the
 // same run.
 //
+// With -openloop, rankload switches to the overload experiment (see
+// openloop.go): Poisson arrivals at capacity-relative offered rates, a
+// deadline header on every query, and a BENCH_PR9.json artifact of
+// shed/degradation behavior per phase instead of the closed-loop report.
+//
 // Usage:
 //
 //	rankload -addr host:port [-tenants 2] [-clients 32] [-requests 1000]
 //	         [-n 40] [-m 12] [-theta 1.0] [-k 5] [-seed 1]
 //	         [-mix topk=6,resilient=1,agg=2,submit=1,stats=1]
 //	         [-timeout 30s] [-scrape] [-out BENCH_PR6.json]
+//	         [-openloop [-rate R] [-sweep 0.3,2] [-duration 3s]
+//	          [-deadline-ms 500] [-grace-ms 250]]
 package main
 
 import (
@@ -268,6 +275,12 @@ func run(args []string, stdout io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	scrape := fs.Bool("scrape", false, "poll GET /metrics during the run and embed server-side latency quantiles")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	openloop := fs.Bool("openloop", false, "overload mode: Poisson arrivals at capacity-relative rates instead of the closed-loop mix")
+	olRate := fs.Float64("rate", 0, "openloop: base arrival rate in req/s (0 = measure capacity with a calibration burst)")
+	olSweep := fs.String("sweep", "0.3,2", "openloop: comma-separated multipliers of the base rate, one phase each")
+	olDuration := fs.Duration("duration", 3*time.Second, "openloop: wall clock per phase")
+	olDeadlineMs := fs.Int64("deadline-ms", 0, "openloop: X-Deadline-Ms stamped on every query (0 = none)")
+	olGraceMs := fs.Int64("grace-ms", 250, "openloop: accepted answers may run this far past the deadline before counting as violations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,7 +299,25 @@ func run(args []string, stdout io.Writer) error {
 		n: *n, m: *m, k: *k, theta: *theta, seed: *seed,
 		mix: mix, mixStr: *mixFlag, timeout: *timeout, scrape: *scrape,
 	}
-	rep, err := drive(cfg)
+
+	var rep any
+	if *openloop {
+		sweep, serr := parseSweep(*olSweep)
+		if serr != nil {
+			return serr
+		}
+		ocfg := overloadConfig{
+			loadConfig: cfg,
+			rate:       *olRate,
+			sweep:      sweep,
+			duration:   *olDuration,
+			deadlineMs: *olDeadlineMs,
+			graceMs:    *olGraceMs,
+		}
+		rep, err = driveOverload(ocfg)
+	} else {
+		rep, err = drive(cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -322,6 +353,37 @@ func renderLines(dom *ranking.Domain, rankings []*ranking.PartialRanking) (strin
 	return buf.String(), nil
 }
 
+// seedTenants puts one Mallows catalog per tenant (t0..tN-1, catalog "main").
+func seedTenants(client *http.Client, base string, cfg loadConfig) error {
+	dom, err := ranking.DomainOf(domainNames(cfg.n)...)
+	if err != nil {
+		return err
+	}
+	seedRng := rand.New(rand.NewSource(cfg.seed))
+	for ti := 0; ti < cfg.tenants; ti++ {
+		ens, _ := randrank.MallowsEnsemble(seedRng, cfg.n, cfg.m, cfg.theta)
+		body, err := renderLines(dom, ens)
+		if err != nil {
+			return err
+		}
+		url := fmt.Sprintf("%s/v1/tenants/t%d/catalogs/main", base, ti)
+		req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("seeding tenant t%d: %w", ti, err)
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("seeding tenant t%d: %s: %s", ti, resp.Status, respBody)
+		}
+	}
+	return nil
+}
+
 // drive seeds the catalogs and runs the load phase.
 func drive(cfg loadConfig) (*report, error) {
 	client := &http.Client{Timeout: cfg.timeout}
@@ -330,29 +392,8 @@ func drive(cfg loadConfig) (*report, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	// Seed phase: one Mallows catalog per tenant.
-	seedRng := rand.New(rand.NewSource(cfg.seed))
-	for ti := 0; ti < cfg.tenants; ti++ {
-		ens, _ := randrank.MallowsEnsemble(seedRng, cfg.n, cfg.m, cfg.theta)
-		body, err := renderLines(dom, ens)
-		if err != nil {
-			return nil, err
-		}
-		url := fmt.Sprintf("%s/v1/tenants/t%d/catalogs/main", base, ti)
-		req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return nil, fmt.Errorf("seeding tenant t%d: %w", ti, err)
-		}
-		respBody, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("seeding tenant t%d: %s: %s", ti, resp.Status, respBody)
-		}
+	if err := seedTenants(client, base, cfg); err != nil {
+		return nil, err
 	}
 
 	// Load phase: clients pull tickets from a shared counter until the

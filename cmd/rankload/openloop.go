@@ -1,0 +1,332 @@
+package main
+
+// Open-loop overload mode (-openloop): the closed-loop default self-throttles
+// — each client waits for a response before sending the next request, so a
+// slow server automatically sees less load. That makes it useless for
+// measuring overload behavior. Here arrivals are Poisson-timed and
+// independent of the server's progress: the offered rate is the experiment's
+// independent variable, and what the server does with the excess — shed with
+// 429 + Retry-After, degrade down the answer ladder, or blow its deadline —
+// is the measurement.
+//
+// The offered rates come from -sweep, a list of multipliers applied to the
+// server's measured capacity (a short closed-loop calibration burst) or to
+// -rate when given explicitly. Each phase reports offered/accepted/shed
+// counts, accepted-only latency quantiles, deadline violations beyond
+// -grace-ms, whether every shed carried Retry-After, and the ladder-level
+// mix of accepted answers. The artifact (BENCH_PR9.json) is env-stamped and
+// diffable like the closed-loop report.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/envstamp"
+)
+
+// overloadConfig is the open-loop run's parameter set, resolved from flags.
+type overloadConfig struct {
+	loadConfig
+	rate       float64       // explicit arrivals/s; 0 = calibrate capacity
+	sweep      []float64     // capacity multipliers, one phase each
+	duration   time.Duration // per-phase wall clock
+	deadlineMs int64         // X-Deadline-Ms on every query; 0 = none
+	graceMs    int64         // accepted answers may run this far past the deadline
+}
+
+// parseSweep parses "0.3,2" into multipliers.
+func parseSweep(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad sweep factor %q (want a positive number)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep %q has no factors", s)
+	}
+	return out, nil
+}
+
+// phaseReport is one offered-load phase in the artifact.
+type phaseReport struct {
+	Label         string  `json:"label"`
+	Factor        float64 `json:"factor"`          // multiplier over capacity (or -rate)
+	OfferedPerSec float64 `json:"offered_per_sec"` // target Poisson rate
+	Offered       int     `json:"offered"`         // requests actually launched
+	Accepted      int     `json:"accepted"`        // 200s
+	Shed          int     `json:"shed"`            // 429s and 503s
+	Errors        int     `json:"errors"`          // transport failures + unexpected statuses
+	ShedFraction  float64 `json:"shed_fraction"`
+
+	// Accepted-only latency: shed requests return in microseconds and would
+	// make overload look *faster*; the question is what admitted work costs.
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+
+	// DeadlineViolations counts accepted answers that came back later than
+	// deadline+grace: the contract the ladder and shedding exist to protect.
+	DeadlineViolations int `json:"deadline_violations"`
+	// RetryAfterSeen counts shed responses carrying a Retry-After header;
+	// RetryAfterMissing is sheds without one (must be 0).
+	RetryAfterSeen    int `json:"retry_after_seen"`
+	RetryAfterMissing int `json:"retry_after_missing"`
+	// LadderMix tallies accepted answers by degradation rung; answers with
+	// no ladder annotation count as "exact".
+	LadderMix map[string]int `json:"ladder_mix"`
+}
+
+// overloadReport is the BENCH_PR9.json document.
+type overloadReport struct {
+	envstamp.Stamp
+	Addr           string        `json:"addr"`
+	Tenants        int           `json:"tenants"`
+	N              int           `json:"n"`
+	M              int           `json:"m"`
+	K              int           `json:"k"`
+	Seed           int64         `json:"seed"`
+	DeadlineMs     int64         `json:"deadline_ms"`
+	GraceMs        int64         `json:"grace_ms"`
+	PhaseNs        int64         `json:"phase_ns"`
+	Sweep          []float64     `json:"sweep"`
+	CapacityPerSec float64       `json:"capacity_per_sec"`
+	Phases         []phaseReport `json:"phases"`
+}
+
+// topkEnvelope is the slice of a top-k answer the open-loop client inspects.
+type topkEnvelope struct {
+	Ladder *struct {
+		Level string `json:"level"`
+	} `json:"ladder"`
+}
+
+// driveOverload seeds the catalogs, measures capacity, and runs the sweep.
+func driveOverload(cfg overloadConfig) (*overloadReport, error) {
+	// The default transport keeps only 2 idle connections per host; an
+	// open-loop burst would then pay TCP setup on nearly every arrival and
+	// the connection churn — not the server — would dominate tail latency.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 1024
+	tr.MaxIdleConnsPerHost = 1024
+	client := &http.Client{Timeout: cfg.timeout, Transport: tr}
+	base := "http://" + cfg.addr
+	if err := seedTenants(client, base, cfg.loadConfig); err != nil {
+		return nil, err
+	}
+
+	capacity := cfg.rate
+	if capacity <= 0 {
+		capacity = calibrate(client, base, cfg)
+		if capacity <= 0 {
+			return nil, fmt.Errorf("calibration measured zero capacity; is the server reachable?")
+		}
+	}
+
+	rep := &overloadReport{
+		Stamp:          envstamp.New(),
+		Addr:           cfg.addr,
+		Tenants:        cfg.tenants,
+		N:              cfg.n,
+		M:              cfg.m,
+		K:              cfg.k,
+		Seed:           cfg.seed,
+		DeadlineMs:     cfg.deadlineMs,
+		GraceMs:        cfg.graceMs,
+		PhaseNs:        cfg.duration.Nanoseconds(),
+		Sweep:          cfg.sweep,
+		CapacityPerSec: capacity,
+	}
+	for i, factor := range cfg.sweep {
+		pr := runPhase(client, base, cfg, fmt.Sprintf("phase%d_x%.2g", i, factor), factor, capacity*factor)
+		rep.Phases = append(rep.Phases, pr)
+		// Let queued work and token buckets settle between phases so each
+		// phase measures its own offered load, not the previous one's tail.
+		time.Sleep(300 * time.Millisecond)
+	}
+	return rep, nil
+}
+
+// calibrate measures the server's uncontended top-k capacity with a short
+// closed-loop burst: a few self-throttling clients, completions per second.
+func calibrate(client *http.Client, base string, cfg overloadConfig) float64 {
+	const (
+		calClients  = 4
+		calDuration = 1500 * time.Millisecond
+	)
+	var completed atomic.Int64
+	deadline := time.Now().Add(calDuration)
+	var wg sync.WaitGroup
+	for ci := 0; ci < calClients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 31*int64(ci+1)))
+			for time.Now().Before(deadline) {
+				if issueTopK(client, base, cfg, rng, 0) == http.StatusOK {
+					completed.Add(1)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	return float64(completed.Load()) / calDuration.Seconds()
+}
+
+// issueTopK posts one plain TA top-k query against a random tenant, with the
+// deadline header when deadlineMs > 0. Returns the status (0 on transport
+// error); the response body is discarded.
+func issueTopK(client *http.Client, base string, cfg overloadConfig, rng *rand.Rand, deadlineMs int64) int {
+	tenant := fmt.Sprintf("t%d", rng.Intn(cfg.tenants))
+	body := fmt.Sprintf(`{"k": %d, "algo": "ta"}`, 1+rng.Intn(cfg.k))
+	req, err := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("%s/v1/tenants/%s/catalogs/main/topk", base, tenant), strings.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	if deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.FormatInt(deadlineMs, 10))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// phaseTally accumulates one phase's observations under a mutex; arrivals
+// are concurrent goroutines, so per-client sharding buys nothing here.
+type phaseTally struct {
+	mu         sync.Mutex
+	accepted   []int64 // latencies of 200s
+	shed       int
+	errors     int
+	violations int
+	raSeen     int
+	raMissing  int
+	ladder     map[string]int
+}
+
+// runPhase offers Poisson arrivals at ratePerSec for cfg.duration and
+// classifies every completion.
+func runPhase(client *http.Client, base string, cfg overloadConfig, label string, factor, ratePerSec float64) phaseReport {
+	rng := rand.New(rand.NewSource(cfg.seed + int64(len(label))*104729))
+	tally := &phaseTally{ladder: make(map[string]int)}
+	violationBudget := time.Duration(cfg.deadlineMs+cfg.graceMs) * time.Millisecond
+
+	offered := 0
+	var wg sync.WaitGroup
+	end := time.Now().Add(cfg.duration)
+	for now := time.Now(); now.Before(end); now = time.Now() {
+		offered++
+		// Each arrival gets its own rng seed derived deterministically; the
+		// shared rng stays on the arrival-timing goroutine.
+		arrivalSeed := cfg.seed + int64(offered)*6364136223846793005
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			issueAndClassify(client, base, cfg, rand.New(rand.NewSource(seed)), tally, violationBudget)
+		}(arrivalSeed)
+		// Exponential inter-arrival time = Poisson arrivals.
+		time.Sleep(time.Duration(rng.ExpFloat64() / ratePerSec * float64(time.Second)))
+	}
+	wg.Wait()
+
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	pr := phaseReport{
+		Label:              label,
+		Factor:             factor,
+		OfferedPerSec:      ratePerSec,
+		Offered:            offered,
+		Accepted:           len(tally.accepted),
+		Shed:               tally.shed,
+		Errors:             tally.errors,
+		DeadlineViolations: tally.violations,
+		RetryAfterSeen:     tally.raSeen,
+		RetryAfterMissing:  tally.raMissing,
+		LadderMix:          tally.ladder,
+	}
+	if offered > 0 {
+		pr.ShedFraction = float64(tally.shed) / float64(offered)
+	}
+	if n := len(tally.accepted); n > 0 {
+		lat := tally.accepted
+		er := summarize(lat, 0, 0, 0)
+		pr.P50Ns, pr.P95Ns, pr.P99Ns, pr.MaxNs = er.P50Ns, er.P95Ns, er.P99Ns, er.MaxNs
+	}
+	return pr
+}
+
+// issueAndClassify sends one deadline-stamped top-k query and files the
+// outcome: accepted (with latency, violation check, and ladder rung), shed
+// (with Retry-After bookkeeping), or error.
+func issueAndClassify(client *http.Client, base string, cfg overloadConfig, rng *rand.Rand, tally *phaseTally, violationBudget time.Duration) {
+	tenant := fmt.Sprintf("t%d", rng.Intn(cfg.tenants))
+	reqBody := fmt.Sprintf(`{"k": %d, "algo": "ta"}`, 1+rng.Intn(cfg.k))
+	req, err := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("%s/v1/tenants/%s/catalogs/main/topk", base, tenant), strings.NewReader(reqBody))
+	if err != nil {
+		tally.mu.Lock()
+		tally.errors++
+		tally.mu.Unlock()
+		return
+	}
+	if cfg.deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.FormatInt(cfg.deadlineMs, 10))
+	}
+
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		tally.mu.Lock()
+		tally.errors++
+		tally.mu.Unlock()
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start)
+
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		tally.accepted = append(tally.accepted, elapsed.Nanoseconds())
+		if cfg.deadlineMs > 0 && elapsed > violationBudget {
+			tally.violations++
+		}
+		level := "exact"
+		var env topkEnvelope
+		if json.Unmarshal(body, &env) == nil && env.Ladder != nil && env.Ladder.Level != "" {
+			level = env.Ladder.Level
+		}
+		tally.ladder[level]++
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		tally.shed++
+		if resp.Header.Get("Retry-After") != "" {
+			tally.raSeen++
+		} else {
+			tally.raMissing++
+		}
+	default:
+		tally.errors++
+	}
+}

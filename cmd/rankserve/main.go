@@ -24,15 +24,28 @@
 //	POST   /v1/tenants/{t}/catalogs/{c}/topk
 //	POST   /v1/tenants/{t}/catalogs/{c}/aggregate
 //
-// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections and
-// drains in-flight queries for -grace; queries still running after the
-// grace window are canceled through their contexts.
+// Overload protection (see README "Overload & degradation"): per-tenant
+// token-bucket rate limiting (-rate/-rate-burst), a bounded LIFO wait queue
+// behind the -workers engine slots (-queue-depth), per-request deadline
+// budgets (X-Deadline-Ms header, -default-deadline fallback, -max-deadline
+// cap), and a degradation ladder that trades answer exactness for latency
+// under pressure (exact TA → (1+θ)-approximate TA with -approx-theta →
+// cached stale answer younger than -stale-ttl). Shed requests get 429 with
+// Retry-After; degraded answers carry a ladder annotation.
+//
+// Shutdown is graceful: SIGINT/SIGTERM begins a drain — queued-but-unstarted
+// requests fail fast with 503, the listener stops accepting, and in-flight
+// queries get -grace to finish; queries still running after the grace window
+// are canceled through their contexts.
 //
 // Usage:
 //
 //	rankserve [-addr :8080] [-max-tenants 64] [-max-catalogs 64]
 //	          [-max-body 8388608] [-max-rankings N] [-max-elements N]
 //	          [-cache N] [-workers N] [-grace 10s]
+//	          [-queue-depth 256] [-rate 0] [-rate-burst 0]
+//	          [-default-deadline 0] [-max-deadline 0]
+//	          [-approx-theta 0.5] [-stale-ttl 5m]
 //	          [-trace-sample 0.1] [-traces 64] [-access-log path|-]
 package main
 
@@ -72,6 +85,13 @@ func run(args []string, logw io.Writer) error {
 	cacheCap := fs.Int("cache", 0, "shared distance cache capacity in entries (0 = default)")
 	workers := fs.Int("workers", 0, "concurrent query slots (0 = GOMAXPROCS)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain window for in-flight queries")
+	queueDepth := fs.Int("queue-depth", 256, "bounded wait queue behind the engine slots; arrivals past it shed with 429")
+	rate := fs.Float64("rate", 0, "per-tenant query rate limit in req/s (0 = off)")
+	rateBurst := fs.Int("rate-burst", 0, "per-tenant token-bucket burst (0 = 2x rate)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline budget for requests without an X-Deadline-Ms header (0 = none)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on any request's deadline budget (0 = uncapped)")
+	approxTheta := fs.Float64("approx-theta", 0.5, "theta of the degradation ladder's (1+theta)-approximate top-k rung")
+	staleTTL := fs.Duration("stale-ttl", 5*time.Minute, "how long a cached exact answer may serve as the ladder's stale rung")
 	traceSample := fs.Float64("trace-sample", 0.1, "fraction of requests that collect a span tree (deterministic in the trace ID; X-Trace-Sample: 1 forces)")
 	traces := fs.Int("traces", 64, "recent-traces buffer capacity behind GET /debug/traces")
 	accessLog := fs.String("access-log", "", "structured JSON access-log destination: a file path, or - for stderr (empty = off)")
@@ -120,6 +140,13 @@ func run(args []string, logw io.Writer) error {
 		Limits:               limits,
 		CacheCapacity:        *cacheCap,
 		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		RatePerSec:           *rate,
+		RateBurst:            *rateBurst,
+		DefaultDeadline:      *defaultDeadline,
+		MaxDeadline:          *maxDeadline,
+		ApproxTheta:          *approxTheta,
+		StaleTTL:             *staleTTL,
 		TraceSampleRate:      *traceSample,
 		AccessLog:            logSink,
 	})
@@ -166,6 +193,10 @@ func run(args []string, logw io.Writer) error {
 	stop()
 	fmt.Fprintf(logw, "rankserve: draining (grace %s)\n", *grace)
 
+	// Drain the admission queue before the listener: queued-but-unstarted
+	// requests fail fast with 503 instead of competing with the in-flight
+	// ones for the grace window, and new arrivals are refused outright.
+	svc.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	shutErr := srv.Shutdown(shutCtx)

@@ -127,13 +127,20 @@ func (r *retrySource) isDead() bool {
 	return r.dead
 }
 
-// do runs op, absorbing transient failures per the policy.
+// do runs op, absorbing transient failures per the policy. The caller's
+// context gates every step: a canceled or expired context is returned before
+// the first attempt, before any re-attempt, and aborts a backoff sleep
+// mid-wait — the remaining deadline budget is never spent driving a source
+// the caller has already abandoned.
 func (r *retrySource) do(ctx context.Context, op func() error) error {
 	if r.isDead() {
 		return ErrSourceDead
 	}
 	delay := r.pol.BaseDelay
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		err := op()
 		if err == nil {
 			return nil
@@ -158,13 +165,16 @@ func (r *retrySource) do(ctx context.Context, op func() error) error {
 		r.mu.Lock()
 		d := delay/2 + time.Duration(r.rng.Int63n(int64(delay/2)+1))
 		r.mu.Unlock()
+		if err := r.pol.Sleeper.Sleep(ctx, d); err != nil {
+			// The backoff was aborted by the context: no retry happens, so no
+			// retry is charged — the access report must reflect work done,
+			// not work planned.
+			return err
+		}
 		tRetries.Inc()
 		hRetryBackoff.Observe(int64(d))
 		if r.acc != nil {
 			r.acc.Retry(r.list)
-		}
-		if err := r.pol.Sleeper.Sleep(ctx, d); err != nil {
-			return err
 		}
 		delay = time.Duration(float64(delay) * r.pol.Multiplier)
 		if delay > r.pol.MaxDelay {

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// cancelingSleeper cancels the caller's context the moment a backoff sleep
+// starts, simulating a cancellation (or deadline expiry) that lands
+// mid-backoff — deterministically, without wall-clock timing.
+type cancelingSleeper struct {
+	cancel context.CancelFunc
+}
+
+func (s cancelingSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	s.cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestRetryBackoffAbortsOnCancelMidBackoff is the regression test of the
+// overload PR's context-aware retry fix: a context canceled during a backoff
+// sleep must surface context.Canceled immediately, and the aborted backoff
+// must NOT be charged as a retry — the access report reflects retries that
+// actually ran, not ones that were planned.
+func TestRetryBackoffAbortsOnCancelMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	acc := telemetry.NewAccessAccountant(1)
+	inner := &flakySource{Source: newSliceSource(5, entries(5)...), failures: 100}
+	src := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   time.Millisecond,
+		Sleeper:     cancelingSleeper{cancel: cancel},
+	}, acc, 0)
+
+	_, _, err := src.Next(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	rep := acc.Report()
+	if rep.Failed != 1 {
+		t.Errorf("failed = %d, want 1 (only the attempt before the aborted backoff)", rep.Failed)
+	}
+	if rep.Retried != 0 {
+		t.Errorf("retried = %d, want 0: the aborted backoff must not count as a retry", rep.Retried)
+	}
+	if inner.calls != 1 {
+		t.Errorf("underlying source driven %d times after cancel, want 1", inner.calls)
+	}
+	// The wrapper must not have declared the list dead: cancellation is the
+	// caller's choice, not a source failure. A dead wrapper reports
+	// ErrSourceDead even under a pre-canceled context (the dead check runs
+	// first), so this probe distinguishes the two without driving a retry.
+	probe, pcancel := context.WithCancel(context.Background())
+	pcancel()
+	if _, _, err := src.Next(probe); errors.Is(err, ErrSourceDead) {
+		t.Error("source marked dead by a canceled backoff")
+	}
+}
+
+// TestRetryBackoffAbortsOnWallClockCancel exercises the same path through the
+// real WallClock sleeper: with a 200ms+ backoff pending and the context
+// canceled ~10ms in, Next must return promptly instead of finishing the
+// sleep. Generous bounds keep this stable on loaded CI machines.
+func TestRetryBackoffAbortsOnWallClockCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inner := &flakySource{Source: newSliceSource(5, entries(5)...), failures: 100}
+	src := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   400 * time.Millisecond, // jitter keeps waits ≥ 200ms
+		Sleeper:     WallClock,
+	}, nil, 0)
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := src.Next(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("Next returned after %v; the backoff sleep ran past cancellation", elapsed)
+	}
+}
+
+// TestRetryPreCanceledNeverTouchesSource: an already-dead context must not
+// drive the underlying source at all — no attempt, no failure charged.
+func TestRetryPreCanceledNeverTouchesSource(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	acc := telemetry.NewAccessAccountant(1)
+	inner := &flakySource{Source: newSliceSource(5, entries(5)...), failures: 0}
+	src := WithRetry(inner, RetryPolicy{Sleeper: &FakeSleeper{}}, acc, 0)
+
+	if _, _, err := src.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if inner.calls != 0 {
+		t.Errorf("underlying source driven %d times under a pre-canceled context", inner.calls)
+	}
+	if rep := acc.Report(); rep.Failed != 0 || rep.Retried != 0 {
+		t.Errorf("charges under pre-canceled context: %+v", rep)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"time"
@@ -29,6 +30,9 @@ type ErrorResponse struct {
 	Error   string         `json:"error"`
 	Defects []guard.Defect `json:"defects,omitempty"`
 	Dropped int            `json:"dropped,omitempty"`
+	// RetryAfterS mirrors the Retry-After response header on shed requests:
+	// the client's hint for when capacity is expected back, in seconds.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
 // apiError carries a status code and structured defects up from helpers to
@@ -38,6 +42,9 @@ type apiError struct {
 	msg     string
 	defects []guard.Defect
 	dropped int
+	// retryAfter, when positive, adds a Retry-After header (and the
+	// RetryAfterS body field) to the rendered error — set on shed requests.
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -78,6 +85,10 @@ type ChaosPlan struct {
 	TransientRate float64 `json:"transient_rate,omitempty"`
 	DeathRate     float64 `json:"death_rate,omitempty"`
 	DeathAfter    int     `json:"death_after,omitempty"`
+	// LatencyMs adds a fixed per-access latency to every list source,
+	// making query duration deterministic and controllable — the knob the
+	// overload and drain tests use to hold engine slots busy.
+	LatencyMs int64 `json:"latency_ms,omitempty"`
 }
 
 // TopKRequest asks for the top k elements of a catalog.
@@ -95,6 +106,11 @@ type TopKRequest struct {
 	// the post-trim voter set, with lost-list indices reported in the
 	// original catalog's index space.
 	Trim int `json:"trim,omitempty"`
+	// Theta, when set, explicitly requests the θ-approximate engine
+	// (ThresholdTopKApprox) with this slack, deadline or not: the response
+	// carries the FLN (1+θ) certificate. Theta 0 is the exact engine with a
+	// certificate attached. Incompatible with resilient mode.
+	Theta *float64 `json:"theta,omitempty"`
 }
 
 // TrimSummary annotates a reliability-trimmed query: which lists were
@@ -125,7 +141,11 @@ type TopKResponse struct {
 	Access    AccessSummary  `json:"access"`
 	Degraded  *topk.Degraded `json:"degraded,omitempty"`
 	Trim      *TrimSummary   `json:"trim,omitempty"`
-	ElapsedNs int64          `json:"elapsed_ns"`
+	// Ladder annotates answers served under overload-ladder control (a
+	// deadline was in force or θ was requested): which rung answered, the
+	// approximation certificate, and — for stale answers — the age.
+	Ladder    *LadderInfo `json:"ladder,omitempty"`
+	ElapsedNs int64       `json:"elapsed_ns"`
 }
 
 // RobustClause is the optional hostile-voter-robust clause of an aggregation
@@ -224,6 +244,21 @@ type EndpointStats struct {
 	P99Ns    int64 `json:"p99_ns,omitempty"`
 }
 
+// OverloadStats is the /stats view of the admission pipeline: always-on shed
+// tallies by reason, ladder degradations by level, and the live queue state.
+type OverloadStats struct {
+	ShedRateLimit int64 `json:"shed_rate_limit"`
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+	ShedDraining  int64 `json:"shed_draining"`
+	ApproxAnswers int64 `json:"approx_answers"`
+	StaleAnswers  int64 `json:"stale_answers"`
+	QueueDepth    int   `json:"queue_depth"`
+	Inflight      int   `json:"inflight"`
+	// EngineEwmaNs is the admission layer's engine service-time estimate.
+	EngineEwmaNs int64 `json:"engine_ewma_ns"`
+}
+
 // StatsResponse is the /stats snapshot.
 type StatsResponse struct {
 	UptimeNs        int64                    `json:"uptime_ns"`
@@ -231,6 +266,7 @@ type StatsResponse struct {
 	Cache           CacheStats               `json:"cache"`
 	Endpoints       map[string]EndpointStats `json:"endpoints"`
 	DegradedQueries int64                    `json:"degraded_queries"`
+	Overload        OverloadStats            `json:"overload"`
 	Telemetry       telemetry.Snapshot       `json:"telemetry"`
 	Server          telemetry.Snapshot       `json:"server"`
 }
@@ -351,6 +387,7 @@ func (s *Service) handlePutCatalog(_ http.ResponseWriter, r *http.Request) (any,
 		e.defects = []guard.Defect{{Msg: e.msg}}
 		return nil, e
 	}
+	s.stale.invalidate(tenantName, catalogName)
 	resp := IngestResponse{
 		Tenant:   tenantName,
 		Catalog:  catalogName,
@@ -404,6 +441,7 @@ func (s *Service) handleAppendRankings(_ http.ResponseWriter, r *http.Request) (
 	if !t.putCatalog(catalogName, &catalog{dom: old.dom, rankings: merged}, s.cfg.MaxCatalogsPerTenant) {
 		return nil, fail(http.StatusTooManyRequests, "catalog limit reached")
 	}
+	s.stale.invalidate(tenantName, catalogName)
 	resp := IngestResponse{
 		Tenant:   tenantName,
 		Catalog:  catalogName,
@@ -444,6 +482,7 @@ func (s *Service) handleDeleteCatalog(_ http.ResponseWriter, r *http.Request) (a
 	if !t.deleteCatalog(r.PathValue("catalog")) {
 		return nil, fail(http.StatusNotFound, "unknown catalog %q", r.PathValue("catalog"))
 	}
+	s.stale.invalidate(t.name, r.PathValue("catalog"))
 	return map[string]string{"deleted": r.PathValue("catalog")}, nil
 }
 
@@ -516,13 +555,29 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		return nil, fail(http.StatusBadRequest, "trim=%d out of range [0,%d] for %d lists",
 			req.Trim, len(c.rankings)-1, len(c.rankings))
 	}
+	if req.Theta != nil {
+		if *req.Theta < 0 || math.IsNaN(*req.Theta) || math.IsInf(*req.Theta, 0) {
+			return nil, fail(http.StatusBadRequest, "theta=%v out of range [0, +inf)", *req.Theta)
+		}
+		if req.Resilient {
+			return nil, fail(http.StatusBadRequest, "theta is incompatible with resilient mode")
+		}
+	}
 
 	actx, adm := telemetry.Start(r.Context(), "admission")
-	release, err := s.acquire(actx)
-	adm.End()
-	if err != nil {
-		return nil, fail(http.StatusServiceUnavailable, "query admission: %v", err)
+	release, astate, apiErr := s.admitQuery(actx, t.name)
+	if astate.queued {
+		adm.SetAttr("queued", 1)
+		adm.SetAttr("queue_pos", int64(astate.queuePos))
 	}
+	if apiErr != nil {
+		_, shsp := telemetry.Start(actx, "overload.shed")
+		shsp.SetAttr("status", int64(apiErr.status))
+		shsp.End()
+		adm.End()
+		return nil, apiErr
+	}
+	adm.End()
 	defer release()
 
 	algo := req.Algo
@@ -531,6 +586,45 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	}
 	start := time.Now()
 	meta := metaFrom(r.Context())
+
+	// Degradation-ladder selection: with a deadline in force (and on the
+	// plain query path — resilient runs own their degraded semantics), pick
+	// the cheapest rung that still lands inside the remaining budget. An
+	// explicit θ in the request forces the approximate engine outright.
+	level, theta, ladderReason := LadderExact, 0.0, ""
+	ladderActive := false
+	deadline, hasDeadline := r.Context().Deadline()
+	skey := staleKey{tenant: t.name, catalog: r.PathValue("catalog"), algo: algo, k: req.K}
+	if req.Theta != nil {
+		level, theta, ladderActive = LadderApprox, *req.Theta, true
+		ladderReason = "explicit theta"
+	} else if hasDeadline && !req.Resilient {
+		ladderActive = true
+		est := s.adm.estimateNs()
+		remaining := time.Until(deadline)
+		level = chooseLevel(remaining, est, true)
+		ladderReason = fmt.Sprintf("budget %s vs engine ewma %s",
+			remaining.Round(time.Millisecond), time.Duration(est).Round(time.Millisecond))
+		if level == LadderApprox {
+			theta = s.cfg.ApproxTheta
+		}
+	}
+	if ladderActive {
+		_, lsp := telemetry.Start(r.Context(), "overload.ladder")
+		lsp.SetAttr("level", ladderLevelCode(level))
+		lsp.End()
+	}
+	if level == LadderStale {
+		if req.Trim == 0 {
+			if resp, age, ok := s.stale.get(skey); ok {
+				return s.finishStale(t.name, meta, resp, age, ladderReason, start), nil
+			}
+		}
+		// No stored answer (or a trim request, which is never cached): the
+		// approximate engine is the best remaining effort inside the budget.
+		level, theta = LadderApprox, s.cfg.ApproxTheta
+		ladderReason += "; no stale answer, attempting approx"
+	}
 
 	// Reliability trim: score every list's centrality in the catalog's
 	// pairwise-distance graph (default kprof metric, shared cache) and drop
@@ -561,18 +655,33 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	}
 
 	var res *topk.Result
+	var err error
 	ectx, eng := telemetry.Start(r.Context(), "engine."+algo)
-	if req.Resilient {
+	switch {
+	case req.Resilient:
 		res, err = s.runResilientTopK(r.WithContext(ectx), rankings, req)
-	} else if req.Algo == "ta" {
+	case level == LadderApprox:
+		res, err = topk.ThresholdTopKApprox(ectx, rankings, req.K, theta)
+	case algo == "ta":
 		res, err = topk.ThresholdTopKContext(ectx, rankings, req.K)
-	} else {
+	default:
 		res, err = topk.MedRankContext(ectx, rankings, req.K, topk.GlobalMerge)
 	}
 	if err != nil {
 		eng.End()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, fail(http.StatusServiceUnavailable, "query aborted: %v", err)
+			// The budget ran out mid-engine: one rung remains — a cached
+			// answer beats a timeout, if the store has one fresh enough.
+			if ladderActive && req.Trim == 0 {
+				if resp, age, ok := s.stale.get(skey); ok {
+					return s.finishStale(t.name, meta, resp, age, "engine exceeded budget; served cached answer", start), nil
+				}
+			}
+			e := fail(http.StatusServiceUnavailable, "query aborted: %v", err)
+			if est := s.adm.estimateNs(); est > 0 {
+				e.retryAfter = time.Duration(est)
+			}
+			return nil, e
 		}
 		return nil, fail(http.StatusInternalServerError, "top-k query: %v", err)
 	}
@@ -625,7 +734,55 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		resp.Winners[i] = c.dom.Name(e)
 		resp.Medians[i] = float64(res.Medians2[i]) / 2
 	}
+	s.adm.observeService(time.Since(start))
+	if ladderActive {
+		resp.Ladder = &LadderInfo{Level: level, Reason: ladderReason}
+		if level == LadderApprox {
+			resp.Ladder.Theta = theta
+			resp.Ladder.Certificate = res.Approx
+			s.ladderApprox.Add(1)
+			s.mDegradedAns.With(t.name, LadderApprox).Inc()
+			if meta != nil {
+				meta.ladderLevel = LadderApprox
+			}
+		}
+	}
+	// Exact answers on the plain query path refresh the stale store, the
+	// ladder's bottom rung. Resilient, chaos, trim, and approximate answers
+	// are never cached: a stale answer must be a previously correct one.
+	if !req.Resilient && req.Trim == 0 && level == LadderExact {
+		stored := resp
+		stored.Ladder = nil
+		s.stale.put(skey, stored)
+	}
 	return resp, nil
+}
+
+// finishStale serves a stored answer as the ladder's bottom rung: the access
+// summary is zeroed (no engine ran for this request) and the answer is
+// age-stamped.
+func (s *Service) finishStale(tenantName string, meta *requestMeta, resp TopKResponse, age time.Duration, reason string, start time.Time) TopKResponse {
+	resp.Access = AccessSummary{}
+	resp.Ladder = &LadderInfo{Level: LadderStale, AgeMs: age.Milliseconds(), Reason: reason}
+	resp.ElapsedNs = time.Since(start).Nanoseconds()
+	s.ladderStale.Add(1)
+	s.mDegradedAns.With(tenantName, LadderStale).Inc()
+	if meta != nil {
+		meta.ladderLevel = LadderStale
+	}
+	return resp
+}
+
+// ladderLevelCode maps a ladder level to its span-attribute code.
+func ladderLevelCode(level string) int64 {
+	switch level {
+	case LadderExact:
+		return 0
+	case LadderApprox:
+		return 1
+	default:
+		return 2
+	}
 }
 
 // runResilientTopK runs the degraded-mode engines over fallible sources built
@@ -642,6 +799,7 @@ func (s *Service) runResilientTopK(r *http.Request, rankings []*ranking.PartialR
 				TransientRate: req.Chaos.TransientRate,
 				DeathRate:     req.Chaos.DeathRate,
 				DeathAfter:    req.Chaos.DeathAfter,
+				Latency:       time.Duration(req.Chaos.LatencyMs) * time.Millisecond,
 			})
 		}
 		sources[i] = faults.WithRetry(src, faults.DefaultRetryPolicy(), acc, i)
@@ -680,21 +838,42 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 	d := t.cachedDistance(s.cache, id, base, meta)
 
 	actx, adm := telemetry.Start(r.Context(), "admission")
-	release, aerr := s.acquire(actx)
-	adm.End()
-	if aerr != nil {
-		return nil, fail(http.StatusServiceUnavailable, "query admission: %v", aerr)
+	release, astate, admErr := s.admitQuery(actx, t.name)
+	if astate.queued {
+		adm.SetAttr("queued", 1)
+		adm.SetAttr("queue_pos", int64(astate.queuePos))
 	}
+	if admErr != nil {
+		_, shsp := telemetry.Start(actx, "overload.shed")
+		shsp.SetAttr("status", int64(admErr.status))
+		shsp.End()
+		adm.End()
+		return nil, admErr
+	}
+	adm.End()
 	defer release()
 
 	start := time.Now()
 	n := c.dom.Size()
 	ectx, eng := telemetry.Start(r.Context(), "engine.aggregate")
 	phase := func(name string, f func(ctx context.Context) error) *apiError {
+		// Deadline budgets abort aggregation at phase boundaries: the phase
+		// kernels are tight parallel loops, so the boundary check is where a
+		// canceled request actually stops burning workers.
+		if err := r.Context().Err(); err != nil {
+			e := fail(http.StatusServiceUnavailable, "query aborted before %s: %v", name, err)
+			if est := s.adm.estimateNs(); est > 0 {
+				e.retryAfter = time.Duration(est)
+			}
+			return e
+		}
 		pctx, sp := telemetry.Start(ectx, "aggregate."+name)
 		err := f(pctx)
 		sp.End()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return fail(http.StatusServiceUnavailable, "%s aborted: %v", name, err)
+			}
 			return fail(http.StatusInternalServerError, "%s: %v", name, err)
 		}
 		return nil
@@ -803,6 +982,7 @@ func (s *Service) handleAggregate(_ http.ResponseWriter, r *http.Request) (any, 
 	}
 	csp.End()
 	resp.ElapsedNs = time.Since(start).Nanoseconds()
+	s.adm.observeService(time.Since(start))
 	return resp, nil
 }
 
@@ -812,7 +992,18 @@ func (s *Service) handleStats(_ http.ResponseWriter, _ *http.Request) (any, *api
 		UptimeNs:        time.Since(s.start).Nanoseconds(),
 		Tenants:         make([]TenantStats, 0, len(tenants)),
 		DegradedQueries: s.degraded.Load(),
-		Endpoints:       make(map[string]EndpointStats, len(s.endpoints)),
+		Overload: OverloadStats{
+			ShedRateLimit: s.shedRate.Load(),
+			ShedQueueFull: s.shedQueue.Load(),
+			ShedDeadline:  s.shedDeadline.Load(),
+			ShedDraining:  s.shedDraining.Load(),
+			ApproxAnswers: s.ladderApprox.Load(),
+			StaleAnswers:  s.ladderStale.Load(),
+			QueueDepth:    s.adm.queueLen(),
+			Inflight:      s.adm.inflight(),
+			EngineEwmaNs:  int64(s.adm.estimateNs()),
+		},
+		Endpoints: make(map[string]EndpointStats, len(s.endpoints)),
 		Telemetry:       telemetry.Default.Snapshot(),
 		Server:          s.reg.Snapshot(),
 	}

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"math/rand/v2"
 	"net/http"
 	"strconv"
@@ -31,6 +32,31 @@ const (
 	TraceSampledNote  = "X-Trace-Sampled"
 )
 
+// DeadlineHeader lets a client cap how long the server may spend on its
+// request, in whole milliseconds. The resulting deadline propagates through
+// the request context into admission (deadline-aware shedding), the topk
+// degradation ladder, and the engines themselves (in-flight work stops). A
+// missing header falls back to Config.DefaultDeadline; Config.MaxDeadline
+// caps whatever the client asks for.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// requestBudget resolves the request's deadline budget from the header and
+// config. ok is false (with a message) when the header is malformed.
+func (s *Service) requestBudget(r *http.Request) (budget time.Duration, ok bool, msg string) {
+	budget = s.cfg.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, false, "invalid " + DeadlineHeader + " header (want a positive integer of milliseconds)"
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	if s.cfg.MaxDeadline > 0 && (budget == 0 || budget > s.cfg.MaxDeadline) {
+		budget = s.cfg.MaxDeadline
+	}
+	return budget, true, ""
+}
+
 // requestMeta is the per-request accounting handlers fill for the rim.
 // Cache counters are atomics because aggregation fans distance probes out
 // across ParallelEach workers.
@@ -38,6 +64,8 @@ type requestMeta struct {
 	access      AccessSummary
 	degraded    bool
 	defects     int
+	shedReason  string // non-empty when admission shed the request
+	ladderLevel string // non-empty when the ladder degraded the answer
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 }
@@ -66,6 +94,9 @@ type accessLogLine struct {
 	CacheMisses int64  `json:"cache_misses"`
 	Degraded    bool   `json:"degraded"`
 	Defects     int    `json:"defects"`
+	DeadlineMs  int64  `json:"deadline_ms,omitempty"`
+	Shed        string `json:"shed,omitempty"`
+	Ladder      string `json:"ladder,omitempty"`
 }
 
 // logAccess writes one JSON line; the mutex serializes writers so concurrent
@@ -125,7 +156,21 @@ func (s *Service) instrument(op string, h apiHandler) http.HandlerFunc {
 		}
 
 		rctx, root := telemetry.Start(tctx, "http."+op)
-		result, apiErr := h(w, r.WithContext(rctx))
+		budget, budgetOK, budgetMsg := s.requestBudget(r)
+		var result any
+		var apiErr *apiError
+		if !budgetOK {
+			apiErr = fail(http.StatusBadRequest, "%s", budgetMsg)
+		} else if budget > 0 {
+			// The deadline budget rides the request context: admission sheds
+			// against it, the ladder selects by what remains of it, and the
+			// engines abort on it.
+			dctx, cancel := context.WithTimeout(rctx, budget)
+			result, apiErr = h(w, r.WithContext(dctx))
+			cancel()
+		} else {
+			result, apiErr = h(w, r.WithContext(rctx))
+		}
 		status := http.StatusOK
 		if apiErr != nil {
 			status = apiErr.status
@@ -168,15 +213,29 @@ func (s *Service) instrument(op string, h apiHandler) http.HandlerFunc {
 			CacheMisses: meta.cacheMisses.Load(),
 			Degraded:    meta.degraded,
 			Defects:     meta.defects,
+			DeadlineMs:  budget.Milliseconds(),
+			Shed:        meta.shedReason,
+			Ladder:      meta.ladderLevel,
 		})
 
 		if apiErr != nil {
 			stats.errors.Add(1)
-			writeJSON(w, apiErr.status, ErrorResponse{
+			resp := ErrorResponse{
 				Error:   apiErr.msg,
 				Defects: apiErr.defects,
 				Dropped: apiErr.dropped,
-			})
+			}
+			// Shed responses tell the client when to come back: Retry-After
+			// in whole seconds (minimum 1 — every 429 carries the header).
+			if apiErr.retryAfter > 0 || apiErr.status == http.StatusTooManyRequests {
+				secs := int(math.Ceil(apiErr.retryAfter.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				resp.RetryAfterS = secs
+			}
+			writeJSON(w, apiErr.status, resp)
 			return
 		}
 		writeJSON(w, http.StatusOK, result)

@@ -59,6 +59,27 @@ type Config struct {
 	// Excess queries wait in the gate until a slot frees or their context
 	// is canceled.
 	Workers int
+	// QueueDepth bounds the admission wait queue (default 256): requests
+	// beyond Workers in flight wait here (LIFO), and requests beyond the
+	// depth are shed with 429.
+	QueueDepth int
+	// RatePerSec is the per-tenant sustained query rate (token bucket);
+	// <= 0 disables rate limiting (the default).
+	RatePerSec float64
+	// RateBurst is the token bucket's capacity (default 2×RatePerSec, min 1).
+	RateBurst int
+	// DefaultDeadline is applied to every query request that doesn't carry
+	// its own X-Deadline-Ms header; 0 (the default) means no deadline.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the deadline a client may request via X-Deadline-Ms;
+	// 0 means uncapped.
+	MaxDeadline time.Duration
+	// ApproxTheta is the approximation slack the topk degradation ladder
+	// uses when it steps down from exact to θ-approximate (default 0.5).
+	ApproxTheta float64
+	// StaleTTL bounds how old a cached answer the ladder's stale rung may
+	// serve (default 5m).
+	StaleTTL time.Duration
 	// TraceSampleRate is the fraction of requests that collect a span tree
 	// (deterministic in the trace ID; see telemetry.SampleTrace). 0 disables
 	// rate sampling; a request can still force sampling with the
@@ -86,6 +107,15 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.ApproxTheta <= 0 {
+		c.ApproxTheta = 0.5
+	}
+	if c.StaleTTL <= 0 {
+		c.StaleTTL = 5 * time.Minute
+	}
 	return c
 }
 
@@ -102,7 +132,8 @@ type Service struct {
 	cfg   Config
 	cache *cache.Cache
 	reg   *telemetry.Registry
-	sem   chan struct{}
+	adm   *admitter
+	stale *staleStore
 	start time.Time
 
 	mu      sync.RWMutex
@@ -119,6 +150,14 @@ type Service struct {
 	inflight  *telemetry.Gauge
 	logMu     sync.Mutex // serializes AccessLog writes
 
+	// Always-on overload tallies surfaced by /stats (atomics, not gated).
+	shedRate     atomic.Int64
+	shedQueue    atomic.Int64
+	shedDeadline atomic.Int64
+	shedDraining atomic.Int64
+	ladderApprox atomic.Int64
+	ladderStale  atomic.Int64
+
 	// Labeled metric families backing GET /metrics.
 	labeled      *telemetry.LabeledRegistry
 	mRequests    telemetry.CounterVec   // {tenant, endpoint, status}
@@ -130,7 +169,10 @@ type Service struct {
 	mDegraded    telemetry.CounterVec   // {tenant}
 	mRobust      telemetry.CounterVec   // {tenant, mode}
 	mRobustTrim  telemetry.CounterVec   // {tenant}
+	mShed        telemetry.CounterVec   // {tenant, reason}
+	mDegradedAns telemetry.CounterVec   // {tenant, level}
 	mTenants     *telemetry.Gauge
+	mQueueDepth  *telemetry.Gauge
 }
 
 // endpointNames is the fixed set of per-endpoint stat rows. Adding a handler
@@ -150,7 +192,7 @@ func New(cfg Config) *Service {
 		cfg:       cfg,
 		cache:     cache.New(cfg.CacheCapacity),
 		reg:       telemetry.NewRegistry(),
-		sem:       make(chan struct{}, cfg.Workers),
+		stale:     newStaleStore(cfg.StaleTTL, 1024),
 		start:     time.Now(),
 		tenants:   make(map[string]*tenant),
 		departed:  make(map[string]TenantStats),
@@ -178,12 +220,25 @@ func New(cfg Config) *Service {
 		"Robust aggregations served, by tenant and robust mode.", "tenant", "mode")
 	s.mRobustTrim = s.labeled.CounterVec("rankserve_robust_trimmed_voters_total",
 		"Voters dropped by reliability trimming, by tenant.", "tenant")
+	s.mShed = s.labeled.CounterVec("rankserve_shed_total",
+		"Requests shed by admission control, by tenant and reason.", "tenant", "reason")
+	s.mDegradedAns = s.labeled.CounterVec("rankserve_degraded_answers_total",
+		"Topk answers served below the exact ladder level, by tenant and level.", "tenant", "level")
 	s.mTenants = s.labeled.GaugeVec("rankserve_tenants",
 		"Live tenants.").With()
 	s.inflight = s.labeled.GaugeVec("rankserve_inflight_requests",
 		"Requests currently being served.").With()
+	s.mQueueDepth = s.labeled.GaugeVec("rankserve_queue_depth",
+		"Requests waiting in the admission queue.").With()
+	s.adm = newAdmitter(cfg, s.mQueueDepth)
 	return s
 }
+
+// BeginDrain puts the service into drain mode ahead of listener shutdown:
+// queued-but-unstarted requests fail fast with 503 and new query admissions
+// are refused, while in-flight engines run to completion. Safe to call more
+// than once.
+func (s *Service) BeginDrain() { s.adm.beginDrain() }
 
 // LabeledRegistry returns the labeled families behind GET /metrics (tests
 // cross-check series against /stats).
@@ -198,15 +253,33 @@ func (s *Service) Registry() *telemetry.Registry { return s.reg }
 // against the per-tenant attributions).
 func (s *Service) Cache() *cache.Cache { return s.cache }
 
-// acquire takes one worker slot, waiting until a slot frees or ctx is
-// canceled. Release by calling the returned func exactly once.
-func (s *Service) acquire(ctx context.Context) (release func(), err error) {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+// admitQuery runs a query request through the admission pipeline (tenant
+// token bucket, concurrency gate with bounded LIFO queue, deadline-aware
+// shedding, drain fast-fail) and converts a shed into a rendered apiError
+// with its Retry-After hint, charging the shed metrics on the way out.
+// On success release must be called exactly once.
+func (s *Service) admitQuery(ctx context.Context, tenantName string) (release func(), state admissionState, apiErr *apiError) {
+	release, state, shed := s.adm.acquire(ctx, tenantName)
+	if shed == nil {
+		return release, state, nil
 	}
+	s.mShed.With(tenantName, shed.reason).Inc()
+	switch shed.reason {
+	case ShedRateLimit:
+		s.shedRate.Add(1)
+	case ShedQueueFull:
+		s.shedQueue.Add(1)
+	case ShedDeadline:
+		s.shedDeadline.Add(1)
+	case ShedDraining:
+		s.shedDraining.Add(1)
+	}
+	if meta := metaFrom(ctx); meta != nil {
+		meta.shedReason = shed.reason
+	}
+	e := fail(shed.status, "query admission: %s", shed.msg)
+	e.retryAfter = shed.retryAfter
+	return nil, state, e
 }
 
 // tenantFor returns the named tenant, creating it if the tenant cap allows.
@@ -246,6 +319,8 @@ func (s *Service) deleteTenant(name string) bool {
 	delete(s.tenants, name)
 	s.mTenants.Set(int64(len(s.tenants)))
 	s.mu.Unlock()
+	s.adm.forgetTenant(name)
+	s.stale.invalidate(name, "")
 
 	s.departedMu.Lock()
 	row, seen := s.departed[name]

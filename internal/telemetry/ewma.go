@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// EWMA is a lock-free exponentially weighted moving average. It is always-on
+// (not gated by Enable) because admission control consumes it on the request
+// hot path: a shedding decision cannot depend on whether an operator turned
+// profiling instruments on.
+//
+// The value is stored as float64 bits in one atomic word and updated by CAS;
+// concurrent observers may each fold their sample into the same prior value,
+// which for a moving average is an acceptable (and bounded) race: every
+// sample is folded exactly once against *some* recent state.
+type EWMA struct {
+	bits  atomic.Uint64
+	alpha float64
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]: each
+// observation contributes alpha of the new value. Out-of-range alphas are
+// clamped to 0.2.
+func NewEWMA(alpha float64) *EWMA {
+	if !(alpha > 0 && alpha <= 1) {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in. The first sample seeds the average directly.
+func (e *EWMA) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == 0 {
+			next = v
+		} else {
+			prev := math.Float64frombits(old)
+			next = prev + e.alpha*(v-prev)
+		}
+		nb := math.Float64bits(next)
+		if nb == 0 {
+			// A true zero average is indistinguishable from "unset"; nudge to
+			// the smallest denormal so Value() keeps reporting it as seeded.
+			nb = 1
+		}
+		if e.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// Value returns the current average, or 0 when nothing has been observed.
+func (e *EWMA) Value() float64 {
+	b := e.bits.Load()
+	if b == 0 {
+		return 0
+	}
+	return math.Float64frombits(b)
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEWMAUnsetIsZero(t *testing.T) {
+	e := NewEWMA(0.5)
+	if v := e.Value(); v != 0 {
+		t.Fatalf("unset EWMA = %v, want 0", v)
+	}
+}
+
+func TestEWMAFirstSampleSeeds(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Observe(1000)
+	if v := e.Value(); v != 1000 {
+		t.Fatalf("after first sample = %v, want 1000", v)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(0.0001) // non-zero seed far from the target
+	for i := 0; i < 60; i++ {
+		e.Observe(500)
+	}
+	if v := e.Value(); math.Abs(v-500) > 1e-6 {
+		t.Fatalf("converged value = %v, want ~500", v)
+	}
+}
+
+func TestEWMAZeroSampleStaysSeeded(t *testing.T) {
+	e := NewEWMA(1) // alpha 1: value tracks the last sample exactly
+	e.Observe(0)
+	if v := e.Value(); v < 0 || v > 1e-300 {
+		t.Fatalf("zero sample = %v, want denormal-nudged ~0", v)
+	}
+	// The point: a zero average still reads as "seeded", so a later Observe
+	// blends instead of re-seeding.
+	e2 := NewEWMA(0.5)
+	e2.Observe(0)
+	e2.Observe(100)
+	if v := e2.Value(); math.Abs(v-50) > 1e-6 {
+		t.Fatalf("blend after zero seed = %v, want 50", v)
+	}
+}
+
+func TestEWMAIgnoresNonFinite(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(42)
+	e.Observe(math.NaN())
+	e.Observe(math.Inf(1))
+	if v := e.Value(); v != 42 {
+		t.Fatalf("after non-finite samples = %v, want 42", v)
+	}
+}
+
+func TestEWMABadAlphaClamped(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 2, math.NaN()} {
+		e := NewEWMA(alpha)
+		e.Observe(10)
+		e.Observe(20)
+		v := e.Value()
+		if v <= 10 || v >= 20 {
+			t.Fatalf("alpha %v: value %v not strictly between samples", alpha, v)
+		}
+	}
+}
+
+// TestEWMAConcurrent is the -race certificate: concurrent observers must
+// leave the average finite and within the observed range.
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(float64(100 + g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := e.Value(); v < 100 || v > 107 {
+		t.Fatalf("concurrent EWMA = %v, want within [100, 107]", v)
+	}
+}

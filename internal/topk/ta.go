@@ -11,6 +11,37 @@ import (
 	"repro/internal/telemetry"
 )
 
+// Gated telemetry instruments of the θ-approximate variant.
+var (
+	tTAApproxRuns  = telemetry.GetCounter("topk.ta_approx.runs")
+	tTAApproxEarly = telemetry.GetCounter("topk.ta_approx.early_stops")
+)
+
+// ApproxCertificate is the quality certificate of a θ-approximate TA run, in
+// the sense of Fagin–Lotem–Naor's approximation variant of the Threshold
+// Algorithm: for every reported winner y and every element z NOT reported,
+// the doubled median of y is at most (1+θ) times the doubled median of z.
+// The certificate carries the two quantities the guarantee is derived from at
+// the moment the run stopped, so clients (and tests) can re-verify it.
+type ApproxCertificate struct {
+	// Theta is the requested slack; the run is a (1+θ)-approximation.
+	Theta float64 `json:"theta"`
+	// Threshold2 is τ at stop: the needed-th smallest frontier position, a
+	// lower bound on the doubled median of any element the run never
+	// resolved. Zero when the run resolved every element (the threshold never
+	// gated the answer and the result is exact).
+	Threshold2 int64 `json:"threshold2"`
+	// KthMedian2 is the doubled median of the worst reported winner.
+	KthMedian2 int64 `json:"kth_median2"`
+	// Ratio is the certified approximation factor actually achieved,
+	// max(1, KthMedian2/Threshold2) ≤ 1+θ. Exact answers report 1.
+	Ratio float64 `json:"ratio"`
+	// EarlyStop reports whether the θ-relaxed test fired before the exact
+	// threshold test would have: false means the answer is exact (the
+	// approximation budget was never spent).
+	EarlyStop bool `json:"early_stop"`
+}
+
 // ThresholdTopK is a TA-style baseline in the spirit of the Threshold
 // Algorithm of Fagin, Lotem, and Naor, adapted to median-rank aggregation
 // over partial rankings: lists are read round-robin under sorted access, and
@@ -35,15 +66,57 @@ func ThresholdTopK(rankings []*ranking.PartialRanking, k int) (*Result, error) {
 // labels attach to it and cancellation or deadline expiry aborts the run
 // between accesses with ctx.Err().
 func ThresholdTopKContext(ctx context.Context, rankings []*ranking.PartialRanking, k int) (*Result, error) {
+	res, _, err := thresholdTopK(ctx, rankings, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	tTARuns.Inc()
+	tTAProbes.Add(int64(res.Stats.Total))
+	tTARandom.Add(int64(res.Stats.Random))
+	return res, nil
+}
+
+// ThresholdTopKApprox is the θ-approximation variant of ThresholdTopKContext
+// (FLN's approximate TA): the run may stop as soon as the k-th best resolved
+// median is within a (1+θ) factor of the threshold, instead of strictly
+// below it. The Result carries an ApproxCertificate proving the (1+θ) bound;
+// with θ = 0 the relaxed test never fires and the run — probe schedule,
+// accesses, and answer — is bit-identical to the exact engine.
+//
+// The point of the variant is graceful degradation: under deadline pressure
+// a (1+θ)-certified answer now beats an exact answer that never arrives.
+func ThresholdTopKApprox(ctx context.Context, rankings []*ranking.PartialRanking, k int, theta float64) (*Result, error) {
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("topk: theta=%v out of range [0, +inf)", theta)
+	}
+	res, cert, err := thresholdTopK(ctx, rankings, k, theta)
+	if err != nil {
+		return nil, err
+	}
+	res.Approx = &cert
+	tTAApproxRuns.Inc()
+	if cert.EarlyStop {
+		tTAApproxEarly.Inc()
+	}
+	return res, nil
+}
+
+// thresholdTopK is the shared TA loop. theta == 0 runs the exact strict
+// stopping rule and nothing else; theta > 0 additionally stops early once the
+// k-th best resolved median is ≤ (1+θ)·τ. The exact test is evaluated first
+// each iteration, so a θ = 0 run takes exactly the exact engine's branch
+// sequence.
+func thresholdTopK(ctx context.Context, rankings []*ranking.PartialRanking, k int, theta float64) (*Result, ApproxCertificate, error) {
+	cert := ApproxCertificate{Theta: theta, Ratio: 1}
 	if len(rankings) == 0 {
-		return nil, fmt.Errorf("topk: no input rankings")
+		return nil, cert, fmt.Errorf("topk: no input rankings")
 	}
 	if err := ranking.CheckSameDomain(rankings...); err != nil {
-		return nil, err
+		return nil, cert, err
 	}
 	n := rankings[0].N()
 	if k < 0 || k > n {
-		return nil, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
+		return nil, cert, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
 	}
 	m := len(rankings)
 	needed := (m + 1) / 2
@@ -66,6 +139,9 @@ func ThresholdTopKContext(ctx context.Context, rankings []*ranking.PartialRankin
 
 	var derr error
 	sctx, sp := telemetry.Start(ctx, "topk.ta")
+	if theta > 0 {
+		sp.SetAttr("theta_milli", int64(theta*1000))
+	}
 	telemetry.Do(sctx, "kernel", "ta", func(ctx context.Context) {
 		if k == 0 {
 			return
@@ -77,11 +153,28 @@ func ThresholdTopKContext(ctx context.Context, rankings []*ranking.PartialRankin
 					return
 				}
 			}
-			// Threshold test: with k exact medians strictly below the best
-			// median any unseen element could achieve, the answer is final
-			// (strictness sidesteps ties, which break by element ID).
-			if resolved >= k && kSmall.Peek() < kthSmallest(frontier, needed) {
-				return
+			if resolved >= k {
+				tau := kthSmallest(frontier, needed)
+				kth := kSmall.Peek()
+				// Threshold test: with k exact medians strictly below the best
+				// median any unseen element could achieve, the answer is final
+				// (strictness sidesteps ties, which break by element ID).
+				if kth < tau {
+					cert.Threshold2, cert.KthMedian2 = tau, kth
+					return
+				}
+				// θ-relaxed test: the k-th best resolved median is within a
+				// (1+θ) factor of τ, so any element the run has not resolved
+				// can beat a reported winner by at most that factor.
+				if theta > 0 && tau < math.MaxInt64 &&
+					float64(kth) <= (1+theta)*float64(tau) {
+					cert.Threshold2, cert.KthMedian2 = tau, kth
+					cert.EarlyStop = true
+					if tau > 0 && kth > tau {
+						cert.Ratio = float64(kth) / float64(tau)
+					}
+					return
+				}
 			}
 			// Round-robin sorted access over the non-exhausted lists.
 			i := -1
@@ -124,24 +217,26 @@ func ThresholdTopKContext(ctx context.Context, rankings []*ranking.PartialRankin
 	})
 	sp.End()
 	if derr != nil {
-		return nil, derr
+		return nil, cert, derr
 	}
 
 	winners, medians2 := selectTopK(med, k)
 	top, err := ranking.TopKList(n, k, winners)
 	if err != nil {
-		return nil, err
+		return nil, cert, err
+	}
+	if cert.KthMedian2 == 0 && len(medians2) > 0 {
+		// The run resolved everything (or stopped by exhaustion): the
+		// certificate is exact, anchored on the reported worst winner.
+		cert.KthMedian2 = medians2[len(medians2)-1]
 	}
 	stats := statsFromReport(acc.Report())
-	tTARuns.Inc()
-	tTAProbes.Add(int64(stats.Total))
-	tTARandom.Add(int64(stats.Random))
 	return &Result{
 		TopK:     top,
 		Winners:  winners,
 		Medians2: medians2,
 		Stats:    stats,
-	}, nil
+	}, cert, nil
 }
 
 // selectTopK ranks resolved elements by (median, element ID) and returns the

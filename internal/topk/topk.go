@@ -228,6 +228,9 @@ type Result struct {
 	// carries which lists were lost, the accesses wasted on them, and a
 	// conservative per-winner quality certificate. Nil on fault-free runs.
 	Degraded *Degraded
+	// Approx is non-nil when the run came from ThresholdTopKApprox: the FLN
+	// (1+θ) early-stop certificate. Nil on exact engine paths.
+	Approx *ApproxCertificate
 }
 
 // medrankRun carries the certification state of one MEDRANK run; the engine
