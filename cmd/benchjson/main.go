@@ -1,6 +1,7 @@
 // Command benchjson measures the retained allocating metric engines against
 // the workspace kernels, plus the top-k engines over plain cursors and over
-// the fallible-source stack (healthy, retrying, and degraded), and writes the
+// the fallible-source stack (healthy, retrying, and degraded — including the
+// interval-certification engines NRA and CA, BENCH_PR10.json), and writes the
 // results as JSON, one record per benchmark with ns/op, bytes/op, and
 // allocs/op. It exists so allocation and resilience-overhead regressions show
 // up as a diffable artifact (BENCH_PR1.json, BENCH_PR3.json) rather than only
@@ -249,6 +250,26 @@ func run(args []string, stdout io.Writer) error {
 	bench("ta/source", func() error {
 		srcs, acc := newSources(noPlan, false)
 		_, err := topk.ThresholdTopKOver(ctx, srcs, topkK, acc)
+		return err
+	})
+	bench("nra/source", func() error {
+		srcs, acc := newSources(noPlan, false)
+		_, err := topk.NRAOver(ctx, srcs, topkK, acc)
+		return err
+	})
+	bench("nra/source_degraded", func() error {
+		srcs, acc := newSources(func(i int) *faults.Plan {
+			if i != 0 {
+				return nil
+			}
+			return &faults.Plan{DeathAfter: 1}
+		}, false)
+		_, err := topk.NRAOver(ctx, srcs, topkK, acc)
+		return err
+	})
+	bench("ca/source", func() error {
+		srcs, acc := newSources(noPlan, false)
+		_, err := topk.CAOver(ctx, srcs, topkK, 10, acc)
 		return err
 	})
 

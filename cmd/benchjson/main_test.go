@@ -45,6 +45,9 @@ func TestRunEmitsAllBenchmarks(t *testing.T) {
 		"medrank/source_retry":           false,
 		"medrank/source_degraded":        false,
 		"ta/source":                      false,
+		"nra/source":                     false,
+		"nra/source_degraded":            false,
+		"ca/source":                      false,
 
 		"distancematrix_kprof/dup_uncached":      false,
 		"distancematrix_kprof/dup_cached":        false,

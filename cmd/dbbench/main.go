@@ -7,11 +7,13 @@
 // experiment E7: run it on the parameter ranges that match your schema.
 //
 // With -stats the human-readable table is replaced by a JSON document that
-// additionally runs the TA-style baseline on every configuration and reports
-// sequential/random access counts, the certificate lower bound, and the
-// MEDRANK optimality ratio (Theorems 30-32) per configuration, plus a
-// snapshot of the telemetry registry. -trace appends the span event log;
-// -debug ADDR serves net/http/pprof and expvar for the duration of the run.
+// additionally runs the TA, NRA, and CA baselines on every configuration and
+// reports sequential/random access counts, the sequential-only and
+// cost-weighted certificate lower bounds, middleware costs at (cs=1,
+// cr=-cost-ratio), and per-engine cost-weighted optimality ratios (Theorems
+// 30-32), plus a snapshot of the telemetry registry. -trace appends the span
+// event log; -debug ADDR serves net/http/pprof and expvar for the duration of
+// the run.
 //
 // -chaos replaces the sweep with the fault-injection experiment E15: MEDRANK
 // over fallible sources at increasing list-death rates, reporting how far the
@@ -66,24 +68,41 @@ func main() {
 // engineStats is one engine's access profile on one configuration, averaged
 // over trials.
 type engineStats struct {
-	Sequential      int     `json:"sequential"`
-	Random          int     `json:"random"`
-	BucketIOs       int     `json:"bucket_ios"`
-	MaxDepth        int     `json:"max_depth"`
-	OptimalityRatio float64 `json:"optimality_ratio"`
+	Sequential int `json:"sequential"`
+	Random     int `json:"random"`
+	BucketIOs  int `json:"bucket_ios"`
+	MaxDepth   int `json:"max_depth"`
+	// OptimalityRatio is the legacy equal-weights ratio (total accesses over
+	// the sequential-only certificate). It is only sound — and only emitted —
+	// for engines that make no random accesses (MEDRANK, NRA); pricing TA's
+	// or CA's random accesses against a sequential-only bound was the bug
+	// this field's companion replaces.
+	OptimalityRatio float64 `json:"optimality_ratio,omitempty"`
+	// MiddlewareCost is the FLN cost cs·sequential + cr·random at
+	// (cs=1, cr=cost_ratio), and CostOptimalityRatio divides it by the
+	// cost-weighted certificate computed at the same weights.
+	MiddlewareCost      int     `json:"middleware_cost"`
+	CostOptimalityRatio float64 `json:"cost_optimality_ratio"`
 }
 
 // configStats is the JSON record emitted per configuration under -stats.
 type configStats struct {
-	N           int         `json:"n"`
-	M           int         `json:"m"`
-	Values      int         `json:"values"`
-	K           int         `json:"k"`
-	MedRank     engineStats `json:"medrank"`
-	TA          engineStats `json:"ta"`
-	FullScan    int         `json:"full_scan"`
-	Certificate int         `json:"certificate"`
-	ElapsedNs   int64       `json:"elapsed_ns"`
+	N       int         `json:"n"`
+	M       int         `json:"m"`
+	Values  int         `json:"values"`
+	K       int         `json:"k"`
+	MedRank engineStats `json:"medrank"`
+	TA      engineStats `json:"ta"`
+	NRA     engineStats `json:"nra"`
+	CA      engineStats `json:"ca"`
+	FullScan    int `json:"full_scan"`
+	Certificate int `json:"certificate"`
+	// CostRatio is the cR/cS weight of the sweep and CostCertificate the
+	// cost-weighted per-instance lower bound at (cs=1, cr=CostRatio),
+	// averaged over trials like Certificate.
+	CostRatio       int   `json:"cost_ratio"`
+	CostCertificate int   `json:"cost_certificate"`
+	ElapsedNs       int64 `json:"elapsed_ns"`
 }
 
 // statsDoc is the top-level -stats JSON document.
@@ -111,7 +130,8 @@ func run(args []string, stdout io.Writer) error {
 	theta := fs.Float64("theta", 1.5, "Mallows concentration of attributes around the hidden order")
 	trials := fs.Int("trials", 3, "trials per configuration (averaged)")
 	seed := fs.Int64("seed", 1, "random seed")
-	stats := fs.Bool("stats", false, "emit access statistics as JSON (MEDRANK and TA baselines, optimality ratios, telemetry snapshot)")
+	stats := fs.Bool("stats", false, "emit access statistics as JSON (MEDRANK, TA, NRA, and CA on every configuration, cost-weighted optimality ratios, telemetry snapshot)")
+	costRatio := fs.Int("cost-ratio", 10, "cR/cS weight pricing random accesses in the -stats cost columns and scheduling CA")
 	trace := fs.Bool("trace", false, "record telemetry spans and append the trace event log to the JSON (implies -stats)")
 	chaos := fs.Bool("chaos", false, "run the fault-injection experiment (E15) instead of the access-cost sweep")
 	catalog := fs.String("catalog", "", "query a real CSV catalog instead of sweeping synthetic ones")
@@ -156,6 +176,9 @@ func run(args []string, stdout io.Writer) error {
 	if *trials < 1 {
 		return fmt.Errorf("trials must be positive, got %d", *trials)
 	}
+	if *costRatio < 0 {
+		return fmt.Errorf("cost-ratio must be non-negative, got %d", *costRatio)
+	}
 	if *trace {
 		*stats = true
 	}
@@ -193,7 +216,7 @@ func run(args []string, stdout io.Writer) error {
 					if k > n {
 						continue
 					}
-					cs, err := sweepConfig(rng, n, m, nv, k, *zipf, *theta, *trials, *stats, *timeout)
+					cs, err := sweepConfig(rng, n, m, nv, k, *zipf, *theta, *trials, *stats, *costRatio, *timeout)
 					if err != nil {
 						return err
 					}
@@ -220,13 +243,17 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // sweepConfig runs one (n, m, values, k) configuration for the given number
-// of trials and averages the access profiles of MEDRANK and, when withTA is
-// set, the TA-style baseline over the same ensembles. A non-zero timeout is
+// of trials and averages the access profile of MEDRANK and, when withAll is
+// set, of the TA, NRA, and CA baselines over the same ensembles. All engines
+// are priced under one cost model (cs=1, cr=costRatio) against one
+// cost-weighted certificate — the fix for the old report, which divided TA's
+// mixed access count by a sequential-only bound. A non-zero timeout is
 // applied per engine run; hitting it aborts the sweep.
-func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials int, withTA bool, timeout time.Duration) (configStats, error) {
-	cs := configStats{N: n, M: m, Values: nv, K: k}
+func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials int, withAll bool, costRatio int, timeout time.Duration) (configStats, error) {
+	cs := configStats{N: n, M: m, Values: nv, K: k, CostRatio: costRatio}
 	var elapsed time.Duration
-	var medRatio, taRatio float64
+	var medRatio, nraRatio float64
+	costRatios := make(map[string]float64, 4)
 	deadlined := func(run func(context.Context) error) error {
 		ctx := context.Background()
 		if timeout > 0 {
@@ -235,6 +262,16 @@ func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials in
 			defer cancel()
 		}
 		return run(ctx)
+	}
+	accumulate := func(es *engineStats, name string, st topk.AccessStats, costCert int) {
+		es.Sequential += st.Total
+		es.Random += st.Random
+		es.BucketIOs += st.TotalBucketProbes
+		if st.MaxDepth > es.MaxDepth {
+			es.MaxDepth = st.MaxDepth
+		}
+		es.MiddlewareCost += st.MiddlewareCost(1, costRatio)
+		costRatios[name] += st.CostOptimalityRatio(1, costRatio, costCert)
 	}
 	for trial := 0; trial < trials; trial++ {
 		ens := randrank.CatalogEnsemble(rng, n, m, nv, zipf, theta)
@@ -250,44 +287,61 @@ func sweepConfig(rng *rand.Rand, n, m, nv, k int, zipf, theta float64, trials in
 			return cs, err
 		}
 		cert := topk.CertificateLowerBound(ens.Rankings, res.Winners)
+		costCert := topk.CertificateLowerBoundCost(ens.Rankings, res.Winners, 1, costRatio)
 		cs.Certificate += cert
+		cs.CostCertificate += costCert
 		medRatio += res.Stats.OptimalityRatio(cert)
-		cs.MedRank.Sequential += res.Stats.Total
-		cs.MedRank.Random += res.Stats.Random
-		cs.MedRank.BucketIOs += res.Stats.TotalBucketProbes
-		if res.Stats.MaxDepth > cs.MedRank.MaxDepth {
-			cs.MedRank.MaxDepth = res.Stats.MaxDepth
-		}
+		accumulate(&cs.MedRank, "medrank", res.Stats, costCert)
 		cs.FullScan += topk.FullScanCost(ens.Rankings).Total
-		if withTA {
-			var ta *topk.Result
-			err := deadlined(func(ctx context.Context) error {
-				var err error
-				ta, err = topk.ThresholdTopKContext(ctx, ens.Rankings, k)
-				return err
-			})
-			if err != nil {
-				return cs, err
-			}
-			taRatio += ta.Stats.OptimalityRatio(cert)
-			cs.TA.Sequential += ta.Stats.Total
-			cs.TA.Random += ta.Stats.Random
-			cs.TA.BucketIOs += ta.Stats.TotalBucketProbes
-			if ta.Stats.MaxDepth > cs.TA.MaxDepth {
-				cs.TA.MaxDepth = ta.Stats.MaxDepth
+		if withAll {
+			for _, eng := range []struct {
+				name string
+				es   *engineStats
+				run  func(context.Context) (*topk.Result, error)
+			}{
+				{"ta", &cs.TA, func(ctx context.Context) (*topk.Result, error) {
+					return topk.ThresholdTopKContext(ctx, ens.Rankings, k)
+				}},
+				{"nra", &cs.NRA, func(ctx context.Context) (*topk.Result, error) {
+					return topk.NRAContext(ctx, ens.Rankings, k)
+				}},
+				{"ca", &cs.CA, func(ctx context.Context) (*topk.Result, error) {
+					return topk.CAContext(ctx, ens.Rankings, k, costRatio)
+				}},
+			} {
+				var r *topk.Result
+				err := deadlined(func(ctx context.Context) error {
+					var err error
+					r, err = eng.run(ctx)
+					return err
+				})
+				if err != nil {
+					return cs, err
+				}
+				if eng.name == "nra" {
+					// NRA makes no random accesses, so the legacy
+					// sequential-only ratio is sound for it too.
+					nraRatio += r.Stats.OptimalityRatio(cert)
+				}
+				accumulate(eng.es, eng.name, r.Stats, costCert)
 			}
 		}
 	}
-	cs.MedRank.Sequential /= trials
-	cs.MedRank.Random /= trials
-	cs.MedRank.BucketIOs /= trials
-	cs.TA.Sequential /= trials
-	cs.TA.Random /= trials
-	cs.TA.BucketIOs /= trials
+	for _, es := range []*engineStats{&cs.MedRank, &cs.TA, &cs.NRA, &cs.CA} {
+		es.Sequential /= trials
+		es.Random /= trials
+		es.BucketIOs /= trials
+		es.MiddlewareCost /= trials
+	}
 	cs.FullScan /= trials
 	cs.Certificate /= trials
+	cs.CostCertificate /= trials
 	cs.MedRank.OptimalityRatio = medRatio / float64(trials)
-	cs.TA.OptimalityRatio = taRatio / float64(trials)
+	cs.NRA.OptimalityRatio = nraRatio / float64(trials)
+	cs.MedRank.CostOptimalityRatio = costRatios["medrank"] / float64(trials)
+	cs.TA.CostOptimalityRatio = costRatios["ta"] / float64(trials)
+	cs.NRA.CostOptimalityRatio = costRatios["nra"] / float64(trials)
+	cs.CA.CostOptimalityRatio = costRatios["ca"] / float64(trials)
 	cs.ElapsedNs = int64(elapsed) / int64(trials)
 	return cs, nil
 }

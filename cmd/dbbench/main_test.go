@@ -41,6 +41,33 @@ func TestRunStatsJSON(t *testing.T) {
 		if c.MedRank.OptimalityRatio < 1 {
 			t.Errorf("k=%d: MEDRANK optimality ratio %v < 1", c.K, c.MedRank.OptimalityRatio)
 		}
+		if c.NRA.Sequential <= 0 || c.NRA.Random != 0 {
+			t.Errorf("k=%d: NRA profile %+v, want positive sequential and zero random", c.K, c.NRA)
+		}
+		if c.CA.Sequential <= 0 {
+			t.Errorf("k=%d: CA sequential accesses %d, want positive", c.K, c.CA.Sequential)
+		}
+		// The equal-weights ratio against a sequential-only bound is only
+		// sound for the no-random-access engines; the old report also priced
+		// TA with it, which is the bug this sweep no longer has.
+		if c.TA.OptimalityRatio != 0 || c.CA.OptimalityRatio != 0 {
+			t.Errorf("k=%d: legacy ratio emitted for a random-access engine: ta=%v ca=%v",
+				c.K, c.TA.OptimalityRatio, c.CA.OptimalityRatio)
+		}
+		if c.CostCertificate <= 0 || c.CostRatio != 10 {
+			t.Errorf("k=%d: cost certificate %d at ratio %d, want positive at 10", c.K, c.CostCertificate, c.CostRatio)
+		}
+		for name, es := range map[string]engineStats{"medrank": c.MedRank, "ta": c.TA, "nra": c.NRA, "ca": c.CA} {
+			if es.CostOptimalityRatio < 1 {
+				t.Errorf("k=%d: %s cost-weighted optimality ratio %v < 1", c.K, name, es.CostOptimalityRatio)
+			}
+			if want := es.Sequential + 10*es.Random; es.MiddlewareCost != want {
+				// Averaged fields; allow off-by-one from integer division.
+				if diff := es.MiddlewareCost - want; diff < -10 || diff > 10 {
+					t.Errorf("k=%d: %s middleware cost %d, want ~%d", c.K, name, es.MiddlewareCost, want)
+				}
+			}
+		}
 	}
 	if len(doc.Telemetry.Counters) == 0 {
 		t.Error("telemetry counter snapshot empty under -stats")

@@ -243,10 +243,19 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("topk", flag.ContinueOnError)
 	in := addInputFlags(fs)
 	k := fs.Int("k", 1, "number of winners")
+	algo := fs.String("algo", "medrank", "engine: medrank, ta, nra, or ca")
+	costRatio := fs.Int("cost-ratio", 0, "cR/cS weight for CA scheduling and cost reporting; 0 means the engine default (10 for ta/ca, 0 for medrank/nra)")
 	stats := fs.Bool("stats", false, "emit the run's access accounting as JSON instead of text")
 	timeout := fs.Duration("timeout", 0, "abort the run after this long; 0 means no deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *costRatio < 0 {
+		return fmt.Errorf("-cost-ratio must be non-negative, got %d", *costRatio)
+	}
+	ratio := *costRatio
+	if ratio == 0 && (*algo == "ta" || *algo == "ca") {
+		ratio = 10
 	}
 	rs, dom, err := in.read(stdin)
 	if err != nil {
@@ -258,13 +267,26 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := topk.MedRankContext(ctx, rs, *k, topk.RoundRobin)
+	var res *topk.Result
+	switch *algo {
+	case "medrank":
+		res, err = topk.MedRankContext(ctx, rs, *k, topk.RoundRobin)
+	case "ta":
+		res, err = topk.ThresholdTopKContext(ctx, rs, *k)
+	case "nra":
+		res, err = topk.NRAContext(ctx, rs, *k)
+	case "ca":
+		res, err = topk.CAContext(ctx, rs, *k, ratio)
+	default:
+		return fmt.Errorf("unknown -algo %q (want medrank, ta, nra, or ca)", *algo)
+	}
 	if err != nil {
 		return err
 	}
 	full := topk.FullScanCost(rs)
 	if *stats {
 		cert := topk.CertificateLowerBound(rs, res.Winners)
+		costCert := topk.CertificateLowerBoundCost(rs, res.Winners, 1, ratio)
 		winners := make([]string, len(res.Winners))
 		for i, w := range res.Winners {
 			winners[i] = dom.Name(w)
@@ -272,12 +294,19 @@ func cmdTopK(args []string, stdin io.Reader, stdout io.Writer) error {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
-			Winners         []string         `json:"winners"`
-			Access          topk.AccessStats `json:"access"`
-			FullScan        int              `json:"full_scan"`
-			Certificate     int              `json:"certificate"`
-			OptimalityRatio float64          `json:"optimality_ratio"`
-		}{winners, res.Stats, full.Total, cert, res.Stats.OptimalityRatio(cert)})
+			Algo                string           `json:"algo"`
+			Winners             []string         `json:"winners"`
+			Access              topk.AccessStats `json:"access"`
+			FullScan            int              `json:"full_scan"`
+			Certificate         int              `json:"certificate"`
+			OptimalityRatio     float64          `json:"optimality_ratio"`
+			CostRatio           int              `json:"cost_ratio"`
+			MiddlewareCost      int              `json:"middleware_cost"`
+			CostCertificate     int              `json:"cost_certificate"`
+			CostOptimalityRatio float64          `json:"cost_optimality_ratio"`
+		}{*algo, winners, res.Stats, full.Total, cert, res.Stats.OptimalityRatio(cert),
+			ratio, res.Stats.MiddlewareCost(1, ratio), costCert,
+			res.Stats.CostOptimalityRatio(1, ratio, costCert)})
 	}
 	for i, w := range res.Winners {
 		fmt.Fprintf(stdout, "%d. %s (median position %g)\n", i+1, dom.Name(w), float64(res.Medians2[i])/2)

@@ -1,6 +1,9 @@
 package db
 
 import (
+	"context"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -335,5 +338,83 @@ func TestTopKOffsetPagination(t *testing.T) {
 	}
 	if _, err := tbl.TopK(Query{Preferences: prefs, K: 3, Offset: 5}); err == nil {
 		t.Error("offset+k beyond table accepted")
+	}
+}
+
+// TestQueryAlgoDispatch pins the engine selector: every algo answers the same
+// top-k set, NRA issues no random accesses, and the cost-weighted accounting
+// fields are consistent with each run's access profile.
+func TestQueryAlgoDispatch(t *testing.T) {
+	tbl := restaurantTable(t)
+	prefs := []Preference{
+		{Column: "distance", Direction: Ascending},
+		{Column: "price", Direction: Ascending},
+		{Column: "stars", Direction: Descending},
+	}
+	base, err := tbl.TopK(Query{Preferences: prefs, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := append([]string(nil), base.Keys...)
+	sort.Strings(wantSet)
+	for _, algo := range []string{AlgoMedRank, AlgoTA, AlgoNRA, AlgoCA} {
+		res, err := tbl.TopK(Query{Preferences: prefs, K: 3, Algo: algo})
+		if err != nil {
+			t.Fatalf("algo %q: %v", algo, err)
+		}
+		got := append([]string(nil), res.Keys...)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, wantSet) {
+			t.Fatalf("algo %q: keys %v, want %v", algo, got, wantSet)
+		}
+		switch algo {
+		case AlgoMedRank, AlgoNRA:
+			if res.Access.Random != 0 {
+				t.Fatalf("algo %q made %d random accesses", algo, res.Access.Random)
+			}
+			if res.CostRatio != 0 {
+				t.Fatalf("algo %q reported cost ratio %d, want the NRA regime 0", algo, res.CostRatio)
+			}
+			if res.MiddlewareCost != res.Access.Total {
+				t.Fatalf("algo %q: middleware cost %d != sequential total %d", algo, res.MiddlewareCost, res.Access.Total)
+			}
+		case AlgoTA, AlgoCA:
+			if res.CostRatio != DefaultCostRatio {
+				t.Fatalf("algo %q defaulted to cost ratio %d, want %d", algo, res.CostRatio, DefaultCostRatio)
+			}
+			want := res.Access.Total + DefaultCostRatio*res.Access.Random
+			if res.MiddlewareCost != want {
+				t.Fatalf("algo %q: middleware cost %d, want %d", algo, res.MiddlewareCost, want)
+			}
+		}
+		if res.CostCertificate <= 0 || res.CostOptimalityRatio < 1 {
+			t.Fatalf("algo %q: cost certificate %d ratio %v", algo, res.CostCertificate, res.CostOptimalityRatio)
+		}
+	}
+	// Explicit ratio overrides the default and is echoed back.
+	res, err := tbl.TopK(Query{Preferences: prefs, K: 3, Algo: AlgoCA, CostRatio: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostRatio != 25 {
+		t.Fatalf("explicit cost ratio not echoed: %d", res.CostRatio)
+	}
+	if _, err := tbl.TopK(Query{Preferences: prefs, K: 3, Algo: "bogus"}); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+	// The resilient path dispatches the same engines.
+	for _, algo := range []string{AlgoNRA, AlgoCA} {
+		res, err := tbl.TopKResilient(context.Background(), Query{Preferences: prefs, K: 3, Algo: algo}, nil)
+		if err != nil {
+			t.Fatalf("resilient %q: %v", algo, err)
+		}
+		got := append([]string(nil), res.Keys...)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, wantSet) {
+			t.Fatalf("resilient %q: keys %v, want %v", algo, got, wantSet)
+		}
+		if algo == AlgoNRA && res.Access.Random != 0 {
+			t.Fatalf("resilient NRA made %d random accesses", res.Access.Random)
+		}
 	}
 }

@@ -19,6 +19,19 @@ var (
 	tIndexScans       = telemetry.GetCounter("db.index_scans")
 )
 
+// Engine names accepted by Query.Algo.
+const (
+	AlgoMedRank = "medrank"
+	AlgoTA      = "ta"
+	AlgoNRA     = "nra"
+	AlgoCA      = "ca"
+)
+
+// DefaultCostRatio is the random:sequential cost ratio assumed when a "ca"
+// query does not set one: random access an order of magnitude more expensive
+// than the next entry of an open scan, the classic middleware regime.
+const DefaultCostRatio = 10
+
 // Query is a multi-criteria preference query: aggregate the index scans of
 // all preferences and return the best K records, optionally skipping the
 // first Offset records (pagination).
@@ -27,6 +40,32 @@ type Query struct {
 	K           int
 	// Offset skips the best Offset records before returning K winners.
 	Offset int
+	// Algo selects the aggregation engine: "" or "medrank" (sorted access
+	// only, certifies exact medians), "ta" (random-access heavy), "nra"
+	// (sorted access only with interval certification — never issues a
+	// random access), or "ca" (interval accumulation with random accesses
+	// scheduled every ~CostRatio sorted rounds).
+	Algo string
+	// CostRatio is the random:sequential access cost ratio cR/cS. It drives
+	// the "ca" engine's random-access schedule and the cost-weighted
+	// optimality reporting for every engine. <= 0 selects a per-engine
+	// default: DefaultCostRatio for "ca" and "ta" (their random accesses
+	// have a price), 0 — the NRA regime, random access unpriced because
+	// unused — for "medrank" and "nra".
+	CostRatio int
+}
+
+// effectiveCostRatio resolves Query.CostRatio against the per-engine
+// defaults.
+func (q Query) effectiveCostRatio() int {
+	if q.CostRatio > 0 {
+		return q.CostRatio
+	}
+	switch q.Algo {
+	case AlgoCA, AlgoTA:
+		return DefaultCostRatio
+	}
+	return 0
 }
 
 // QueryResult is the answer to a top-k preference query.
@@ -47,10 +86,25 @@ type QueryResult struct {
 	// degraded run it is computed over the surviving index scans — the
 	// instance that was actually solved.
 	Certificate int
-	// OptimalityRatio is Access accesses divided by Certificate — the
-	// instance-optimality ratio of Theorems 30-32 (0 when Certificate is 0,
-	// e.g. for k = 0).
+	// OptimalityRatio is Access accesses (sequential plus random, equal
+	// weights) divided by Certificate. Kept for comparability with
+	// historical numbers; CostOptimalityRatio is the cost-model-consistent
+	// figure.
 	OptimalityRatio float64
+	// CostRatio is the random:sequential cost ratio the cost-weighted
+	// figures below were computed at (Query.CostRatio resolved against the
+	// per-engine defaults).
+	CostRatio int
+	// MiddlewareCost is the run's FLN middleware cost at (cs, cr) =
+	// (1, CostRatio): sequential accesses plus CostRatio per random access.
+	MiddlewareCost int
+	// CostCertificate is the cost-aware per-instance lower bound at the same
+	// weights (topk.CertificateLowerBoundCost).
+	CostCertificate int
+	// CostOptimalityRatio is MiddlewareCost / CostCertificate — the
+	// instance-optimality ratio under the FLN cost model (0 when the bound
+	// is 0, e.g. for k = 0).
+	CostOptimalityRatio float64
 	// Degraded is non-nil when index scans died mid-query (resilient path
 	// only): the answer then aggregates the surviving scans and Degraded
 	// carries the lost lists, wasted accesses, and per-winner quality bounds.
@@ -60,6 +114,38 @@ type QueryResult struct {
 // runMedRank and fullScan are shared by TopK and TopKWhere.
 func runMedRank(ctx context.Context, rankings []*ranking.PartialRanking, k int) (*topk.Result, error) {
 	return topk.MedRankContext(ctx, rankings, k, topk.RoundRobin)
+}
+
+// runEngine dispatches the query's engine over in-memory rankings.
+func runEngine(ctx context.Context, q Query, rankings []*ranking.PartialRanking, k int) (*topk.Result, error) {
+	switch q.Algo {
+	case "", AlgoMedRank:
+		return runMedRank(ctx, rankings, k)
+	case AlgoTA:
+		return topk.ThresholdTopKContext(ctx, rankings, k)
+	case AlgoNRA:
+		return topk.NRAContext(ctx, rankings, k)
+	case AlgoCA:
+		return topk.CAContext(ctx, rankings, k, q.effectiveCostRatio())
+	default:
+		return nil, fmt.Errorf("db: unknown algo %q (want medrank, ta, nra, or ca)", q.Algo)
+	}
+}
+
+// runEngineOver dispatches the query's engine over fallible sources.
+func runEngineOver(ctx context.Context, q Query, srcs []faults.Source, k int, acc *telemetry.AccessAccountant) (*topk.Result, error) {
+	switch q.Algo {
+	case "", AlgoMedRank:
+		return topk.MedRankOver(ctx, srcs, k, topk.RoundRobin, acc)
+	case AlgoTA:
+		return topk.ThresholdTopKOver(ctx, srcs, k, acc)
+	case AlgoNRA:
+		return topk.NRAOver(ctx, srcs, k, acc)
+	case AlgoCA:
+		return topk.CAOver(ctx, srcs, k, q.effectiveCostRatio(), acc)
+	default:
+		return nil, fmt.Errorf("db: unknown algo %q (want medrank, ta, nra, or ca)", q.Algo)
+	}
 }
 
 func fullScan(rankings []*ranking.PartialRanking) topk.AccessStats {
@@ -85,7 +171,7 @@ func (t *Table) TopKContext(ctx context.Context, q Query) (*QueryResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := runMedRank(ctx, rankings, q.K+q.Offset)
+	res, err := runEngine(ctx, q, rankings, q.K+q.Offset)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +204,7 @@ func (t *Table) TopKResilient(ctx context.Context, q Query, wrap faults.Wrapper)
 		}
 		srcs[i] = s
 	}
-	res, err := topk.MedRankOver(ctx, srcs, q.K+q.Offset, topk.RoundRobin, acc)
+	res, err := runEngineOver(ctx, q, srcs, q.K+q.Offset, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +234,12 @@ func (t *Table) buildResult(q Query, rankings []*ranking.PartialRanking, res *to
 		FullScan:    fullScan(rankings),
 		Certificate: topk.CertificateLowerBound(rankings, res.Winners),
 		Degraded:    res.Degraded,
+		CostRatio:   q.effectiveCostRatio(),
 	}
 	out.OptimalityRatio = res.Stats.OptimalityRatio(out.Certificate)
+	out.MiddlewareCost = res.Stats.MiddlewareCost(1, out.CostRatio)
+	out.CostCertificate = topk.CertificateLowerBoundCost(rankings, res.Winners, 1, out.CostRatio)
+	out.CostOptimalityRatio = res.Stats.CostOptimalityRatio(1, out.CostRatio, out.CostCertificate)
 	for i, w := range res.Winners {
 		if i < q.Offset {
 			continue

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/randrank"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+	"repro/internal/topk"
+)
+
+// e17Engines enumerates the four engines of the FLN middleware family in the
+// order the E17 rows report them.
+var e17Engines = []string{"medrank", "ta", "nra", "ca"}
+
+// e17Instance draws one E17 workload: a few-valued tie-heavy catalog (6
+// distinct values per attribute, Zipf 1.0, concentration 1.5) — the database
+// setting that motivates MEDRANK in Section 6. On these instances a sorted
+// bucket scan reveals whole runs of tied rows, every probed element's
+// median-rank interval closes within the round it is first seen, and the
+// decisive cost term is whether an engine pays cR per element it encounters
+// (TA) or not (NRA, CA).
+func e17Instance(rng *rand.Rand, n, m int) []*ranking.PartialRanking {
+	return randrank.CatalogEnsemble(rng, n, m, 6, 1.0, 1.5).Rankings
+}
+
+// e17Run executes one engine over one instance, infallible or (when a fault
+// plan is given) over injected sources, and returns the result. CA is
+// scheduled at the sweep's cost ratio; at ratio 0 that degenerates to NRA,
+// which is exactly the regime the row documents.
+func e17Run(engine string, in []*ranking.PartialRanking, k, ratio int, plan *faults.Plan, planSeed int64) (*topk.Result, error) {
+	ctx := context.Background()
+	if plan == nil {
+		switch engine {
+		case "medrank":
+			return topk.MedRankContext(ctx, in, k, topk.GlobalMerge)
+		case "ta":
+			return topk.ThresholdTopKContext(ctx, in, k)
+		case "nra":
+			return topk.NRAContext(ctx, in, k)
+		default:
+			return topk.CAContext(ctx, in, k, ratio)
+		}
+	}
+	m := len(in)
+	acc := telemetry.NewAccessAccountant(m)
+	sl := &faults.FakeSleeper{}
+	srcs := make([]faults.Source, m)
+	for i, r := range in {
+		s := topk.NewListSource(r, acc, i)
+		p := *plan
+		p.Seed = planSeed + int64(i)
+		p.Sleeper = sl
+		s = faults.Inject(s, p)
+		pol := faults.DefaultRetryPolicy()
+		pol.JitterSeed = planSeed
+		pol.Sleeper = sl
+		srcs[i] = faults.WithRetry(s, pol, acc, i)
+	}
+	switch engine {
+	case "medrank":
+		return topk.MedRankOver(ctx, srcs, k, topk.RoundRobin, acc)
+	case "ta":
+		return topk.ThresholdTopKOver(ctx, srcs, k, acc)
+	case "nra":
+		return topk.NRAOver(ctx, srcs, k, acc)
+	default:
+		return topk.CAOver(ctx, srcs, k, ratio, acc)
+	}
+}
+
+// E17MiddlewareCost prices the four top-k engines under the FLN middleware
+// cost model cs·sequential + cr·random across cost regimes and fault rates.
+// At cR/cS = 0 random access is free (the regime where TA shines); as the
+// ratio grows, TA's per-element random lookups dominate its bill, NRA (which
+// never pays cr) becomes the safe choice, and CA — which schedules one
+// random-access resolution every ~cR/cS sorted rounds — tracks the cheaper of
+// the two within a constant factor (Theorems 30-32). The fault rows rerun the
+// ratio-10 column over fault-injected sources at increasing per-access death
+// rates: costs there include the accesses wasted on lists that died, and the
+// degraded column counts runs that lost at least one list.
+func E17MiddlewareCost(seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E17",
+		Title: "Middleware cost of MEDRANK/TA/NRA/CA across cost regimes (n=600, m=5, k=10)",
+		Claim: "Thms 30-32: NRA is optimal with no random access; CA is within a constant of the best in both regimes",
+		Headers: []string{
+			"cR/cS", "death rate", "engine", "sequential", "random",
+			"middleware cost", "cost LB", "ratio", "degraded",
+		},
+	}
+	const (
+		n      = 600
+		m      = 5
+		k      = 10
+		trials = 5
+	)
+	rng := rand.New(rand.NewSource(seed))
+	instances := make([][]*ranking.PartialRanking, trials)
+	for i := range instances {
+		instances[i] = e17Instance(rng, n, m)
+	}
+
+	type cell struct {
+		ratio int
+		death float64
+		plan  *faults.Plan
+	}
+	cells := []cell{
+		{ratio: 0}, {ratio: 1}, {ratio: 10}, {ratio: 100},
+	}
+	for _, death := range []float64{0.002, 0.01} {
+		cells = append(cells, cell{
+			ratio: 10,
+			death: death,
+			plan:  &faults.Plan{TransientRate: 0.002, DeathRate: death},
+		})
+	}
+
+	for ci, c := range cells {
+		for _, engine := range e17Engines {
+			var seq, ran, cost, lb, degraded, dead, completed int
+			for trial, in := range instances {
+				planSeed := seed + int64(ci)*1000 + int64(trial)*100
+				res, err := e17Run(engine, in, k, c.ratio, c.plan, planSeed)
+				if err != nil {
+					if c.plan == nil {
+						return nil, fmt.Errorf("E17 %s at ratio %d: %w", engine, c.ratio, err)
+					}
+					// Every list died before the engine certified; there is
+					// no answer whose cost could be priced. Counted apart so
+					// the cost columns describe only runs that answered.
+					dead++
+					continue
+				}
+				completed++
+				seq += res.Stats.Total
+				ran += res.Stats.Random
+				cost += res.Stats.MiddlewareCost(1, c.ratio)
+				lb += topk.CertificateLowerBoundCost(in, res.Winners, 1, c.ratio)
+				if res.Degraded != nil {
+					degraded++
+				}
+			}
+			ratio := "-"
+			if completed > 0 {
+				seq /= completed
+				ran /= completed
+				cost /= completed
+				lb /= completed
+				if lb > 0 {
+					ratio = fmt.Sprintf("%.2f", float64(cost)/float64(lb))
+				}
+			}
+			deathCol := "0 (clean)"
+			if c.plan != nil {
+				deathCol = fmt.Sprintf("%.4f", c.death)
+			}
+			degCol := fmt.Sprintf("%d", degraded)
+			if dead > 0 {
+				degCol = fmt.Sprintf("%d (+%d all dead)", degraded, dead)
+			}
+			t.AddRow(c.ratio, deathCol, engine, seq, ran, cost, lb, ratio, degCol)
+		}
+	}
+	t.Notef("all counts are means over %d shared tie-heavy catalog instances (6 values per attribute); middleware cost is cs*sequential + cr*random at cs=1, cr=cR/cS, and the cost LB is the certificate bound priced at the same weights", trials)
+	t.Notef("on these few-valued catalogs every probed element's interval closes within the round it is seen, so CA never finds a profitable resolution target and coincides with NRA at every ratio: its advantage over TA is entirely in not paying cR per encountered element")
+	t.Notef("the fault rows inject transients at rate 0.002 (absorbed by retries) plus the listed per-access death rate; their costs include accesses wasted on lists that died")
+	return t, nil
+}

@@ -149,6 +149,7 @@ var Registry = []Spec{
 	{"E14", "Condorcet-winner compliance of the aggregators", E14Condorcet},
 	{"E15", "Degraded-mode MEDRANK under injected list death", E15Chaos},
 	{"E16", "Hostile-voter injection vs robust aggregation", E16Robust},
+	{"E17", "Middleware cost of MEDRANK/TA/NRA/CA across cost regimes", E17MiddlewareCost},
 }
 
 // Run looks up and runs one experiment by ID under panic supervision: a bug

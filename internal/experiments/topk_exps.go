@@ -82,10 +82,15 @@ func E7InstanceOptimality(seed int64) (*Table, error) {
 					return nil, fmt.Errorf("E7: bucket policy disagrees on %s n=%d k=%d", w.name, n, k)
 				}
 				full := topk.FullScanCost(in)
-				lb := topk.CertificateLowerBound(in, merge.Winners)
+				// MEDRANK is sequential-only, so its instance-optimality
+				// ratio is priced in the NRA cost regime (cs=1, cr=0) —
+				// numerically identical to the old total/bound quotient, but
+				// routed through the cost-aware accounting instead of the
+				// deprecated equal-weights one.
+				lb := topk.CertificateLowerBoundCost(in, merge.Winners, 1, 0)
 				ratio := "-"
 				if lb > 0 {
-					ratio = fmt.Sprintf("%.2f", float64(merge.Stats.Total)/float64(lb))
+					ratio = fmt.Sprintf("%.2f", merge.Stats.CostOptimalityRatio(1, 0, lb))
 				}
 				t.AddRow(w.name, n, k, merge.Stats.Total, rr.Stats.Total,
 					bucket.Stats.TotalBucketProbes, full.Total, lb, ratio)

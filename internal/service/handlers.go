@@ -94,8 +94,16 @@ type ChaosPlan struct {
 // TopKRequest asks for the top k elements of a catalog.
 type TopKRequest struct {
 	K int `json:"k"`
-	// Algo selects the engine: "medrank" (default) or "ta".
+	// Algo selects the engine: "medrank" (default), "ta", "nra" (no random
+	// access: interval certification from sorted access only), or "ca" (the
+	// combined algorithm: NRA accumulation with a random-access resolution
+	// every ~CostRatio sorted rounds).
 	Algo string `json:"algo,omitempty"`
+	// CostRatio is the FLN cR/cS weight used to schedule CA's random accesses
+	// and to price the response's middleware cost. 0 means the engine default
+	// (10 for ta/ca, 0 — the NRA regime — for medrank/nra); negative is an
+	// error.
+	CostRatio int `json:"cost_ratio,omitempty"`
 	// Resilient runs the degraded-mode engine over fallible sources with
 	// bounded retries; with Chaos set, faults are injected deterministically.
 	Resilient bool       `json:"resilient,omitempty"`
@@ -125,12 +133,16 @@ type TrimSummary struct {
 	Weights []float64 `json:"weights"`
 }
 
-// AccessSummary is the wire form of a query's access accounting.
+// AccessSummary is the wire form of a query's access accounting. CostRatio is
+// the effective cR/cS weight the query ran under and MiddlewareCost the FLN
+// cost cs·sequential + cr·random at (cs=1, cr=CostRatio).
 type AccessSummary struct {
-	Sequential int `json:"sequential"`
-	Random     int `json:"random"`
-	BucketIOs  int `json:"bucket_ios"`
-	MaxDepth   int `json:"max_depth"`
+	Sequential     int `json:"sequential"`
+	Random         int `json:"random"`
+	BucketIOs      int `json:"bucket_ios"`
+	MaxDepth       int `json:"max_depth"`
+	CostRatio      int `json:"cost_ratio"`
+	MiddlewareCost int `json:"middleware_cost"`
 }
 
 // TopKResponse is the answer to a TopKRequest.
@@ -544,9 +556,12 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		return nil, fail(http.StatusBadRequest, "k=%d out of range [1,%d]", req.K, c.dom.Size())
 	}
 	switch req.Algo {
-	case "", "medrank", "ta":
+	case "", "medrank", "ta", "nra", "ca":
 	default:
-		return nil, fail(http.StatusBadRequest, "unknown algo %q (want medrank or ta)", req.Algo)
+		return nil, fail(http.StatusBadRequest, "unknown algo %q (want medrank, ta, nra, or ca)", req.Algo)
+	}
+	if req.CostRatio < 0 {
+		return nil, fail(http.StatusBadRequest, "cost_ratio=%d must be non-negative", req.CostRatio)
 	}
 	if req.Chaos != nil && !req.Resilient {
 		return nil, fail(http.StatusBadRequest, "chaos requires resilient mode")
@@ -561,6 +576,12 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		}
 		if req.Resilient {
 			return nil, fail(http.StatusBadRequest, "theta is incompatible with resilient mode")
+		}
+		if req.Algo == "nra" {
+			// The θ-approximate engine earns its early stop with random
+			// accesses; honoring it would contradict the client's explicit
+			// no-random-access choice.
+			return nil, fail(http.StatusBadRequest, "theta is incompatible with algo \"nra\" (the approximate engine uses random access)")
 		}
 	}
 
@@ -584,6 +605,7 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	if algo == "" {
 		algo = "medrank"
 	}
+	ratio := effectiveCostRatio(algo, req.CostRatio)
 	start := time.Now()
 	meta := metaFrom(r.Context())
 
@@ -594,7 +616,7 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	level, theta, ladderReason := LadderExact, 0.0, ""
 	ladderActive := false
 	deadline, hasDeadline := r.Context().Deadline()
-	skey := staleKey{tenant: t.name, catalog: r.PathValue("catalog"), algo: algo, k: req.K}
+	skey := staleKey{tenant: t.name, catalog: r.PathValue("catalog"), algo: algo, k: req.K, ratio: ratio}
 	if req.Theta != nil {
 		level, theta, ladderActive = LadderApprox, *req.Theta, true
 		ladderReason = "explicit theta"
@@ -624,6 +646,12 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		// approximate engine is the best remaining effort inside the budget.
 		level, theta = LadderApprox, s.cfg.ApproxTheta
 		ladderReason += "; no stale answer, attempting approx"
+	}
+	if algo == "nra" && level == LadderApprox {
+		// The approx rung's engine uses random access, which an explicit
+		// "nra" forbids; serve exact instead and let the ladder say why.
+		level, theta = LadderExact, 0
+		ladderReason += "; nra serves exact (approx rung requires random access)"
 	}
 
 	// Reliability trim: score every list's centrality in the catalog's
@@ -659,11 +687,15 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 	ectx, eng := telemetry.Start(r.Context(), "engine."+algo)
 	switch {
 	case req.Resilient:
-		res, err = s.runResilientTopK(r.WithContext(ectx), rankings, req)
+		res, err = s.runResilientTopK(r.WithContext(ectx), rankings, req, ratio)
 	case level == LadderApprox:
 		res, err = topk.ThresholdTopKApprox(ectx, rankings, req.K, theta)
 	case algo == "ta":
 		res, err = topk.ThresholdTopKContext(ectx, rankings, req.K)
+	case algo == "nra":
+		res, err = topk.NRAContext(ectx, rankings, req.K)
+	case algo == "ca":
+		res, err = topk.CAContext(ectx, rankings, req.K, ratio)
 	default:
 		res, err = topk.MedRankContext(ectx, rankings, req.K, topk.GlobalMerge)
 	}
@@ -698,7 +730,11 @@ func (s *Service) handleTopK(_ http.ResponseWriter, r *http.Request) (any, *apiE
 		Random:     res.Stats.Random,
 		BucketIOs:  res.Stats.TotalBucketProbes,
 		MaxDepth:   res.Stats.MaxDepth,
+		CostRatio:  ratio,
 	}
+	access.MiddlewareCost = res.Stats.MiddlewareCost(1, ratio)
+	s.mAlgo.With(t.name, algo).Inc()
+	s.mMwCost.With(t.name, algo).Add(int64(access.MiddlewareCost))
 	spanAttrsFromAccess(&eng, access, res.Degraded != nil)
 	eng.End()
 	if res.Degraded != nil {
@@ -785,10 +821,29 @@ func ladderLevelCode(level string) int64 {
 	}
 }
 
+// effectiveCostRatio resolves a request's cR/cS weight the way internal/db
+// does: an explicit positive ratio wins; otherwise ta and ca default to
+// defaultCostRatio while medrank and nra run in the NRA regime (random access
+// priced out, ratio 0).
+func effectiveCostRatio(algo string, explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if algo == "ta" || algo == "ca" {
+		return defaultCostRatio
+	}
+	return 0
+}
+
+// defaultCostRatio mirrors db.DefaultCostRatio: random access is typically an
+// order of magnitude pricier than a sorted probe.
+const defaultCostRatio = 10
+
 // runResilientTopK runs the degraded-mode engines over fallible sources built
 // from the given (possibly reliability-trimmed) lists, optionally
-// fault-injected per the request's chaos plan.
-func (s *Service) runResilientTopK(r *http.Request, rankings []*ranking.PartialRanking, req TopKRequest) (*topk.Result, error) {
+// fault-injected per the request's chaos plan. ratio is the effective cR/cS
+// weight (CA's random-access schedule).
+func (s *Service) runResilientTopK(r *http.Request, rankings []*ranking.PartialRanking, req TopKRequest, ratio int) (*topk.Result, error) {
 	acc := telemetry.NewAccessAccountant(len(rankings))
 	sources := make([]faults.Source, len(rankings))
 	for i, pr := range rankings {
@@ -804,8 +859,13 @@ func (s *Service) runResilientTopK(r *http.Request, rankings []*ranking.PartialR
 		}
 		sources[i] = faults.WithRetry(src, faults.DefaultRetryPolicy(), acc, i)
 	}
-	if req.Algo == "ta" {
+	switch req.Algo {
+	case "ta":
 		return topk.ThresholdTopKOver(r.Context(), sources, req.K, acc)
+	case "nra":
+		return topk.NRAOver(r.Context(), sources, req.K, acc)
+	case "ca":
+		return topk.CAOver(r.Context(), sources, req.K, ratio, acc)
 	}
 	return topk.MedRankOver(r.Context(), sources, req.K, topk.GlobalMerge, acc)
 }

@@ -171,6 +171,8 @@ type Service struct {
 	mRobustTrim  telemetry.CounterVec   // {tenant}
 	mShed        telemetry.CounterVec   // {tenant, reason}
 	mDegradedAns telemetry.CounterVec   // {tenant, level}
+	mAlgo        telemetry.CounterVec   // {tenant, algo}
+	mMwCost      telemetry.CounterVec   // {tenant, algo}
 	mTenants     *telemetry.Gauge
 	mQueueDepth  *telemetry.Gauge
 }
@@ -224,6 +226,10 @@ func New(cfg Config) *Service {
 		"Requests shed by admission control, by tenant and reason.", "tenant", "reason")
 	s.mDegradedAns = s.labeled.CounterVec("rankserve_degraded_answers_total",
 		"Topk answers served below the exact ladder level, by tenant and level.", "tenant", "level")
+	s.mAlgo = s.labeled.CounterVec("rankserve_topk_algo_total",
+		"Top-k queries answered, by tenant and engine (medrank, ta, nra, ca).", "tenant", "algo")
+	s.mMwCost = s.labeled.CounterVec("rankserve_middleware_cost_total",
+		"FLN middleware cost (cs=1, cr=effective cost ratio) accumulated by top-k queries, by tenant and engine.", "tenant", "algo")
 	s.mTenants = s.labeled.GaugeVec("rankserve_tenants",
 		"Live tenants.").With()
 	s.inflight = s.labeled.GaugeVec("rankserve_inflight_requests",

@@ -333,6 +333,89 @@ func TestResilientTopKWithChaosDegrades(t *testing.T) {
 	}
 }
 
+// TestTopKAlgoNRAAndCA covers the FLN middleware engines over HTTP: the
+// no-random-access NRA and the combined algorithm CA agree with MEDRANK,
+// report cost-weighted access summaries, honor explicit cost ratios, and
+// show up in the algo-labeled metric families.
+func TestTopKAlgoNRAAndCA(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	putCatalog(t, ts, "acme", "movies", deepCorpus, "")
+	url := ts.URL + "/v1/tenants/acme/catalogs/movies/topk"
+
+	query := func(body string) TopKResponse {
+		t.Helper()
+		status, b := doReq(t, http.MethodPost, url, body)
+		if status != http.StatusOK {
+			t.Fatalf("topk %s = %d: %s", body, status, b)
+		}
+		return decode[TopKResponse](t, b)
+	}
+
+	base := query(`{"k": 4}`)
+	nra := query(`{"k": 4, "algo": "nra"}`)
+	if fmt.Sprint(nra.Winners) != fmt.Sprint(base.Winners) {
+		t.Errorf("nra winners %v != medrank winners %v", nra.Winners, base.Winners)
+	}
+	if nra.Access.Random != 0 {
+		t.Errorf("nra made %d random accesses, want 0", nra.Access.Random)
+	}
+	if nra.Access.CostRatio != 0 || nra.Access.MiddlewareCost != nra.Access.Sequential {
+		t.Errorf("nra access summary %+v: want cost ratio 0 and cost == sequential", nra.Access)
+	}
+
+	ca := query(`{"k": 4, "algo": "ca"}`)
+	if fmt.Sprint(ca.Winners) != fmt.Sprint(base.Winners) {
+		t.Errorf("ca winners %v != medrank winners %v", ca.Winners, base.Winners)
+	}
+	if ca.Access.CostRatio != defaultCostRatio {
+		t.Errorf("ca default cost ratio = %d, want %d", ca.Access.CostRatio, defaultCostRatio)
+	}
+	if want := ca.Access.Sequential + defaultCostRatio*ca.Access.Random; ca.Access.MiddlewareCost != want {
+		t.Errorf("ca middleware cost = %d, want %d", ca.Access.MiddlewareCost, want)
+	}
+	if got := query(`{"k": 4, "algo": "ca", "cost_ratio": 25}`); got.Access.CostRatio != 25 {
+		t.Errorf("explicit cost ratio echoed as %d, want 25", got.Access.CostRatio)
+	}
+
+	for _, bad := range []string{
+		`{"k": 4, "algo": "ca", "cost_ratio": -1}`,
+		`{"k": 4, "algo": "nra", "theta": 0.5}`, // θ engine needs random access
+	} {
+		if status, b := doReq(t, http.MethodPost, url, bad); status != http.StatusBadRequest {
+			t.Errorf("topk %s = %d, want 400: %s", bad, status, b)
+		}
+	}
+
+	// Resilient dispatch: both engines survive deterministic chaos, and NRA
+	// stays random-access-free even on the fallible path.
+	rnra := query(`{"k": 4, "algo": "nra", "resilient": true, "chaos": {"seed": 7, "death_rate": 0.1}}`)
+	if rnra.Access.Random != 0 {
+		t.Errorf("resilient nra made %d random accesses, want 0", rnra.Access.Random)
+	}
+	if rnra.Degraded == nil {
+		t.Error("resilient nra chaos run did not degrade")
+	}
+	if rca := query(`{"k": 4, "algo": "ca", "resilient": true, "chaos": {"seed": 7, "death_rate": 0.1}}`); len(rca.Winners) != 4 {
+		t.Errorf("resilient ca winners = %v, want 4", rca.Winners)
+	}
+
+	status, b := doReq(t, http.MethodGet, ts.URL+"/metrics", "")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics = %d", status)
+	}
+	out := string(b)
+	for _, want := range []string{
+		`rankserve_topk_algo_total{tenant="acme",algo="medrank"}`,
+		`rankserve_topk_algo_total{tenant="acme",algo="nra"}`,
+		`rankserve_topk_algo_total{tenant="acme",algo="ca"}`,
+		`rankserve_middleware_cost_total{tenant="acme",algo="ca"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+}
+
 func TestAggregateMatchesEngines(t *testing.T) {
 	_, ts := testServer(t, Config{})
 	putCatalog(t, ts, "acme", "movies", corpus, "")

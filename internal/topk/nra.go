@@ -1,0 +1,378 @@
+package topk
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// This file implements the remaining two corners of the Fagin–Lotem–Naor
+// middleware design space over median-rank aggregation:
+//
+//   - NRA ("no random access"): per-element [best, worst] median intervals
+//     maintained from sorted access only. An element's worst case is the
+//     needed-th smallest of its observed positions (infinite until `needed`
+//     positions are known); its best case merges the observed positions with
+//     the frontiers of the lists where it is still unseen. The run stops once
+//     k intervals dominate every other element's interval, so the certified
+//     answer SET equals the exact engines' even though individual medians may
+//     remain intervals.
+//   - CA ("combined algorithm"): the same interval accumulation, plus a
+//     random-access resolution of the most blocking candidate once every
+//     ~cR/cS sorted rounds, so expensive random accesses are paid only when
+//     they amortize against the sorted work they save.
+//
+// Both engines share one certification core (nraCore) and one fallible driver
+// (nraFallibleRun, nra_fallible.go); the infallible entry points below are
+// thin wrappers that run the fallible driver over infallible list sources, so
+// there is exactly one code path to trust.
+
+// nraInf is the sentinel for an unknown worst-case bound: strictly larger
+// than any real doubled position and than the bottom-of-order sentinel
+// (math.MaxInt64 - 1) used for under-observed elements on degraded runs.
+const nraInf = int64(math.MaxInt64)
+
+// lexLT orders (value, element) pairs lexicographically — the tie-break every
+// engine in this package uses. Strict interval domination under this order is
+// what makes NRA's certified set identical to the exact engines': if
+// (worst(w), w) < (best(z), z) then (median(w), w) < (median(z), z), because
+// median(w) <= worst(w) and best(z) <= median(z), and at equal bounds the
+// element IDs decide exactly as they do in the exact answer.
+func lexLT(v1 int64, e1 int, v2 int64, e2 int) bool {
+	return v1 < v2 || (v1 == v2 && e1 < e2)
+}
+
+// pairMaxHeap is a max-heap of (value, element) pairs under lexLT; the root
+// is the largest tracked pair. It tracks the k lexicographically smallest
+// worst-case bounds, whose root is the domination bar.
+type pairMaxHeap []struct {
+	v int64
+	e int
+}
+
+func (h pairMaxHeap) Len() int           { return len(h) }
+func (h pairMaxHeap) Less(i, j int) bool { return lexLT(h[j].v, h[j].e, h[i].v, h[i].e) }
+func (h pairMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pairMaxHeap) Push(x interface{}) {
+	*h = append(*h, x.(struct {
+		v int64
+		e int
+	}))
+}
+func (h *pairMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// nraCore is the interval-certification state shared by NRA and CA. Like
+// medrankRun it is access-agnostic: it sees lists only through frontier
+// positions and per-slot known bitmaps, so the fallible driver can rebuild a
+// fresh core over the survivors after a list death and replay the logs.
+//
+// Monotonicity makes bounded buffers sound: a candidate's worst-case bound
+// only shrinks as positions arrive, its best-case bound only grows (frontiers
+// advance, and an observed position is at least the frontier it replaces), so
+// the domination bar only shrinks. Once a candidate's best case clears the
+// bar it can never re-enter the race and its position buffer is freed.
+type nraCore struct {
+	n, m, k, needed int
+	frontier        []int64    // per slot: doubled position of next unprobed entry
+	known           [][]uint64 // per slot: bitmap of elements with a known position
+	seen            [][]int64  // per element: known doubled positions (nil once cleared)
+	probed          []bool     // per element: ever had a position recorded
+	probedDistinct  int
+	minUnprobed     int    // smallest never-probed element ID
+	cleared         []bool // provably outside the top k
+	live            []int  // probed, not cleared (compacted on checks)
+	bufferPeak      int    // peak number of simultaneously held candidate buffers
+}
+
+func newNRACore(n, m, k int) *nraCore {
+	words := (n + 63) / 64
+	c := &nraCore{
+		n: n, m: m, k: k,
+		needed:   (m + 1) / 2,
+		frontier: make([]int64, m),
+		known:    make([][]uint64, m),
+		seen:     make([][]int64, n),
+		probed:   make([]bool, n),
+		cleared:  make([]bool, n),
+	}
+	for i := range c.known {
+		c.known[i] = make([]uint64, words)
+	}
+	return c
+}
+
+// knownIn reports whether slot li already holds element e's position.
+func (c *nraCore) knownIn(li, e int) bool {
+	return c.known[li][e>>6]&(1<<(uint(e)&63)) != 0
+}
+
+// add registers element e's doubled position in slot li, whether it arrived
+// by sorted or by random access — once known, a position is a position, which
+// is what lets CA feed its random-access lookups into the same state (and the
+// fallible driver replay both kinds of log after a list death). Duplicates
+// are ignored: a sorted scan re-revealing a random-accessed entry changes
+// nothing.
+func (c *nraCore) add(li, e int, pos2 int64) {
+	if c.knownIn(li, e) {
+		return
+	}
+	c.known[li][e>>6] |= 1 << (uint(e) & 63)
+	if !c.probed[e] {
+		c.probed[e] = true
+		c.probedDistinct++
+		for c.minUnprobed < c.n && c.probed[c.minUnprobed] {
+			c.minUnprobed++
+		}
+		if !c.cleared[e] {
+			c.live = append(c.live, e)
+			if len(c.live) > c.bufferPeak {
+				c.bufferPeak = len(c.live)
+			}
+		}
+	}
+	if c.cleared[e] {
+		return
+	}
+	c.seen[e] = append(c.seen[e], pos2)
+}
+
+// worst2 is the certified upper bound on e's doubled median: the needed-th
+// smallest observed position, nraInf until `needed` positions are known
+// (missing positions could be arbitrarily deep).
+func (c *nraCore) worst2(e int) int64 {
+	if len(c.seen[e]) < c.needed {
+		return nraInf
+	}
+	return kthSmallest(c.seen[e], c.needed)
+}
+
+// best2 is the certified lower bound on e's doubled median: the needed-th
+// smallest of its observed positions merged with the frontiers of the slots
+// where it is unknown (an unseen position is at least that list's frontier).
+func (c *nraCore) best2(e int) int64 {
+	s := c.seen[e]
+	if len(s) == c.m {
+		return kthSmallest(s, c.needed)
+	}
+	all := make([]int64, 0, c.m)
+	all = append(all, s...)
+	for li := range c.frontier {
+		if !c.knownIn(li, e) {
+			all = append(all, c.frontier[li])
+		}
+	}
+	return kthSmallest(all, c.needed)
+}
+
+// clear drops e from the race for good and frees its position buffer. Sound
+// by monotonicity (see the type comment); the fallible driver's logs retain
+// the raw entries for replay after a list death, when the instance — and
+// hence every clearance — is recomputed from scratch.
+func (c *nraCore) clear(e int) {
+	c.cleared[e] = true
+	c.seen[e] = nil
+}
+
+// minIncompleteBest returns the live candidate with the lexicographically
+// smallest (best2, id) among those missing at least one position — the most
+// useful random-access target — or -1 when every live candidate is complete.
+func (c *nraCore) minIncompleteBest() int {
+	best := -1
+	var bestV int64
+	for _, e := range c.live {
+		if c.cleared[e] || len(c.seen[e]) == c.m {
+			continue
+		}
+		if v := c.best2(e); best == -1 || lexLT(v, e, bestV, best) {
+			best, bestV = e, v
+		}
+	}
+	return best
+}
+
+// check runs the round-granular certification test: done reports whether k
+// intervals strictly dominate every other element (probed or not), and
+// blocker names the most blocking resolvable candidate (-1 when only
+// never-probed elements block, which no random access can help — only deeper
+// sorted scanning raises their shared frontier bound).
+func (c *nraCore) check() (done bool, blocker int) {
+	if c.k == 0 {
+		return true, -1
+	}
+	// Compact out candidates cleared on earlier checks.
+	keep := c.live[:0]
+	for _, e := range c.live {
+		if !c.cleared[e] {
+			keep = append(keep, e)
+		}
+	}
+	c.live = keep
+
+	// The domination bar: the k-th lexicographically smallest (worst2, id).
+	var h pairMaxHeap
+	for _, e := range c.live {
+		w := c.worst2(e)
+		if w == nraInf {
+			continue
+		}
+		if h.Len() < c.k {
+			heap.Push(&h, struct {
+				v int64
+				e int
+			}{w, e})
+		} else if lexLT(w, e, h[0].v, h[0].e) {
+			h[0] = struct {
+				v int64
+				e int
+			}{w, e}
+			heap.Fix(&h, 0)
+		}
+	}
+	if h.Len() < c.k {
+		// Fewer than k closed worst-case bounds: no bar to dominate yet.
+		return false, c.minIncompleteBest()
+	}
+	barV, barID := h[0].v, h[0].e
+
+	// Never-probed elements share the bound (needed-th smallest frontier,
+	// smallest unprobed ID); checked first because it is O(m).
+	done = true
+	if c.probedDistinct < c.n {
+		u := kthSmallest(c.frontier, c.needed)
+		if !lexLT(barV, barID, u, c.minUnprobed) {
+			done = false
+		}
+	}
+	var blockV int64
+	blocker = -1
+	for _, e := range c.live {
+		w := c.worst2(e)
+		if !lexLT(barV, barID, w, e) {
+			continue // member of the current top-k set
+		}
+		bv := c.best2(e)
+		if lexLT(barV, barID, bv, e) {
+			c.clear(e) // can never re-enter: best2 only grows, the bar only shrinks
+			continue
+		}
+		done = false
+		if blocker == -1 || lexLT(bv, e, blockV, blocker) {
+			blocker, blockV = e, bv
+		}
+	}
+	return done, blocker
+}
+
+// finalTopK extracts the answer: the k lexicographically smallest
+// (median-bound, id) pairs over every non-cleared element. At a certified
+// stop this is exactly the dominating set (everything else was cleared); at
+// exhaustion or truncation it matches MedRankOver's degraded convention —
+// elements observed in at least `needed` lists carry their exact survivor
+// median, under-observed elements carry the bottom-of-order sentinel and fill
+// the list by ID.
+func (c *nraCore) finalTopK() (winners []int, medians2 []int64, intervals [][2]int64) {
+	type cand struct {
+		e          int
+		med2, lo2 int64
+	}
+	cands := make([]cand, 0, len(c.live)+c.n-c.probedDistinct)
+	for e := 0; e < c.n; e++ {
+		if c.cleared[e] {
+			continue
+		}
+		med := c.worst2(e)
+		if med == nraInf {
+			med = nraInf - 1 // bottom-of-order sentinel, ties broken by ID
+		}
+		cands = append(cands, cand{e, med, c.best2(e)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.med2 != b.med2 {
+			return a.med2 < b.med2
+		}
+		if a.lo2 != b.lo2 {
+			return a.lo2 < b.lo2
+		}
+		return a.e < b.e
+	})
+	if len(cands) > c.k {
+		cands = cands[:c.k]
+	}
+	winners = make([]int, 0, len(cands))
+	medians2 = make([]int64, 0, len(cands))
+	intervals = make([][2]int64, 0, len(cands))
+	for _, cd := range cands {
+		winners = append(winners, cd.e)
+		medians2 = append(medians2, cd.med2)
+		hi := c.worst2(cd.e)
+		lo := cd.lo2
+		if lo > hi {
+			lo = hi
+		}
+		intervals = append(intervals, [2]int64{lo, hi})
+	}
+	return winners, medians2, intervals
+}
+
+// NRA runs the no-random-access engine of Fagin, Lotem, and Naor over the
+// inputs: median-rank top-k from sorted access only, certified by interval
+// domination. The winner SET equals MedRank's and ThresholdTopK's exactly
+// (including ID tie-breaks); individual winners may carry open median
+// intervals, reported in Result.Intervals2 with Medians2 holding the
+// certified upper bounds. AccessStats.Random is always 0.
+func NRA(rankings []*ranking.PartialRanking, k int) (*Result, error) {
+	return NRAContext(context.Background(), rankings, k)
+}
+
+// NRAContext is NRA under a caller context; cancellation or deadline expiry
+// aborts the run between accesses with ctx.Err().
+func NRAContext(ctx context.Context, rankings []*ranking.PartialRanking, k int) (*Result, error) {
+	return caRankings(ctx, rankings, k, 0)
+}
+
+// CA runs the combined algorithm of Fagin, Lotem, and Naor at the given
+// random:sequential cost ratio: NRA-style interval accumulation with a
+// random-access resolution of the most blocking candidate scheduled once
+// every ~ratio sorted rounds, so the extra cR spend stays proportional to the
+// cS spend it replaces. ratio 0 is the NRA regime (random access unavailable;
+// the run makes none); ratio 1 resolves every round, approaching TA's
+// behavior at TA's prices. The winner set equals the exact engines'.
+func CA(rankings []*ranking.PartialRanking, k, ratio int) (*Result, error) {
+	return CAContext(context.Background(), rankings, k, ratio)
+}
+
+// CAContext is CA under a caller context.
+func CAContext(ctx context.Context, rankings []*ranking.PartialRanking, k, ratio int) (*Result, error) {
+	return caRankings(ctx, rankings, k, ratio)
+}
+
+// caRankings adapts in-memory rankings onto the shared fallible driver: the
+// infallible engines are the fallible ones over infallible sources, so the
+// certified-stop logic has exactly one implementation.
+func caRankings(ctx context.Context, rankings []*ranking.PartialRanking, k, ratio int) (*Result, error) {
+	if len(rankings) == 0 {
+		return nil, fmt.Errorf("topk: no input rankings")
+	}
+	if err := ranking.CheckSameDomain(rankings...); err != nil {
+		return nil, err
+	}
+	acc := telemetry.NewAccessAccountant(len(rankings))
+	sources := make([]faults.Source, len(rankings))
+	for i, r := range rankings {
+		sources[i] = NewListSource(r, acc, i)
+	}
+	return caOver(ctx, sources, k, ratio, acc)
+}

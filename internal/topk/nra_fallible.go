@@ -1,0 +1,366 @@
+package topk
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/ranking"
+	"repro/internal/telemetry"
+)
+
+// nraFallibleRun drives the interval-certification core (nraCore) over
+// fallible sources, for both NRA (ratio 0: sorted access only) and CA
+// (ratio > 0: a random-access resolution every ~ratio sorted rounds). Like
+// fallibleRun it keeps per-original-list logs of every consumed entry —
+// sequential AND random, since CA's random lookups are real knowledge the
+// rebuilt core must not lose — and rebuilds a fresh core over the survivors
+// when a list dies. Rebuilding from scratch also re-derives every buffer
+// clearance: a clearance proved against the old instance (all m lists) need
+// not hold against the survivor instance, so none of them are carried over.
+type nraFallibleRun struct {
+	sources []faults.Source
+	acc     *telemetry.AccessAccountant
+	n, m, k int
+	ratio   int // sorted rounds between random-access resolutions; 0 = never (NRA)
+
+	alive    []bool    // per original list
+	aliveIdx []int     // survivor slot -> original list index
+	seqLogs  [][]Entry // per original list: every entry consumed sequentially
+	randLogs [][]Entry // per original list: every position fetched by random access
+	lost     []int
+
+	core       *nraCore
+	rrNext     int
+	sinceRA    int // sorted rounds since the last random-access resolution
+	bufferPeak int // max over rebuilds of the core's candidate-buffer peak
+}
+
+// NRAOver runs the no-random-access engine over fallible sources: the
+// fault-tolerant contract of MedRankOver (transients absorbed below by
+// faults.WithRetry, any error reaching the engine permanently kills that
+// list, the run degrades to the exact answer over the survivors) with NRA's
+// access pattern (sorted access only — the source stack's Pos2 is never
+// called). acc follows the MedRankOver convention: non-nil must be the
+// accountant the sources charge to; nil allocates a fresh one.
+func NRAOver(ctx context.Context, sources []faults.Source, k int, acc *telemetry.AccessAccountant) (*Result, error) {
+	return caOver(ctx, sources, k, 0, acc)
+}
+
+// CAOver runs the combined algorithm over fallible sources at the given
+// random:sequential cost ratio (see CA). Random accesses that fail kill
+// their list exactly like sequential ones.
+func CAOver(ctx context.Context, sources []faults.Source, k, ratio int, acc *telemetry.AccessAccountant) (*Result, error) {
+	return caOver(ctx, sources, k, ratio, acc)
+}
+
+// caOver is the single implementation behind NRA/CA/NRAOver/CAOver.
+func caOver(ctx context.Context, sources []faults.Source, k, ratio int, acc *telemetry.AccessAccountant) (*Result, error) {
+	m := len(sources)
+	if m == 0 {
+		return nil, fmt.Errorf("topk: no input sources")
+	}
+	if ratio < 0 {
+		return nil, fmt.Errorf("topk: negative cost ratio %d", ratio)
+	}
+	n := sources[0].N()
+	for i, s := range sources {
+		if s.N() != n {
+			return nil, fmt.Errorf("topk: source %d has domain size %d, want %d", i, s.N(), n)
+		}
+	}
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topk: k=%d out of range [0,%d]", k, n)
+	}
+	if acc == nil {
+		acc = telemetry.NewAccessAccountant(m)
+	}
+
+	f := &nraFallibleRun{
+		sources:  sources,
+		acc:      acc,
+		n:        n,
+		m:        m,
+		k:        k,
+		ratio:    ratio,
+		alive:    make([]bool, m),
+		aliveIdx: make([]int, m),
+		seqLogs:  make([][]Entry, m),
+		randLogs: make([][]Entry, m),
+	}
+	for i := range f.alive {
+		f.alive[i] = true
+		f.aliveIdx[i] = i
+	}
+	f.rebuild()
+
+	span, kernel := "topk.nra", "nra"
+	if ratio > 0 {
+		span, kernel = "topk.ca", "ca"
+	}
+	var derr error
+	sctx, sp := telemetry.Start(ctx, span)
+	telemetry.Do(sctx, "kernel", kernel, func(ctx context.Context) {
+		derr = f.drive(ctx)
+	})
+	sp.End()
+	if derr != nil {
+		return nil, derr
+	}
+
+	winners, medians2, intervals := f.core.finalTopK()
+	top, err := ranking.TopKList(n, k, winners)
+	if err != nil {
+		return nil, err
+	}
+	stats := statsFromReport(acc.Report())
+	if f.core.bufferPeak > f.bufferPeak {
+		f.bufferPeak = f.core.bufferPeak
+	}
+	if ratio > 0 {
+		tCARuns.Inc()
+		tCAProbes.Add(int64(stats.Total))
+		tCARandom.Add(int64(stats.Random))
+	} else {
+		tNRARuns.Inc()
+		tNRAProbes.Add(int64(stats.Total))
+	}
+	return &Result{
+		TopK:       top,
+		Winners:    winners,
+		Medians2:   medians2,
+		Stats:      stats,
+		Degraded:   f.degraded(winners),
+		Intervals2: intervals,
+		BufferPeak: f.bufferPeak,
+	}, nil
+}
+
+// rebuild constructs a fresh certification core over the currently alive
+// lists and replays both logs of every survivor into it. Exact for the same
+// reason fallibleRun.rebuild is: every unseen position of a survivor is at
+// least that list's current frontier.
+func (f *nraFallibleRun) rebuild() {
+	if f.core != nil && f.core.bufferPeak > f.bufferPeak {
+		f.bufferPeak = f.core.bufferPeak
+	}
+	m := len(f.aliveIdx)
+	core := newNRACore(f.n, m, f.k)
+	for li, orig := range f.aliveIdx {
+		core.frontier[li] = f.sources[orig].Peek2()
+	}
+	for li, orig := range f.aliveIdx {
+		for _, e := range f.seqLogs[orig] {
+			core.add(li, e.Elem, e.Pos2)
+		}
+		for _, e := range f.randLogs[orig] {
+			core.add(li, e.Elem, e.Pos2)
+		}
+	}
+	f.core = core
+	if f.rrNext >= m {
+		f.rrNext = 0
+	}
+	f.sinceRA = 0
+}
+
+// drive alternates certification checks with work: a random-access
+// resolution when one is due and useful, otherwise one sorted round over the
+// survivors. The check runs at round granularity (the textbook NRA schedule)
+// rather than per probe: a per-probe check would cost O(candidates·m) per
+// entry consumed.
+func (f *nraFallibleRun) drive(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done, blocker := f.core.check()
+		if done {
+			return nil
+		}
+		if f.ratio > 0 && blocker >= 0 && f.sinceRA >= f.ratio {
+			if err := f.resolve(ctx, blocker); err != nil {
+				return err
+			}
+			f.sinceRA = 0
+			continue
+		}
+		progressed, err := f.round(ctx)
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			// Every survivor exhausted or truncated without a certificate:
+			// finalTopK promotes by the missing-positions-are-infinite
+			// convention, matching MedRankOver's degraded semantics. (With
+			// complete lists this is unreachable — full knowledge certifies.)
+			return nil
+		}
+		f.sinceRA++
+	}
+}
+
+// round performs one sorted access on each live survivor list in round-robin
+// order. A death mid-round aborts the round (the rebuilt core must be
+// re-checked before more work is scheduled against it).
+func (f *nraFallibleRun) round(ctx context.Context) (bool, error) {
+	progressed := false
+	for t, m := 0, len(f.aliveIdx); t < m; t++ {
+		if f.rrNext >= len(f.aliveIdx) {
+			f.rrNext = 0
+		}
+		li := f.rrNext
+		f.rrNext = (f.rrNext + 1) % len(f.aliveIdx)
+		if f.core.frontier[li] == math.MaxInt64 {
+			continue
+		}
+		orig := f.aliveIdx[li]
+		e, ok, err := f.sources[orig].Next(ctx)
+		if err != nil {
+			rebuilt, herr := f.handleErr(orig, err)
+			if herr != nil {
+				return false, herr
+			}
+			if rebuilt {
+				return true, nil
+			}
+			continue
+		}
+		if !ok {
+			f.core.frontier[li] = math.MaxInt64
+			continue
+		}
+		f.acc.BucketIO(orig)
+		progressed = true
+		f.seqLogs[orig] = append(f.seqLogs[orig], e)
+		f.core.add(li, e.Elem, e.Pos2)
+		f.core.frontier[li] = f.sources[orig].Peek2()
+	}
+	return progressed, nil
+}
+
+// resolve closes the blocking candidate's interval: one random access per
+// surviving list where its position is still unknown. Fetched positions are
+// logged so a later rebuild replays them — random-access knowledge survives
+// list deaths just like sorted knowledge.
+func (f *nraFallibleRun) resolve(ctx context.Context, e int) error {
+	for li := 0; li < len(f.aliveIdx); li++ {
+		if f.core.knownIn(li, e) {
+			continue
+		}
+		orig := f.aliveIdx[li]
+		v, err := f.sources[orig].Pos2(ctx, e)
+		if err != nil {
+			rebuilt, herr := f.handleErr(orig, err)
+			if herr != nil {
+				return herr
+			}
+			if rebuilt {
+				return nil // survivor slots shifted; caller re-checks
+			}
+			continue
+		}
+		f.randLogs[orig] = append(f.randLogs[orig], Entry{Elem: e, Pos2: v})
+		f.core.add(li, e, v)
+	}
+	return nil
+}
+
+// handleErr classifies an access error exactly like fallibleRun.handleErr:
+// context errors abort the run, anything else kills the list. rebuilt reports
+// whether the certification core was replaced (survivor slots renumbered).
+func (f *nraFallibleRun) handleErr(orig int, err error) (bool, error) {
+	if faults.IsContextErr(err) {
+		return false, err
+	}
+	f.kill(orig)
+	if len(f.aliveIdx) == 0 {
+		return false, fmt.Errorf("topk: all %d input lists died mid-query (last: %w)", f.m, err)
+	}
+	f.rebuild()
+	return true, nil
+}
+
+func (f *nraFallibleRun) kill(orig int) {
+	f.alive[orig] = false
+	f.lost = append(f.lost, orig)
+	tListDeaths.Inc()
+	keep := f.aliveIdx[:0]
+	for _, i := range f.aliveIdx {
+		if f.alive[i] {
+			keep = append(keep, i)
+		}
+	}
+	f.aliveIdx = keep
+}
+
+// degraded builds the Degraded annotation, nil when no list died. Same
+// certificate as fallibleRun.degraded, except a winner's observed positions
+// come from both logs (a random-accessed position is exactly as authoritative
+// as a scanned one).
+func (f *nraFallibleRun) degraded(winners []int) *Degraded {
+	if len(f.lost) == 0 {
+		return nil
+	}
+	rep := f.acc.Report()
+	d := &Degraded{
+		Lost:             append([]int(nil), f.lost...),
+		Survivors:        len(f.aliveIdx),
+		Retried:          int(rep.Retried),
+		MedianIntervals2: make([][2]int64, len(winners)),
+	}
+	sort.Ints(d.Lost)
+	for _, li := range f.lost {
+		if li < len(rep.PerList) {
+			d.WastedSequential += int(rep.PerList[li])
+		}
+		if li < len(rep.RandomPerList) {
+			d.WastedRandom += int(rep.RandomPerList[li])
+		}
+	}
+
+	winIdx := make(map[int]int, len(winners))
+	for i, w := range winners {
+		winIdx[w] = i
+	}
+	known := make([][]int64, len(winners))
+	observed := make([][]bool, f.m) // per original list, per winner
+	for orig := 0; orig < f.m; orig++ {
+		observed[orig] = make([]bool, len(winners))
+		for _, log := range [2][]Entry{f.seqLogs[orig], f.randLogs[orig]} {
+			for _, e := range log {
+				if i, ok := winIdx[e.Elem]; ok && !observed[orig][i] {
+					observed[orig][i] = true
+					known[i] = append(known[i], e.Pos2)
+				}
+			}
+		}
+	}
+	j := (f.m + 1) / 2
+	for i := range winners {
+		bounded := append([]int64(nil), known[i]...)
+		unknown := 0
+		for orig := 0; orig < f.m; orig++ {
+			if observed[orig][i] {
+				continue
+			}
+			if f.alive[orig] {
+				bounded = append(bounded, f.sources[orig].Peek2())
+			} else {
+				unknown++
+			}
+		}
+		lo := int64(0)
+		if j-unknown >= 1 {
+			lo = kthSmallest(bounded, j-unknown)
+		}
+		hi := int64(math.MaxInt64)
+		if len(known[i]) >= j {
+			hi = kthSmallest(known[i], j)
+		}
+		d.MedianIntervals2[i] = [2]int64{lo, hi}
+	}
+	return d
+}

@@ -1,7 +1,9 @@
 package topk
 
 import (
+	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/randrank"
@@ -107,5 +109,96 @@ func TestOptimalityRatioAtLeastOne(t *testing.T) {
 	var st AccessStats
 	if st.OptimalityRatio(0) != 0 {
 		t.Error("ratio with zero bound should be 0")
+	}
+}
+
+// TestTAThetaExhaustedListNoStaleStop is the regression pin for the
+// round-robin exhausted-list edge case under the θ-relaxed stop. The audit
+// outcome it pins: frontiers cannot go stale, because a successful probe
+// refreshes its list's frontier immediately (Peek2 returns MaxInt64 the
+// instant the last entry is consumed) and τ is recomputed from the live
+// frontier array before every probe. A consequence worth keeping on the
+// record: since medians never exceed the bottom position, the relaxed test
+// necessarily fires no later than the state where every frontier reaches the
+// last bucket — a θ > 0 run can never early-stop against a threshold the
+// instance has advanced past. The test stresses the late-round states (k
+// near n, so certification happens while lists drain) and re-verifies the
+// (1+θ) guarantee offline against the exact medians; it would fail if
+// exhausted lists ever contributed stale finite positions to τ.
+func TestTAThetaExhaustedListNoStaleStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(20)
+		m := 1 + 2*rng.Intn(3)
+		var in []*ranking.PartialRanking
+		for i := 0; i < m; i++ {
+			in = append(in, randrank.Partial(rng, n, 4))
+		}
+		exact, err := MedRank(in, n, GlobalMerge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		medOf := make(map[int]int64, n)
+		for i, w := range exact.Winners {
+			medOf[w] = exact.Medians2[i]
+		}
+		for _, k := range []int{n - 1, n - 2} {
+			for _, theta := range []float64{0.1, 0.5, 10} {
+				res, err := ThresholdTopKApprox(context.Background(), in, k, theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reported := make(map[int]bool, k)
+				worst := int64(0)
+				for i, w := range res.Winners {
+					reported[w] = true
+					if res.Medians2[i] > worst {
+						worst = res.Medians2[i]
+					}
+				}
+				// The FLN guarantee: no excluded element beats a reported
+				// winner by more than (1+θ).
+				for e := 0; e < n; e++ {
+					if reported[e] {
+						continue
+					}
+					if float64(worst) > (1+theta)*float64(medOf[e]) {
+						t.Fatalf("k=%d theta=%v: reported median %d exceeds (1+θ)·%d of excluded element %d",
+							k, theta, worst, medOf[e], e)
+					}
+				}
+				c := res.Approx
+				if c == nil {
+					t.Fatalf("approx run returned no certificate")
+				}
+				if c.EarlyStop {
+					// A stop against a stale (finite) frontier of an already
+					// exhausted list would surface here: τ must be a real
+					// doubled position of the instance, and the certificate
+					// must satisfy its own bound.
+					if c.Threshold2 <= 0 || c.Threshold2 > int64(2*n) {
+						t.Fatalf("early stop with out-of-instance threshold %d (n=%d)", c.Threshold2, n)
+					}
+					if float64(c.KthMedian2) > (1+theta)*float64(c.Threshold2) {
+						t.Fatalf("certificate violates its own bound: kth=%d τ=%d θ=%v",
+							c.KthMedian2, c.Threshold2, theta)
+					}
+				}
+			}
+		}
+		// k = n drives the loop to its exhaustion exit (every element
+		// resolved, lists fully drained): the relaxed test must never fire
+		// there — the MaxInt64 guard keeps θ away from an all-exhausted
+		// frontier — and the answer must be exact.
+		res, err := ThresholdTopKApprox(context.Background(), in, n, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Approx.EarlyStop {
+			t.Fatal("k=n exhaustion run reported an early stop")
+		}
+		if !reflect.DeepEqual(res.Winners, exact.Winners) {
+			t.Fatalf("k=n theta run diverged from exact: %v vs %v", res.Winners, exact.Winners)
+		}
 	}
 }

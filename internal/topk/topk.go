@@ -33,6 +33,11 @@ var (
 	tTARuns        = telemetry.GetCounter("topk.ta.runs")
 	tTAProbes      = telemetry.GetCounter("topk.ta.probes")
 	tTARandom      = telemetry.GetCounter("topk.ta.random")
+	tNRARuns       = telemetry.GetCounter("topk.nra.runs")
+	tNRAProbes     = telemetry.GetCounter("topk.nra.probes")
+	tCARuns        = telemetry.GetCounter("topk.ca.runs")
+	tCAProbes      = telemetry.GetCounter("topk.ca.probes")
+	tCARandom      = telemetry.GetCounter("topk.ca.random")
 )
 
 // Entry is one probed item of a list: an element and its (doubled) bucket
@@ -152,14 +157,33 @@ func (st AccessStats) MiddlewareCost(cs, cr int) int {
 }
 
 // OptimalityRatio divides the run's total accesses (sequential plus random)
-// by a per-instance lower bound such as CertificateLowerBound; a ratio near
-// 1 witnesses instance optimality (Theorems 30-32). Returns 0 when the
-// bound is not positive (undefined, e.g. k = 0).
+// by a per-instance lower bound such as CertificateLowerBound.
+//
+// Deprecated: this is the equal-weights special case — it prices a random
+// access the same as a sequential probe, contradicting the FLN cost model
+// that MiddlewareCost encodes, and divides by a sequential-only bound. It is
+// kept for comparability with historical numbers; new code should use
+// CostOptimalityRatio with a CertificateLowerBoundCost bound at the same
+// (cs, cr) weights.
 func (st AccessStats) OptimalityRatio(lowerBound int) float64 {
 	if lowerBound <= 0 {
 		return 0
 	}
 	return float64(st.Total+st.Random) / float64(lowerBound)
+}
+
+// CostOptimalityRatio divides the run's middleware cost at weights (cs, cr)
+// by a cost-aware per-instance lower bound — CertificateLowerBoundCost at
+// the SAME weights, or the ratio compares incommensurable currencies. A
+// ratio near 1 witnesses instance optimality under that cost model
+// (Theorems 30-32 of the paper; FLN Theorems 8.5/9.1 for the weighted
+// variants). Returns 0 when the bound is not positive (undefined, e.g.
+// k = 0).
+func (st AccessStats) CostOptimalityRatio(cs, cr, lowerBound int) float64 {
+	if lowerBound <= 0 {
+		return 0
+	}
+	return float64(st.MiddlewareCost(cs, cr)) / float64(lowerBound)
 }
 
 // statsFromReport converts an accountant snapshot into AccessStats.
@@ -231,6 +255,17 @@ type Result struct {
 	// Approx is non-nil when the run came from ThresholdTopKApprox: the FLN
 	// (1+θ) early-stop certificate. Nil on exact engine paths.
 	Approx *ApproxCertificate
+	// Intervals2 is non-nil on NRA/CA runs: per winner, the certified doubled
+	// median interval [best, worst] at stop time. The winner SET is exact even
+	// when intervals are open — interval domination certifies set membership
+	// without pinning each median; Medians2 then holds the certified upper
+	// bounds. The hi endpoint is MaxInt64-1 (the bottom-of-order sentinel)
+	// for under-observed winners of degraded runs.
+	Intervals2 [][2]int64
+	// BufferPeak is the peak number of simultaneously held candidate position
+	// buffers on NRA/CA runs — the engine's working-set bound, which interval
+	// clearing keeps below n. Zero on other engines.
+	BufferPeak int
 }
 
 // medrankRun carries the certification state of one MEDRANK run; the engine
@@ -409,19 +444,40 @@ func FullScanCost(rankings []*ranking.PartialRanking) AccessStats {
 // instance-optimality ratio reported by experiment E7 is MEDRANK probes
 // divided by this bound.
 func CertificateLowerBound(rankings []*ranking.PartialRanking, winners []int) int {
+	return CertificateLowerBoundCost(rankings, winners, 1, 0)
+}
+
+// CertificateLowerBoundCost generalizes CertificateLowerBound to the FLN
+// middleware cost model: learning a winner's position in list i costs at
+// least min(cs·depth_i, cr) — a sequential scan down to its bucket or a
+// single random access, whichever is cheaper on that list. cr <= 0 selects
+// the NRA regime (random access unavailable), degenerating to the
+// sequential-only bound; CertificateLowerBound is exactly this at
+// (cs, cr) = (1, 0). A winner outside a list's domain contributes nothing
+// there: no access of either kind can observe it, so it is skipped instead
+// of indexed (the unconditional BucketOf it replaced panicked on such
+// inputs).
+func CertificateLowerBoundCost(rankings []*ranking.PartialRanking, winners []int, cs, cr int) int {
 	m := len(rankings)
 	needed := (m + 1) / 2
 	best := 0
 	for _, w := range winners {
 		costs := make([]int, 0, m)
 		for _, r := range rankings {
+			if w < 0 || w >= r.N() {
+				continue // absent from this list: unobservable at any price
+			}
 			// Entries strictly before w's bucket, plus the probe that
 			// reveals w itself.
 			depth := 1
 			for b := 0; b < r.BucketOf(w); b++ {
 				depth += r.BucketSize(b)
 			}
-			costs = append(costs, depth)
+			c := cs * depth
+			if cr > 0 && cr < c {
+				c = cr
+			}
+			costs = append(costs, c)
 		}
 		sort.Ints(costs)
 		total := 0
